@@ -1,0 +1,43 @@
+//! Criterion ablation: sensitivity of the §5.5 framework to its n1/n2/n3
+//! parameters.  The paper notes the results "are not very sensitive to that
+//! choice, and performance is good even with n1 = n2 = n3 = 1"; the printed
+//! simulated force times let that claim be checked directly, while Criterion
+//! tracks the emulation cost.
+
+use bh::{run_simulation, OptLevel, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas::Machine;
+use std::hint::black_box;
+
+fn config(n: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(4_096, Machine::process_per_node(16), OptLevel::AsyncAggregation);
+    cfg.steps = 2;
+    cfg.measured_steps = 1;
+    cfg.n1 = n;
+    cfg.n2 = n;
+    cfg.n3 = n;
+    cfg
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[1usize, 4, 16] {
+        let cfg = config(n);
+        let result = run_simulation(&cfg);
+        eprintln!(
+            "aggregation_ablation/n1=n2=n3={n}: simulated force = {:.4} s, single-source = {:.0} %",
+            result.phases.force,
+            100.0 * result.vlist_single_source_fraction().unwrap_or(0.0)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}")), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_simulation(black_box(cfg)).phases.force));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

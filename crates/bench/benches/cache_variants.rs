@@ -1,0 +1,52 @@
+//! Criterion ablation: §5.3.1 separate local tree vs §5.3.2 merged local
+//! tree with shadow pointers.
+//!
+//! The paper implements both and reports that the shadow-pointer variant
+//! "showed little performance improvement over Table 5: the improved
+//! algorithm saves some local copying but does not affect global
+//! communication".  This bench reproduces that comparison: the two variants
+//! are run on identical workloads and their simulated force times are
+//! printed; the expected outcome is a difference of a few percent at most,
+//! far below the orders of magnitude separating the cached levels from the
+//! uncached ones.
+
+use bh::report::Phase;
+use bh::{run_simulation, OptLevel, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas::Machine;
+use std::hint::black_box;
+
+fn config(shadow: bool) -> SimConfig {
+    let mut cfg = SimConfig::new(4_096, Machine::process_per_node(8), OptLevel::MergedTreeBuild);
+    cfg.steps = 2;
+    cfg.measured_steps = 1;
+    cfg.shadow_cache = shadow;
+    cfg
+}
+
+fn bench_cache_variants(c: &mut Criterion) {
+    let variants = [("separate_local_tree", false), ("merged_shadow_pointers", true)];
+    let mut group = c.benchmark_group("cache_variants");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, shadow) in variants {
+        let cfg = config(shadow);
+        let result = run_simulation(&cfg);
+        eprintln!(
+            "cache_variants/{name}: simulated force = {:.4} s, total = {:.4} s",
+            result.phases.get(Phase::Force),
+            result.total
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let r = run_simulation(black_box(cfg));
+                black_box(r.phases.force)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_variants);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro-benchmark: the Barnes-Hut force kernel against direct
+//! summation (the O(n log n) vs O(n²) crossover the paper's §3 motivates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbody::plummer::{generate, PlummerConfig};
+use nbody::{direct, DEFAULT_EPS, DEFAULT_THETA};
+use octree::walk;
+use std::hint::black_box;
+
+fn bench_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_kernel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[512usize, 2_048] {
+        let bodies = generate(&PlummerConfig::new(n, 7));
+        group.bench_with_input(BenchmarkId::new("barnes_hut", n), &bodies, |b, bodies| {
+            b.iter(|| black_box(walk::compute_forces(black_box(bodies), DEFAULT_THETA, DEFAULT_EPS)));
+        });
+        group.bench_with_input(BenchmarkId::new("direct_summation", n), &bodies, |b, bodies| {
+            b.iter(|| black_box(direct::compute_forces(black_box(bodies), DEFAULT_EPS)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_force);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion comparison: pointer-linked octree vs Warren–Salmon hashed
+//! oct-tree (§8 related work) on construction and force evaluation.
+//!
+//! Both structures implement identical geometry and the identical `l/d < θ`
+//! walk, so the comparison isolates the data-structure cost: arena-indexed
+//! pointer chasing vs hash-table lookups keyed by path keys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody::plummer::{generate, PlummerConfig};
+use nbody::{DEFAULT_EPS, DEFAULT_THETA};
+use octree::hashed::HashedOctree;
+use octree::tree::{Octree, TreeParams};
+use octree::walk;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashed_tree_build");
+    for &n in &[1_000usize, 8_000] {
+        let bodies = generate(&PlummerConfig::new(n, 99));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pointer", n), &bodies, |b, bodies| {
+            b.iter(|| {
+                let mut t = Octree::build(black_box(bodies), TreeParams::default());
+                t.compute_mass(bodies);
+                black_box(t.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hashed", n), &bodies, |b, bodies| {
+            b.iter(|| {
+                let mut t = HashedOctree::build(black_box(bodies), TreeParams::default());
+                t.compute_mass(bodies);
+                black_box(t.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashed_tree_walk");
+    let n = 4_000usize;
+    let bodies = generate(&PlummerConfig::new(n, 7));
+    let mut pointer = Octree::build(&bodies, TreeParams::default());
+    pointer.compute_mass(&bodies);
+    let mut hashed = HashedOctree::build(&bodies, TreeParams::default());
+    hashed.compute_mass(&bodies);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("pointer", |b| {
+        b.iter(|| {
+            let mut acc_sum = 0.0;
+            for body in &bodies {
+                let r = walk::accel_on(&pointer, &bodies, body.pos, Some(body.id), DEFAULT_THETA, DEFAULT_EPS);
+                acc_sum += r.acc.norm_sq();
+            }
+            black_box(acc_sum)
+        });
+    });
+    group.bench_function("hashed", |b| {
+        b.iter(|| {
+            let mut acc_sum = 0.0;
+            for body in &bodies {
+                let r = hashed.accel_on(&bodies, body.pos, Some(body.id), DEFAULT_THETA, DEFAULT_EPS);
+                acc_sum += r.acc.norm_sq();
+            }
+            black_box(acc_sum)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_walk);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion comparison: the fully optimized UPC solver vs the
+//! message-passing (MPI-style) comparator on identical workloads.
+//!
+//! The paper's conclusion (§9) suspects that "with all these changes, the
+//! UPC code is as efficient as a similar MPI code" and defers the direct
+//! comparison to future work.  This bench performs that comparison on the
+//! emulated machine: the same bodies, the same machine model, the same
+//! measurement protocol, two programming models.  The printed simulated
+//! totals are the relevant output; the Criterion timings measure the host
+//! cost of the emulation itself.
+
+use bh::{OptLevel, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas::Machine;
+use std::hint::black_box;
+
+fn config(ranks: usize) -> SimConfig {
+    let mut cfg = SimConfig::new(4_096, Machine::process_per_node(ranks), OptLevel::AsyncAggregation);
+    cfg.steps = 2;
+    cfg.measured_steps = 1;
+    cfg
+}
+
+fn bench_mpi_vs_upc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi_vs_upc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for ranks in [4, 16] {
+        let cfg = config(ranks);
+        let upc = bh::run_simulation(&cfg);
+        let mpi = bh_mpi::run_simulation(&cfg);
+        eprintln!(
+            "mpi_vs_upc/{ranks} ranks: UPC total = {:.4} s (force {:.4}), MPI total = {:.4} s (force {:.4})",
+            upc.total, upc.phases.force, mpi.total, mpi.phases.force
+        );
+        group.bench_with_input(BenchmarkId::new("upc_optimized", ranks), &cfg, |b, cfg| {
+            b.iter(|| black_box(bh::run_simulation(black_box(cfg)).total));
+        });
+        group.bench_with_input(BenchmarkId::new("mpi_style", ranks), &cfg, |b, cfg| {
+            b.iter(|| black_box(bh_mpi::run_simulation(black_box(cfg)).total));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpi_vs_upc);
+criterion_main!(benches);

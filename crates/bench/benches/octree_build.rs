@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark: sequential octree construction and
+//! centre-of-mass computation (the substrate under every tree-build variant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbody::plummer::{generate, PlummerConfig};
+use octree::tree::{Octree, TreeParams};
+use std::hint::black_box;
+
+fn bench_octree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("octree_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[1_024usize, 4_096, 16_384] {
+        let bodies = generate(&PlummerConfig::new(n, 42));
+        group.bench_with_input(BenchmarkId::new("build", n), &bodies, |b, bodies| {
+            b.iter(|| {
+                let tree = Octree::build(black_box(bodies), TreeParams::default());
+                black_box(tree.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("build_and_mass", n), &bodies, |b, bodies| {
+            b.iter(|| {
+                let mut tree = Octree::build(black_box(bodies), TreeParams::default());
+                tree.compute_mass(bodies);
+                black_box(tree.nodes[0].mass)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_octree_build);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark: end-to-end emulation of the whole optimization
+//! ladder on a small workload.
+//!
+//! Criterion measures host wall time of the emulation; alongside each
+//! measurement the bench prints the *simulated* total time once, so the two
+//! views (how long the emulator takes vs how long the emulated machine would
+//! take) stay side by side.
+
+use bh::{run_simulation, OptLevel, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas::Machine;
+use std::hint::black_box;
+
+fn config(opt: OptLevel) -> SimConfig {
+    let mut cfg = SimConfig::new(2_048, Machine::process_per_node(8), opt);
+    cfg.steps = 2;
+    cfg.measured_steps = 1;
+    cfg
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_ladder");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for opt in OptLevel::ALL {
+        let cfg = config(opt);
+        let simulated = run_simulation(&cfg).total;
+        eprintln!("opt_ladder/{}: simulated total = {:.4} s", opt.name(), simulated);
+        group.bench_with_input(BenchmarkId::from_parameter(opt.name()), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_simulation(black_box(cfg)).total));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ladder);
+criterion_main!(benches);

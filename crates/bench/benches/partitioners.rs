@@ -1,0 +1,51 @@
+//! Criterion comparison: costzones (Morton-order equal-cost segments, the
+//! scheme the paper inherits from SPLASH-2) vs orthogonal recursive
+//! bisection (ORB, the classic alternative from Salmon's thesis).
+//!
+//! Besides wall time, the bench prints the load imbalance each partitioner
+//! achieves on the same cost-weighted Plummer workload, which is the metric
+//! that actually matters for the force phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody::body::root_cell;
+use nbody::plummer::{generate, PlummerConfig};
+use octree::costzones::partition_by_cost;
+use octree::orb::partition_orb;
+use std::hint::black_box;
+
+fn workload(n: usize) -> Vec<nbody::Body> {
+    let mut bodies = generate(&PlummerConfig::new(n, 55));
+    for b in &mut bodies {
+        b.cost = (1.0 + 40.0 / (0.1 + b.pos.norm())) as u32;
+    }
+    bodies
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioners");
+    let ranks = 16usize;
+    for &n in &[2_000usize, 16_000] {
+        let bodies = workload(n);
+        let (center, rsize) = root_cell(&bodies);
+
+        let cz = partition_by_cost(&bodies, center, rsize, ranks);
+        let orb = partition_orb(&bodies, ranks);
+        eprintln!(
+            "partitioners/n={n}: costzones imbalance = {:.3}, ORB imbalance = {:.3}",
+            cz.imbalance(&bodies),
+            orb.imbalance(&bodies)
+        );
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("costzones", n), &bodies, |b, bodies| {
+            b.iter(|| black_box(partition_by_cost(black_box(bodies), center, rsize, ranks).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("orb", n), &bodies, |b, bodies| {
+            b.iter(|| black_box(partition_orb(black_box(bodies), ranks).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

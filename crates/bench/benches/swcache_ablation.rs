@@ -1,0 +1,62 @@
+//! Criterion ablation: transparent software caching of shared scalars
+//! (MuPC-style, §8 of the paper) versus the manual §5.1 replication.
+//!
+//! Three variants run on the same workload:
+//!
+//! * `baseline` — every read of `tol`/`eps`/`rsize` goes to thread 0;
+//! * `software_cache` — the same code with a per-rank transparent cache that
+//!   is invalidated at every barrier ([`pgas::swcache::CachedScalar`]);
+//! * `manual_replication` — the paper's §5.1 optimization.
+//!
+//! The expected outcome, matching the paper's scepticism about transparent
+//! caching: the software cache recovers most of the scalar-read traffic
+//! (because the scalars never change between barriers), but the bulk of the
+//! baseline's slowdown — fine-grained remote access to bodies and cells —
+//! is untouched, so its total time stays far above the manually optimized
+//! levels (Tables 4–7).
+
+use bh::report::Phase;
+use bh::{run_simulation, OptLevel, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas::Machine;
+use std::hint::black_box;
+
+fn config(opt: OptLevel, swcache: bool) -> SimConfig {
+    let mut cfg = SimConfig::new(1_024, Machine::process_per_node(4), opt);
+    cfg.steps = 2;
+    cfg.measured_steps = 1;
+    cfg.software_scalar_cache = swcache;
+    cfg
+}
+
+fn bench_swcache(c: &mut Criterion) {
+    let variants = [
+        ("baseline", OptLevel::Baseline, false),
+        ("software_cache", OptLevel::Baseline, true),
+        ("manual_replication", OptLevel::ReplicateScalars, false),
+    ];
+    let mut group = c.benchmark_group("swcache_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, opt, swcache) in variants {
+        let cfg = config(opt, swcache);
+        let result = run_simulation(&cfg);
+        eprintln!(
+            "swcache_ablation/{name}: simulated force = {:.4} s, total = {:.4} s, remote gets = {}",
+            result.phases.get(Phase::Force),
+            result.total,
+            result.total_stats().remote_gets
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let r = run_simulation(black_box(cfg));
+                black_box(r.total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_swcache);
+criterion_main!(benches);

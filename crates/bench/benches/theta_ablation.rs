@@ -1,0 +1,32 @@
+//! Criterion ablation: the multipole acceptance parameter θ.  The paper
+//! fixes θ = 1.0 (the SPLASH-2 default); this ablation shows the cost side
+//! of that choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbody::plummer::{generate, PlummerConfig};
+use nbody::DEFAULT_EPS;
+use octree::walk;
+use std::hint::black_box;
+
+fn bench_theta(c: &mut Criterion) {
+    let bodies = generate(&PlummerConfig::new(4_096, 11));
+    let mut group = c.benchmark_group("theta_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &theta in &[0.3f64, 0.6, 1.0, 1.5] {
+        let interactions: u64 =
+            walk::compute_forces(&bodies, theta, DEFAULT_EPS).iter().map(|b| b.cost as u64).sum();
+        eprintln!(
+            "theta_ablation/theta={theta}: {:.0} interactions per body",
+            interactions as f64 / bodies.len() as f64
+        );
+        group.bench_with_input(BenchmarkId::new("force", format!("theta_{theta}")), &theta, |b, &theta| {
+            b.iter(|| black_box(walk::compute_forces(black_box(&bodies), theta, DEFAULT_EPS)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theta);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion ablation: the three tree-building algorithms of the paper
+//! (global insertion under locks, §5.4 merged local trees, §6 subspace),
+//! compared both in host wall time and — printed once per variant — in
+//! simulated tree-building time.
+
+use bh::report::Phase;
+use bh::{run_simulation, OptLevel, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgas::Machine;
+use std::hint::black_box;
+
+fn config(opt: OptLevel) -> SimConfig {
+    let mut cfg = SimConfig::new(4_096, Machine::process_per_node(8), opt);
+    cfg.steps = 2;
+    cfg.measured_steps = 1;
+    cfg
+}
+
+fn bench_treebuild(c: &mut Criterion) {
+    let variants = [
+        ("global_insertion_locks", OptLevel::CacheLocalTree),
+        ("merged_local_trees", OptLevel::MergedTreeBuild),
+        ("subspace_cost_threshold", OptLevel::Subspace),
+    ];
+    let mut group = c.benchmark_group("treebuild_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, opt) in variants {
+        let cfg = config(opt);
+        let result = run_simulation(&cfg);
+        eprintln!(
+            "treebuild_ablation/{name}: simulated tree-build = {:.4} s (+ cofm {:.4} s)",
+            result.phases.get(Phase::TreeBuild),
+            result.phases.get(Phase::CenterOfMass)
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let r = run_simulation(black_box(cfg));
+                black_box(r.phases.tree)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_treebuild);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! `tables` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p bh-bench --release --bin tables -- --all
+//! cargo run -p bh-bench --release --bin tables -- table2 table5 fig13
+//! cargo run -p bh-bench --release --bin tables -- --bodies 32768 --threads 1,4,16,64 table8
+//! cargo run -p bh-bench --release --bin tables -- --json results/ --all
+//! ```
+//!
+//! All times are *simulated* seconds produced by the PGAS cost model; see
+//! EXPERIMENTS.md for the mapping to the paper's measured numbers.
+
+use bh_bench::experiments::{fig5_from_sweep, fig6_from_sweep, ladder_sweep, run_experiment, Experiment, ExperimentOutput};
+use bh_bench::Scale;
+use std::path::PathBuf;
+
+struct Options {
+    scale: Scale,
+    json_dir: Option<PathBuf>,
+    experiments: Vec<Experiment>,
+    all: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tables [options] (--all | <experiment>...)\n\
+         \n\
+         experiments: {}\n\
+         \n\
+         options:\n\
+           --bodies N         strong-scaling body count        (default 8192; paper 2097152)\n\
+           --weak-bodies N    weak-scaling bodies per thread   (default 512;  paper 250000)\n\
+           --threads a,b,c    strong-scaling thread counts     (default 1,2,4,8,16,32,64,96,112)\n\
+           --weak-threads a,b weak-scaling thread counts       (default 16,32,64,128,256)\n\
+           --steps N          time steps to run                (default 4)\n\
+           --measured N       trailing steps to measure        (default 2)\n\
+           --seed N           Plummer seed\n\
+           --paper-scale      use the paper's full workload sizes (very slow)\n\
+           --smoke            tiny workload, for checking the harness\n\
+           --json DIR         also write each result as JSON into DIR\n\
+           --quiet            suppress progress output\n",
+        Experiment::ALL.iter().map(|e| e.name()).collect::<Vec<_>>().join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut scale = Scale::default_scale();
+    let mut json_dir = None;
+    let mut experiments = Vec::new();
+    let mut all = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1).peekable();
+    let next_value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--all" => all = true,
+            "--quiet" => quiet = true,
+            "--paper-scale" => {
+                let keep_json = json_dir.is_some();
+                scale = Scale::paper();
+                let _ = keep_json;
+            }
+            "--smoke" => scale = Scale::smoke(),
+            "--bodies" => scale.bodies = parse_num(&next_value(&mut args, "--bodies")),
+            "--weak-bodies" => scale.weak_bodies_per_thread = parse_num(&next_value(&mut args, "--weak-bodies")),
+            "--steps" => scale.steps = parse_num(&next_value(&mut args, "--steps")),
+            "--measured" => scale.measured_steps = parse_num(&next_value(&mut args, "--measured")),
+            "--seed" => scale.seed = parse_num(&next_value(&mut args, "--seed")) as u64,
+            "--threads" => scale.strong_threads = parse_list(&next_value(&mut args, "--threads")),
+            "--weak-threads" => scale.weak_threads = parse_list(&next_value(&mut args, "--weak-threads")),
+            "--json" => json_dir = Some(PathBuf::from(next_value(&mut args, "--json"))),
+            name => match Experiment::from_name(name) {
+                Some(e) => experiments.push(e),
+                None => {
+                    eprintln!("unknown experiment or option: {name}");
+                    usage()
+                }
+            },
+        }
+    }
+    if !all && experiments.is_empty() {
+        usage();
+    }
+    Options { scale, json_dir, experiments, all, quiet }
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number: {s}");
+        usage()
+    })
+}
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',').map(|p| parse_num(p.trim())).collect()
+}
+
+fn emit(name: &str, output: &ExperimentOutput, json_dir: &Option<PathBuf>) {
+    println!("================================================================");
+    println!("{}", output.render());
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(dir).expect("create json output directory");
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(output).expect("serialize experiment output");
+        std::fs::write(&path, json).expect("write json output");
+        eprintln!("  wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let progress = !opts.quiet;
+    eprintln!(
+        "workload: {} bodies strong / {} bodies-per-thread weak; threads {:?}; {} steps ({} measured)",
+        opts.scale.bodies,
+        opts.scale.weak_bodies_per_thread,
+        opts.scale.strong_threads,
+        opts.scale.steps,
+        opts.scale.measured_steps
+    );
+
+    if opts.all {
+        // The ladder sweep feeds Tables 2–7 and Figures 5/6 in one pass.
+        eprintln!("running the cumulative-ladder sweep (tables 2-7, figures 5-6) ...");
+        let sweep = ladder_sweep(&opts.scale, progress);
+        let table_names = ["table2", "table3", "table4", "table5", "table6", "table7"];
+        for (i, name) in table_names.iter().enumerate() {
+            emit(name, &ExperimentOutput::Table(sweep[i].1.clone()), &opts.json_dir);
+        }
+        emit("fig5", &ExperimentOutput::Series(fig5_from_sweep(&sweep, &opts.scale)), &opts.json_dir);
+        emit("fig6", &ExperimentOutput::Series(fig6_from_sweep(&sweep, &opts.scale)), &opts.json_dir);
+        for exp in [
+            Experiment::Fig7,
+            Experiment::Fig8,
+            Experiment::Fig10,
+            Experiment::Fig11,
+            Experiment::Fig12,
+            Experiment::Fig13,
+            Experiment::Table8,
+            Experiment::Table9,
+            Experiment::Intranode,
+            Experiment::Migration,
+            Experiment::VlistSources,
+            Experiment::MpiCompare,
+            Experiment::SwCache,
+            Experiment::CacheVariants,
+        ] {
+            eprintln!("running {} ...", exp.name());
+            let output = run_experiment(exp, &opts.scale, progress);
+            emit(exp.name(), &output, &opts.json_dir);
+        }
+        return;
+    }
+
+    for exp in opts.experiments {
+        eprintln!("running {} ...", exp.name());
+        let output = run_experiment(exp, &opts.scale, progress);
+        emit(exp.name(), &output, &opts.json_dir);
+    }
+}

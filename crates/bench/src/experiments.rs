@@ -1,0 +1,670 @@
+//! Experiment definitions: one entry per table and figure of the paper.
+
+use crate::scale::Scale;
+use crate::table::{PhaseTable, Series};
+use bh::{run_simulation, OptLevel, SimConfig};
+use pgas::Machine;
+use serde::{Deserialize, Serialize};
+
+/// Every table and figure of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Experiment {
+    /// Table 2: baseline UPC Barnes-Hut, strong scaling.
+    Table2,
+    /// Table 3: + replicated shared scalars (§5.1).
+    Table3,
+    /// Table 4: + body redistribution (§5.2).
+    Table4,
+    /// Table 5: + caching remote cells in a separate local tree (§5.3).
+    Table5,
+    /// Table 6: + merged-local-tree octree building (§5.4).
+    Table6,
+    /// Table 7: + non-blocking communication and aggregation (§5.5).
+    Table7,
+    /// Table 8: strong scaling of the final code, one process per node.
+    Table8,
+    /// Table 9: strong scaling of the final code, one (pthreads) thread per node.
+    Table9,
+    /// Figure 5: speed-up of the cumulative optimizations (log scale).
+    Fig5,
+    /// Figure 6: time per phase at the largest thread count, per optimization.
+    Fig6,
+    /// Figure 7: weak scaling before the §6 tree-building change.
+    Fig7,
+    /// Figure 8: per-rank tree-building time split (local build vs merge).
+    Fig8,
+    /// Figure 10: weak scaling of the subspace build *without* vector reduction.
+    Fig10,
+    /// Figure 11: weak scaling of the subspace build *with* vector reduction.
+    Fig11,
+    /// Figure 12: weak scaling while varying threads per node.
+    Fig12,
+    /// Figure 13: strong-scaling speed-up curve of the final code.
+    Fig13,
+    /// §4.1 prose: 16 processes vs 16 pthreads on a single node.
+    Intranode,
+    /// §5.2 prose: fraction of bodies migrating per step.
+    Migration,
+    /// §5.5 prose: fraction of aggregated requests with a single source.
+    VlistSources,
+    /// Extension (§9 future work): optimized UPC vs the message-passing
+    /// comparator on identical workloads.
+    MpiCompare,
+    /// Extension (§8 related work): transparent software caching of shared
+    /// scalars vs the manual §5.1 replication.
+    SwCache,
+    /// Extension (§5.3.2): separate local tree vs merged local tree with
+    /// shadow pointers.
+    CacheVariants,
+}
+
+impl Experiment {
+    /// All experiments in report order.
+    pub const ALL: [Experiment; 22] = [
+        Experiment::Table2,
+        Experiment::Table3,
+        Experiment::Table4,
+        Experiment::Table5,
+        Experiment::Table6,
+        Experiment::Table7,
+        Experiment::Fig5,
+        Experiment::Fig6,
+        Experiment::Fig7,
+        Experiment::Fig8,
+        Experiment::Fig10,
+        Experiment::Fig11,
+        Experiment::Fig12,
+        Experiment::Fig13,
+        Experiment::Table8,
+        Experiment::Table9,
+        Experiment::Intranode,
+        Experiment::Migration,
+        Experiment::VlistSources,
+        Experiment::MpiCompare,
+        Experiment::SwCache,
+        Experiment::CacheVariants,
+    ];
+
+    /// Command-line name of the experiment.
+    pub fn name(self) -> &'static str {
+        match self {
+            Experiment::Table2 => "table2",
+            Experiment::Table3 => "table3",
+            Experiment::Table4 => "table4",
+            Experiment::Table5 => "table5",
+            Experiment::Table6 => "table6",
+            Experiment::Table7 => "table7",
+            Experiment::Table8 => "table8",
+            Experiment::Table9 => "table9",
+            Experiment::Fig5 => "fig5",
+            Experiment::Fig6 => "fig6",
+            Experiment::Fig7 => "fig7",
+            Experiment::Fig8 => "fig8",
+            Experiment::Fig10 => "fig10",
+            Experiment::Fig11 => "fig11",
+            Experiment::Fig12 => "fig12",
+            Experiment::Fig13 => "fig13",
+            Experiment::Intranode => "intranode",
+            Experiment::Migration => "migration",
+            Experiment::VlistSources => "vlist_sources",
+            Experiment::MpiCompare => "mpi_compare",
+            Experiment::SwCache => "swcache",
+            Experiment::CacheVariants => "cache_variants",
+        }
+    }
+
+    /// Parses an experiment from its command-line name.
+    pub fn from_name(name: &str) -> Option<Experiment> {
+        Experiment::ALL.iter().copied().find(|e| e.name() == name)
+    }
+
+    /// The optimization level of the strong-scaling tables (None for the
+    /// figure-style experiments).
+    pub fn table_opt(self) -> Option<(OptLevel, bool)> {
+        // (level, pthreads-runtime?)
+        match self {
+            Experiment::Table2 => Some((OptLevel::Baseline, false)),
+            Experiment::Table3 => Some((OptLevel::ReplicateScalars, false)),
+            Experiment::Table4 => Some((OptLevel::Redistribute, false)),
+            Experiment::Table5 => Some((OptLevel::CacheLocalTree, false)),
+            Experiment::Table6 => Some((OptLevel::MergedTreeBuild, false)),
+            Experiment::Table7 => Some((OptLevel::AsyncAggregation, false)),
+            Experiment::Table8 => Some((OptLevel::Subspace, false)),
+            Experiment::Table9 => Some((OptLevel::Subspace, true)),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ExperimentOutput {
+    /// A phase-breakdown table (Tables 2–9).
+    Table(PhaseTable),
+    /// A named data series (the figures).
+    Series(Series),
+    /// Free-form text (the prose statistics).
+    Text(String),
+    /// Several outputs (e.g. a figure with one series per configuration).
+    Multi(Vec<ExperimentOutput>),
+}
+
+impl ExperimentOutput {
+    /// Renders the output as text.
+    pub fn render(&self) -> String {
+        match self {
+            ExperimentOutput::Table(t) => t.render(),
+            ExperimentOutput::Series(s) => s.render(),
+            ExperimentOutput::Text(t) => t.clone(),
+            ExperimentOutput::Multi(parts) => {
+                parts.iter().map(|p| p.render()).collect::<Vec<_>>().join("\n")
+            }
+        }
+    }
+}
+
+/// Builds the simulation configuration for a strong-scaling run.
+fn strong_config(opt: OptLevel, threads: usize, pthreads: bool, scale: &Scale) -> SimConfig {
+    let machine =
+        if pthreads { Machine::power5(threads, 1, true) } else { Machine::process_per_node(threads) };
+    let mut cfg = SimConfig::new(scale.bodies, machine, opt);
+    cfg.steps = scale.steps;
+    cfg.measured_steps = scale.measured_steps;
+    cfg.seed = scale.seed;
+    cfg
+}
+
+/// Builds the simulation configuration for a weak-scaling run with the
+/// paper's 16-threads-per-node pthreads setup.
+fn weak_config(opt: OptLevel, threads: usize, threads_per_node: usize, scale: &Scale) -> SimConfig {
+    let tpn = threads_per_node.min(threads).max(1);
+    let nodes = threads.div_ceil(tpn);
+    let machine = Machine::power5(nodes, tpn, true);
+    let mut cfg = SimConfig::new(scale.weak_bodies_per_thread * threads, machine, opt);
+    cfg.steps = scale.steps;
+    cfg.measured_steps = scale.measured_steps;
+    cfg.seed = scale.seed;
+    cfg
+}
+
+/// Runs one strong-scaling table (one optimization level across the thread
+/// counts of the scale).
+pub fn strong_table(title: &str, opt: OptLevel, pthreads: bool, scale: &Scale, progress: bool) -> PhaseTable {
+    let mut table = PhaseTable::new(title);
+    for &threads in &scale.strong_threads {
+        if progress {
+            eprintln!("  [{}] {} threads ...", opt.name(), threads);
+        }
+        let cfg = strong_config(opt, threads, pthreads, scale);
+        let result = run_simulation(&cfg);
+        table.push(threads, result.phases);
+    }
+    table
+}
+
+/// Runs the whole cumulative ladder over the strong-scaling thread counts
+/// and returns one table per level, in ladder order
+/// (Tables 2–7 plus Table 8's level).
+pub fn ladder_sweep(scale: &Scale, progress: bool) -> Vec<(OptLevel, PhaseTable)> {
+    OptLevel::ALL
+        .into_iter()
+        .map(|opt| {
+            let title = format!("Cumulative ladder — {}", opt.name());
+            (opt, strong_table(&title, opt, false, scale, progress))
+        })
+        .collect()
+}
+
+/// Figure 5 from an existing ladder sweep: parallel speed-up
+/// (1-thread time / P-thread time) of every cumulative level.
+pub fn fig5_from_sweep(sweep: &[(OptLevel, PhaseTable)], scale: &Scale) -> Series {
+    let mut headers: Vec<String> = vec!["threads".to_string()];
+    headers.extend(sweep.iter().map(|(opt, _)| opt.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut series = Series::new(
+        "Figure 5: speed-up of cumulative optimizations (relative to the same code on 1 thread)",
+        &header_refs,
+    );
+    for &threads in &scale.strong_threads {
+        let mut row = vec![threads as f64];
+        for (_, table) in sweep {
+            let one = table.column(1).map(|c| c.total).unwrap_or(f64::NAN);
+            let this = table.column(threads).map(|c| c.total).unwrap_or(f64::NAN);
+            row.push(one / this);
+        }
+        series.push(row);
+    }
+    series
+}
+
+/// Figure 6 from an existing ladder sweep: per-phase time at the largest
+/// thread count for every cumulative level.
+pub fn fig6_from_sweep(sweep: &[(OptLevel, PhaseTable)], scale: &Scale) -> Series {
+    let threads = *scale.strong_threads.last().expect("at least one thread count");
+    let mut series = Series::new(
+        format!("Figure 6: time per phase at {threads} threads, per cumulative optimization (level index = ladder position)"),
+        &["level", "tree", "cofm", "partition", "redistribute", "force", "advance", "total"],
+    );
+    for (i, (_, table)) in sweep.iter().enumerate() {
+        if let Some(col) = table.column(threads) {
+            series.push(vec![
+                i as f64,
+                col.phases.tree,
+                col.phases.cofm,
+                col.phases.partition,
+                col.phases.redistribute,
+                col.phases.force,
+                col.phases.advance,
+                col.total,
+            ]);
+        }
+    }
+    series
+}
+
+/// A weak-scaling series of per-phase times for one configuration.
+fn weak_series(title: &str, opt: OptLevel, scale: &Scale, vector_reduction: bool, progress: bool) -> Series {
+    let mut series = Series::new(
+        title,
+        &["threads", "tree", "cofm", "partition", "redistribute", "force", "advance", "total"],
+    );
+    for &threads in &scale.weak_threads {
+        if progress {
+            eprintln!("  [weak {}] {} threads ...", opt.name(), threads);
+        }
+        let mut cfg = weak_config(opt, threads, scale.threads_per_node, scale);
+        cfg.vector_reduction = vector_reduction;
+        let result = run_simulation(&cfg);
+        series.push(vec![
+            threads as f64,
+            result.phases.tree,
+            result.phases.cofm,
+            result.phases.partition,
+            result.phases.redistribute,
+            result.phases.force,
+            result.phases.advance,
+            result.total,
+        ]);
+    }
+    series
+}
+
+fn fig8(scale: &Scale, progress: bool) -> Series {
+    // Per-rank tree-building split with the §5.4 merged build, at the
+    // largest weak-scaling thread count below/equal 128 (the paper uses
+    // 16x8 = 128 threads).
+    let threads = scale.weak_threads.iter().copied().filter(|&t| t <= 128).max().unwrap_or(16);
+    if progress {
+        eprintln!("  [fig8] {threads} threads ...");
+    }
+    let cfg = weak_config(OptLevel::MergedTreeBuild, threads, scale.threads_per_node, scale);
+    let result = run_simulation(&cfg);
+    let mut series = Series::new(
+        format!("Figure 8: per-rank tree-building time split at {threads} threads (merged local trees)"),
+        &["rank", "local_build", "merge", "tree_total"],
+    );
+    for (rank, outcome) in result.ranks.iter().enumerate() {
+        series.push(vec![rank as f64, outcome.tree_local, outcome.tree_merge, outcome.phases.tree]);
+    }
+    series
+}
+
+fn fig12(scale: &Scale, progress: bool) -> ExperimentOutput {
+    // Weak scaling while varying threads per node: 1, 4, 8, 16 pthreads per
+    // node plus one process per node.
+    let mut outputs = Vec::new();
+    let configs: [(&str, usize, bool); 5] =
+        [("1 thread/node", 1, true), ("4 threads/node", 4, true), ("8 threads/node", 8, true), ("16 threads/node", 16, true), ("1 process/node", 1, false)];
+    for (label, tpn, pthreads) in configs {
+        let mut series = Series::new(
+            format!("Figure 12: weak scaling, {label}"),
+            &["threads", "total"],
+        );
+        for &threads in &scale.weak_threads {
+            if progress {
+                eprintln!("  [fig12 {label}] {threads} threads ...");
+            }
+            let tpn_eff = tpn.min(threads);
+            let nodes = threads.div_ceil(tpn_eff);
+            let machine = Machine::power5(nodes, tpn_eff, pthreads);
+            let mut cfg = SimConfig::new(scale.weak_bodies_per_thread * threads, machine, OptLevel::Subspace);
+            cfg.steps = scale.steps;
+            cfg.measured_steps = scale.measured_steps;
+            cfg.seed = scale.seed;
+            let result = run_simulation(&cfg);
+            series.push(vec![threads as f64, result.total]);
+        }
+        outputs.push(ExperimentOutput::Series(series));
+    }
+    ExperimentOutput::Multi(outputs)
+}
+
+fn fig13(scale: &Scale, progress: bool) -> Series {
+    // Strong-scaling speed-up of the final code.  The paper runs 1
+    // thread/node up to 112 and 16 threads/node from 16 to 512; the emulated
+    // sweep follows the strong thread list and extends it with the weak
+    // thread counts (16 threads/node) beyond its maximum.
+    let mut series = Series::new(
+        format!("Figure 13: strong-scaling speed-up, {} bodies, fully optimized code", scale.bodies),
+        &["threads", "total", "speedup", "bodies_per_thread"],
+    );
+    let mut one_thread_total = None;
+    let max_strong = *scale.strong_threads.last().unwrap_or(&1);
+    let mut points: Vec<(usize, bool)> = scale.strong_threads.iter().map(|&t| (t, false)).collect();
+    points.extend(scale.weak_threads.iter().filter(|&&t| t > max_strong).map(|&t| (t, true)));
+    for (threads, pthreads16) in points {
+        if progress {
+            eprintln!("  [fig13] {threads} threads ...");
+        }
+        let cfg = if pthreads16 {
+            let tpn = scale.threads_per_node.min(threads);
+            let machine = Machine::power5(threads.div_ceil(tpn), tpn, true);
+            let mut cfg = SimConfig::new(scale.bodies, machine, OptLevel::Subspace);
+            cfg.steps = scale.steps;
+            cfg.measured_steps = scale.measured_steps;
+            cfg.seed = scale.seed;
+            cfg
+        } else {
+            strong_config(OptLevel::Subspace, threads, false, scale)
+        };
+        let result = run_simulation(&cfg);
+        let one = *one_thread_total.get_or_insert(result.total);
+        series.push(vec![
+            threads as f64,
+            result.total,
+            one / result.total,
+            scale.bodies as f64 / threads as f64,
+        ]);
+    }
+    series
+}
+
+fn intranode(scale: &Scale, progress: bool) -> String {
+    // §4.1: 16 UPC threads on one node, pthreads vs processes, baseline code.
+    let threads = 16usize;
+    let run = |pthreads: bool| {
+        if progress {
+            eprintln!("  [intranode] pthreads={pthreads} ...");
+        }
+        let machine = Machine::power5(1, threads, pthreads);
+        let mut cfg = SimConfig::new(scale.bodies.min(32_768), machine, OptLevel::Baseline);
+        cfg.steps = scale.steps;
+        cfg.measured_steps = scale.measured_steps;
+        cfg.seed = scale.seed;
+        run_simulation(&cfg).total
+    };
+    let with_pthreads = run(true);
+    let with_processes = run(false);
+    format!(
+        "§4.1 single-node experiment ({} bodies, 16 UPC threads on one node, baseline code)\n\
+         -pthreads enabled  (16 pthreads/node): {:.3} simulated s\n\
+         -pthreads disabled (16 processes/node): {:.3} simulated s\n\
+         slowdown of process mode: {:.0}x  (the paper reports 26 s vs >36000 s, i.e. ~1400x)\n",
+        scale.bodies.min(32_768),
+        with_pthreads,
+        with_processes,
+        with_processes / with_pthreads
+    )
+}
+
+fn migration(scale: &Scale) -> String {
+    let cfg = {
+        let mut cfg = strong_config(OptLevel::CacheLocalTree, 8, false, scale);
+        cfg.steps = scale.steps.max(4);
+        cfg.measured_steps = scale.measured_steps.min(cfg.steps - 1).max(1);
+        cfg
+    };
+    let result = run_simulation(&cfg);
+    format!(
+        "§5.2 body-migration statistic ({} bodies, 8 threads, measured over the last {} steps)\n\
+         fraction of bodies migrating between owners per step: {:.2} %\n\
+         (the paper reports about 2 % on 2M bodies; the fraction shrinks as bodies/thread grow)\n",
+        cfg.nbodies,
+        cfg.measured_steps,
+        100.0 * result.migration_fraction
+    )
+}
+
+/// Extension experiment: the §9 future-work comparison of the fully
+/// optimized UPC code against the message-passing comparator, over the
+/// strong-scaling thread counts.
+fn mpi_compare(scale: &Scale, progress: bool) -> Series {
+    let mut series = Series::new(
+        format!(
+            "Extension (§9): optimized UPC vs MPI-style comparator, {} bodies (simulated seconds)",
+            scale.bodies
+        ),
+        &["threads", "upc_total", "upc_force", "mpi_total", "mpi_force", "mpi_over_upc"],
+    );
+    for &threads in &scale.strong_threads {
+        if progress {
+            eprintln!("  [mpi_compare] {threads} threads ...");
+        }
+        let cfg = strong_config(OptLevel::Subspace, threads, false, scale);
+        let upc = run_simulation(&cfg);
+        let mpi = bh_mpi::run_simulation(&cfg);
+        series.push(vec![
+            threads as f64,
+            upc.total,
+            upc.phases.force,
+            mpi.total,
+            mpi.phases.force,
+            mpi.total / upc.total.max(1e-12),
+        ]);
+    }
+    series
+}
+
+/// Extension experiment: transparent (MuPC-style) software caching of shared
+/// scalars vs the manual §5.1 replication, on the otherwise-unoptimized
+/// baseline.
+fn swcache(scale: &Scale, progress: bool) -> Series {
+    let mut series = Series::new(
+        format!(
+            "Extension (§8): transparent scalar caching vs manual replication, {} bodies (total simulated seconds)",
+            scale.bodies.min(8_192)
+        ),
+        &["threads", "baseline", "software_cache", "manual_repl"],
+    );
+    for &threads in &scale.strong_threads {
+        if threads > 32 {
+            // The baseline is extremely slow at large thread counts and the
+            // point is made well before 32 threads.
+            continue;
+        }
+        if progress {
+            eprintln!("  [swcache] {threads} threads ...");
+        }
+        let mut base_cfg = strong_config(OptLevel::Baseline, threads, false, scale);
+        base_cfg.nbodies = base_cfg.nbodies.min(8_192);
+        let baseline = run_simulation(&base_cfg).total;
+
+        let mut cached_cfg = base_cfg.clone();
+        cached_cfg.software_scalar_cache = true;
+        let cached = run_simulation(&cached_cfg).total;
+
+        let mut repl_cfg = base_cfg.clone();
+        repl_cfg.opt = OptLevel::ReplicateScalars;
+        let replicated = run_simulation(&repl_cfg).total;
+
+        series.push(vec![threads as f64, baseline, cached, replicated]);
+    }
+    series
+}
+
+/// Extension experiment: the §5.3.1 separate local tree vs the §5.3.2 merged
+/// local tree with shadow pointers.
+fn cache_variants(scale: &Scale, progress: bool) -> Series {
+    let mut series = Series::new(
+        format!(
+            "Extension (§5.3.2): separate local tree vs shadow-pointer merged tree, {} bodies (force-phase simulated seconds)",
+            scale.bodies
+        ),
+        &["threads", "separate_tree", "shadow_ptrs"],
+    );
+    for &threads in &scale.strong_threads {
+        if progress {
+            eprintln!("  [cache_variants] {threads} threads ...");
+        }
+        let cfg = strong_config(OptLevel::MergedTreeBuild, threads, false, scale);
+        let separate = run_simulation(&cfg);
+        let mut shadow_cfg = cfg.clone();
+        shadow_cfg.shadow_cache = true;
+        let shadow = run_simulation(&shadow_cfg);
+        series.push(vec![threads as f64, separate.phases.force, shadow.phases.force]);
+    }
+    series
+}
+
+fn vlist_sources(scale: &Scale) -> String {
+    let mut out = String::from("§5.5 aggregated-gather source statistic (fully optimized code)\n");
+    for &threads in &[8usize, 16, 32] {
+        let cfg = strong_config(OptLevel::Subspace, threads, false, scale);
+        let result = run_simulation(&cfg);
+        let frac = result.vlist_single_source_fraction().unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {threads:>3} threads: {:.1} % of aggregated requests had a single source thread\n",
+            100.0 * frac
+        ));
+    }
+    out.push_str("(the paper reports >95 % at 32 threads and >93 % at 64 threads on 2M bodies)\n");
+    out
+}
+
+/// Runs one experiment at the given scale.
+pub fn run_experiment(exp: Experiment, scale: &Scale, progress: bool) -> ExperimentOutput {
+    if let Some((opt, pthreads)) = exp.table_opt() {
+        let title = match exp {
+            Experiment::Table2 => "Table 2: baseline UPC Barnes-Hut (strong scaling)".to_string(),
+            Experiment::Table3 => "Table 3: + replicated shared scalars (§5.1)".to_string(),
+            Experiment::Table4 => "Table 4: + body redistribution (§5.2)".to_string(),
+            Experiment::Table5 => "Table 5: + cached remote cells (§5.3)".to_string(),
+            Experiment::Table6 => "Table 6: + merged-local-tree build (§5.4)".to_string(),
+            Experiment::Table7 => "Table 7: + non-blocking aggregation (§5.5)".to_string(),
+            Experiment::Table8 => "Table 8: final code, strong scaling, 1 process/node".to_string(),
+            Experiment::Table9 => "Table 9: final code, strong scaling, 1 thread/node (pthreads runtime)".to_string(),
+            _ => unreachable!(),
+        };
+        return ExperimentOutput::Table(strong_table(&title, opt, pthreads, scale, progress));
+    }
+    match exp {
+        Experiment::Fig5 => {
+            let sweep = ladder_sweep(scale, progress);
+            ExperimentOutput::Series(fig5_from_sweep(&sweep, scale))
+        }
+        Experiment::Fig6 => {
+            let sweep = ladder_sweep(scale, progress);
+            ExperimentOutput::Series(fig6_from_sweep(&sweep, scale))
+        }
+        Experiment::Fig7 => ExperimentOutput::Series(weak_series(
+            "Figure 7: weak scaling before the §6 tree-building change (merged trees + aggregation)",
+            OptLevel::AsyncAggregation,
+            scale,
+            true,
+            progress,
+        )),
+        Experiment::Fig8 => ExperimentOutput::Series(fig8(scale, progress)),
+        Experiment::Fig10 => ExperimentOutput::Series(weak_series(
+            "Figure 10: weak scaling, subspace build WITHOUT vector reduction",
+            OptLevel::Subspace,
+            scale,
+            false,
+            progress,
+        )),
+        Experiment::Fig11 => ExperimentOutput::Series(weak_series(
+            "Figure 11: weak scaling, subspace build WITH vector reduction",
+            OptLevel::Subspace,
+            scale,
+            true,
+            progress,
+        )),
+        Experiment::Fig12 => fig12(scale, progress),
+        Experiment::Fig13 => ExperimentOutput::Series(fig13(scale, progress)),
+        Experiment::Intranode => ExperimentOutput::Text(intranode(scale, progress)),
+        Experiment::Migration => ExperimentOutput::Text(migration(scale)),
+        Experiment::VlistSources => ExperimentOutput::Text(vlist_sources(scale)),
+        Experiment::MpiCompare => ExperimentOutput::Series(mpi_compare(scale, progress)),
+        Experiment::SwCache => ExperimentOutput::Series(swcache(scale, progress)),
+        Experiment::CacheVariants => ExperimentOutput::Series(cache_variants(scale, progress)),
+        _ => unreachable!("table experiments handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_names_roundtrip() {
+        for e in Experiment::ALL {
+            assert_eq!(Experiment::from_name(e.name()), Some(e));
+        }
+        assert_eq!(Experiment::from_name("table99"), None);
+    }
+
+    #[test]
+    fn strong_table_smoke() {
+        let scale = Scale::smoke();
+        let out = run_experiment(Experiment::Table5, &scale, false);
+        match out {
+            ExperimentOutput::Table(t) => {
+                assert_eq!(t.columns.len(), scale.strong_threads.len());
+                assert!(t.columns.iter().all(|c| c.total > 0.0));
+                assert!(t.render().contains("Force Comp."));
+            }
+            _ => panic!("expected a table"),
+        }
+    }
+
+    #[test]
+    fn fig5_and_fig6_derive_from_one_sweep() {
+        let scale = Scale::smoke();
+        let sweep = ladder_sweep(&scale, false);
+        assert_eq!(sweep.len(), OptLevel::ALL.len());
+        let fig5 = fig5_from_sweep(&sweep, &scale);
+        assert_eq!(fig5.rows.len(), scale.strong_threads.len());
+        assert_eq!(fig5.headers.len(), 1 + OptLevel::ALL.len());
+        let fig6 = fig6_from_sweep(&sweep, &scale);
+        assert_eq!(fig6.rows.len(), OptLevel::ALL.len());
+    }
+
+    #[test]
+    fn weak_scaling_series_smoke() {
+        let scale = Scale::smoke();
+        let out = run_experiment(Experiment::Fig11, &scale, false);
+        match out {
+            ExperimentOutput::Series(s) => {
+                assert_eq!(s.rows.len(), scale.weak_threads.len());
+                assert!(s.rows.iter().all(|r| r.last().copied().unwrap_or(0.0) > 0.0));
+            }
+            _ => panic!("expected a series"),
+        }
+    }
+
+    #[test]
+    fn prose_statistics_render_text() {
+        let scale = Scale::smoke();
+        for exp in [Experiment::Migration, Experiment::VlistSources] {
+            let out = run_experiment(exp, &scale, false);
+            match out {
+                ExperimentOutput::Text(t) => assert!(!t.is_empty()),
+                _ => panic!("expected text"),
+            }
+        }
+    }
+
+    #[test]
+    fn extension_experiments_produce_series() {
+        let scale = Scale::smoke();
+        for exp in [Experiment::MpiCompare, Experiment::SwCache, Experiment::CacheVariants] {
+            let out = run_experiment(exp, &scale, false);
+            match out {
+                ExperimentOutput::Series(s) => {
+                    assert!(!s.rows.is_empty(), "{} produced no rows", exp.name());
+                    assert!(s.rows.iter().all(|r| r.iter().all(|v| v.is_finite())));
+                }
+                _ => panic!("expected a series for {}", exp.name()),
+            }
+        }
+    }
+}

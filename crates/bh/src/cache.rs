@@ -1,0 +1,303 @@
+//! Demand-driven caching of remote octree cells in a per-thread local tree
+//! (§5.3.1, Listing 1 of the paper).
+//!
+//! Every rank starts the force phase by copying the global root into a
+//! private arena of `LocalNode`s.  Whenever the walk needs to open a cell
+//! whose children have not been localized yet, it fetches all eight children
+//! with pointer-to-shared reads, stores local copies, swizzles the child
+//! pointers to local indices and sets the `localized` flag — after which any
+//! later visit (for this or any other body) costs only local pointer
+//! dereferences.  This is the optimization responsible for the 99 % force
+//! time reduction between Table 4 and Table 5.
+
+use crate::cellnode::{CellNode, NodeKind};
+use crate::shared::BhShared;
+use nbody::direct::pairwise_acceleration;
+use nbody::Vec3;
+use octree::walk::cell_is_far;
+use pgas::{Ctx, GlobalPtr};
+
+/// Sentinel for "no local child".
+const NO_LOCAL: i32 = -1;
+
+/// A locally cached copy of a shared tree node.
+#[derive(Debug, Clone)]
+pub struct LocalNode {
+    /// Copied payload of the shared node.
+    pub node: CellNode,
+    /// Local indices of the children once localized.
+    pub children_local: [i32; 8],
+    /// `true` once all children of this node have local copies
+    /// (the `Localized` flag of Listing 1).
+    pub localized: bool,
+    /// `true` once a gather for this node's children has been issued but not
+    /// yet completed (used by the §5.5 non-blocking framework).
+    pub requested: bool,
+}
+
+/// A per-rank cache tree.
+pub struct CacheTree {
+    /// All localized nodes; index 0 is the local copy of the global root
+    /// (`L_root` in the paper).
+    pub nodes: Vec<LocalNode>,
+}
+
+/// Statistics of a cached force walk for one body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CachedWalkResult {
+    /// Acceleration on the body.
+    pub acc: Vec3,
+    /// Potential at the body.
+    pub phi: f64,
+    /// Interactions evaluated.
+    pub interactions: u32,
+}
+
+impl CacheTree {
+    /// Creates the cache by copying the global root cell.
+    pub fn new(ctx: &Ctx, shared: &BhShared) -> Self {
+        let root_ptr = shared.root.read(ctx);
+        assert!(!root_ptr.is_null(), "force phase requires a built tree");
+        let root = shared.cells.read(ctx, root_ptr);
+        CacheTree {
+            nodes: vec![LocalNode { node: root, children_local: [NO_LOCAL; 8], localized: false, requested: false }],
+        }
+    }
+
+    /// Number of cached nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the cache holds only the root copy.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Installs an already-fetched child under `parent`.
+    fn install_child(&mut self, parent: usize, octant: usize, node: CellNode) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(LocalNode { node, children_local: [NO_LOCAL; 8], localized: false, requested: false });
+        self.nodes[parent].children_local[octant] = idx as i32;
+        idx
+    }
+
+    /// Localizes the children of `parent` with blocking pointer-to-shared
+    /// reads (Listing 1, lines 10–18).
+    pub fn localize_children(&mut self, ctx: &Ctx, shared: &BhShared, parent: usize) {
+        if self.nodes[parent].localized {
+            return;
+        }
+        ctx.charge_tree_ops(1);
+        for octant in 0..8 {
+            let child_ptr = self.nodes[parent].node.children[octant];
+            if child_ptr.is_null() {
+                continue;
+            }
+            let child = shared.cells.read(ctx, child_ptr);
+            self.install_child(parent, octant, child);
+        }
+        self.nodes[parent].localized = true;
+        self.nodes[parent].requested = false;
+    }
+
+    /// Installs the children of `parent` from data fetched by an aggregated
+    /// gather (§5.5).  `children` must be the non-null children in octant
+    /// order, matching [`CacheTree::children_ptrs`].
+    pub fn install_children(&mut self, ctx: &Ctx, parent: usize, children: Vec<CellNode>) {
+        if self.nodes[parent].localized {
+            return;
+        }
+        ctx.charge_tree_ops(1);
+        let octants: Vec<usize> = (0..8)
+            .filter(|&o| !self.nodes[parent].node.children[o].is_null())
+            .collect();
+        assert_eq!(octants.len(), children.len(), "gathered child count mismatch");
+        for (octant, node) in octants.into_iter().zip(children) {
+            self.install_child(parent, octant, node);
+        }
+        self.nodes[parent].localized = true;
+        self.nodes[parent].requested = false;
+    }
+
+    /// The non-null child pointers of `parent`, in octant order (the list an
+    /// aggregated gather must fetch).
+    pub fn children_ptrs(&self, parent: usize) -> Vec<GlobalPtr> {
+        (0..8)
+            .filter_map(|o| {
+                let p = self.nodes[parent].node.children[o];
+                if p.is_null() {
+                    None
+                } else {
+                    Some(p)
+                }
+            })
+            .collect()
+    }
+
+    /// Force walk for one body position using the cache, localizing cells on
+    /// demand with blocking reads (the §5.3.1 algorithm).
+    pub fn walk(
+        &mut self,
+        ctx: &Ctx,
+        shared: &BhShared,
+        pos: Vec3,
+        self_id: u32,
+        theta: f64,
+        eps: f64,
+    ) -> CachedWalkResult {
+        let mut result = CachedWalkResult::default();
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            let node = self.nodes[idx].node;
+            match node.kind {
+                NodeKind::Body => {
+                    if node.body_id == self_id {
+                        continue;
+                    }
+                    let (a, p) = pairwise_acceleration(pos, node.cofm, node.mass, eps);
+                    result.acc += a;
+                    result.phi += p;
+                    result.interactions += 1;
+                }
+                NodeKind::Cell => {
+                    if node.nbodies == 0 {
+                        continue;
+                    }
+                    let dist_sq = pos.dist_sq(node.cofm);
+                    if cell_is_far(node.side(), dist_sq, theta) {
+                        let (a, p) = pairwise_acceleration(pos, node.cofm, node.mass, eps);
+                        result.acc += a;
+                        result.phi += p;
+                        result.interactions += 1;
+                    } else {
+                        if !self.nodes[idx].localized {
+                            self.localize_children(ctx, shared, idx);
+                        }
+                        for o in 0..8 {
+                            let c = self.nodes[idx].children_local[o];
+                            if c != NO_LOCAL {
+                                stack.push(c as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ctx.charge_interactions(result.interactions as u64);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OptLevel, SimConfig};
+    use crate::shared::RankState;
+    use crate::treebuild::{allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies};
+    use nbody::direct;
+    use pgas::Runtime;
+
+    /// Builds a shared tree over the configured bodies and runs `f` on every
+    /// rank with the tree ready.
+    fn with_built_tree<R: Send>(
+        cfg: &SimConfig,
+        f: impl Fn(&Ctx, &BhShared, &mut RankState) -> R + Sync,
+    ) -> (BhShared, Vec<R>) {
+        let shared = BhShared::new(cfg);
+        let rt = Runtime::new(cfg.machine.clone());
+        let results = {
+            let shared_ref = &shared;
+            let report = rt.run(|ctx| {
+                let mut st = RankState::new(ctx, shared_ref, cfg);
+                let (center, rsize) = bounding_box_phase(ctx, shared_ref, &mut st, cfg);
+                allocate_root(ctx, shared_ref, center, rsize);
+                ctx.barrier();
+                insert_owned_bodies(ctx, shared_ref, &mut st, cfg);
+                ctx.barrier();
+                center_of_mass_phase(ctx, shared_ref, &mut st, cfg);
+                ctx.barrier();
+                f(ctx, shared_ref, &mut st)
+            });
+            report.ranks.into_iter().map(|r| r.result).collect()
+        };
+        (shared, results)
+    }
+
+    #[test]
+    fn cached_walk_matches_direct_summation_closely() {
+        let cfg = SimConfig::test(150, 2, OptLevel::CacheLocalTree);
+        let (shared, results) = with_built_tree(&cfg, |ctx, shared, st| {
+            let mut cache = CacheTree::new(ctx, shared);
+            st.my_ids
+                .iter()
+                .map(|&id| {
+                    let b = shared.bodytab.read_raw(id as usize);
+                    (id, cache.walk(ctx, shared, b.pos, id, 0.0, cfg.eps))
+                })
+                .collect::<Vec<_>>()
+        });
+        let bodies = shared.bodytab.snapshot();
+        let reference = direct::compute_forces(&bodies, cfg.eps);
+        for per_rank in results {
+            for (id, walk) in per_rank {
+                let r = &reference[id as usize];
+                let err = (walk.acc - r.acc).norm() / r.acc.norm().max(1e-12);
+                assert!(err < 1e-9, "theta=0 cached walk must equal direct summation (err {err})");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_fetches_each_remote_cell_at_most_once() {
+        let cfg = SimConfig::test(300, 4, OptLevel::CacheLocalTree);
+        let (_, results) = with_built_tree(&cfg, |ctx, shared, st| {
+            let before = ctx.stats_snapshot().remote_gets;
+            let mut cache = CacheTree::new(ctx, shared);
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+            }
+            let first_pass = ctx.stats_snapshot().remote_gets - before;
+            // A second pass over the same bodies must not fetch anything new.
+            let before2 = ctx.stats_snapshot().remote_gets;
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+            }
+            let second_pass = ctx.stats_snapshot().remote_gets - before2;
+            (first_pass, second_pass, cache.len())
+        });
+        for (first, second, cached) in results {
+            assert_eq!(second, 0, "second pass must be fully cached");
+            assert!(cached > 1);
+            // The first pass fetches at most every cell once; it cannot
+            // exceed the cache size.
+            assert!(first <= cached as u64);
+        }
+    }
+
+    #[test]
+    fn children_ptrs_and_install_children_mirror_localize() {
+        let cfg = SimConfig::test(200, 2, OptLevel::AsyncAggregation);
+        let (_, results) = with_built_tree(&cfg, |ctx, shared, _st| {
+            // Localize the root's children through the aggregated-install
+            // path and check it matches a blocking localize.
+            let mut a = CacheTree::new(ctx, shared);
+            let ptrs = a.children_ptrs(0);
+            let nodes: Vec<CellNode> = ptrs.iter().map(|&p| shared.cells.read_raw(p)).collect();
+            a.install_children(ctx, 0, nodes);
+
+            let mut b = CacheTree::new(ctx, shared);
+            b.localize_children(ctx, shared, 0);
+
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.nodes.iter().zip(&b.nodes) {
+                assert_eq!(x.node.nbodies, y.node.nbodies);
+                assert_eq!(x.children_local, y.children_local);
+            }
+            a.nodes[0].localized && b.nodes[0].localized
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+}

@@ -1,0 +1,324 @@
+//! Caching with a merged local tree and shadow pointers (§5.3.2, Listing 2).
+//!
+//! The §5.3.1 cache ([`crate::cache::CacheTree`]) copies *every* cell it
+//! opens into the per-thread local tree — even cells that already live in the
+//! rank's own shared memory.  §5.3.2 refines this: each cached cell keeps two
+//! sets of child links, the original pointers-to-shared and a set of *shadow
+//! pointers* that refer either to a private copy (for remote children) or to
+//! the original cell itself (for children whose affinity is this rank, which
+//! are merely pointer-cast, not copied).
+//!
+//! The paper reports that this variant "showed little performance improvement
+//! over Table 5: the improved algorithm saves some local copying but does not
+//! affect global communication and increases the size of cell structures".
+//! This module reproduces the variant so the `cache_variants` bench can
+//! confirm that observation: remote traffic is identical to §5.3.1, only the
+//! local copying cost differs.
+
+use crate::cellnode::{CellNode, NodeKind};
+use crate::shared::BhShared;
+use nbody::direct::pairwise_acceleration;
+use nbody::Vec3;
+use octree::walk::cell_is_far;
+use pgas::{Ctx, GlobalPtr};
+
+/// Sentinel for "no shadow child".
+const NO_SHADOW: i32 = -1;
+
+/// Where a shadow node's payload came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowOrigin {
+    /// The cell was remote and a private copy was made (as in §5.3.1).
+    CopiedRemote,
+    /// The cell already had affinity to this rank; the shadow pointer simply
+    /// aliases the original cell (pointer cast, no copy).
+    LocalOriginal(GlobalPtr),
+}
+
+/// One node of the shadow-pointer cache.
+#[derive(Debug, Clone)]
+pub struct ShadowNode {
+    /// Payload used by the walk (for local originals this is the cast view of
+    /// the shared cell, refreshed at installation time — legal because cells
+    /// are read-only during the force phase, §7 of the paper).
+    pub node: CellNode,
+    /// Provenance of the payload.
+    pub origin: ShadowOrigin,
+    /// Shadow child links (`shadowp[]` of Listing 2): indices into the cache.
+    pub shadow: [i32; 8],
+    /// `true` once every child of this node has a shadow link.
+    pub localized: bool,
+}
+
+/// The §5.3.2 per-rank cache: a merged local tree that only copies remote
+/// cells.
+pub struct ShadowCacheTree {
+    /// All cache nodes; index 0 is the local view of the global root.
+    pub nodes: Vec<ShadowNode>,
+    /// Number of remote cells copied into the cache.
+    pub remote_copies: u64,
+    /// Number of local cells reused in place (pointer cast instead of copy).
+    pub local_reuses: u64,
+}
+
+impl ShadowCacheTree {
+    /// Creates the cache from the global root cell.
+    pub fn new(ctx: &Ctx, shared: &BhShared) -> Self {
+        let root_ptr = shared.root.read(ctx);
+        assert!(!root_ptr.is_null(), "force phase requires a built tree");
+        let (root, origin) = Self::load(ctx, shared, root_ptr);
+        let mut remote_copies = 0;
+        let mut local_reuses = 0;
+        match origin {
+            ShadowOrigin::CopiedRemote => remote_copies += 1,
+            ShadowOrigin::LocalOriginal(_) => local_reuses += 1,
+        }
+        ShadowCacheTree {
+            nodes: vec![ShadowNode { node: root, origin, shadow: [NO_SHADOW; 8], localized: false }],
+            remote_copies,
+            local_reuses,
+        }
+    }
+
+    /// Number of nodes reachable through shadow pointers.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when only the root is present.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Reads a cell, choosing the §5.3.2 discipline: remote cells are copied
+    /// (one remote get), local cells are pointer-cast and read in place.
+    fn load(ctx: &Ctx, shared: &BhShared, ptr: GlobalPtr) -> (CellNode, ShadowOrigin) {
+        if ptr.is_local_to(ctx.rank()) {
+            (shared.cells.read_local(ctx, ptr), ShadowOrigin::LocalOriginal(ptr))
+        } else {
+            (shared.cells.read(ctx, ptr), ShadowOrigin::CopiedRemote)
+        }
+    }
+
+    /// Installs shadow links for all children of `parent`
+    /// (Listing 2, lines 10–23).
+    pub fn localize_children(&mut self, ctx: &Ctx, shared: &BhShared, parent: usize) {
+        if self.nodes[parent].localized {
+            return;
+        }
+        ctx.charge_tree_ops(1);
+        for octant in 0..8 {
+            let child_ptr = self.nodes[parent].node.children[octant];
+            if child_ptr.is_null() {
+                continue;
+            }
+            let (node, origin) = Self::load(ctx, shared, child_ptr);
+            match origin {
+                ShadowOrigin::CopiedRemote => self.remote_copies += 1,
+                ShadowOrigin::LocalOriginal(_) => self.local_reuses += 1,
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(ShadowNode { node, origin, shadow: [NO_SHADOW; 8], localized: false });
+            self.nodes[parent].shadow[octant] = idx as i32;
+        }
+        self.nodes[parent].localized = true;
+    }
+
+    /// Force walk for one body position, localizing cells on demand.
+    ///
+    /// Identical traversal and arithmetic to
+    /// [`crate::cache::CacheTree::walk`], so the two variants produce
+    /// bit-identical forces; only the copy-vs-cast bookkeeping differs.
+    pub fn walk(
+        &mut self,
+        ctx: &Ctx,
+        shared: &BhShared,
+        pos: Vec3,
+        self_id: u32,
+        theta: f64,
+        eps: f64,
+    ) -> crate::cache::CachedWalkResult {
+        let mut result = crate::cache::CachedWalkResult::default();
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            let node = self.nodes[idx].node;
+            match node.kind {
+                NodeKind::Body => {
+                    if node.body_id == self_id {
+                        continue;
+                    }
+                    let (a, p) = pairwise_acceleration(pos, node.cofm, node.mass, eps);
+                    result.acc += a;
+                    result.phi += p;
+                    result.interactions += 1;
+                }
+                NodeKind::Cell => {
+                    if node.nbodies == 0 {
+                        continue;
+                    }
+                    let dist_sq = pos.dist_sq(node.cofm);
+                    if cell_is_far(node.side(), dist_sq, theta) {
+                        let (a, p) = pairwise_acceleration(pos, node.cofm, node.mass, eps);
+                        result.acc += a;
+                        result.phi += p;
+                        result.interactions += 1;
+                    } else {
+                        if !self.nodes[idx].localized {
+                            self.localize_children(ctx, shared, idx);
+                        }
+                        for o in 0..8 {
+                            let c = self.nodes[idx].shadow[o];
+                            if c != NO_SHADOW {
+                                stack.push(c as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ctx.charge_interactions(result.interactions as u64);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheTree;
+    use crate::config::{OptLevel, SimConfig};
+    use crate::shared::RankState;
+    use crate::treebuild::{allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies};
+    use pgas::Runtime;
+
+    /// Builds a shared tree over the configured bodies and runs `f` on every
+    /// rank with the tree ready.
+    fn with_built_tree<R: Send>(
+        cfg: &SimConfig,
+        f: impl Fn(&Ctx, &BhShared, &mut RankState) -> R + Sync,
+    ) -> Vec<R> {
+        let shared = BhShared::new(cfg);
+        let rt = Runtime::new(cfg.machine.clone());
+        let shared_ref = &shared;
+        let report = rt.run(|ctx| {
+            let mut st = RankState::new(ctx, shared_ref, cfg);
+            let (center, rsize) = bounding_box_phase(ctx, shared_ref, &mut st, cfg);
+            allocate_root(ctx, shared_ref, center, rsize);
+            ctx.barrier();
+            insert_owned_bodies(ctx, shared_ref, &mut st, cfg);
+            ctx.barrier();
+            center_of_mass_phase(ctx, shared_ref, &mut st, cfg);
+            ctx.barrier();
+            f(ctx, shared_ref, &mut st)
+        });
+        report.ranks.into_iter().map(|r| r.result).collect()
+    }
+
+    #[test]
+    fn shadow_walk_matches_separate_local_tree_exactly() {
+        let cfg = SimConfig::test(250, 3, OptLevel::CacheLocalTree);
+        let results = with_built_tree(&cfg, |ctx, shared, st| {
+            let mut shadow = ShadowCacheTree::new(ctx, shared);
+            let mut separate = CacheTree::new(ctx, shared);
+            st.my_ids
+                .iter()
+                .map(|&id| {
+                    let b = shared.bodytab.read_raw(id as usize);
+                    let a = shadow.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+                    let c = separate.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+                    ((a.acc - c.acc).norm(), (a.phi - c.phi).abs(), a.interactions == c.interactions)
+                })
+                .collect::<Vec<_>>()
+        });
+        for per_rank in results {
+            for (dacc, dphi, same_count) in per_rank {
+                assert_eq!(dacc, 0.0, "shadow and separate-tree walks must be bit-identical");
+                assert_eq!(dphi, 0.0);
+                assert!(same_count);
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_cache_does_not_copy_local_cells() {
+        let cfg = SimConfig::test(400, 4, OptLevel::CacheLocalTree);
+        let results = with_built_tree(&cfg, |ctx, shared, st| {
+            let mut cache = ShadowCacheTree::new(ctx, shared);
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+            }
+            (cache.remote_copies, cache.local_reuses)
+        });
+        for (copies, reuses) in results {
+            assert!(reuses > 0, "every rank opens at least some of its own cells");
+            assert!(copies > 0, "with several ranks, some cells are remote");
+        }
+    }
+
+    #[test]
+    fn remote_traffic_is_identical_to_separate_local_tree() {
+        // The paper's point: §5.3.2 does not change global communication.
+        // Both caches are exercised over the *same* built tree (the global
+        // insertion order, and hence the tree shape, differs from run to run).
+        let cfg = SimConfig::test(300, 4, OptLevel::CacheLocalTree);
+        let results = with_built_tree(&cfg, |ctx, shared, st| {
+            let before_shadow = ctx.stats_snapshot().remote_gets;
+            let mut shadow = ShadowCacheTree::new(ctx, shared);
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                shadow.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+            }
+            let shadow_remote = ctx.stats_snapshot().remote_gets - before_shadow;
+
+            let before_separate = ctx.stats_snapshot().remote_gets;
+            let mut separate = CacheTree::new(ctx, shared);
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                separate.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+            }
+            let separate_remote = ctx.stats_snapshot().remote_gets - before_separate;
+            (shadow_remote, separate_remote)
+        });
+        for (shadow_remote, separate_remote) in results {
+            assert_eq!(shadow_remote, separate_remote);
+        }
+    }
+
+    #[test]
+    fn second_pass_is_fully_cached() {
+        let cfg = SimConfig::test(200, 2, OptLevel::CacheLocalTree);
+        let results = with_built_tree(&cfg, |ctx, shared, st| {
+            let mut cache = ShadowCacheTree::new(ctx, shared);
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+            }
+            let before = ctx.stats_snapshot().remote_gets;
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+            }
+            ctx.stats_snapshot().remote_gets - before
+        });
+        assert!(results.into_iter().all(|extra| extra == 0));
+    }
+
+    #[test]
+    fn single_rank_never_copies() {
+        // With one rank everything is local: the shadow cache is pure pointer
+        // casting, which is exactly the §5.3 single-thread improvement.
+        let cfg = SimConfig::test(150, 1, OptLevel::CacheLocalTree);
+        let results = with_built_tree(&cfg, |ctx, shared, st| {
+            let mut cache = ShadowCacheTree::new(ctx, shared);
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+            }
+            (cache.remote_copies, cache.local_reuses)
+        });
+        for (copies, reuses) in results {
+            assert_eq!(copies, 0);
+            assert!(reuses > 0);
+        }
+    }
+}

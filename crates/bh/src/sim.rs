@@ -1,0 +1,191 @@
+//! The simulation driver: runs the configured number of time steps with the
+//! phase structure of the paper and collects the per-phase times its tables
+//! report.
+
+use crate::config::SimConfig;
+use crate::force::{advance_phase, force_phase_cached, force_phase_uncached, write_back};
+use crate::frontier::force_phase_async;
+use crate::mergetree::{allocate_merge_root, build_local_tree, merge_into_global};
+use crate::partition::{partition_phase, redistribute_phase};
+use crate::report::{Phase, PhaseTimes, RankOutcome, SimResult};
+use crate::shared::{BhShared, RankState};
+use crate::subspace::{subspace_partition, subspace_redistribute, subspace_treebuild};
+use crate::treebuild::{allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies};
+use pgas::{Ctx, GlobalPtr, Runtime};
+
+/// Runs a full simulation according to `cfg` and returns the per-phase
+/// timing breakdown, per-rank outcomes and the final body states.
+pub fn run_simulation(cfg: &SimConfig) -> SimResult {
+    let shared = BhShared::new(cfg);
+    run_simulation_with(cfg, &shared)
+}
+
+/// Like [`run_simulation`] but over an existing shared state (used by tests
+/// and benches that want to inspect or pre-seed the body table).
+pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
+    let runtime = Runtime::new(cfg.machine.clone());
+    let report = runtime.run(|ctx| {
+        let mut st = RankState::new(ctx, shared, cfg);
+        for step in 0..cfg.steps {
+            if step + cfg.measured_steps == cfg.steps {
+                // Start of the measured window (the paper measures the last
+                // two of four steps): reset all accumulators.
+                st.timer.reset();
+                st.tree_local_time = 0.0;
+                st.tree_merge_time = 0.0;
+                st.migrated = 0;
+                st.owned_accum = 0;
+            }
+            run_step(ctx, shared, &mut st, cfg);
+        }
+        let phases = phase_times(&st);
+        RankOutcome {
+            phases,
+            tree_local: st.tree_local_time,
+            tree_merge: st.tree_merge_time,
+            owned_bodies: st.my_ids.len() as u64,
+            migrated_bodies: st.migrated,
+            stats: Default::default(),
+        }
+    });
+
+    let mut ranks: Vec<RankOutcome> = Vec::with_capacity(report.ranks.len());
+    let mut phases = PhaseTimes::default();
+    let mut migrated = 0u64;
+    for r in &report.ranks {
+        let mut outcome = r.result.clone();
+        outcome.stats = r.stats.clone();
+        phases = phases.max(&outcome.phases);
+        migrated += outcome.migrated_bodies;
+        ranks.push(outcome);
+    }
+    // Every body is owned by exactly one rank each step, so the ownership
+    // population per measured step is the body count.
+    let ownership_slots = (cfg.nbodies.max(1) * cfg.measured_steps.max(1)) as u64;
+    let migration_fraction = migrated as f64 / ownership_slots as f64;
+    let total = phases.total();
+
+    SimResult { phases, total, ranks, migration_fraction, bodies: shared.bodytab.snapshot() }
+}
+
+/// Converts a rank's phase timer into the table row structure.
+fn phase_times(st: &RankState) -> PhaseTimes {
+    let mut t = PhaseTimes::default();
+    for phase in Phase::ALL {
+        t.set(phase, st.timer.get(phase.key()));
+    }
+    t
+}
+
+/// Runs one time step with the phase structure of the configured
+/// optimization level.
+fn run_step(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) {
+    if cfg.opt.subspace_tree_build() {
+        run_step_subspace(ctx, shared, st, cfg);
+    } else {
+        run_step_classic(ctx, shared, st, cfg);
+    }
+
+    // Force computation.
+    st.timer.begin(ctx, Phase::Force.key());
+    let forces = if cfg.opt.async_aggregation() {
+        force_phase_async(ctx, shared, st, cfg)
+    } else if cfg.opt.caches_cells() {
+        force_phase_cached(ctx, shared, st, cfg)
+    } else {
+        force_phase_uncached(ctx, shared, st, cfg)
+    };
+    write_back(ctx, shared, st, cfg, &forces);
+    ctx.barrier();
+    st.timer.end(ctx, Phase::Force.key());
+
+    // Body advancement.
+    st.timer.begin(ctx, Phase::Advance.key());
+    advance_phase(ctx, shared, st, cfg);
+    ctx.barrier();
+    st.timer.end(ctx, Phase::Advance.key());
+
+    // Step cleanup: the tree is rebuilt from scratch next step.
+    st.my_cells.clear();
+    if ctx.rank() == 0 {
+        shared.cells.clear(ctx);
+        shared.root.write_raw(GlobalPtr::NULL);
+    }
+    ctx.barrier();
+}
+
+/// Tree building → centre of mass → partitioning → redistribution, as used
+/// by every level below the §6 subspace algorithm.
+fn run_step_classic(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) {
+    // Tree building.
+    st.timer.begin(ctx, Phase::TreeBuild.key());
+    let (center, rsize) = bounding_box_phase(ctx, shared, st, cfg);
+    if cfg.opt.merged_tree_build() {
+        allocate_merge_root(ctx, shared, center, rsize);
+        ctx.barrier();
+        let local_start = ctx.now();
+        let local_root = build_local_tree(ctx, shared, st, cfg);
+        let merge_start = ctx.now();
+        st.tree_local_time += merge_start - local_start;
+        merge_into_global(ctx, shared, cfg, local_root);
+        // Record the merge sub-phase before the barrier so that the Figure 8
+        // style per-rank breakdown shows the merge imbalance rather than the
+        // barrier wait.
+        st.tree_merge_time += ctx.now() - merge_start;
+        ctx.barrier();
+    } else {
+        allocate_root(ctx, shared, center, rsize);
+        ctx.barrier();
+        insert_owned_bodies(ctx, shared, st, cfg);
+        ctx.barrier();
+    }
+    st.timer.end(ctx, Phase::TreeBuild.key());
+
+    // Centre-of-mass computation (folded into tree building by §5.4+).
+    st.timer.begin(ctx, Phase::CenterOfMass.key());
+    if !cfg.opt.merged_tree_build() {
+        center_of_mass_phase(ctx, shared, st, cfg);
+    }
+    ctx.barrier();
+    st.timer.end(ctx, Phase::CenterOfMass.key());
+
+    // Partitioning.
+    st.timer.begin(ctx, Phase::Partition.key());
+    let (plan, keyed) = partition_phase(ctx, shared, st, cfg);
+    st.timer.end(ctx, Phase::Partition.key());
+
+    // Redistribution.
+    st.timer.begin(ctx, Phase::Redistribute.key());
+    let outcome = redistribute_phase(ctx, shared, st, cfg, &plan, keyed);
+    st.migrated += outcome.migrated_in;
+    st.owned_accum += outcome.owned;
+    ctx.barrier();
+    st.timer.end(ctx, Phase::Redistribute.key());
+}
+
+/// The §6 step structure: partitioning (subspace construction) →
+/// redistribution (all-to-all) → tree building (subforests + hooking).
+fn run_step_subspace(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) {
+    st.timer.begin(ctx, Phase::Partition.key());
+    bounding_box_phase(ctx, shared, st, cfg);
+    let (plan, pre) = subspace_partition(ctx, shared, st, cfg);
+    st.timer.end(ctx, Phase::Partition.key());
+
+    st.timer.begin(ctx, Phase::Redistribute.key());
+    let (assignment, migrated) = subspace_redistribute(ctx, shared, st, cfg, &plan, pre);
+    st.migrated += migrated;
+    st.owned_accum += st.my_ids.len() as u64;
+    ctx.barrier();
+    st.timer.end(ctx, Phase::Redistribute.key());
+
+    st.timer.begin(ctx, Phase::TreeBuild.key());
+    let (local_t, hook_t) = subspace_treebuild(ctx, shared, st, cfg, &plan, &assignment);
+    st.tree_local_time += local_t;
+    st.tree_merge_time += hook_t;
+    st.timer.end(ctx, Phase::TreeBuild.key());
+
+    // No separate centre-of-mass phase.
+    st.timer.begin(ctx, Phase::CenterOfMass.key());
+    ctx.barrier();
+    st.timer.end(ctx, Phase::CenterOfMass.key());
+}

@@ -1,0 +1,363 @@
+//! Global-insertion tree building (§4 baseline through §5.3) and the
+//! parallel centre-of-mass phase.
+//!
+//! This is the SPLASH-2 algorithm carried over to UPC: every thread inserts
+//! the bodies it owns into one shared octree, protecting each cell
+//! modification with a global lock.  All pointer traffic goes through
+//! pointers-to-shared, so on a distributed machine every descent step of an
+//! insertion can be a remote access — which is exactly why Table 2 shows the
+//! phase taking hundreds of seconds.
+
+use crate::cellnode::{CellNode, NodeKind};
+use crate::config::SimConfig;
+use crate::shared::{read_body, read_root_geometry, BhShared, RankState};
+use nbody::{Body, Vec3};
+use pgas::{Ctx, GlobalPtr};
+
+/// Computes the root-cell geometry for this step: every rank reduces the
+/// bounding box of its owned bodies, and the result is either written to the
+/// shared scalars by thread 0 (baseline) or replicated locally (§5.1).
+///
+/// Returns `(center, rsize)`.
+pub fn bounding_box_phase(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) -> (Vec3, f64) {
+    let mut lo = Vec3::splat(f64::INFINITY);
+    let mut hi = Vec3::splat(f64::NEG_INFINITY);
+    for &id in &st.my_ids {
+        let b = read_body(ctx, shared, st, cfg, id);
+        lo = lo.min(b.pos);
+        hi = hi.max(b.pos);
+    }
+    if st.my_ids.is_empty() {
+        lo = Vec3::ZERO;
+        hi = Vec3::ZERO;
+    }
+    ctx.charge_local_accesses(st.my_ids.len() as u64);
+
+    // Global reduction of the box.
+    let boxes = ctx.allgather((lo, hi));
+    let mut glo = Vec3::splat(f64::INFINITY);
+    let mut ghi = Vec3::splat(f64::NEG_INFINITY);
+    for (l, h) in boxes {
+        glo = glo.min(l);
+        ghi = ghi.max(h);
+    }
+    let center = (glo + ghi) * 0.5;
+    let half_extent = (ghi - glo).max_abs_component() * 0.5;
+    let mut rsize = 1.0f64;
+    while rsize < 2.0 * half_extent + 1e-12 {
+        rsize *= 2.0;
+    }
+
+    if cfg.opt.replicates_scalars() {
+        // §5.1: every thread performs the (cheap) redundant computation and
+        // keeps a private copy.
+        st.center = center;
+        st.rsize = rsize;
+    } else if ctx.rank() == 0 {
+        // Baseline: thread 0 updates the shared scalars; everyone else will
+        // re-read them remotely whenever they are needed.
+        shared.center.write(ctx, center);
+        shared.rsize.write(ctx, rsize);
+    }
+    // Keep private copies regardless (used by code paths that are allowed to
+    // know the value, e.g. the partitioner's key computation on level >= 1).
+    st.center = center;
+    st.rsize = rsize;
+    (center, rsize)
+}
+
+/// Allocates the root cell for this step (rank 0) and publishes it through
+/// the shared root pointer.  Must be followed by a barrier before insertion.
+pub fn allocate_root(ctx: &Ctx, shared: &BhShared, center: Vec3, rsize: f64) {
+    if ctx.rank() == 0 {
+        let root = shared.cells.alloc(ctx, CellNode::new_cell(center, rsize / 2.0));
+        shared.root.write(ctx, root);
+    }
+}
+
+/// Global-insertion tree build: every rank inserts its owned bodies into the
+/// shared tree under per-cell locks (the baseline algorithm, used up to and
+/// including [`crate::config::OptLevel::CacheLocalTree`]).
+pub fn insert_owned_bodies(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) {
+    let root = shared.root.read(ctx);
+    for i in 0..st.my_ids.len() {
+        let id = st.my_ids[i];
+        let body = read_body(ctx, shared, st, cfg, id);
+        insert_body(ctx, shared, st, cfg, root, id, &body);
+    }
+}
+
+/// Inserts one body into the shared tree rooted at `root`.
+pub fn insert_body(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &mut RankState,
+    cfg: &SimConfig,
+    root: GlobalPtr,
+    id: u32,
+    body: &Body,
+) {
+    // The baseline re-reads `rsize` (a shared scalar on thread 0) on every
+    // insertion — the very access pattern §5.1 calls out.
+    let (_center, _rsize) = read_root_geometry(ctx, shared, st, cfg.opt);
+
+    let leaf = shared.cells.alloc(ctx, CellNode::new_body(id, body.pos, body.mass, body.cost));
+    let mut cur = root;
+    let mut depth = 0usize;
+    loop {
+        depth += 1;
+        if depth > cfg.max_depth + 16 {
+            // Pathologically coincident bodies: fold the mass into the
+            // existing leaf rather than looping forever.  This never occurs
+            // with Plummer initial conditions but keeps the builder total.
+            return;
+        }
+        let node = shared.cells.read(ctx, cur);
+        debug_assert_eq!(node.kind, NodeKind::Cell, "descent must stay on cells");
+        ctx.charge_tree_ops(1);
+        let octant = node.octant_of(body.pos);
+        let child = node.children[octant];
+
+        if child.is_null() {
+            // Claim the empty slot under the cell's lock.
+            let guard = shared.lock_for(cur).lock(ctx);
+            let fresh = shared.cells.read(ctx, cur);
+            if fresh.children[octant].is_null() {
+                let mut updated = fresh;
+                updated.children[octant] = leaf;
+                shared.cells.write(ctx, cur, updated);
+                drop(guard);
+                return;
+            }
+            drop(guard);
+            // Lost the race; retry this level.
+            continue;
+        }
+
+        let child_node = shared.cells.read(ctx, child);
+        if child_node.is_cell() {
+            cur = child;
+            continue;
+        }
+
+        // The slot holds another body: subdivide it into a new cell, re-hang
+        // the existing body one level down, and keep descending.
+        let guard = shared.lock_for(cur).lock(ctx);
+        let fresh = shared.cells.read(ctx, cur);
+        if fresh.children[octant] != child {
+            drop(guard);
+            continue; // Someone else already subdivided; retry.
+        }
+        let (ccenter, chalf) = fresh.child_geometry(octant);
+        let mut new_cell = CellNode::new_cell(ccenter, chalf);
+        let existing_octant = new_cell.octant_of(child_node.cofm);
+        new_cell.children[existing_octant] = child;
+        let new_ptr = shared.cells.alloc(ctx, new_cell);
+        st.my_cells.push(new_ptr);
+        let mut updated = fresh;
+        updated.children[octant] = new_ptr;
+        shared.cells.write(ctx, cur, updated);
+        drop(guard);
+        cur = new_ptr;
+    }
+}
+
+/// The parallel centre-of-mass phase (the "C-of-m Comp." row; only a separate
+/// phase before the §5.4 merged tree build).
+///
+/// Every rank processes the cells it created, in reverse creation order
+/// (children before parents), waiting on the `done` flag of children created
+/// by other ranks — the same protocol SPLASH-2 uses.
+pub fn center_of_mass_phase(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) {
+    // The root cell belongs to rank 0 but is created outside `my_cells`;
+    // give rank 0 the responsibility for it.
+    let mut pending: Vec<GlobalPtr> = st.my_cells.clone();
+    if ctx.rank() == 0 {
+        let root = shared.root.read(ctx);
+        if !root.is_null() {
+            pending.insert(0, root);
+        }
+    }
+    // Reverse creation order: descendants were pushed after their ancestors.
+    pending.reverse();
+
+    let mut remaining = pending;
+    while !remaining.is_empty() {
+        let mut next = Vec::new();
+        let mut progressed = false;
+        for &ptr in &remaining {
+            match try_summarize_cell(ctx, shared, st, cfg, ptr) {
+                true => progressed = true,
+                false => next.push(ptr),
+            }
+        }
+        remaining = next;
+        if !remaining.is_empty() && !progressed {
+            // All our remaining cells wait on other ranks; let them run.
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Attempts to compute the centre of mass of `ptr`.  Returns `false` when a
+/// child's summary is not ready yet.
+fn try_summarize_cell(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &SimConfig, ptr: GlobalPtr) -> bool {
+    let node = shared.cells.read(ctx, ptr);
+    if node.done {
+        return true;
+    }
+    ctx.charge_tree_ops(1);
+    let mut mass = 0.0;
+    let mut moment = Vec3::ZERO;
+    let mut cost = 0u64;
+    let mut nbodies = 0u32;
+    for octant in 0..8 {
+        let child = node.children[octant];
+        if child.is_null() {
+            continue;
+        }
+        let child_node = shared.cells.read(ctx, child);
+        match child_node.kind {
+            NodeKind::Body => {
+                // SPLASH-2 reads the body record through its pointer; before
+                // redistribution this is usually a remote access.
+                let body = read_body(ctx, shared, st, cfg, child_node.body_id);
+                mass += body.mass;
+                moment += body.pos * body.mass;
+                cost += body.cost.max(1) as u64;
+                nbodies += 1;
+            }
+            NodeKind::Cell => {
+                if !child_node.done {
+                    return false;
+                }
+                mass += child_node.mass;
+                moment += child_node.cofm * child_node.mass;
+                cost += child_node.cost;
+                nbodies += child_node.nbodies;
+            }
+        }
+    }
+    let mut updated = node;
+    updated.mass = mass;
+    updated.cofm = if mass > 0.0 { moment / mass } else { node.center };
+    updated.cost = cost;
+    updated.nbodies = nbodies;
+    updated.done = true;
+    shared.cells.write(ctx, ptr, updated);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OptLevel, SimConfig};
+    use nbody::body::center_of_mass;
+    use pgas::{Machine, Runtime};
+
+    fn run_build(nbodies: usize, ranks: usize, opt: OptLevel) -> (BhShared, SimConfig) {
+        let cfg = SimConfig::test(nbodies, ranks, opt);
+        let shared = BhShared::new(&cfg);
+        let rt = Runtime::new(Machine::test_cluster(ranks));
+        rt.run(|ctx| {
+            let mut st = RankState::new(ctx, &shared, &cfg);
+            let (center, rsize) = bounding_box_phase(ctx, &shared, &mut st, &cfg);
+            allocate_root(ctx, &shared, center, rsize);
+            ctx.barrier();
+            insert_owned_bodies(ctx, &shared, &mut st, &cfg);
+            ctx.barrier();
+            center_of_mass_phase(ctx, &shared, &mut st, &cfg);
+            ctx.barrier();
+        });
+        (shared, cfg)
+    }
+
+    /// Walks the shared tree and checks structural invariants.
+    fn check_tree(shared: &BhShared, nbodies: usize) -> (u32, f64) {
+        let root = shared.root.read_raw();
+        assert!(!root.is_null());
+        let mut seen = vec![false; nbodies];
+        fn visit(shared: &BhShared, ptr: GlobalPtr, seen: &mut [bool]) -> (u32, f64) {
+            let node = shared.cells.read_raw(ptr);
+            match node.kind {
+                NodeKind::Body => {
+                    assert!(!seen[node.body_id as usize], "body {} in two leaves", node.body_id);
+                    seen[node.body_id as usize] = true;
+                    (1, node.mass)
+                }
+                NodeKind::Cell => {
+                    assert!(node.done, "cell must have a valid centre of mass");
+                    let mut count = 0;
+                    let mut mass = 0.0;
+                    for c in node.children {
+                        if !c.is_null() {
+                            let (n, m) = visit(shared, c, seen);
+                            count += n;
+                            mass += m;
+                        }
+                    }
+                    assert_eq!(count, node.nbodies, "cell body count mismatch");
+                    assert!((mass - node.mass).abs() < 1e-9, "cell mass mismatch");
+                    (count, mass)
+                }
+            }
+        }
+        let (count, mass) = visit(shared, root, &mut seen);
+        assert_eq!(count as usize, nbodies, "all bodies must be reachable");
+        assert!(seen.iter().all(|&s| s));
+        (count, mass)
+    }
+
+    #[test]
+    fn single_rank_build_matches_sequential_summary() {
+        let (shared, cfg) = run_build(128, 1, OptLevel::Baseline);
+        let (_, mass) = check_tree(&shared, 128);
+        let bodies = shared.bodytab.snapshot();
+        assert!((mass - bodies.iter().map(|b| b.mass).sum::<f64>()).abs() < 1e-9);
+        let root = shared.cells.read_raw(shared.root.read_raw());
+        let com = center_of_mass(&bodies);
+        assert!((root.cofm - com).norm() < 1e-9);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn multi_rank_build_contains_every_body_once() {
+        for ranks in [2, 4, 7] {
+            let (shared, _) = run_build(200, ranks, OptLevel::Baseline);
+            check_tree(&shared, 200);
+        }
+    }
+
+    #[test]
+    fn replicated_scalars_produce_identical_tree_summaries() {
+        let (a, _) = run_build(150, 3, OptLevel::Baseline);
+        let (b, _) = run_build(150, 3, OptLevel::ReplicateScalars);
+        let ra = a.cells.read_raw(a.root.read_raw());
+        let rb = b.cells.read_raw(b.root.read_raw());
+        assert!((ra.cofm - rb.cofm).norm() < 1e-9);
+        assert!((ra.mass - rb.mass).abs() < 1e-12);
+        assert_eq!(ra.nbodies, rb.nbodies);
+    }
+
+    #[test]
+    fn baseline_tree_build_charges_more_remote_traffic_than_replicated() {
+        let cfg_base = SimConfig::test(256, 4, OptLevel::Baseline);
+        let cfg_repl = SimConfig::test(256, 4, OptLevel::ReplicateScalars);
+        let remote_gets = |cfg: &SimConfig| {
+            let shared = BhShared::new(cfg);
+            let rt = Runtime::new(cfg.machine.clone());
+            let report = rt.run(|ctx| {
+                let mut st = RankState::new(ctx, &shared, cfg);
+                let (center, rsize) = bounding_box_phase(ctx, &shared, &mut st, cfg);
+                allocate_root(ctx, &shared, center, rsize);
+                ctx.barrier();
+                insert_owned_bodies(ctx, &shared, &mut st, cfg);
+                ctx.barrier();
+            });
+            report.total_stats().remote_gets
+        };
+        let base = remote_gets(&cfg_base);
+        let repl = remote_gets(&cfg_repl);
+        assert!(base > repl, "baseline ({base}) must out-communicate replicated scalars ({repl})");
+    }
+}

@@ -1,0 +1,185 @@
+//! The particle record shared by every solver in the workspace.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A single simulated body (particle).
+///
+/// The layout mirrors the SPLASH-2 `body` record that the paper's UPC code
+/// inherits: position, velocity, acceleration, mass, plus the per-body *cost*
+/// (the number of cell/body interactions performed for this body in the
+/// previous force-computation phase).  The cost drives the costzones
+/// partitioner and the subspace tree-building algorithm of §6 of the paper.
+///
+/// The type is `Copy`-free but plain data, so the PGAS layer can move bodies
+/// between ranks with bulk transfers (the paper's `upc_memget_ilist`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Body {
+    /// Position.
+    pub pos: Vec3,
+    /// Velocity.
+    pub vel: Vec3,
+    /// Acceleration computed by the most recent force phase.
+    pub acc: Vec3,
+    /// Gravitational potential at the body (diagnostic).
+    pub phi: f64,
+    /// Mass.
+    pub mass: f64,
+    /// Work performed for this body in the previous force phase
+    /// (number of interactions).  Used for cost-based load balancing.
+    pub cost: u32,
+    /// Stable identity of the body, preserved across redistribution, so that
+    /// results can be compared between solver variants body-by-body.
+    pub id: u32,
+}
+
+impl Body {
+    /// Creates a body at rest with the given id, position and mass.
+    pub fn at_rest(id: u32, pos: Vec3, mass: f64) -> Self {
+        Body { pos, vel: Vec3::ZERO, acc: Vec3::ZERO, phi: 0.0, mass, cost: 1, id }
+    }
+
+    /// Creates a body with the given id, position, velocity and mass.
+    pub fn new(id: u32, pos: Vec3, vel: Vec3, mass: f64) -> Self {
+        Body { pos, vel, acc: Vec3::ZERO, phi: 0.0, mass, cost: 1, id }
+    }
+
+    /// Kinetic energy of the body, `½ m v²`.
+    #[inline]
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.mass * self.vel.norm_sq()
+    }
+
+    /// Momentum of the body, `m v`.
+    #[inline]
+    pub fn momentum(&self) -> Vec3 {
+        self.vel * self.mass
+    }
+}
+
+/// Computes the axis-aligned bounding box of a set of bodies.
+///
+/// Returns `(min, max)`.  Returns a degenerate box at the origin for an empty
+/// slice (matching SPLASH-2, which never builds a tree over zero bodies but
+/// callers should not panic on the edge case).
+pub fn bounding_box(bodies: &[Body]) -> (Vec3, Vec3) {
+    if bodies.is_empty() {
+        return (Vec3::ZERO, Vec3::ZERO);
+    }
+    let mut lo = bodies[0].pos;
+    let mut hi = bodies[0].pos;
+    for b in &bodies[1..] {
+        lo = lo.min(b.pos);
+        hi = hi.max(b.pos);
+    }
+    (lo, hi)
+}
+
+/// Computes the SPLASH-2 root-cell geometry for a set of bodies.
+///
+/// SPLASH-2 (and the paper, §5.1: the shared scalar `rsize`) keeps the root
+/// cell as a cube centred at `center` with side `rsize`, where `rsize` is
+/// expanded to the next power of two that contains every body.  Keeping the
+/// side a power of two makes cell sides exactly representable and keeps the
+/// tree geometry identical from step to step when bodies move slowly.
+///
+/// Returns `(center, rsize)`.
+pub fn root_cell(bodies: &[Body]) -> (Vec3, f64) {
+    let (lo, hi) = bounding_box(bodies);
+    let center = (lo + hi) * 0.5;
+    let half_extent = (hi - lo).max_abs_component() * 0.5;
+    // Expand to the next power of two, with a floor of 1.0 like SPLASH-2.
+    let mut rsize = 1.0_f64;
+    while rsize < 2.0 * half_extent + 1e-12 {
+        rsize *= 2.0;
+    }
+    (center, rsize)
+}
+
+/// Total mass of a set of bodies.
+pub fn total_mass(bodies: &[Body]) -> f64 {
+    bodies.iter().map(|b| b.mass).sum()
+}
+
+/// Mass-weighted centre of mass of a set of bodies.
+///
+/// Returns the origin when the total mass is zero.
+pub fn center_of_mass(bodies: &[Body]) -> Vec3 {
+    let m = total_mass(bodies);
+    if m == 0.0 {
+        return Vec3::ZERO;
+    }
+    bodies.iter().map(|b| b.pos * b.mass).sum::<Vec3>() / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bodies() -> Vec<Body> {
+        vec![
+            Body::at_rest(0, Vec3::new(-1.0, 0.0, 0.0), 1.0),
+            Body::at_rest(1, Vec3::new(1.0, 0.0, 0.0), 1.0),
+            Body::at_rest(2, Vec3::new(0.0, 2.0, -3.0), 2.0),
+        ]
+    }
+
+    #[test]
+    fn bounding_box_contains_all() {
+        let bodies = sample_bodies();
+        let (lo, hi) = bounding_box(&bodies);
+        for b in &bodies {
+            assert!(b.pos.x >= lo.x && b.pos.x <= hi.x);
+            assert!(b.pos.y >= lo.y && b.pos.y <= hi.y);
+            assert!(b.pos.z >= lo.z && b.pos.z <= hi.z);
+        }
+        assert_eq!(lo, Vec3::new(-1.0, 0.0, -3.0));
+        assert_eq!(hi, Vec3::new(1.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn bounding_box_empty() {
+        assert_eq!(bounding_box(&[]), (Vec3::ZERO, Vec3::ZERO));
+    }
+
+    #[test]
+    fn root_cell_is_power_of_two_and_contains_bodies() {
+        let bodies = sample_bodies();
+        let (center, rsize) = root_cell(&bodies);
+        assert!(rsize.log2().fract().abs() < 1e-12, "rsize {rsize} must be a power of two");
+        for b in &bodies {
+            let d = b.pos - center;
+            assert!(d.max_abs_component() <= rsize / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn root_cell_min_size() {
+        let bodies = vec![Body::at_rest(0, Vec3::ZERO, 1.0)];
+        let (_, rsize) = root_cell(&bodies);
+        assert!(rsize >= 1.0);
+    }
+
+    #[test]
+    fn center_of_mass_weighted() {
+        let bodies = vec![
+            Body::at_rest(0, Vec3::new(0.0, 0.0, 0.0), 1.0),
+            Body::at_rest(1, Vec3::new(4.0, 0.0, 0.0), 3.0),
+        ];
+        assert_eq!(center_of_mass(&bodies), Vec3::new(3.0, 0.0, 0.0));
+        assert_eq!(total_mass(&bodies), 4.0);
+    }
+
+    #[test]
+    fn center_of_mass_zero_mass() {
+        let bodies = vec![Body::at_rest(0, Vec3::new(5.0, 5.0, 5.0), 0.0)];
+        assert_eq!(center_of_mass(&bodies), Vec3::ZERO);
+    }
+
+    #[test]
+    fn kinetic_energy_and_momentum() {
+        let b = Body::new(0, Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), 3.0);
+        assert_eq!(b.kinetic_energy(), 6.0);
+        assert_eq!(b.momentum(), Vec3::new(6.0, 0.0, 0.0));
+    }
+}

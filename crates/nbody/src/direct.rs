@@ -1,0 +1,146 @@
+//! Direct O(n²) force summation.
+//!
+//! The paper motivates Barnes-Hut as the remedy to the quadratic cost of the
+//! direct method (§3).  This module provides that direct method so that
+//!
+//! * Barnes-Hut accelerations can be validated against an exact reference
+//!   (the integration tests in the workspace root do this for every
+//!   optimization level), and
+//! * the O(n²) vs O(n log n) crossover can be demonstrated in the benches.
+//!
+//! The kernel uses Plummer softening, `a_i = Σ_j G m_j r_ij / (r² + ε²)^{3/2}`,
+//! identical to the softened kernel in the tree code so that the two agree in
+//! the θ → 0 limit.
+
+use crate::body::Body;
+use crate::vec3::Vec3;
+use crate::G;
+
+/// The result of evaluating the gravitational interaction of a point mass
+/// (`mass` at `pos`) on a target position.
+///
+/// Shared by the direct solver and the tree solvers so that both use exactly
+/// the same floating-point expression (this is what makes their results
+/// comparable bit-for-bit in the θ → 0 / single-cell cases).
+#[inline]
+pub fn pairwise_acceleration(target: Vec3, source_pos: Vec3, source_mass: f64, eps: f64) -> (Vec3, f64) {
+    let dr = source_pos - target;
+    let dist_sq = dr.norm_sq() + eps * eps;
+    let dist = dist_sq.sqrt();
+    let inv_d3 = 1.0 / (dist_sq * dist);
+    let acc = dr * (G * source_mass * inv_d3);
+    let phi = -G * source_mass / dist;
+    (acc, phi)
+}
+
+/// Computes accelerations and potentials for every body by direct summation,
+/// writing the results into `acc` and `phi` fields of the returned copy.
+///
+/// Self-interaction is skipped by body index, not by position, so coincident
+/// bodies are handled.
+pub fn compute_forces(bodies: &[Body], eps: f64) -> Vec<Body> {
+    let mut out = bodies.to_vec();
+    for i in 0..out.len() {
+        let mut acc = Vec3::ZERO;
+        let mut phi = 0.0;
+        let target = bodies[i].pos;
+        for (j, src) in bodies.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let (a, p) = pairwise_acceleration(target, src.pos, src.mass, eps);
+            acc += a;
+            phi += p;
+        }
+        out[i].acc = acc;
+        out[i].phi = phi;
+        out[i].cost = (bodies.len() - 1) as u32;
+    }
+    out
+}
+
+/// Computes the acceleration on a single position due to all `bodies`
+/// (excluding any body whose id equals `exclude_id`).
+pub fn acceleration_at(bodies: &[Body], target: Vec3, exclude_id: Option<u32>, eps: f64) -> Vec3 {
+    let mut acc = Vec3::ZERO;
+    for b in bodies {
+        if Some(b.id) == exclude_id {
+            continue;
+        }
+        let (a, _) = pairwise_acceleration(target, b.pos, b.mass, eps);
+        acc += a;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_body_symmetry() {
+        let bodies = vec![
+            Body::at_rest(0, Vec3::new(-1.0, 0.0, 0.0), 2.0),
+            Body::at_rest(1, Vec3::new(1.0, 0.0, 0.0), 2.0),
+        ];
+        let out = compute_forces(&bodies, 0.0);
+        // Newton's third law: m0*a0 = -m1*a1.
+        let f0 = out[0].acc * out[0].mass;
+        let f1 = out[1].acc * out[1].mass;
+        assert!((f0 + f1).norm() < 1e-12);
+        // Magnitude: G m1 m2 / d^2 = 1*2*2/4 = 1 => a = F/m = 0.5
+        assert!((out[0].acc.x - 0.5).abs() < 1e-12);
+        assert!((out[1].acc.x + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softening_bounds_close_encounters() {
+        let bodies = vec![
+            Body::at_rest(0, Vec3::ZERO, 1.0),
+            Body::at_rest(1, Vec3::new(1e-9, 0.0, 0.0), 1.0),
+        ];
+        let out = compute_forces(&bodies, 0.05);
+        assert!(out[0].acc.is_finite());
+        assert!(out[0].acc.norm() < 1.0 / (0.05_f64 * 0.05), "softening must bound the force");
+    }
+
+    #[test]
+    fn inverse_square_falloff() {
+        let eps = 0.0;
+        let near = pairwise_acceleration(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 1.0, eps).0;
+        let far = pairwise_acceleration(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), 1.0, eps).0;
+        assert!((near.norm() / far.norm() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_is_negative_and_symmetric() {
+        let bodies = vec![
+            Body::at_rest(0, Vec3::new(0.0, 0.0, 0.0), 1.0),
+            Body::at_rest(1, Vec3::new(3.0, 0.0, 0.0), 1.0),
+        ];
+        let out = compute_forces(&bodies, 0.0);
+        assert!(out[0].phi < 0.0);
+        assert!((out[0].phi - out[1].phi).abs() < 1e-12);
+        assert!((out[0].phi + 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_counts_interactions() {
+        let bodies: Vec<Body> =
+            (0..5).map(|i| Body::at_rest(i, Vec3::new(i as f64, 0.0, 0.0), 1.0)).collect();
+        let out = compute_forces(&bodies, 0.05);
+        assert!(out.iter().all(|b| b.cost == 4));
+    }
+
+    #[test]
+    fn acceleration_at_excludes_self() {
+        let bodies = vec![
+            Body::at_rest(7, Vec3::ZERO, 1.0),
+            Body::at_rest(8, Vec3::new(2.0, 0.0, 0.0), 1.0),
+        ];
+        let a = acceleration_at(&bodies, Vec3::ZERO, Some(7), 0.0);
+        assert!((a.x - 0.25).abs() < 1e-12);
+        let b = acceleration_at(&bodies, Vec3::new(5.0, 0.0, 0.0), None, 0.0);
+        assert!(b.x < 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Structural statistics of a body distribution.
+//!
+//! These helpers characterise the *shape* of a particle distribution: how
+//! centrally concentrated it is, how fast it is moving, and how its mass is
+//! arranged radially.  They serve two purposes in the workspace:
+//!
+//! * validating the Plummer generator against the model's known analytic
+//!   properties (half-mass radius, central concentration, isotropy), and
+//! * giving the examples something physically meaningful to print while they
+//!   exercise the solvers (e.g. watching Lagrangian radii evolve during a
+//!   collision).
+//!
+//! None of this appears in the paper's evaluation; it is supporting
+//! diagnostics for the physics substrate.
+
+use crate::body::{center_of_mass, total_mass, Body};
+use crate::vec3::Vec3;
+
+/// Radii of the spheres (centred on the centre of mass) enclosing the given
+/// fractions of the total mass.
+///
+/// `fractions` must be sorted ascending and lie in `(0, 1]`.  Returns one
+/// radius per requested fraction; returns all zeros for an empty system.
+pub fn lagrangian_radii(bodies: &[Body], fractions: &[f64]) -> Vec<f64> {
+    assert!(
+        fractions.windows(2).all(|w| w[0] <= w[1]),
+        "fractions must be sorted ascending"
+    );
+    assert!(
+        fractions.iter().all(|&f| f > 0.0 && f <= 1.0),
+        "fractions must lie in (0, 1]"
+    );
+    if bodies.is_empty() {
+        return vec![0.0; fractions.len()];
+    }
+    let com = center_of_mass(bodies);
+    let mut by_radius: Vec<(f64, f64)> =
+        bodies.iter().map(|b| (b.pos.dist(com), b.mass)).collect();
+    by_radius.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let total = total_mass(bodies);
+
+    let mut out = Vec::with_capacity(fractions.len());
+    let mut acc = 0.0;
+    let mut idx = 0usize;
+    for &f in fractions {
+        let target = f * total;
+        while idx < by_radius.len() && acc + by_radius[idx].1 < target {
+            acc += by_radius[idx].1;
+            idx += 1;
+        }
+        out.push(if idx < by_radius.len() { by_radius[idx].0 } else { by_radius.last().unwrap().0 });
+    }
+    out
+}
+
+/// Radius of the sphere (centred on the centre of mass) containing half of
+/// the total mass.
+pub fn half_mass_radius(bodies: &[Body]) -> f64 {
+    lagrangian_radii(bodies, &[0.5])[0]
+}
+
+/// One-dimensional velocity dispersion, `sqrt(⟨|v − ⟨v⟩|²⟩ / 3)`.
+pub fn velocity_dispersion(bodies: &[Body]) -> f64 {
+    if bodies.is_empty() {
+        return 0.0;
+    }
+    let total = total_mass(bodies);
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mean: Vec3 = bodies.iter().map(|b| b.vel * b.mass).sum::<Vec3>() / total;
+    let var: f64 =
+        bodies.iter().map(|b| b.mass * (b.vel - mean).norm_sq()).sum::<f64>() / total;
+    (var / 3.0).sqrt()
+}
+
+/// A single shell of a radial mass profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadialShell {
+    /// Inner radius of the shell.
+    pub r_inner: f64,
+    /// Outer radius of the shell.
+    pub r_outer: f64,
+    /// Number of bodies in the shell.
+    pub count: usize,
+    /// Mass in the shell.
+    pub mass: f64,
+    /// Mean mass density of the shell (mass / shell volume).
+    pub density: f64,
+}
+
+/// Bins bodies into `nbins` equal-width radial shells between the centre of
+/// mass and the radius of the most distant body.
+///
+/// Returns an empty vector for an empty system or when `nbins` is zero.
+pub fn radial_profile(bodies: &[Body], nbins: usize) -> Vec<RadialShell> {
+    if bodies.is_empty() || nbins == 0 {
+        return Vec::new();
+    }
+    let com = center_of_mass(bodies);
+    let radii: Vec<f64> = bodies.iter().map(|b| b.pos.dist(com)).collect();
+    let r_max = radii.iter().copied().fold(0.0_f64, f64::max).max(f64::MIN_POSITIVE);
+    let width = r_max / nbins as f64;
+
+    let mut counts = vec![0usize; nbins];
+    let mut masses = vec![0.0_f64; nbins];
+    for (b, &r) in bodies.iter().zip(&radii) {
+        let bin = ((r / width) as usize).min(nbins - 1);
+        counts[bin] += 1;
+        masses[bin] += b.mass;
+    }
+
+    (0..nbins)
+        .map(|i| {
+            let r_inner = i as f64 * width;
+            let r_outer = (i + 1) as f64 * width;
+            let volume = 4.0 / 3.0 * std::f64::consts::PI * (r_outer.powi(3) - r_inner.powi(3));
+            RadialShell {
+                r_inner,
+                r_outer,
+                count: counts[i],
+                mass: masses[i],
+                density: masses[i] / volume,
+            }
+        })
+        .collect()
+}
+
+/// A compact structural summary of a body distribution, suitable for
+/// printing from examples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSummary {
+    /// Number of bodies.
+    pub nbodies: usize,
+    /// Total mass.
+    pub total_mass: f64,
+    /// Distance of the centre of mass from the origin.
+    pub com_offset: f64,
+    /// Half-mass radius.
+    pub half_mass_radius: f64,
+    /// Radius enclosing 90% of the mass.
+    pub r90: f64,
+    /// One-dimensional velocity dispersion.
+    pub velocity_dispersion: f64,
+}
+
+/// Computes a [`ClusterSummary`] for the given bodies.
+pub fn summarize(bodies: &[Body]) -> ClusterSummary {
+    if bodies.is_empty() {
+        return ClusterSummary {
+            nbodies: 0,
+            total_mass: 0.0,
+            com_offset: 0.0,
+            half_mass_radius: 0.0,
+            r90: 0.0,
+            velocity_dispersion: 0.0,
+        };
+    }
+    let radii = lagrangian_radii(bodies, &[0.5, 0.9]);
+    ClusterSummary {
+        nbodies: bodies.len(),
+        total_mass: total_mass(bodies),
+        com_offset: center_of_mass(bodies).norm(),
+        half_mass_radius: radii[0],
+        r90: radii[1],
+        velocity_dispersion: velocity_dispersion(bodies),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plummer::{generate, PlummerConfig};
+
+    #[test]
+    fn empty_system() {
+        assert_eq!(lagrangian_radii(&[], &[0.5]), vec![0.0]);
+        assert_eq!(half_mass_radius(&[]), 0.0);
+        assert_eq!(velocity_dispersion(&[]), 0.0);
+        assert!(radial_profile(&[], 10).is_empty());
+        assert_eq!(summarize(&[]).nbodies, 0);
+    }
+
+    #[test]
+    fn lagrangian_radii_are_monotone() {
+        let bodies = generate(&PlummerConfig::new(3000, 5));
+        let fr = [0.1, 0.25, 0.5, 0.75, 0.9];
+        let radii = lagrangian_radii(&bodies, &fr);
+        for w in radii.windows(2) {
+            assert!(w[0] <= w[1], "Lagrangian radii must be monotone: {radii:?}");
+        }
+        assert!(radii[0] > 0.0);
+    }
+
+    #[test]
+    fn equal_mass_shell_counts() {
+        // Four equal-mass bodies at radii 1..4: the 50% radius is the radius
+        // of the body that carries the cumulative mass past 0.5.
+        let bodies: Vec<Body> = (1..=4)
+            .map(|i| Body::at_rest(i as u32, Vec3::new(i as f64, 0.0, 0.0), 1.0))
+            .collect();
+        // Centre of mass is at x = 2.5, so radii from the COM are
+        // 1.5, 0.5, 0.5, 1.5.
+        let r = lagrangian_radii(&bodies, &[0.5, 1.0]);
+        assert!((r[0] - 0.5).abs() < 1e-12);
+        assert!((r[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plummer_half_mass_radius_matches_theory() {
+        // With the SPLASH-2 length rescaling a = 3π/16, the analytic Plummer
+        // half-mass radius is a / sqrt(2^(2/3) − 1) ≈ 0.766.
+        let bodies = generate(&PlummerConfig::new(8000, 7));
+        let r_half = half_mass_radius(&bodies);
+        let a = 3.0 * std::f64::consts::PI / 16.0;
+        let expected = a / (2.0_f64.powf(2.0 / 3.0) - 1.0).sqrt();
+        let rel = (r_half - expected).abs() / expected;
+        assert!(rel < 0.1, "half-mass radius {r_half} vs analytic {expected} (rel {rel})");
+    }
+
+    #[test]
+    fn plummer_density_decreases_outward() {
+        let bodies = generate(&PlummerConfig::new(6000, 9));
+        let profile = radial_profile(&bodies, 8);
+        assert_eq!(profile.len(), 8);
+        // The innermost shell must be far denser than an outer shell.
+        assert!(profile[0].density > 10.0 * profile[4].density.max(1e-12));
+        // Shell accounting: counts and masses add up.
+        let count: usize = profile.iter().map(|s| s.count).sum();
+        let mass: f64 = profile.iter().map(|s| s.mass).sum();
+        assert_eq!(count, bodies.len());
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radial_profile_bins_tile_the_range() {
+        let bodies = generate(&PlummerConfig::new(500, 3));
+        let profile = radial_profile(&bodies, 5);
+        for w in profile.windows(2) {
+            assert!((w[0].r_outer - w[1].r_inner).abs() < 1e-12);
+        }
+        assert_eq!(profile[0].r_inner, 0.0);
+    }
+
+    #[test]
+    fn velocity_dispersion_of_cold_system_is_zero() {
+        let bodies: Vec<Body> =
+            (0..10).map(|i| Body::at_rest(i, Vec3::new(i as f64, 0.0, 0.0), 1.0)).collect();
+        assert_eq!(velocity_dispersion(&bodies), 0.0);
+    }
+
+    #[test]
+    fn velocity_dispersion_ignores_bulk_motion() {
+        // A uniformly drifting cold system still has zero dispersion.
+        let bodies: Vec<Body> = (0..10)
+            .map(|i| Body::new(i, Vec3::new(i as f64, 0.0, 0.0), Vec3::new(3.0, -1.0, 0.5), 1.0))
+            .collect();
+        assert!(velocity_dispersion(&bodies) < 1e-12);
+    }
+
+    #[test]
+    fn plummer_summary_is_sensible() {
+        let bodies = generate(&PlummerConfig::new(4000, 21));
+        let s = summarize(&bodies);
+        assert_eq!(s.nbodies, 4000);
+        assert!((s.total_mass - 1.0).abs() < 1e-9);
+        assert!(s.com_offset < 1e-9, "generator centres the COM");
+        assert!(s.half_mass_radius > 0.3 && s.half_mass_radius < 1.5);
+        assert!(s.r90 > s.half_mass_radius);
+        assert!(s.velocity_dispersion > 0.1 && s.velocity_dispersion < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn unsorted_fractions_panic() {
+        let bodies = generate(&PlummerConfig::new(16, 1));
+        lagrangian_radii(&bodies, &[0.9, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lie in (0, 1]")]
+    fn out_of_range_fraction_panics() {
+        let bodies = generate(&PlummerConfig::new(16, 1));
+        lagrangian_radii(&bodies, &[0.0, 0.5]);
+    }
+}

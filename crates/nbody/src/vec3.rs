@@ -1,0 +1,321 @@
+//! A minimal 3-component vector type.
+//!
+//! The force kernels only need a handful of operations; this type keeps them
+//! inlineable and `Copy` so that `Body` stays a plain-old-data record that the
+//! PGAS layer can move with `memcpy`-like semantics.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-component double-precision vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared distance to `other`.
+    #[inline]
+    pub fn dist_sq(self, other: Vec3) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Vec3) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component.
+    #[inline]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Largest absolute component (useful for cube bounding boxes).
+    #[inline]
+    pub fn max_abs_component(self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+
+    /// Returns `true` if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Returns the octant index (0..8) of `self` relative to `center`.
+    ///
+    /// Bit 0 is set when `x >= center.x`, bit 1 for `y`, bit 2 for `z`.
+    /// This is the child-selection rule used by every octree in the workspace,
+    /// so that all of them agree on geometry.
+    #[inline]
+    pub fn octant_of(self, center: Vec3) -> usize {
+        (usize::from(self.x >= center.x))
+            | (usize::from(self.y >= center.y) << 1)
+            | (usize::from(self.z >= center.z) << 2)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 5.0, 0.5);
+        assert_eq!(a + Vec3::ZERO, a);
+        assert_eq!(a - a, Vec3::ZERO);
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a * 1.0, a);
+        assert_eq!(a * 2.0, a + a);
+        assert_eq!(-a, a * -1.0);
+        assert_eq!(a / 2.0, a * 0.5);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.dot(Vec3::new(0.0, 0.0, 1.0)), 0.0);
+        assert_eq!(Vec3::new(1.0, 0.0, 0.0).dot(Vec3::new(1.0, 0.0, 0.0)), 1.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Vec3::new(1.0, 1.0, 1.0);
+        let b = Vec3::new(2.0, 2.0, 2.0);
+        assert!((a.dist(b) - 3.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.dist_sq(a), 0.0);
+    }
+
+    #[test]
+    fn min_max_components() {
+        let a = Vec3::new(1.0, -2.0, 3.0);
+        let b = Vec3::new(0.0, 5.0, -1.0);
+        assert_eq!(a.min(b), Vec3::new(0.0, -2.0, -1.0));
+        assert_eq!(a.max(b), Vec3::new(1.0, 5.0, 3.0));
+        assert_eq!(a.max_component(), 3.0);
+        assert_eq!(a.min_component(), -2.0);
+        assert_eq!(a.max_abs_component(), 3.0);
+        assert_eq!(Vec3::new(-7.0, 1.0, 2.0).max_abs_component(), 7.0);
+    }
+
+    #[test]
+    fn octants_cover_all_eight() {
+        let c = Vec3::ZERO;
+        let mut seen = [false; 8];
+        for &x in &[-1.0, 1.0] {
+            for &y in &[-1.0, 1.0] {
+                for &z in &[-1.0, 1.0] {
+                    seen[Vec3::new(x, y, z).octant_of(c)] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn octant_boundary_is_upper_child() {
+        // A point exactly on the split plane goes to the >= side.
+        assert_eq!(Vec3::ZERO.octant_of(Vec3::ZERO), 0b111);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut a = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a[1], 2.0);
+        assert_eq!(a[2], 3.0);
+        a[1] = 9.0;
+        assert_eq!(a.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexing_out_of_range_panics() {
+        let a = Vec3::ZERO;
+        let _ = a[3];
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let vs = vec![Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 0.0, 3.0)];
+        let s: Vec3 = vs.into_iter().sum();
+        assert_eq!(s, Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the physics substrate.
+
+use nbody::body::{bounding_box, center_of_mass, root_cell, Body};
+use nbody::direct::pairwise_acceleration;
+use nbody::morton;
+use nbody::plummer::{generate, PlummerConfig};
+use nbody::vec3::Vec3;
+use proptest::prelude::*;
+
+fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_bodies(max: usize) -> impl Strategy<Value = Vec<Body>> {
+    prop::collection::vec((arb_vec3(100.0), 0.001f64..10.0), 1..max).prop_map(|list| {
+        list.into_iter()
+            .enumerate()
+            .map(|(i, (pos, mass))| Body::at_rest(i as u32, pos, mass))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn morton_roundtrip(x in 0u64..(1 << 21), y in 0u64..(1 << 21), z in 0u64..(1 << 21)) {
+        let code = morton::encode_ints(x, y, z);
+        prop_assert_eq!(morton::decode_ints(code), (x, y, z));
+    }
+
+    #[test]
+    fn morton_codes_are_coordinatewise_monotone(
+        p in arb_vec3(10.0),
+        dx in 0.0f64..10.0, dy in 0.0f64..10.0, dz in 0.0f64..10.0,
+    ) {
+        // If every coordinate of q is at least p's, p's Morton code cannot
+        // exceed q's (both mapped inside the same box): the interleaved code
+        // is a sum of three per-axis monotone functions over disjoint bits.
+        let q = p + Vec3::new(dx, dy, dz);
+        let center = Vec3::ZERO;
+        let rsize = 64.0;
+        prop_assert!(morton::encode(p, center, rsize) <= morton::encode(q, center, rsize));
+    }
+
+    #[test]
+    fn bounding_box_contains_every_body(bodies in arb_bodies(64)) {
+        let (lo, hi) = bounding_box(&bodies);
+        for b in &bodies {
+            prop_assert!(b.pos.x >= lo.x - 1e-12 && b.pos.x <= hi.x + 1e-12);
+            prop_assert!(b.pos.y >= lo.y - 1e-12 && b.pos.y <= hi.y + 1e-12);
+            prop_assert!(b.pos.z >= lo.z - 1e-12 && b.pos.z <= hi.z + 1e-12);
+        }
+    }
+
+    #[test]
+    fn root_cell_contains_every_body(bodies in arb_bodies(64)) {
+        let (center, rsize) = root_cell(&bodies);
+        for b in &bodies {
+            prop_assert!((b.pos - center).max_abs_component() <= rsize / 2.0 + 1e-9);
+        }
+        // rsize is a power of two.
+        prop_assert!((rsize.log2() - rsize.log2().round()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_of_mass_is_inside_bounding_box(bodies in arb_bodies(64)) {
+        let (lo, hi) = bounding_box(&bodies);
+        let com = center_of_mass(&bodies);
+        prop_assert!(com.x >= lo.x - 1e-9 && com.x <= hi.x + 1e-9);
+        prop_assert!(com.y >= lo.y - 1e-9 && com.y <= hi.y + 1e-9);
+        prop_assert!(com.z >= lo.z - 1e-9 && com.z <= hi.z + 1e-9);
+    }
+
+    #[test]
+    fn pairwise_forces_obey_newtons_third_law(
+        a in arb_vec3(50.0),
+        b in arb_vec3(50.0),
+        ma in 0.01f64..100.0,
+        mb in 0.01f64..100.0,
+        eps in 0.0f64..1.0,
+    ) {
+        prop_assume!(a.dist(b) > 1e-6);
+        let (acc_on_a, _) = pairwise_acceleration(a, b, mb, eps);
+        let (acc_on_b, _) = pairwise_acceleration(b, a, ma, eps);
+        let f_a = acc_on_a * ma;
+        let f_b = acc_on_b * mb;
+        prop_assert!((f_a + f_b).norm() <= 1e-9 * f_a.norm().max(1e-12));
+    }
+
+    #[test]
+    fn pairwise_force_is_attractive(a in arb_vec3(50.0), b in arb_vec3(50.0), m in 0.01f64..10.0) {
+        prop_assume!(a.dist(b) > 1e-3);
+        let (acc, phi) = pairwise_acceleration(a, b, m, 0.0);
+        // Acceleration points from a towards b.
+        prop_assert!(acc.dot(b - a) > 0.0);
+        prop_assert!(phi < 0.0);
+    }
+
+    #[test]
+    fn plummer_is_deterministic_and_centred(n in 2usize..200, seed in 0u64..1000) {
+        let a = generate(&PlummerConfig::new(n, seed));
+        let b = generate(&PlummerConfig::new(n, seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        let com = center_of_mass(&a);
+        prop_assert!(com.norm() < 1e-9);
+    }
+
+    #[test]
+    fn vec3_octant_roundtrip(p in arb_vec3(10.0), c in arb_vec3(10.0)) {
+        let octant = p.octant_of(c);
+        prop_assert!(octant < 8);
+        // The octant bits must match the per-axis comparisons.
+        prop_assert_eq!(octant & 1 != 0, p.x >= c.x);
+        prop_assert_eq!(octant & 2 != 0, p.y >= c.y);
+        prop_assert_eq!(octant & 4 != 0, p.z >= c.z);
+    }
+}

@@ -1,0 +1,211 @@
+//! Cost-based space partitioning (the SPLASH-2 "costzones" scheme).
+//!
+//! SPLASH-2 assigns bodies to processors by walking the octree in a fixed
+//! (Morton-like) traversal order and cutting the sequence of leaves into
+//! contiguous *zones* of approximately equal accumulated cost, where the cost
+//! of a body is the number of interactions it needed in the previous step.
+//! Because the traversal order is spatial, each zone is spatially compact,
+//! which is what gives the force phase its locality (and what makes the §5.3
+//! caching so effective).
+//!
+//! This module implements the same idea over Morton-sorted bodies: the
+//! partition of `n` bodies into `p` zones such that each zone is a contiguous
+//! run in Morton order with cost as close as possible to `total_cost / p`.
+
+use nbody::body::Body;
+use nbody::morton::sort_indices_by_morton;
+use nbody::vec3::Vec3;
+
+/// A partition of bodies into per-rank zones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// `zones[r]` lists the body indices assigned to rank `r`, in Morton
+    /// order.
+    pub zones: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Number of zones (ranks).
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// `true` when there are no zones.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// Total number of bodies across all zones.
+    pub fn total_bodies(&self) -> usize {
+        self.zones.iter().map(|z| z.len()).sum()
+    }
+
+    /// The zone index owning `body`, or `None` if the body is unassigned
+    /// (which would violate the partition invariant).
+    pub fn owner_of(&self, body: usize) -> Option<usize> {
+        self.zones.iter().position(|z| z.contains(&body))
+    }
+
+    /// The cost of each zone given the bodies' costs.
+    pub fn zone_costs(&self, bodies: &[Body]) -> Vec<u64> {
+        self.zones
+            .iter()
+            .map(|z| z.iter().map(|&i| bodies[i].cost.max(1) as u64).sum())
+            .collect()
+    }
+
+    /// Maximum zone cost divided by the ideal (average) zone cost; 1.0 is a
+    /// perfect balance.
+    pub fn imbalance(&self, bodies: &[Body]) -> f64 {
+        let costs = self.zone_costs(bodies);
+        let total: u64 = costs.iter().sum();
+        if total == 0 || costs.is_empty() {
+            return 1.0;
+        }
+        let ideal = total as f64 / costs.len() as f64;
+        costs.iter().copied().max().unwrap_or(0) as f64 / ideal
+    }
+}
+
+/// Partitions `bodies` into `parts` equal-cost zones along the Morton order
+/// defined by the root cell (`center`, `rsize`).
+///
+/// Every body is assigned to exactly one zone; zones are contiguous in
+/// Morton order.  Greedy prefix cutting is used: a zone is closed once its
+/// accumulated cost reaches the remaining-average target, which bounds the
+/// imbalance by the largest single body cost.
+pub fn partition_by_cost(bodies: &[Body], center: Vec3, rsize: f64, parts: usize) -> Partition {
+    assert!(parts > 0, "cannot partition into zero zones");
+    let positions: Vec<Vec3> = bodies.iter().map(|b| b.pos).collect();
+    let order = sort_indices_by_morton(&positions, center, rsize);
+
+    let costs: Vec<u64> = bodies.iter().map(|b| b.cost.max(1) as u64).collect();
+    let total: u64 = costs.iter().sum();
+
+    let mut zones: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    let mut remaining_cost = total as f64;
+    let mut zone = 0usize;
+    let mut zone_cost = 0u64;
+    for (seq, &bi) in order.iter().enumerate() {
+        let remaining_zones = (parts - zone) as f64;
+        let target = remaining_cost / remaining_zones;
+        // Close the current zone once it has met its cost target, or early
+        // when only as many bodies remain as there are zones left (so that a
+        // partition of n <= parts bodies gives every body its own zone).
+        let bodies_left = order.len() - seq;
+        let must_spread = bodies_left <= parts - (zone + 1);
+        if zone + 1 < parts && zone_cost > 0 && (zone_cost as f64 >= target || must_spread) {
+            remaining_cost -= zone_cost as f64;
+            zone += 1;
+            zone_cost = 0;
+        }
+        zones[zone].push(bi);
+        zone_cost += costs[bi];
+    }
+    Partition { zones }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::body::root_cell;
+    use nbody::plummer::{generate, PlummerConfig};
+
+    fn plummer_with_costs(n: usize) -> Vec<Body> {
+        let mut bodies = generate(&PlummerConfig::new(n, 77));
+        // Give the inner bodies higher costs, as a real force phase would.
+        for b in &mut bodies {
+            let r = b.pos.norm();
+            b.cost = (1.0 + 50.0 / (0.1 + r)) as u32;
+        }
+        bodies
+    }
+
+    #[test]
+    fn partition_covers_all_bodies_exactly_once() {
+        let bodies = plummer_with_costs(500);
+        let (center, rsize) = root_cell(&bodies);
+        let p = partition_by_cost(&bodies, center, rsize, 7);
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.total_bodies(), 500);
+        let mut seen = vec![false; 500];
+        for zone in &p.zones {
+            for &i in zone {
+                assert!(!seen[i], "body {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zones_are_reasonably_balanced() {
+        let bodies = plummer_with_costs(2000);
+        let (center, rsize) = root_cell(&bodies);
+        for parts in [2, 4, 8, 16] {
+            let p = partition_by_cost(&bodies, center, rsize, parts);
+            let imbalance = p.imbalance(&bodies);
+            assert!(imbalance < 1.5, "imbalance {imbalance} too high for {parts} zones");
+            assert!(p.zones.iter().all(|z| !z.is_empty()), "no zone may be empty");
+        }
+    }
+
+    #[test]
+    fn single_zone_gets_everything() {
+        let bodies = plummer_with_costs(100);
+        let (center, rsize) = root_cell(&bodies);
+        let p = partition_by_cost(&bodies, center, rsize, 1);
+        assert_eq!(p.zones[0].len(), 100);
+        assert!((p.imbalance(&bodies) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_zones_than_bodies() {
+        let bodies = plummer_with_costs(3);
+        let (center, rsize) = root_cell(&bodies);
+        let p = partition_by_cost(&bodies, center, rsize, 8);
+        assert_eq!(p.total_bodies(), 3);
+        // Exactly three non-empty zones.
+        assert_eq!(p.zones.iter().filter(|z| !z.is_empty()).count(), 3);
+    }
+
+    #[test]
+    fn zones_are_spatially_compact() {
+        // The average intra-zone pairwise distance should be clearly smaller
+        // than the global average pairwise distance.
+        let bodies = plummer_with_costs(400);
+        let (center, rsize) = root_cell(&bodies);
+        let p = partition_by_cost(&bodies, center, rsize, 8);
+
+        let mean_dist = |idx: &[usize]| {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (a, &i) in idx.iter().enumerate() {
+                for &j in idx.iter().skip(a + 1) {
+                    total += bodies[i].pos.dist(bodies[j].pos);
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                0.0
+            } else {
+                total / count as f64
+            }
+        };
+        let all: Vec<usize> = (0..bodies.len()).collect();
+        let global = mean_dist(&all);
+        let zonal: f64 =
+            p.zones.iter().map(|z| mean_dist(z)).sum::<f64>() / p.zones.len() as f64;
+        assert!(zonal < 0.8 * global, "zones should be compact: zonal {zonal} vs global {global}");
+    }
+
+    #[test]
+    fn owner_lookup() {
+        let bodies = plummer_with_costs(50);
+        let (center, rsize) = root_cell(&bodies);
+        let p = partition_by_cost(&bodies, center, rsize, 4);
+        for i in 0..50 {
+            assert!(p.owner_of(i).is_some());
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! Warren–Salmon hashed oct-tree.
+//!
+//! The paper's related-work section (§8) points at Warren and Salmon's
+//! parallel hashed oct-tree ("A parallel hashed oct-tree N-body algorithm",
+//! SC 1993) as an alternative organisation of the Barnes-Hut data structure:
+//! instead of a pointer-linked tree, every cell is identified by a *key* that
+//! encodes its path from the root, and cells live in a hash table keyed by
+//! that value.  The key scheme makes parents, children and neighbours
+//! computable arithmetically, which is what lets the original work distribute
+//! the tree by hashing keys to processors, and it is the natural companion of
+//! the Morton-ordered body partitioning already used by [`crate::costzones`].
+//!
+//! The paper speculates ("It is interesting to speculate whether such
+//! data-dependent storage order and dynamic partitions could be accommodated
+//! by extending PGAS shared array distributions") but does not evaluate this
+//! design; this module provides it as a comparison substrate so the bench
+//! suite can quantify the pointer-tree vs hashed-tree trade-off on identical
+//! workloads.
+//!
+//! ## Key scheme
+//!
+//! The root cell has key `1`.  The child in octant `o ∈ 0..8` of the cell
+//! with key `k` has key `(k << 3) | o`.  The leading 1 bit acts as a
+//! sentinel, so the depth of a cell is recoverable from its key and keys of
+//! different depths never collide.  With 64-bit keys the tree can be 21
+//! levels deep, the same resolution as [`nbody::morton`].
+
+use crate::tree::TreeParams;
+use crate::walk::cell_is_far;
+use nbody::body::{root_cell, Body};
+use nbody::direct::pairwise_acceleration;
+use nbody::vec3::Vec3;
+use std::collections::HashMap;
+
+/// The key of the root cell.
+pub const ROOT_KEY: u64 = 1;
+
+/// Maximum depth representable by a 64-bit Warren–Salmon key
+/// (the leading sentinel bit leaves 63 bits = 21 octant triplets).
+pub const MAX_KEY_DEPTH: usize = 21;
+
+/// Returns the key of the `octant`-th child of `key`.
+#[inline]
+pub fn child_key(key: u64, octant: usize) -> u64 {
+    debug_assert!(octant < 8);
+    (key << 3) | octant as u64
+}
+
+/// Returns the key of the parent of `key`, or `None` for the root.
+#[inline]
+pub fn parent_key(key: u64) -> Option<u64> {
+    if key <= ROOT_KEY {
+        None
+    } else {
+        Some(key >> 3)
+    }
+}
+
+/// Returns the octant of `key` within its parent.
+#[inline]
+pub fn octant_of_key(key: u64) -> usize {
+    (key & 0b111) as usize
+}
+
+/// Depth of the cell identified by `key` (root = 0).
+#[inline]
+pub fn key_depth(key: u64) -> usize {
+    debug_assert!(key >= ROOT_KEY);
+    ((63 - key.leading_zeros()) / 3) as usize
+}
+
+/// A cell of the hashed oct-tree.
+#[derive(Debug, Clone)]
+pub struct HashedCell {
+    /// Warren–Salmon key of the cell.
+    pub key: u64,
+    /// Geometric centre.
+    pub center: Vec3,
+    /// Half of the side length.
+    pub half: f64,
+    /// Total mass below the cell (after [`HashedOctree::compute_mass`]).
+    pub mass: f64,
+    /// Centre of mass below the cell (after [`HashedOctree::compute_mass`]).
+    pub cofm: Vec3,
+    /// Accumulated interaction cost of the bodies below the cell.
+    pub cost: u64,
+    /// Number of bodies below the cell.
+    pub nbodies: usize,
+    /// Bitmask of existing children (bit `o` set when child `o` exists).
+    pub child_mask: u8,
+    /// Body indices held directly by this cell (non-empty only for leaves).
+    pub bodies: Vec<usize>,
+    /// `true` for leaves.
+    pub is_leaf: bool,
+}
+
+impl HashedCell {
+    fn new_leaf(key: u64, center: Vec3, half: f64) -> Self {
+        HashedCell {
+            key,
+            center,
+            half,
+            mass: 0.0,
+            cofm: Vec3::ZERO,
+            cost: 0,
+            nbodies: 0,
+            child_mask: 0,
+            bodies: Vec::new(),
+            is_leaf: true,
+        }
+    }
+
+    /// Side length of the cell.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        2.0 * self.half
+    }
+
+    /// Centre and half-size of the `octant`-th child.
+    #[inline]
+    pub fn child_geometry(&self, octant: usize) -> (Vec3, f64) {
+        let q = self.half / 2.0;
+        let offset = Vec3::new(
+            if octant & 1 != 0 { q } else { -q },
+            if octant & 2 != 0 { q } else { -q },
+            if octant & 4 != 0 { q } else { -q },
+        );
+        (self.center + offset, q)
+    }
+
+    /// `true` when the `octant`-th child exists.
+    #[inline]
+    pub fn has_child(&self, octant: usize) -> bool {
+        self.child_mask & (1 << octant) != 0
+    }
+}
+
+/// A Barnes-Hut oct-tree stored as a hash table of Warren–Salmon keys.
+///
+/// Geometry (cubic cells, power-of-two root, one body per leaf up to a depth
+/// limit) is identical to [`crate::tree::Octree`]; the two structures built
+/// over the same bodies contain the same cells and yield identical forces,
+/// which is asserted by the test and property suites.
+#[derive(Debug, Clone)]
+pub struct HashedOctree {
+    cells: HashMap<u64, HashedCell>,
+    /// Root cell centre.
+    pub center: Vec3,
+    /// Root cell side length.
+    pub rsize: f64,
+    params: TreeParams,
+    /// Number of elementary insertion descents performed while building.
+    pub build_ops: u64,
+}
+
+impl HashedOctree {
+    /// Builds a hashed tree over `bodies` using the bodies' own bounding box.
+    pub fn build(bodies: &[Body], params: TreeParams) -> Self {
+        let (center, rsize) = root_cell(bodies);
+        Self::build_in(bodies, center, rsize, params)
+    }
+
+    /// Builds a hashed tree inside an explicitly supplied root cell.
+    pub fn build_in(bodies: &[Body], center: Vec3, rsize: f64, params: TreeParams) -> Self {
+        let max_depth = params.max_depth.min(MAX_KEY_DEPTH);
+        let params = TreeParams { max_depth, ..params };
+        let mut tree = HashedOctree {
+            cells: HashMap::new(),
+            center,
+            rsize,
+            params,
+            build_ops: 0,
+        };
+        tree.cells.insert(ROOT_KEY, HashedCell::new_leaf(ROOT_KEY, center, rsize / 2.0));
+        for (i, b) in bodies.iter().enumerate() {
+            tree.insert(bodies, i, b.pos);
+        }
+        tree
+    }
+
+    /// Creates an empty hashed tree with the given root geometry.
+    pub fn empty(center: Vec3, rsize: f64, params: TreeParams) -> Self {
+        let mut cells = HashMap::new();
+        cells.insert(ROOT_KEY, HashedCell::new_leaf(ROOT_KEY, center, rsize / 2.0));
+        HashedOctree { cells, center, rsize, params, build_ops: 0 }
+    }
+
+    /// Number of cells in the tree.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the tree holds no bodies.
+    pub fn is_empty(&self) -> bool {
+        self.root().nbodies == 0
+    }
+
+    /// Total number of bodies inserted.
+    pub fn nbodies(&self) -> usize {
+        self.root().nbodies
+    }
+
+    /// The root cell.
+    pub fn root(&self) -> &HashedCell {
+        &self.cells[&ROOT_KEY]
+    }
+
+    /// Looks up a cell by key.
+    pub fn cell(&self, key: u64) -> Option<&HashedCell> {
+        self.cells.get(&key)
+    }
+
+    /// Iterates over every cell in an unspecified order.
+    pub fn cells(&self) -> impl Iterator<Item = &HashedCell> {
+        self.cells.values()
+    }
+
+    /// Inserts body `index` at position `pos`.
+    ///
+    /// As with [`crate::tree::Octree::insert`], the position is passed
+    /// explicitly so the caller can insert with positions held elsewhere; it
+    /// must match `bodies[index].pos` whenever `compute_mass` is later called
+    /// with the same slice.
+    pub fn insert(&mut self, bodies: &[Body], index: usize, pos: Vec3) {
+        let mut key = ROOT_KEY;
+        loop {
+            self.build_ops += 1;
+            let (is_leaf, can_hold, center) = {
+                let cell = self.cells.get_mut(&key).expect("descent key must exist");
+                cell.nbodies += 1;
+                let can_hold = cell.bodies.len() < self.params.leaf_capacity
+                    || key_depth(key) >= self.params.max_depth;
+                (cell.is_leaf, can_hold, cell.center)
+            };
+            if is_leaf {
+                if can_hold {
+                    self.cells.get_mut(&key).unwrap().bodies.push(index);
+                    return;
+                }
+                self.split_leaf(bodies, key);
+            }
+            let octant = pos.octant_of(center);
+            key = self.ensure_child(key, octant);
+        }
+    }
+
+    /// Ensures the `octant`-th child of `key` exists and returns its key.
+    fn ensure_child(&mut self, key: u64, octant: usize) -> u64 {
+        let ck = child_key(key, octant);
+        if !self.cells.contains_key(&ck) {
+            let (ccenter, chalf) = self.cells[&key].child_geometry(octant);
+            self.cells.insert(ck, HashedCell::new_leaf(ck, ccenter, chalf));
+            self.cells.get_mut(&key).unwrap().child_mask |= 1 << octant;
+        }
+        ck
+    }
+
+    /// Splits a full leaf, pushing its bodies one level down.
+    fn split_leaf(&mut self, bodies: &[Body], key: u64) {
+        let existing = {
+            let cell = self.cells.get_mut(&key).expect("split key must exist");
+            cell.is_leaf = false;
+            std::mem::take(&mut cell.bodies)
+        };
+        for idx in existing {
+            self.build_ops += 1;
+            let pos = bodies[idx].pos;
+            let mut cur = key;
+            loop {
+                if cur != key {
+                    self.cells.get_mut(&cur).unwrap().nbodies += 1;
+                }
+                let (is_leaf, can_hold, center) = {
+                    let cell = &self.cells[&cur];
+                    let can_hold = cell.bodies.len() < self.params.leaf_capacity
+                        || key_depth(cur) >= self.params.max_depth;
+                    (cell.is_leaf, can_hold, cell.center)
+                };
+                if is_leaf {
+                    if can_hold {
+                        self.cells.get_mut(&cur).unwrap().bodies.push(idx);
+                        break;
+                    }
+                    self.split_leaf(bodies, cur);
+                }
+                let octant = pos.octant_of(center);
+                cur = self.ensure_child(cur, octant);
+            }
+        }
+    }
+
+    /// Bottom-up centre-of-mass / mass / cost computation.
+    ///
+    /// Returns the number of cell visits.
+    pub fn compute_mass(&mut self, bodies: &[Body]) -> u64 {
+        // Process cells from the deepest level upward; sorting keys in
+        // descending numeric order visits children before parents because a
+        // child key is always numerically larger than its parent's.
+        let mut keys: Vec<u64> = self.cells.keys().copied().collect();
+        keys.sort_unstable_by(|a, b| b.cmp(a));
+        let mut visits = 0u64;
+        for key in keys {
+            visits += 1;
+            let cell = &self.cells[&key];
+            let (mass, moment, cost) = if cell.is_leaf {
+                let mut mass = 0.0;
+                let mut moment = Vec3::ZERO;
+                let mut cost = 0u64;
+                for &i in &cell.bodies {
+                    mass += bodies[i].mass;
+                    moment += bodies[i].pos * bodies[i].mass;
+                    cost += bodies[i].cost.max(1) as u64;
+                }
+                (mass, moment, cost)
+            } else {
+                let mut mass = 0.0;
+                let mut moment = Vec3::ZERO;
+                let mut cost = 0u64;
+                for octant in 0..8 {
+                    if cell.has_child(octant) {
+                        let c = &self.cells[&child_key(key, octant)];
+                        mass += c.mass;
+                        moment += c.cofm * c.mass;
+                        cost += c.cost;
+                    }
+                }
+                (mass, moment, cost)
+            };
+            let cell = self.cells.get_mut(&key).unwrap();
+            cell.mass = mass;
+            cell.cofm = if mass > 0.0 { moment / mass } else { cell.center };
+            cell.cost = cost;
+        }
+        visits
+    }
+
+    /// Computes the acceleration exerted on `target` by the bodies in the
+    /// tree, using the same `l/d < θ` acceptance test and softened kernel as
+    /// [`crate::walk::accel_on`].
+    pub fn accel_on(
+        &self,
+        bodies: &[Body],
+        target: Vec3,
+        exclude_id: Option<u32>,
+        theta: f64,
+        eps: f64,
+    ) -> crate::walk::WalkResult {
+        let mut result = crate::walk::WalkResult {
+            acc: Vec3::ZERO,
+            phi: 0.0,
+            interactions: 0,
+            nodes_visited: 0,
+        };
+        if self.is_empty() {
+            return result;
+        }
+        self.walk_cell(ROOT_KEY, bodies, target, exclude_id, theta, eps, &mut result);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk_cell(
+        &self,
+        key: u64,
+        bodies: &[Body],
+        target: Vec3,
+        exclude_id: Option<u32>,
+        theta: f64,
+        eps: f64,
+        result: &mut crate::walk::WalkResult,
+    ) {
+        let cell = &self.cells[&key];
+        result.nodes_visited += 1;
+        if cell.nbodies == 0 {
+            return;
+        }
+        let dist_sq = target.dist_sq(cell.cofm);
+        if cell.is_leaf {
+            for &bi in &cell.bodies {
+                let b = &bodies[bi];
+                if Some(b.id) == exclude_id {
+                    continue;
+                }
+                let (a, p) = pairwise_acceleration(target, b.pos, b.mass, eps);
+                result.acc += a;
+                result.phi += p;
+                result.interactions += 1;
+            }
+            return;
+        }
+        if cell_is_far(cell.side(), dist_sq, theta) {
+            let (a, p) = pairwise_acceleration(target, cell.cofm, cell.mass, eps);
+            result.acc += a;
+            result.phi += p;
+            result.interactions += 1;
+            return;
+        }
+        for octant in 0..8 {
+            if cell.has_child(octant) {
+                self.walk_cell(child_key(key, octant), bodies, target, exclude_id, theta, eps, result);
+            }
+        }
+    }
+
+    /// Computes forces on every body, returning updated copies
+    /// (acc/phi/cost filled in) — the hashed-tree counterpart of
+    /// [`crate::walk::compute_forces`].
+    pub fn compute_forces(bodies: &[Body], theta: f64, eps: f64) -> Vec<Body> {
+        let mut tree = HashedOctree::build(bodies, TreeParams::default());
+        tree.compute_mass(bodies);
+        let mut out = bodies.to_vec();
+        for b in &mut out {
+            let r = tree.accel_on(bodies, b.pos, Some(b.id), theta, eps);
+            b.acc = r.acc;
+            b.phi = r.phi;
+            b.cost = r.interactions.max(1);
+        }
+        out
+    }
+
+    /// Checks the structural invariants of the hashed tree; returns an error
+    /// string describing the first violation found.
+    pub fn check_invariants(&self, bodies: &[Body]) -> Result<(), String> {
+        let mut seen = vec![false; bodies.len()];
+        let mut count = 0usize;
+        for (&key, cell) in &self.cells {
+            if cell.key != key {
+                return Err(format!("cell stored under key {key:#x} claims key {:#x}", cell.key));
+            }
+            if let Some(parent) = parent_key(key) {
+                let Some(p) = self.cells.get(&parent) else {
+                    return Err(format!("cell {key:#x} has no parent in the table"));
+                };
+                if !p.has_child(octant_of_key(key)) {
+                    return Err(format!("parent of {key:#x} does not list it as a child"));
+                }
+                // Geometry must match the parent's child_geometry rule.
+                let (expect_center, expect_half) = p.child_geometry(octant_of_key(key));
+                if (expect_center - cell.center).max_abs_component() > 1e-9
+                    || (expect_half - cell.half).abs() > 1e-9
+                {
+                    return Err(format!("cell {key:#x} geometry disagrees with its parent"));
+                }
+            }
+            if cell.is_leaf {
+                if cell.child_mask != 0 {
+                    return Err(format!("leaf {key:#x} has children"));
+                }
+                for &b in &cell.bodies {
+                    if seen[b] {
+                        return Err(format!("body {b} appears in more than one leaf"));
+                    }
+                    seen[b] = true;
+                    count += 1;
+                    let d = bodies[b].pos - cell.center;
+                    if d.max_abs_component() > cell.half * (1.0 + 1e-9) {
+                        return Err(format!("body {b} outside its leaf {key:#x}"));
+                    }
+                }
+            } else {
+                if !cell.bodies.is_empty() {
+                    return Err(format!("internal cell {key:#x} holds bodies"));
+                }
+                let child_count: usize = (0..8)
+                    .filter(|&o| cell.has_child(o))
+                    .map(|o| self.cells[&child_key(key, o)].nbodies)
+                    .sum();
+                if child_count != cell.nbodies {
+                    return Err(format!(
+                        "cell {key:#x} claims {} bodies but its children hold {child_count}",
+                        cell.nbodies
+                    ));
+                }
+            }
+        }
+        if count != self.nbodies() {
+            return Err(format!("leaves hold {count} bodies, root claims {}", self.nbodies()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Octree;
+    use crate::walk;
+    use nbody::plummer::{generate, PlummerConfig};
+    use nbody::{DEFAULT_EPS, DEFAULT_THETA};
+
+    fn plummer(n: usize) -> Vec<Body> {
+        generate(&PlummerConfig::new(n, 4242))
+    }
+
+    #[test]
+    fn key_navigation() {
+        assert_eq!(key_depth(ROOT_KEY), 0);
+        let c3 = child_key(ROOT_KEY, 3);
+        assert_eq!(c3, 0b1_011);
+        assert_eq!(key_depth(c3), 1);
+        assert_eq!(octant_of_key(c3), 3);
+        assert_eq!(parent_key(c3), Some(ROOT_KEY));
+        assert_eq!(parent_key(ROOT_KEY), None);
+        let deep = child_key(child_key(c3, 7), 0);
+        assert_eq!(key_depth(deep), 3);
+        assert_eq!(parent_key(deep), Some(child_key(c3, 7)));
+    }
+
+    #[test]
+    fn keys_unique_across_depths() {
+        // Octant-0 children never collide with their ancestors thanks to the
+        // sentinel bit.
+        let mut k = ROOT_KEY;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..MAX_KEY_DEPTH {
+            assert!(seen.insert(k));
+            k = child_key(k, 0);
+        }
+    }
+
+    #[test]
+    fn single_body() {
+        let bodies = vec![Body::at_rest(0, Vec3::new(0.1, -0.2, 0.3), 2.0)];
+        let mut t = HashedOctree::build(&bodies, TreeParams::default());
+        assert_eq!(t.nbodies(), 1);
+        t.compute_mass(&bodies);
+        assert_eq!(t.root().mass, 2.0);
+        assert_eq!(t.root().cofm, bodies[0].pos);
+        t.check_invariants(&bodies).unwrap();
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = HashedOctree::build(&[], TreeParams::default());
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 1);
+        let r = t.accel_on(&[], Vec3::ZERO, None, 1.0, 0.05);
+        assert_eq!(r.acc, Vec3::ZERO);
+    }
+
+    #[test]
+    fn invariants_and_mass_conservation() {
+        let bodies = plummer(600);
+        let mut t = HashedOctree::build(&bodies, TreeParams::default());
+        t.compute_mass(&bodies);
+        t.check_invariants(&bodies).unwrap();
+        assert_eq!(t.nbodies(), 600);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        assert!((t.root().mass - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_structure_as_pointer_tree() {
+        let bodies = plummer(400);
+        let params = TreeParams::default();
+        let mut hashed = HashedOctree::build(&bodies, params);
+        hashed.compute_mass(&bodies);
+        let mut pointer = Octree::build(&bodies, params);
+        pointer.compute_mass(&bodies);
+        // Same root geometry, same number of cells, same total mass.
+        assert_eq!(hashed.rsize, pointer.rsize);
+        assert_eq!(hashed.center, pointer.center);
+        assert_eq!(hashed.len(), pointer.len());
+        assert!((hashed.root().mass - pointer.nodes[0].mass).abs() < 1e-12);
+        assert!((hashed.root().cofm - pointer.nodes[0].cofm).norm() < 1e-12);
+    }
+
+    #[test]
+    fn forces_match_pointer_tree() {
+        let bodies = plummer(300);
+        let from_hashed = HashedOctree::compute_forces(&bodies, DEFAULT_THETA, DEFAULT_EPS);
+        let from_pointer = walk::compute_forces(&bodies, DEFAULT_THETA, DEFAULT_EPS);
+        for (h, p) in from_hashed.iter().zip(&from_pointer) {
+            assert!((h.acc - p.acc).norm() < 1e-10, "hashed and pointer walks must agree");
+            assert!((h.phi - p.phi).abs() < 1e-10);
+            assert_eq!(h.cost, p.cost, "identical structure implies identical interaction counts");
+        }
+    }
+
+    #[test]
+    fn theta_zero_matches_direct() {
+        let bodies = plummer(150);
+        let tree_forces = HashedOctree::compute_forces(&bodies, 0.0, DEFAULT_EPS);
+        let direct_forces = nbody::direct::compute_forces(&bodies, DEFAULT_EPS);
+        for (t, d) in tree_forces.iter().zip(&direct_forces) {
+            let rel = (t.acc - d.acc).norm() / d.acc.norm().max(1e-12);
+            assert!(rel < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coincident_bodies_respect_depth_limit() {
+        let bodies: Vec<Body> =
+            (0..5).map(|i| Body::at_rest(i, Vec3::new(0.3, 0.3, 0.3), 1.0)).collect();
+        let params = TreeParams { leaf_capacity: 1, max_depth: 6 };
+        let mut t = HashedOctree::build(&bodies, params);
+        t.compute_mass(&bodies);
+        t.check_invariants(&bodies).unwrap();
+        assert_eq!(t.nbodies(), 5);
+        assert!(t.cells().all(|c| key_depth(c.key) <= 6));
+    }
+
+    #[test]
+    fn depth_limit_clamped_to_key_capacity() {
+        let bodies = plummer(64);
+        let t = HashedOctree::build(&bodies, TreeParams { leaf_capacity: 1, max_depth: 1000 });
+        assert!(t.cells().all(|c| key_depth(c.key) <= MAX_KEY_DEPTH));
+        t.check_invariants(&bodies).unwrap();
+    }
+
+    #[test]
+    fn leaf_capacity_respected() {
+        let bodies = plummer(256);
+        let t = HashedOctree::build(&bodies, TreeParams { leaf_capacity: 4, max_depth: 20 });
+        for c in t.cells() {
+            if c.is_leaf && key_depth(c.key) < 20 {
+                assert!(c.bodies.len() <= 4);
+            }
+        }
+        t.check_invariants(&bodies).unwrap();
+    }
+
+    #[test]
+    fn cell_lookup_by_key() {
+        let bodies = plummer(32);
+        let t = HashedOctree::build(&bodies, TreeParams::default());
+        assert!(t.cell(ROOT_KEY).is_some());
+        assert!(t.cell(0xdead_beef_dead_beef).is_none());
+    }
+}

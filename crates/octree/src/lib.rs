@@ -1,0 +1,43 @@
+//! # octree — sequential Barnes-Hut octree substrate
+//!
+//! The paper's distributed solvers all manipulate *some* octree: the shared
+//! global tree of the baseline, per-thread local trees used as caches (§5.3),
+//! per-thread local trees that are merged (§5.4), and the cost-threshold
+//! subspace tree of §6.  This crate provides the sequential pieces those
+//! solvers are assembled from:
+//!
+//! * [`tree::Octree`] — an arena-based octree over a slice of bodies, with
+//!   SPLASH-2 geometry (cubic cells, power-of-two root size, one body per
+//!   leaf up to a depth limit);
+//! * [`tree::Octree::compute_mass`] — bottom-up centre-of-mass / total-mass
+//!   computation;
+//! * [`walk`] — the force-computation tree walk with the `l/d < θ` multipole
+//!   acceptance criterion and Plummer softening (identical arithmetic to
+//!   `nbody::direct`, so the two converge as θ → 0);
+//! * [`costzones`] — the SPLASH-2-style cost-based space partitioning
+//!   (Morton-ordered, equal-cost segments) used to assign bodies to threads.
+//!
+//! Two comparison substrates from the paper's related-work section are also
+//! provided so the bench suite can quantify the design choices the paper
+//! takes for granted:
+//!
+//! * [`hashed`] — the Warren–Salmon hashed oct-tree (keys instead of
+//!   pointers), the alternative tree organisation discussed in §8;
+//! * [`orb`] — orthogonal recursive bisection, the classic alternative to
+//!   costzones for assigning bodies to ranks.
+//!
+//! The distributed variants in the `bh` crate re-express tree *construction*
+//! against the PGAS emulator; they reuse this crate's geometry helpers and
+//! its tree walk for correctness checks.
+
+pub mod costzones;
+pub mod hashed;
+pub mod orb;
+pub mod tree;
+pub mod walk;
+
+pub use costzones::{partition_by_cost, Partition};
+pub use hashed::{HashedCell, HashedOctree};
+pub use orb::partition_orb;
+pub use tree::{Node, Octree, TreeParams};
+pub use walk::{accel_on, compute_forces, WalkResult};

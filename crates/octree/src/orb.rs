@@ -1,0 +1,244 @@
+//! Orthogonal recursive bisection (ORB) partitioning.
+//!
+//! The paper uses the SPLASH-2 costzones scheme (Morton-ordered equal-cost
+//! segments, [`crate::costzones`]) to assign bodies to threads.  ORB is the
+//! classic alternative from the distributed N-body literature (Salmon's
+//! thesis, cited as [21] by the paper): space is cut recursively by
+//! axis-aligned planes so that each side carries half of the remaining cost,
+//! until there is one region per rank.  ORB regions are boxes rather than
+//! Morton-order segments, which gives them slightly better surface-to-volume
+//! ratios at the price of a more expensive (and harder to parallelise)
+//! partitioning step.
+//!
+//! This module exists as an ablation substrate: the bench suite compares the
+//! two partitioners' balance and locality on identical Plummer workloads, and
+//! the property suite checks that both produce disjoint covers.  The
+//! distributed solvers in `bh` keep using costzones, exactly as the paper
+//! does.
+
+use crate::costzones::Partition;
+use nbody::body::Body;
+
+/// Partitions `bodies` into `parts` zones by orthogonal recursive bisection
+/// on body cost.
+///
+/// Every body is assigned to exactly one zone.  When `parts` is not a power
+/// of two, the cost target of each side of a cut is proportional to the
+/// number of ranks assigned to that side, so any rank count is supported.
+pub fn partition_orb(bodies: &[Body], parts: usize) -> Partition {
+    assert!(parts > 0, "cannot partition into zero zones");
+    let mut zones: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    let all: Vec<usize> = (0..bodies.len()).collect();
+    bisect(bodies, all, 0, parts, &mut zones);
+    Partition { zones }
+}
+
+/// Recursively bisects `indices` into zones `[first_zone, first_zone + nzones)`.
+fn bisect(bodies: &[Body], indices: Vec<usize>, first_zone: usize, nzones: usize, zones: &mut Vec<Vec<usize>>) {
+    if nzones == 1 {
+        zones[first_zone] = indices;
+        return;
+    }
+    // Give the left side floor(nzones/2) ranks and the matching share of cost.
+    let left_zones = nzones / 2;
+    let right_zones = nzones - left_zones;
+
+    let axis = longest_axis(bodies, &indices);
+    let mut order = indices;
+    order.sort_unstable_by(|&a, &b| {
+        bodies[a].pos[axis]
+            .partial_cmp(&bodies[b].pos[axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let total_cost: u64 = order.iter().map(|&i| cost_of(bodies, i)).sum();
+    let target = total_cost as f64 * left_zones as f64 / nzones as f64;
+
+    // Find the split point: the smallest prefix whose cost reaches the target,
+    // while leaving at least one body per zone on each side whenever possible.
+    let mut acc = 0u64;
+    let mut split = 0usize;
+    for (k, &i) in order.iter().enumerate() {
+        // Stop before consuming so many bodies that the right side cannot
+        // populate its zones.
+        if order.len() - k <= right_zones && split > 0 {
+            break;
+        }
+        if acc as f64 >= target && k >= left_zones.min(order.len()) {
+            break;
+        }
+        acc += cost_of(bodies, i);
+        split = k + 1;
+    }
+    // Ensure the left side is non-empty when there are bodies to give it.
+    if split == 0 && !order.is_empty() {
+        split = 1;
+    }
+
+    let right = order.split_off(split.min(order.len()));
+    let left = order;
+    bisect(bodies, left, first_zone, left_zones, zones);
+    bisect(bodies, right, first_zone + left_zones, right_zones, zones);
+}
+
+#[inline]
+fn cost_of(bodies: &[Body], i: usize) -> u64 {
+    bodies[i].cost.max(1) as u64
+}
+
+/// The coordinate axis (0, 1 or 2) along which the bounding box of the given
+/// subset is longest.
+fn longest_axis(bodies: &[Body], indices: &[usize]) -> usize {
+    if indices.is_empty() {
+        return 0;
+    }
+    let mut lo = bodies[indices[0]].pos;
+    let mut hi = lo;
+    for &i in &indices[1..] {
+        lo = lo.min(bodies[i].pos);
+        hi = hi.max(bodies[i].pos);
+    }
+    let extent = hi - lo;
+    let mut axis = 0;
+    if extent[1] > extent[axis] {
+        axis = 1;
+    }
+    if extent[2] > extent[axis] {
+        axis = 2;
+    }
+    axis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::plummer::{generate, PlummerConfig};
+    use nbody::vec3::Vec3;
+
+    fn plummer_with_costs(n: usize) -> Vec<Body> {
+        let mut bodies = generate(&PlummerConfig::new(n, 31));
+        for b in &mut bodies {
+            let r = b.pos.norm();
+            b.cost = (1.0 + 40.0 / (0.1 + r)) as u32;
+        }
+        bodies
+    }
+
+    fn assert_disjoint_cover(p: &Partition, n: usize) {
+        let mut seen = vec![false; n];
+        for zone in &p.zones {
+            for &i in zone {
+                assert!(!seen[i], "body {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every body must be assigned");
+    }
+
+    #[test]
+    fn covers_all_bodies_exactly_once() {
+        let bodies = plummer_with_costs(500);
+        for parts in [1, 2, 3, 5, 8, 16] {
+            let p = partition_orb(&bodies, parts);
+            assert_eq!(p.len(), parts);
+            assert_eq!(p.total_bodies(), 500);
+            assert_disjoint_cover(&p, 500);
+        }
+    }
+
+    #[test]
+    fn zones_are_reasonably_balanced() {
+        let bodies = plummer_with_costs(2000);
+        for parts in [2, 4, 8, 16] {
+            let p = partition_orb(&bodies, parts);
+            let imbalance = p.imbalance(&bodies);
+            assert!(imbalance < 1.5, "ORB imbalance {imbalance} too high for {parts} zones");
+            assert!(p.zones.iter().all(|z| !z.is_empty()));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_parts() {
+        let bodies = plummer_with_costs(700);
+        for parts in [3, 5, 6, 7, 11] {
+            let p = partition_orb(&bodies, parts);
+            assert_eq!(p.len(), parts);
+            assert_disjoint_cover(&p, 700);
+            let imbalance = p.imbalance(&bodies);
+            assert!(imbalance < 1.8, "imbalance {imbalance} for {parts} parts");
+        }
+    }
+
+    #[test]
+    fn fewer_bodies_than_parts() {
+        let bodies = plummer_with_costs(3);
+        let p = partition_orb(&bodies, 8);
+        assert_eq!(p.total_bodies(), 3);
+        assert_disjoint_cover(&p, 3);
+        // No zone holds more than the bodies available; some must be empty.
+        assert!(p.zones.iter().filter(|z| !z.is_empty()).count() <= 3);
+    }
+
+    #[test]
+    fn single_zone_gets_everything() {
+        let bodies = plummer_with_costs(64);
+        let p = partition_orb(&bodies, 1);
+        assert_eq!(p.zones[0].len(), 64);
+    }
+
+    #[test]
+    fn zones_are_spatially_compact() {
+        let bodies = plummer_with_costs(400);
+        let p = partition_orb(&bodies, 8);
+        let mean_dist = |idx: &[usize]| {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (a, &i) in idx.iter().enumerate() {
+                for &j in idx.iter().skip(a + 1) {
+                    total += bodies[i].pos.dist(bodies[j].pos);
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                0.0
+            } else {
+                total / count as f64
+            }
+        };
+        let all: Vec<usize> = (0..bodies.len()).collect();
+        let global = mean_dist(&all);
+        let zonal: f64 = p.zones.iter().map(|z| mean_dist(z)).sum::<f64>() / p.zones.len() as f64;
+        assert!(zonal < 0.8 * global, "ORB zones should be compact: {zonal} vs {global}");
+    }
+
+    #[test]
+    fn splits_along_the_longest_axis() {
+        // Bodies spread along x only: a 2-way ORB cut must separate low-x
+        // from high-x bodies.
+        let bodies: Vec<Body> = (0..10)
+            .map(|i| Body::at_rest(i, Vec3::new(i as f64, 0.0, 0.0), 1.0))
+            .collect();
+        let p = partition_orb(&bodies, 2);
+        let max_left = p.zones[0].iter().map(|&i| bodies[i].pos.x).fold(f64::MIN, f64::max);
+        let min_right = p.zones[1].iter().map(|&i| bodies[i].pos.x).fold(f64::MAX, f64::min);
+        assert!(max_left < min_right, "left zone must lie entirely below the cut");
+        assert_eq!(p.zones[0].len(), 5);
+        assert_eq!(p.zones[1].len(), 5);
+    }
+
+    #[test]
+    fn cost_weighted_cut_position() {
+        // One very expensive body on the left should pull the cut so that the
+        // left zone holds fewer bodies.
+        let mut bodies: Vec<Body> = (0..10)
+            .map(|i| Body::at_rest(i, Vec3::new(i as f64, 0.0, 0.0), 1.0))
+            .collect();
+        bodies[0].cost = 9; // left-most body as expensive as 9 others
+        let p = partition_orb(&bodies, 2);
+        assert!(p.zones[0].len() < p.zones[1].len());
+        let costs = p.zone_costs(&bodies);
+        let imbalance = *costs.iter().max().unwrap() as f64 / (costs.iter().sum::<u64>() as f64 / 2.0);
+        assert!(imbalance < 1.3);
+    }
+}

@@ -1,0 +1,458 @@
+//! Arena-based sequential octree with SPLASH-2 geometry.
+
+use nbody::body::{root_cell, Body};
+use nbody::vec3::Vec3;
+
+/// Sentinel for "no child".
+pub const NO_CHILD: i32 = -1;
+
+/// Construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum number of bodies a leaf may hold before it is split.
+    /// SPLASH-2 splits down to one body per leaf.
+    pub leaf_capacity: usize,
+    /// Maximum tree depth; below this depth leaves are allowed to exceed
+    /// `leaf_capacity` (guards against coincident bodies).
+    pub max_depth: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { leaf_capacity: 1, max_depth: 64 }
+    }
+}
+
+/// A node of the octree: either an internal cell with up to eight children or
+/// a leaf holding body indices.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Geometric centre of the cell.
+    pub center: Vec3,
+    /// Half of the cell's side length.
+    pub half: f64,
+    /// Total mass of the bodies below this node (filled by `compute_mass`).
+    pub mass: f64,
+    /// Centre of mass of the bodies below this node (filled by
+    /// `compute_mass`).
+    pub cofm: Vec3,
+    /// Accumulated interaction cost of the bodies below this node.
+    pub cost: u64,
+    /// Number of bodies below this node.
+    pub nbodies: usize,
+    /// Child node indices (`NO_CHILD` when absent); meaningful only for
+    /// internal nodes.
+    pub children: [i32; 8],
+    /// Body indices held by this node; non-empty only for leaves.
+    pub bodies: Vec<usize>,
+    /// `true` for leaves.
+    pub is_leaf: bool,
+    /// Depth of the node (root = 0).
+    pub depth: usize,
+}
+
+impl Node {
+    fn new_leaf(center: Vec3, half: f64, depth: usize) -> Self {
+        Node {
+            center,
+            half,
+            mass: 0.0,
+            cofm: Vec3::ZERO,
+            cost: 0,
+            nbodies: 0,
+            children: [NO_CHILD; 8],
+            bodies: Vec::new(),
+            is_leaf: true,
+            depth,
+        }
+    }
+
+    /// Side length of the cell.
+    pub fn side(&self) -> f64 {
+        2.0 * self.half
+    }
+
+    /// Centre and half-size of the `octant`-th child cell.
+    pub fn child_geometry(&self, octant: usize) -> (Vec3, f64) {
+        let q = self.half / 2.0;
+        let offset = Vec3::new(
+            if octant & 1 != 0 { q } else { -q },
+            if octant & 2 != 0 { q } else { -q },
+            if octant & 4 != 0 { q } else { -q },
+        );
+        (self.center + offset, q)
+    }
+}
+
+/// An arena-based octree over a slice of bodies.
+///
+/// The tree stores body *indices*; the body slice itself is owned by the
+/// caller, which is what the distributed solvers need (bodies live in PGAS
+/// shared memory there).
+#[derive(Debug, Clone)]
+pub struct Octree {
+    /// All nodes; index 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Root cell centre.
+    pub center: Vec3,
+    /// Root cell side length (`rsize` in SPLASH-2 and the paper).
+    pub rsize: f64,
+    params: TreeParams,
+    /// Number of elementary insertion descents performed while building; the
+    /// distributed tree-building phases use this to charge simulated work.
+    pub build_ops: u64,
+}
+
+impl Octree {
+    /// Builds a tree over `bodies` using the bodies' own bounding box.
+    pub fn build(bodies: &[Body], params: TreeParams) -> Self {
+        let (center, rsize) = root_cell(bodies);
+        Self::build_in(bodies, center, rsize, params)
+    }
+
+    /// Builds a tree over `bodies` inside an explicitly supplied root cell
+    /// (used when the root geometry is shared across ranks, as in the paper
+    /// where `rsize` is a shared scalar computed by thread 0).
+    pub fn build_in(bodies: &[Body], center: Vec3, rsize: f64, params: TreeParams) -> Self {
+        let mut tree = Octree {
+            nodes: vec![Node::new_leaf(center, rsize / 2.0, 0)],
+            center,
+            rsize,
+            params,
+            build_ops: 0,
+        };
+        for (i, b) in bodies.iter().enumerate() {
+            tree.insert(bodies, i, b.pos);
+        }
+        tree
+    }
+
+    /// Creates an empty tree with the given root geometry.
+    pub fn empty(center: Vec3, rsize: f64, params: TreeParams) -> Self {
+        Octree { nodes: vec![Node::new_leaf(center, rsize / 2.0, 0)], center, rsize, params, build_ops: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree holds no bodies.
+    pub fn is_empty(&self) -> bool {
+        self.nodes[0].nbodies == 0
+    }
+
+    /// Total number of bodies inserted.
+    pub fn nbodies(&self) -> usize {
+        self.nodes[0].nbodies
+    }
+
+    /// Inserts body `index` (taken from `bodies`) at position `pos`.
+    ///
+    /// `pos` is passed explicitly so the caller can insert with positions
+    /// held elsewhere (e.g. a PGAS copy); it must match `bodies[index].pos`
+    /// whenever `compute_mass` will be called with the same slice.
+    pub fn insert(&mut self, bodies: &[Body], index: usize, pos: Vec3) {
+        let mut node = 0usize;
+        loop {
+            self.build_ops += 1;
+            self.nodes[node].nbodies += 1;
+            if self.nodes[node].is_leaf {
+                let can_hold = self.nodes[node].bodies.len() < self.params.leaf_capacity
+                    || self.nodes[node].depth >= self.params.max_depth;
+                if can_hold {
+                    self.nodes[node].bodies.push(index);
+                    return;
+                }
+                self.split_leaf(bodies, node);
+                // fall through: the node is now internal.
+            }
+            let octant = pos.octant_of(self.nodes[node].center);
+            let child = self.nodes[node].children[octant];
+            if child == NO_CHILD {
+                let (ccenter, chalf) = self.nodes[node].child_geometry(octant);
+                let cdepth = self.nodes[node].depth + 1;
+                let new_index = self.nodes.len() as i32;
+                self.nodes.push(Node::new_leaf(ccenter, chalf, cdepth));
+                self.nodes[node].children[octant] = new_index;
+                node = new_index as usize;
+            } else {
+                node = child as usize;
+            }
+        }
+    }
+
+    /// Splits a full leaf, pushing its bodies one level down.
+    fn split_leaf(&mut self, bodies: &[Body], node: usize) {
+        let existing = std::mem::take(&mut self.nodes[node].bodies);
+        let saved_nbodies = self.nodes[node].nbodies;
+        self.nodes[node].is_leaf = false;
+        // Re-insert existing bodies below this node without re-counting them
+        // at this node.
+        for idx in existing {
+            self.build_ops += 1;
+            let pos = bodies[idx].pos;
+            let mut cur = node;
+            loop {
+                if cur != node {
+                    self.nodes[cur].nbodies += 1;
+                }
+                if self.nodes[cur].is_leaf {
+                    let can_hold = self.nodes[cur].bodies.len() < self.params.leaf_capacity
+                        || self.nodes[cur].depth >= self.params.max_depth;
+                    if can_hold {
+                        self.nodes[cur].bodies.push(idx);
+                        break;
+                    }
+                    self.split_leaf(bodies, cur);
+                }
+                let octant = pos.octant_of(self.nodes[cur].center);
+                let child = self.nodes[cur].children[octant];
+                if child == NO_CHILD {
+                    let (ccenter, chalf) = self.nodes[cur].child_geometry(octant);
+                    let cdepth = self.nodes[cur].depth + 1;
+                    let new_index = self.nodes.len() as i32;
+                    self.nodes.push(Node::new_leaf(ccenter, chalf, cdepth));
+                    self.nodes[cur].children[octant] = new_index;
+                    cur = new_index as usize;
+                } else {
+                    cur = child as usize;
+                }
+            }
+        }
+        self.nodes[node].nbodies = saved_nbodies;
+    }
+
+    /// Bottom-up centre-of-mass / mass / cost computation.
+    ///
+    /// Returns the number of node visits (used by the distributed variants to
+    /// charge simulated work for the "C-of-m Comp." phase).
+    pub fn compute_mass(&mut self, bodies: &[Body]) -> u64 {
+        let mut visits = 0u64;
+        self.compute_mass_rec(0, bodies, &mut visits);
+        visits
+    }
+
+    fn compute_mass_rec(&mut self, node: usize, bodies: &[Body], visits: &mut u64) {
+        *visits += 1;
+        if self.nodes[node].is_leaf {
+            let mut mass = 0.0;
+            let mut moment = Vec3::ZERO;
+            let mut cost = 0u64;
+            for &i in &self.nodes[node].bodies {
+                mass += bodies[i].mass;
+                moment += bodies[i].pos * bodies[i].mass;
+                cost += bodies[i].cost.max(1) as u64;
+            }
+            self.nodes[node].mass = mass;
+            self.nodes[node].cofm = if mass > 0.0 { moment / mass } else { self.nodes[node].center };
+            self.nodes[node].cost = cost;
+            return;
+        }
+        let mut mass = 0.0;
+        let mut moment = Vec3::ZERO;
+        let mut cost = 0u64;
+        for octant in 0..8 {
+            let child = self.nodes[node].children[octant];
+            if child != NO_CHILD {
+                self.compute_mass_rec(child as usize, bodies, visits);
+                let c = &self.nodes[child as usize];
+                mass += c.mass;
+                moment += c.cofm * c.mass;
+                cost += c.cost;
+            }
+        }
+        self.nodes[node].mass = mass;
+        self.nodes[node].cofm = if mass > 0.0 { moment / mass } else { self.nodes[node].center };
+        self.nodes[node].cost = cost;
+    }
+
+    /// Iterates over the body indices stored in leaves, in depth-first
+    /// (Morton-like) order.
+    pub fn bodies_depth_first(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.nbodies());
+        let mut stack = vec![0usize];
+        // Depth-first, visiting children in octant order; using an explicit
+        // stack visits them in reverse push order, so push octants reversed.
+        while let Some(node) = stack.pop() {
+            let n = &self.nodes[node];
+            if n.is_leaf {
+                out.extend_from_slice(&n.bodies);
+            } else {
+                for octant in (0..8).rev() {
+                    let child = n.children[octant];
+                    if child != NO_CHILD {
+                        stack.push(child as usize);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the structural invariants of the tree; used by tests and the
+    /// property suite.  Returns an error string describing the first
+    /// violation found.
+    pub fn check_invariants(&self, bodies: &[Body]) -> Result<(), String> {
+        let mut seen = vec![false; bodies.len()];
+        let mut count = 0usize;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.is_leaf {
+                for &b in &n.bodies {
+                    if seen[b] {
+                        return Err(format!("body {b} appears in more than one leaf"));
+                    }
+                    seen[b] = true;
+                    count += 1;
+                    let d = bodies[b].pos - n.center;
+                    if d.max_abs_component() > n.half * (1.0 + 1e-9) {
+                        return Err(format!("body {b} outside its leaf {i}"));
+                    }
+                }
+            } else {
+                if !n.bodies.is_empty() {
+                    return Err(format!("internal node {i} holds bodies"));
+                }
+                let child_count: usize = n
+                    .children
+                    .iter()
+                    .filter(|&&c| c != NO_CHILD)
+                    .map(|&c| self.nodes[c as usize].nbodies)
+                    .sum();
+                if child_count != n.nbodies {
+                    return Err(format!(
+                        "node {i} claims {} bodies but its children hold {child_count}",
+                        n.nbodies
+                    ));
+                }
+            }
+        }
+        if count != self.nbodies() {
+            return Err(format!("leaves hold {count} bodies, root claims {}", self.nbodies()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::plummer::{generate, PlummerConfig};
+
+    fn plummer(n: usize) -> Vec<Body> {
+        generate(&PlummerConfig::new(n, 12345))
+    }
+
+    #[test]
+    fn single_body_tree() {
+        let bodies = vec![Body::at_rest(0, Vec3::new(0.1, 0.2, 0.3), 2.0)];
+        let mut t = Octree::build(&bodies, TreeParams::default());
+        assert_eq!(t.nbodies(), 1);
+        t.compute_mass(&bodies);
+        assert_eq!(t.nodes[0].mass, 2.0);
+        assert_eq!(t.nodes[0].cofm, bodies[0].pos);
+        t.check_invariants(&bodies).unwrap();
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = Octree::build(&[], TreeParams::default());
+        assert!(t.is_empty());
+        assert_eq!(t.nbodies(), 0);
+    }
+
+    #[test]
+    fn invariants_hold_for_plummer() {
+        let bodies = plummer(500);
+        let mut t = Octree::build(&bodies, TreeParams::default());
+        t.compute_mass(&bodies);
+        t.check_invariants(&bodies).unwrap();
+        assert_eq!(t.nbodies(), 500);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let bodies = plummer(300);
+        let mut t = Octree::build(&bodies, TreeParams::default());
+        t.compute_mass(&bodies);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        assert!((t.nodes[0].mass - total).abs() < 1e-12);
+        let com = nbody::body::center_of_mass(&bodies);
+        assert!((t.nodes[0].cofm - com).norm() < 1e-9);
+    }
+
+    #[test]
+    fn cost_aggregates_body_costs() {
+        let mut bodies = plummer(64);
+        for (i, b) in bodies.iter_mut().enumerate() {
+            b.cost = (i % 5 + 1) as u32;
+        }
+        let mut t = Octree::build(&bodies, TreeParams::default());
+        t.compute_mass(&bodies);
+        let expected: u64 = bodies.iter().map(|b| b.cost as u64).sum();
+        assert_eq!(t.nodes[0].cost, expected);
+    }
+
+    #[test]
+    fn coincident_bodies_hit_depth_limit_not_stack_overflow() {
+        let bodies: Vec<Body> =
+            (0..4).map(|i| Body::at_rest(i, Vec3::new(0.25, 0.25, 0.25), 1.0)).collect();
+        let params = TreeParams { leaf_capacity: 1, max_depth: 8 };
+        let mut t = Octree::build(&bodies, params);
+        t.compute_mass(&bodies);
+        t.check_invariants(&bodies).unwrap();
+        assert_eq!(t.nbodies(), 4);
+    }
+
+    #[test]
+    fn leaf_capacity_respected() {
+        let bodies = plummer(200);
+        let t = Octree::build(&bodies, TreeParams { leaf_capacity: 8, max_depth: 64 });
+        for n in &t.nodes {
+            if n.is_leaf && n.depth < 64 {
+                assert!(n.bodies.len() <= 8);
+            }
+        }
+        t.check_invariants(&bodies).unwrap();
+    }
+
+    #[test]
+    fn depth_first_order_is_a_permutation() {
+        let bodies = plummer(128);
+        let t = Octree::build(&bodies, TreeParams::default());
+        let order = t.bodies_depth_first();
+        assert_eq!(order.len(), 128);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn child_geometry_covers_parent() {
+        let n = Node::new_leaf(Vec3::ZERO, 2.0, 0);
+        for octant in 0..8 {
+            let (c, h) = n.child_geometry(octant);
+            assert_eq!(h, 1.0);
+            assert!(c.max_abs_component() <= 2.0);
+            // The child's centre must be inside the parent.
+            assert!((c - n.center).max_abs_component() <= n.half);
+        }
+        assert_eq!(n.side(), 4.0);
+    }
+
+    #[test]
+    fn build_in_respects_given_root() {
+        let bodies = plummer(50);
+        let t = Octree::build_in(&bodies, Vec3::ZERO, 64.0, TreeParams::default());
+        assert_eq!(t.rsize, 64.0);
+        assert_eq!(t.nodes[0].half, 32.0);
+        t.check_invariants(&bodies).unwrap();
+    }
+
+    #[test]
+    fn build_ops_counted() {
+        let bodies = plummer(100);
+        let t = Octree::build(&bodies, TreeParams::default());
+        assert!(t.build_ops >= 100, "at least one descent step per body");
+    }
+}

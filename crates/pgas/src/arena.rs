@@ -1,0 +1,378 @@
+//! Per-rank shared heaps (the emulated `upc_alloc`).
+//!
+//! Octree cells in the paper are allocated with `upc_alloc`, which places the
+//! allocation in the *calling* thread's shared segment and returns a
+//! pointer-to-shared.  [`SharedArena`] models exactly that: each rank has a
+//! growable region; [`SharedArena::alloc`] appends to the caller's region and
+//! returns a [`GlobalPtr`]; any rank may then read or write through the
+//! pointer, paying local or remote cost according to affinity.
+//!
+//! The arena also carries the non-blocking aggregated gather
+//! (`bupc_memget_vlist_async`, §5.5) because the paper uses it to fetch cells.
+
+use crate::ctx::{Ctx, Handle};
+use crate::gptr::GlobalPtr;
+use crate::sync_cell::SyncSlot;
+use parking_lot::RwLock;
+
+/// One rank's region of the arena.
+struct Region<T> {
+    slots: RwLock<Vec<SyncSlot<T>>>,
+}
+
+impl<T: Copy> Region<T> {
+    fn new() -> Self {
+        Region { slots: RwLock::new(Vec::new()) }
+    }
+
+    fn push(&self, value: T) -> usize {
+        let mut slots = self.slots.write();
+        slots.push(SyncSlot::new(value));
+        slots.len() - 1
+    }
+
+    fn get(&self, index: usize) -> T {
+        self.slots.read()[index].get()
+    }
+
+    fn set(&self, index: usize, value: T) {
+        self.slots.read()[index].set(value);
+    }
+
+    fn update<R>(&self, index: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        self.slots.read()[index].update(f)
+    }
+
+    fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    fn clear(&self) {
+        self.slots.write().clear();
+    }
+}
+
+/// A partitioned shared heap: one growable region per rank.
+pub struct SharedArena<T> {
+    regions: Vec<Region<T>>,
+}
+
+impl<T: Copy + Send + Sync> SharedArena<T> {
+    /// Creates an arena with one empty region per rank.
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks > 0, "SharedArena requires at least one rank");
+        SharedArena { regions: (0..ranks).map(|_| Region::new()).collect() }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of elements currently allocated in `rank`'s region.
+    pub fn len_of(&self, rank: usize) -> usize {
+        self.regions[rank].len()
+    }
+
+    /// Total number of elements across all regions.
+    pub fn total_len(&self) -> usize {
+        self.regions.iter().map(|r| r.len()).sum()
+    }
+
+    /// Allocates `value` in the calling rank's region (UPC `upc_alloc`) and
+    /// returns a pointer-to-shared to it.
+    pub fn alloc(&self, ctx: &Ctx, value: T) -> GlobalPtr {
+        ctx.charge_local_accesses(1);
+        let index = self.regions[ctx.rank()].push(value);
+        GlobalPtr::new(ctx.rank(), index)
+    }
+
+    /// Dereferences a pointer-to-shared (billed: remote transfer if the
+    /// target is remote, otherwise the shared-pointer overhead of a local
+    /// dereference).
+    pub fn read(&self, ctx: &Ctx, ptr: GlobalPtr) -> T {
+        assert!(!ptr.is_null(), "dereference of a null pointer-to-shared");
+        let owner = ptr.threadof();
+        if owner == ctx.rank() {
+            // Local, but still through a pointer-to-shared: pay the
+            // dereference surcharge the paper's casting optimization removes.
+            ctx.advance(ctx.machine().global_ptr_overhead);
+            ctx.charge_local_accesses(1);
+        } else {
+            ctx.bill_get(owner, std::mem::size_of::<T>());
+        }
+        self.regions[owner].get(ptr.indexof())
+    }
+
+    /// Reads through a pointer the caller has proven local and cast to a
+    /// local pointer (§5.2/§5.3 casting): only a plain local access is
+    /// charged.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the pointer is not local to the caller.
+    pub fn read_local(&self, ctx: &Ctx, ptr: GlobalPtr) -> T {
+        debug_assert!(ptr.is_local_to(ctx.rank()), "read_local through a remote pointer");
+        ctx.charge_local_accesses(1);
+        self.regions[ptr.threadof()].get(ptr.indexof())
+    }
+
+    /// Writes through a pointer-to-shared.
+    pub fn write(&self, ctx: &Ctx, ptr: GlobalPtr, value: T) {
+        assert!(!ptr.is_null(), "write through a null pointer-to-shared");
+        let owner = ptr.threadof();
+        if owner == ctx.rank() {
+            ctx.advance(ctx.machine().global_ptr_overhead);
+            ctx.charge_local_accesses(1);
+        } else {
+            ctx.bill_put(owner, std::mem::size_of::<T>());
+        }
+        self.regions[owner].set(ptr.indexof(), value);
+    }
+
+    /// Local-pointer write counterpart of [`SharedArena::read_local`].
+    pub fn write_local(&self, ctx: &Ctx, ptr: GlobalPtr, value: T) {
+        debug_assert!(ptr.is_local_to(ctx.rank()), "write_local through a remote pointer");
+        ctx.charge_local_accesses(1);
+        self.regions[ptr.threadof()].set(ptr.indexof(), value);
+    }
+
+    /// Atomic read-modify-write through a pointer-to-shared (used for the
+    /// commutative centre-of-mass merges of §5.4: "the update of the center
+    /// of mass is done atomically").
+    pub fn update<R>(&self, ctx: &Ctx, ptr: GlobalPtr, f: impl FnOnce(&mut T) -> R) -> R {
+        assert!(!ptr.is_null(), "update through a null pointer-to-shared");
+        let owner = ptr.threadof();
+        // A remote atomic update costs a round trip (get + put).
+        ctx.bill_get(owner, std::mem::size_of::<T>());
+        ctx.bill_put(owner, std::mem::size_of::<T>());
+        self.regions[owner].update(ptr.indexof(), f)
+    }
+
+    /// Blocking aggregated gather of the listed elements
+    /// (an `upc_memget`-per-source equivalent): one message per distinct
+    /// source rank.
+    pub fn get_vlist(&self, ctx: &Ctx, ptrs: &[GlobalPtr]) -> Vec<T> {
+        let handle = self.get_vlist_async(ctx, ptrs);
+        ctx.wait_sync(handle)
+    }
+
+    /// Non-blocking aggregated gather (the emulated
+    /// `bupc_memget_vlist_async`, §5.5): issues one message per distinct
+    /// source rank, charges only the CPU-side issue overhead now, and returns
+    /// a [`Handle`] whose payload becomes available once the simulated clock
+    /// reaches the transfer completion time ([`Ctx::wait_sync`] /
+    /// [`Ctx::try_sync`]).
+    pub fn get_vlist_async(&self, ctx: &Ctx, ptrs: &[GlobalPtr]) -> Handle<T> {
+        let elem = std::mem::size_of::<T>();
+        let me = ctx.rank();
+
+        // Group by source rank to count messages and bytes.
+        let mut sources: Vec<(usize, usize)> = Vec::new();
+        let mut remote_elements = 0u64;
+        let mut remote_bytes = 0u64;
+        for p in ptrs {
+            assert!(!p.is_null(), "vlist gather of a null pointer");
+            let owner = p.threadof();
+            match sources.iter_mut().find(|(o, _)| *o == owner) {
+                Some((_, bytes)) => *bytes += elem,
+                None => sources.push((owner, elem)),
+            }
+            if owner != me {
+                remote_elements += 1;
+                remote_bytes += elem as u64;
+            }
+        }
+
+        // CPU-side issue cost now; network completion later.
+        ctx.charge_issue_overhead(sources.len().max(1));
+        // The §5.5 source statistic counts the *remote* threads a gather
+        // touches; purely local gathers generate no communication and are
+        // not counted as requests.
+        let remote_sources = sources.iter().filter(|&&(o, _)| o != me).count();
+        if remote_sources > 0 {
+            ctx.record_vlist(remote_sources, remote_elements, remote_bytes);
+        }
+        let complete_at = ctx.now() + ctx.gather_cost(&sources);
+
+        let data = ptrs.iter().map(|p| self.regions[p.threadof()].get(p.indexof())).collect();
+        Handle { data, complete_at }
+    }
+
+    /// Clears every region.  Intended to be called by a single rank between
+    /// time steps (with barriers around it), mirroring how the paper's code
+    /// resets its cell arrays each step.
+    pub fn clear(&self, ctx: &Ctx) {
+        ctx.charge_local_accesses(1);
+        for region in &self.regions {
+            region.clear();
+        }
+    }
+
+    /// Unbilled read for drivers and tests.
+    pub fn read_raw(&self, ptr: GlobalPtr) -> T {
+        self.regions[ptr.threadof()].get(ptr.indexof())
+    }
+
+    /// Unbilled allocation into an explicit rank's region, for test setup and
+    /// drivers only.
+    pub fn alloc_raw(&self, rank: usize, value: T) -> GlobalPtr {
+        GlobalPtr::new(rank, self.regions[rank].push(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn alloc_has_affinity_to_caller() {
+        let rt = Runtime::new(Machine::test_cluster(3));
+        let arena: SharedArena<u64> = SharedArena::new(3);
+        rt.run(|ctx| {
+            let p = arena.alloc(ctx, ctx.rank() as u64 * 7);
+            assert_eq!(p.threadof(), ctx.rank());
+            assert_eq!(arena.read_local(ctx, p), ctx.rank() as u64 * 7);
+        });
+        assert_eq!(arena.total_len(), 3);
+    }
+
+    #[test]
+    fn remote_read_costs_more_than_local() {
+        let rt = Runtime::new(Machine::test_cluster(2));
+        let arena: SharedArena<u64> = SharedArena::new(2);
+        let report = rt.run(|ctx| {
+            let p = arena.alloc(ctx, ctx.rank() as u64);
+            let all = ctx.allgather(p);
+            let t0 = ctx.now();
+            let _ = arena.read(ctx, all[ctx.rank()]); // local via shared ptr
+            let local_cost = ctx.now() - t0;
+            let t1 = ctx.now();
+            let _ = arena.read(ctx, all[1 - ctx.rank()]); // remote
+            let remote_cost = ctx.now() - t1;
+            (local_cost, remote_cost)
+        });
+        for r in &report.ranks {
+            let (local, remote) = r.result;
+            assert!(remote > 10.0 * local, "remote={remote} local={local}");
+        }
+    }
+
+    #[test]
+    fn cast_local_read_is_cheaper_than_shared_ptr_read() {
+        let rt = Runtime::new(Machine::test_cluster(1));
+        let arena: SharedArena<u64> = SharedArena::new(1);
+        let report = rt.run(|ctx| {
+            let p = arena.alloc(ctx, 5);
+            let t0 = ctx.now();
+            for _ in 0..1000 {
+                let _ = arena.read(ctx, p);
+            }
+            let shared_cost = ctx.now() - t0;
+            let t1 = ctx.now();
+            for _ in 0..1000 {
+                let _ = arena.read_local(ctx, p);
+            }
+            let local_cost = ctx.now() - t1;
+            (shared_cost, local_cost)
+        });
+        let (shared, local) = report.ranks[0].result;
+        assert!(shared > local, "shared-pointer deref {shared} must exceed cast-local {local}");
+    }
+
+    #[test]
+    fn write_and_update_through_pointers() {
+        let rt = Runtime::new(Machine::test_cluster(2));
+        let arena: SharedArena<u64> = SharedArena::new(2);
+        rt.run(|ctx| {
+            let p = if ctx.rank() == 0 { arena.alloc(ctx, 1) } else { GlobalPtr::NULL };
+            let p = ctx.broadcast(0, p);
+            ctx.barrier();
+            // Both ranks add 10 atomically.
+            arena.update(ctx, p, |v| *v += 10);
+            ctx.barrier();
+            assert_eq!(arena.read(ctx, p), 21);
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                arena.write(ctx, p, 100);
+            }
+            ctx.barrier();
+            assert_eq!(arena.read(ctx, p), 100);
+        });
+    }
+
+    #[test]
+    fn vlist_async_counts_sources_and_hides_latency() {
+        let rt = Runtime::new(Machine::test_cluster(4));
+        let arena: SharedArena<u64> = SharedArena::new(4);
+        let report = rt.run(|ctx| {
+            let mine = arena.alloc(ctx, ctx.rank() as u64 + 100);
+            let all = ctx.allgather(mine);
+            ctx.barrier();
+
+            // Fetch every other rank's element with one aggregated request.
+            let remote: Vec<GlobalPtr> =
+                all.iter().copied().filter(|p| !p.is_local_to(ctx.rank())).collect();
+            let t0 = ctx.now();
+            let handle = arena.get_vlist_async(ctx, &remote);
+            let issue_cost = ctx.now() - t0;
+            // Overlap: do some compute while the gather is in flight.
+            ctx.charge_interactions(1000);
+            let values = ctx.wait_sync(handle);
+            let snapshot = ctx.stats_snapshot();
+            (values, issue_cost, snapshot.vlist_requests, snapshot.vlist_single_source)
+        });
+        for (rank, r) in report.ranks.iter().enumerate() {
+            let (values, issue_cost, requests, single) = &r.result;
+            let expected: Vec<u64> =
+                (0..4).filter(|&s| s != rank).map(|s| s as u64 + 100).collect();
+            assert_eq!(values, &expected);
+            // Issuing is far cheaper than a blocking remote latency.
+            assert!(*issue_cost < 1e-5);
+            assert_eq!(*requests, 1);
+            assert_eq!(*single, 0, "three distinct sources -> not single-source");
+        }
+    }
+
+    #[test]
+    fn vlist_single_source_statistic() {
+        let rt = Runtime::new(Machine::test_cluster(2));
+        let arena: SharedArena<u64> = SharedArena::new(2);
+        let report = rt.run(|ctx| {
+            let mine: Vec<GlobalPtr> = (0..4).map(|i| arena.alloc(ctx, i)).collect();
+            let all = ctx.allgather(mine);
+            ctx.barrier();
+            let other = &all[1 - ctx.rank()];
+            let _ = arena.get_vlist(ctx, other);
+            ctx.stats_snapshot().vlist_single_source_fraction()
+        });
+        assert!(report.ranks.iter().all(|r| r.result == Some(1.0)));
+    }
+
+    #[test]
+    fn clear_resets_regions() {
+        let rt = Runtime::new(Machine::test_cluster(2));
+        let arena: SharedArena<u32> = SharedArena::new(2);
+        rt.run(|ctx| {
+            arena.alloc(ctx, 1);
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                arena.clear(ctx);
+            }
+            ctx.barrier();
+            assert_eq!(arena.len_of(ctx.rank()), 0);
+        });
+        assert_eq!(arena.total_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "null pointer")]
+    fn null_deref_panics() {
+        let rt = Runtime::new(Machine::test_cluster(1));
+        let arena: SharedArena<u8> = SharedArena::new(1);
+        rt.run(|ctx| {
+            let _ = arena.read(ctx, GlobalPtr::NULL);
+        });
+    }
+}

@@ -1,0 +1,272 @@
+//! Collective operations.
+//!
+//! The paper's scalable tree-building algorithm (§6) relies on collectives
+//! that UPC provides either natively or through extensions: a
+//! reduce-and-broadcast of per-cell costs ("vector reduction"), an
+//! all-to-all exchange of bodies, and ordinary scalar broadcasts.  This
+//! module implements them over the runtime's collective board, with
+//! tree-based (log₂ P) cost charging.
+//!
+//! All collectives must be called by **every rank** and in the **same
+//! program order** on every rank (exactly like UPC collectives); the
+//! sequence number kept by each [`Ctx`] pairs up the matching calls.
+
+use crate::ctx::Ctx;
+
+impl<'w> Ctx<'w> {
+    /// Deposits `value` on the collective board and returns the vector of
+    /// every rank's deposit, in rank order.  This is the building block for
+    /// the other collectives (an allgather).
+    pub fn allgather<T>(&self, value: T) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+    {
+        let seq = self.next_collective_seq();
+        let world = self.world();
+        let ranks = self.ranks();
+
+        // Deposit.
+        {
+            let mut board = world.board.lock();
+            let entry = board
+                .entry(seq)
+                .or_insert_with(|| Box::new(vec![None::<T>; ranks]) as Box<dyn std::any::Any + Send>);
+            let slots = entry.downcast_mut::<Vec<Option<T>>>().expect("collective type mismatch");
+            slots[self.rank()] = Some(value);
+        }
+        world.host_barrier();
+
+        // Collect.
+        let gathered: Vec<T> = {
+            let board = world.board.lock();
+            let entry = board.get(&seq).expect("collective board entry missing");
+            let slots = entry.downcast_ref::<Vec<Option<T>>>().expect("collective type mismatch");
+            slots.iter().map(|s| s.clone().expect("rank missed collective")).collect()
+        };
+        world.host_barrier();
+
+        // Cleanup (rank 0 removes the entry once everyone has read it).
+        if self.rank() == 0 {
+            world.board.lock().remove(&seq);
+        }
+
+        // Simulated cost: align clocks (it is a synchronizing operation) and
+        // charge a tree-based gather of the payload.
+        let max = world.align_clocks(self.rank(), self.now());
+        let waited = self.advance_to(max);
+        let bytes = std::mem::size_of::<T>();
+        let cost = self.machine().collective_cost(bytes * ranks);
+        self.advance(cost);
+        self.with_stats(|s| {
+            s.sync_seconds += waited;
+            s.comm_seconds += cost;
+            s.messages += 1;
+        });
+        gathered
+    }
+
+    /// Broadcast from `root`: `value` is taken from the root rank and
+    /// returned on every rank.
+    pub fn broadcast<T>(&self, root: usize, value: T) -> T
+    where
+        T: Clone + Send + 'static,
+    {
+        let all = self.allgather(value);
+        all[root].clone()
+    }
+
+    /// Sum-allreduce of a scalar.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.allgather(value).into_iter().sum()
+    }
+
+    /// Max-allreduce of a scalar.
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        self.allgather(value).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Min-allreduce of a scalar.
+    pub fn allreduce_min(&self, value: f64) -> f64 {
+        self.allgather(value).into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Element-wise sum-allreduce of a vector (the paper's "vector
+    /// reduction", §6.1).  All ranks must pass vectors of the same length.
+    ///
+    /// The cost is that of **one** collective over the whole vector — this is
+    /// precisely the optimization that Figure 11 contrasts with Figure 10
+    /// (one collective per *cell* instead of one per *level*).
+    pub fn allreduce_vec_sum(&self, values: &[f64]) -> Vec<f64> {
+        let all = self.allgather(values.to_vec());
+        let len = values.len();
+        let mut out = vec![0.0; len];
+        for contribution in &all {
+            assert_eq!(contribution.len(), len, "allreduce_vec_sum length mismatch across ranks");
+            for (o, v) in out.iter_mut().zip(contribution) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// All-to-all personalized exchange: `outgoing[d]` is the data this rank
+    /// sends to rank `d`; the return value is, for each source rank `s`, the
+    /// data that rank `s` sent to this rank.
+    ///
+    /// Cost model: every rank pays latency per non-empty destination plus the
+    /// byte cost of everything it sends and receives (the §6 body exchange).
+    pub fn exchange<T>(&self, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>>
+    where
+        T: Clone + Send + 'static,
+    {
+        assert_eq!(outgoing.len(), self.ranks(), "exchange requires one bucket per destination rank");
+        let elem_bytes = std::mem::size_of::<T>();
+
+        // Charge the send side before the gather.
+        let mut send_cost = 0.0;
+        let mut sent_bytes = 0u64;
+        let mut sent_msgs = 0u64;
+        for (dest, bucket) in outgoing.iter().enumerate() {
+            if dest == self.rank() || bucket.is_empty() {
+                continue;
+            }
+            let bytes = bucket.len() * elem_bytes;
+            send_cost += self.machine().transfer_cost(self.rank(), dest, bytes);
+            sent_bytes += bytes as u64;
+            sent_msgs += 1;
+        }
+        self.advance(send_cost);
+        self.with_stats(|s| {
+            s.comm_seconds += send_cost;
+            s.bytes_out += sent_bytes;
+            s.messages += sent_msgs;
+        });
+
+        let all: Vec<Vec<Vec<T>>> = self.allgather(outgoing);
+
+        // Collect the column addressed to this rank and charge the receive
+        // side (bytes only; the latency was paid by the senders).
+        let mut received = Vec::with_capacity(self.ranks());
+        let mut recv_bytes = 0u64;
+        for (source, buckets) in all.into_iter().enumerate() {
+            let bucket = buckets.into_iter().nth(self.rank()).expect("exchange bucket missing");
+            if source != self.rank() {
+                recv_bytes += (bucket.len() * elem_bytes) as u64;
+            }
+            received.push(bucket);
+        }
+        let recv_cost = recv_bytes as f64 * self.machine().remote_byte_cost;
+        self.advance(recv_cost);
+        self.with_stats(|s| {
+            s.comm_seconds += recv_cost;
+            s.bytes_in += recv_bytes;
+        });
+        received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::Machine;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let rt = Runtime::new(Machine::test_cluster(5));
+        let report = rt.run(|ctx| ctx.allgather(ctx.rank() * 10));
+        for r in &report.ranks {
+            assert_eq!(r.result, vec![0, 10, 20, 30, 40]);
+        }
+    }
+
+    #[test]
+    fn broadcast_takes_root_value() {
+        let rt = Runtime::new(Machine::test_cluster(4));
+        let report = rt.run(|ctx| {
+            let mine = if ctx.rank() == 2 { 99 } else { ctx.rank() as i32 };
+            ctx.broadcast(2, mine)
+        });
+        assert!(report.ranks.iter().all(|r| r.result == 99));
+    }
+
+    #[test]
+    fn allreduce_sum_and_extrema() {
+        let rt = Runtime::new(Machine::test_cluster(4));
+        let report = rt.run(|ctx| {
+            let sum = ctx.allreduce_sum(ctx.rank() as f64);
+            let max = ctx.allreduce_max(ctx.rank() as f64);
+            let min = ctx.allreduce_min(ctx.rank() as f64);
+            (sum, max, min)
+        });
+        for r in &report.ranks {
+            assert_eq!(r.result, (6.0, 3.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn vector_reduction_sums_elementwise() {
+        let rt = Runtime::new(Machine::test_cluster(3));
+        let report = rt.run(|ctx| {
+            let mine = vec![ctx.rank() as f64, 1.0, 2.0 * ctx.rank() as f64];
+            ctx.allreduce_vec_sum(&mine)
+        });
+        for r in &report.ranks {
+            assert_eq!(r.result, vec![3.0, 3.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn vector_reduction_is_cheaper_than_many_scalars() {
+        // One 1024-element vector reduction must cost far less than 1024
+        // scalar reductions — the Figure 10 vs Figure 11 effect.
+        let rt = Runtime::new(Machine::test_cluster(8));
+        let vec_time = rt
+            .run(|ctx| {
+                let v = vec![1.0; 1024];
+                ctx.allreduce_vec_sum(&v);
+                ctx.now()
+            })
+            .makespan();
+        let rt = Runtime::new(Machine::test_cluster(8));
+        let scalar_time = rt
+            .run(|ctx| {
+                for _ in 0..1024 {
+                    ctx.allreduce_sum(1.0);
+                }
+                ctx.now()
+            })
+            .makespan();
+        assert!(scalar_time > 20.0 * vec_time, "scalar {scalar_time} vs vector {vec_time}");
+    }
+
+    #[test]
+    fn exchange_routes_data_to_destinations() {
+        let rt = Runtime::new(Machine::test_cluster(3));
+        let report = rt.run(|ctx| {
+            // Rank r sends the value 100*r + d to destination d.
+            let outgoing: Vec<Vec<u32>> =
+                (0..ctx.ranks()).map(|d| vec![(100 * ctx.rank() + d) as u32]).collect();
+            ctx.exchange(outgoing)
+        });
+        for (rank, r) in report.ranks.iter().enumerate() {
+            let got: Vec<u32> = r.result.iter().flatten().copied().collect();
+            let expected: Vec<u32> = (0..3).map(|s| (100 * s + rank) as u32).collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn exchange_bills_bytes() {
+        let rt = Runtime::new(Machine::test_cluster(2));
+        let report = rt.run(|ctx| {
+            let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); ctx.ranks()];
+            outgoing[1 - ctx.rank()] = vec![0u64; 1000];
+            ctx.exchange(outgoing);
+            ctx.stats_snapshot()
+        });
+        for r in &report.ranks {
+            assert_eq!(r.result.bytes_out, 8000);
+            assert_eq!(r.result.bytes_in, 8000);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! The per-rank execution context: simulated clock, cost charging, barriers
+//! and non-blocking communication handles.
+//!
+//! A [`Ctx`] is the emulated equivalent of "being a UPC thread": it knows its
+//! rank (`MYTHREAD`), the total number of ranks (`THREADS`), and it owns the
+//! simulated clock and statistics for that rank.  All PGAS containers take a
+//! `&Ctx` on every operation so that the operation can be billed to the right
+//! rank.
+
+use crate::machine::Machine;
+use crate::runtime::World;
+use crate::stats::RankStats;
+use std::cell::{Cell, RefCell};
+
+/// Handle returned by non-blocking gathers
+/// (the emulated `bupc_memget_vlist_async`).
+///
+/// The data is materialized eagerly (the source cells are read-only during
+/// the phase that issues gathers, exactly as §5.3/§5.5 of the paper argue),
+/// but it only becomes *available to the simulated program* once the
+/// simulated clock passes `complete_at` — which is what
+/// [`Ctx::wait_sync`] / [`Ctx::try_sync`] enforce.  Compute charged between
+/// issue and completion therefore genuinely hides the transfer latency.
+#[derive(Debug)]
+pub struct Handle<T> {
+    pub(crate) data: Vec<T>,
+    pub(crate) complete_at: f64,
+}
+
+impl<T> Handle<T> {
+    /// Simulated completion time of the transfer.
+    pub fn complete_at(&self) -> f64 {
+        self.complete_at
+    }
+
+    /// Number of elements carried by this handle.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the handle carries no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Per-rank execution context (the emulated UPC thread).
+pub struct Ctx<'w> {
+    rank: usize,
+    world: &'w World,
+    clock: Cell<f64>,
+    stats: RefCell<RankStats>,
+    coll_seq: Cell<u64>,
+    epoch: Cell<u64>,
+}
+
+impl<'w> Ctx<'w> {
+    pub(crate) fn new(rank: usize, world: &'w World) -> Self {
+        Ctx {
+            rank,
+            world,
+            clock: Cell::new(0.0),
+            stats: RefCell::new(RankStats::default()),
+            coll_seq: Cell::new(0),
+            epoch: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// Consumes the context, returning the final clock and statistics.
+    pub(crate) fn into_summary(self) -> (f64, RankStats) {
+        (self.clock.get(), self.stats.into_inner())
+    }
+
+    /// This rank's id (UPC `MYTHREAD`).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks (UPC `THREADS`).
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.world.ranks
+    }
+
+    /// The machine description (cost model) in effect.
+    #[inline]
+    pub fn machine(&self) -> &Machine {
+        &self.world.machine
+    }
+
+    /// Current simulated time of this rank, in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock.get()
+    }
+
+    /// Runs a closure with mutable access to this rank's statistics.
+    pub(crate) fn with_stats<R>(&self, f: impl FnOnce(&mut RankStats) -> R) -> R {
+        f(&mut self.stats.borrow_mut())
+    }
+
+    /// A snapshot of this rank's statistics so far.
+    pub fn stats_snapshot(&self) -> RankStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Advances the clock unconditionally (used internally).
+    #[inline]
+    pub(crate) fn advance(&self, dt: f64) {
+        debug_assert!(dt >= 0.0, "cannot advance the clock backwards");
+        self.clock.set(self.clock.get() + dt);
+    }
+
+    /// Sets the clock to at least `t` (used when waiting on async handles and
+    /// at barriers).
+    #[inline]
+    pub(crate) fn advance_to(&self, t: f64) -> f64 {
+        let waited = (t - self.clock.get()).max(0.0);
+        if waited > 0.0 {
+            self.clock.set(t);
+        }
+        waited
+    }
+
+    // ----------------------------------------------------------------------
+    // Compute charging
+    // ----------------------------------------------------------------------
+
+    /// Charges `seconds` of raw compute time (scaled by the pthreads runtime
+    /// overhead factor of the machine).
+    pub fn charge_compute(&self, seconds: f64) {
+        let t = seconds * self.machine().compute_factor();
+        self.advance(t);
+        self.with_stats(|s| s.compute_seconds += t);
+    }
+
+    /// Charges `n` body–cell interactions computed through *local* pointers.
+    pub fn charge_interactions(&self, n: u64) {
+        let t = n as f64 * self.machine().interaction_cost * self.machine().compute_factor();
+        self.advance(t);
+        self.with_stats(|s| {
+            s.interactions += n;
+            s.compute_seconds += t;
+        });
+    }
+
+    /// Charges `n` body–cell interactions computed through pointers-to-shared
+    /// (the un-cast baseline of §4; each interaction pays the dereference
+    /// surcharge).
+    pub fn charge_interactions_shared_ptr(&self, n: u64) {
+        let m = self.machine();
+        let t = n as f64 * (m.interaction_cost + m.global_ptr_overhead) * m.compute_factor();
+        self.advance(t);
+        self.with_stats(|s| {
+            s.interactions += n;
+            s.compute_seconds += t;
+        });
+    }
+
+    /// Charges `n` elementary tree operations (insertion descents, merge
+    /// steps, subspace splits, …).
+    pub fn charge_tree_ops(&self, n: u64) {
+        let t = n as f64 * self.machine().treeop_cost * self.machine().compute_factor();
+        self.advance(t);
+        self.with_stats(|s| {
+            s.tree_ops += n;
+            s.compute_seconds += t;
+        });
+    }
+
+    /// Charges `n` plain local memory accesses.
+    pub fn charge_local_accesses(&self, n: u64) {
+        let t = n as f64 * self.machine().local_access_cost * self.machine().compute_factor();
+        self.advance(t);
+        self.with_stats(|s| {
+            s.local_accesses += n;
+            s.compute_seconds += t;
+        });
+    }
+
+    // ----------------------------------------------------------------------
+    // Communication charging (used by the shared containers)
+    // ----------------------------------------------------------------------
+
+    /// Charges a fine-grained read of `bytes` bytes owned by `owner`.
+    pub(crate) fn bill_get(&self, owner: usize, bytes: usize) {
+        let m = self.machine();
+        let cost = m.transfer_cost(self.rank, owner, bytes);
+        self.advance(cost);
+        self.with_stats(|s| {
+            s.comm_seconds += cost;
+            if owner == self.rank {
+                s.local_accesses += 1;
+            } else {
+                s.remote_gets += 1;
+                s.messages += 1;
+                s.bytes_in += bytes as u64;
+            }
+        });
+    }
+
+    /// Charges a fine-grained write of `bytes` bytes owned by `owner`.
+    pub(crate) fn bill_put(&self, owner: usize, bytes: usize) {
+        let m = self.machine();
+        let cost = m.transfer_cost(self.rank, owner, bytes);
+        self.advance(cost);
+        self.with_stats(|s| {
+            s.comm_seconds += cost;
+            if owner == self.rank {
+                s.local_accesses += 1;
+            } else {
+                s.remote_puts += 1;
+                s.messages += 1;
+                s.bytes_out += bytes as u64;
+            }
+        });
+    }
+
+    /// Charges a bulk get of `bytes` bytes from `owner` in a single message
+    /// and returns its cost.
+    pub(crate) fn bill_bulk_get(&self, owner: usize, bytes: usize, elements: u64) -> f64 {
+        let m = self.machine();
+        let cost = m.transfer_cost(self.rank, owner, bytes);
+        self.advance(cost);
+        self.with_stats(|s| {
+            s.comm_seconds += cost;
+            if owner == self.rank {
+                s.local_accesses += elements;
+            } else {
+                s.messages += 1;
+                s.remote_gets += elements;
+                s.bytes_in += bytes as u64;
+            }
+        });
+        cost
+    }
+
+    /// Charges a bulk put of `bytes` bytes to `owner` in a single message.
+    pub(crate) fn bill_bulk_put(&self, owner: usize, bytes: usize, elements: u64) {
+        let m = self.machine();
+        let cost = m.transfer_cost(self.rank, owner, bytes);
+        self.advance(cost);
+        self.with_stats(|s| {
+            s.comm_seconds += cost;
+            if owner == self.rank {
+                s.local_accesses += elements;
+            } else {
+                s.messages += 1;
+                s.remote_puts += elements;
+                s.bytes_out += bytes as u64;
+            }
+        });
+    }
+
+    /// Computes (without charging) the pure network cost of a gather of
+    /// `bytes_per_source` from the given sources, assuming the messages
+    /// overlap on the network.  Used by the non-blocking gather.
+    pub(crate) fn gather_cost(&self, sources: &[(usize, usize)]) -> f64 {
+        let m = self.machine();
+        sources
+            .iter()
+            .map(|&(owner, bytes)| m.transfer_cost(self.rank, owner, bytes))
+            .fold(0.0, f64::max)
+    }
+
+    /// Records the bookkeeping for an aggregated (vlist) request.
+    pub(crate) fn record_vlist(&self, num_sources: usize, remote_elements: u64, bytes: u64) {
+        self.with_stats(|s| {
+            s.vlist_requests += 1;
+            if num_sources <= 1 {
+                s.vlist_single_source += 1;
+            }
+            s.messages += num_sources as u64;
+            s.remote_gets += remote_elements;
+            s.bytes_in += bytes;
+        });
+    }
+
+    /// Charges the CPU-side cost of issuing `messages` one-sided operations.
+    pub(crate) fn charge_issue_overhead(&self, messages: usize) {
+        let t = messages as f64 * self.machine().sw_overhead;
+        self.advance(t);
+        self.with_stats(|s| s.comm_seconds += t);
+    }
+
+    /// Charges a global lock acquisition on a lock owned by `owner`.
+    pub(crate) fn bill_lock(&self, owner: usize) {
+        let m = self.machine();
+        // Acquire + release round trips to the lock's home plus the runtime
+        // overhead of the lock implementation.
+        let cost = 2.0 * m.latency(self.rank, owner) + m.lock_overhead;
+        self.advance(cost);
+        self.with_stats(|s| {
+            s.comm_seconds += cost;
+            s.lock_acquires += 1;
+            if owner != self.rank {
+                s.messages += 2;
+            }
+        });
+    }
+
+    // ----------------------------------------------------------------------
+    // Synchronization
+    // ----------------------------------------------------------------------
+
+    /// UPC barrier: blocks (for real) until every rank arrives and aligns the
+    /// simulated clocks to the latest arrival, plus the barrier cost.
+    ///
+    /// Barriers also advance the rank's *synchronization epoch*
+    /// ([`Ctx::epoch`]), which the software-caching layer
+    /// ([`crate::swcache`]) uses as its invalidation point.
+    pub fn barrier(&self) {
+        let max = self.world.align_clocks(self.rank, self.clock.get());
+        let waited = self.advance_to(max);
+        let cost = self.machine().barrier_cost();
+        self.advance(cost);
+        self.epoch.set(self.epoch.get() + 1);
+        self.with_stats(|s| s.sync_seconds += waited + cost);
+    }
+
+    /// The rank's synchronization epoch: the number of barriers this rank has
+    /// passed.  Software caches of shared data are only coherent within one
+    /// epoch (MuPC-style caching, §8 of the paper, writes back and
+    /// invalidates at every synchronization point).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Waits for a non-blocking transfer to complete
+    /// (the emulated `bupc_waitsync`), returning its payload.
+    pub fn wait_sync<T>(&self, handle: Handle<T>) -> Vec<T> {
+        let waited = self.advance_to(handle.complete_at);
+        self.with_stats(|s| s.comm_seconds += waited);
+        handle.data
+    }
+
+    /// Polls a non-blocking transfer (the emulated `bupc_trysync`): returns
+    /// the payload if the transfer already completed, otherwise hands the
+    /// handle back after charging a small polling cost.
+    pub fn try_sync<T>(&self, handle: Handle<T>) -> Result<Vec<T>, Handle<T>> {
+        self.charge_issue_overhead(1);
+        if handle.complete_at <= self.now() {
+            Ok(handle.data)
+        } else {
+            Err(handle)
+        }
+    }
+
+    /// Next collective sequence number (all ranks call collectives in the
+    /// same order, so this identifies the matching operation across ranks).
+    pub(crate) fn next_collective_seq(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn compute_charges_scale_with_pthreads_overhead() {
+        let process = Runtime::new(Machine::power5(2, 1, false));
+        let t_process = process.run(|ctx| {
+            ctx.charge_interactions(1_000_000);
+            ctx.now()
+        });
+        let pthread = Runtime::new(Machine::power5(2, 1, true));
+        let t_pthread = pthread.run(|ctx| {
+            ctx.charge_interactions(1_000_000);
+            ctx.now()
+        });
+        assert!(t_pthread.ranks[0].result > 1.5 * t_process.ranks[0].result);
+    }
+
+    #[test]
+    fn shared_ptr_interactions_cost_more() {
+        let rt = Runtime::new(Machine::test_cluster(1));
+        let report = rt.run(|ctx| {
+            ctx.charge_interactions(1000);
+            let local = ctx.now();
+            ctx.charge_interactions_shared_ptr(1000);
+            (local, ctx.now() - local)
+        });
+        let (local, shared) = report.ranks[0].result;
+        assert!(shared > local);
+    }
+
+    #[test]
+    fn wait_sync_advances_clock_to_completion() {
+        let rt = Runtime::new(Machine::test_cluster(2));
+        let report = rt.run(|ctx| {
+            let handle = Handle { data: vec![1u8, 2, 3], complete_at: 5.0 };
+            let data = ctx.wait_sync(handle);
+            assert_eq!(data, vec![1, 2, 3]);
+            ctx.now()
+        });
+        assert!(report.ranks.iter().all(|r| r.result >= 5.0));
+    }
+
+    #[test]
+    fn try_sync_before_completion_returns_handle() {
+        let rt = Runtime::new(Machine::test_cluster(1));
+        rt.run(|ctx| {
+            let handle = Handle { data: vec![7u32], complete_at: 1.0 };
+            let back = ctx.try_sync(handle);
+            assert!(back.is_err());
+            ctx.charge_compute(2.0);
+            let handle = back.unwrap_err();
+            let data = ctx.try_sync(handle).expect("should be complete now");
+            assert_eq!(data, vec![7]);
+        });
+    }
+
+    #[test]
+    fn lock_billing_counts_acquisitions() {
+        let rt = Runtime::new(Machine::test_cluster(2));
+        let report = rt.run(|ctx| {
+            ctx.bill_lock(0);
+            ctx.bill_lock(1);
+            ctx.stats_snapshot().lock_acquires
+        });
+        assert!(report.ranks.iter().all(|r| r.result == 2));
+    }
+
+    #[test]
+    fn remote_get_is_billed_more_than_local() {
+        let rt = Runtime::new(Machine::test_cluster(2));
+        let report = rt.run(|ctx| {
+            ctx.bill_get(ctx.rank(), 64);
+            let local = ctx.now();
+            ctx.bill_get((ctx.rank() + 1) % 2, 64);
+            (local, ctx.now() - local)
+        });
+        for r in &report.ranks {
+            let (local, remote) = r.result;
+            assert!(remote > 10.0 * local, "remote {remote} should dwarf local {local}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Global pointers (UPC pointer-to-shared).
+//!
+//! A UPC pointer-to-shared carries the owning thread and the address within
+//! that thread's shared segment.  The emulated equivalent is a small `Copy`
+//! struct addressing an element of a [`crate::SharedArena`]: the rank that
+//! allocated the element plus its index in that rank's region.
+//!
+//! Exactly as in UPC, dereferencing a `GlobalPtr` is more expensive than a
+//! local pointer even when it points to local memory (the cost model charges
+//! [`crate::Machine::global_ptr_overhead`]), which is what makes the paper's
+//! pointer-casting optimizations observable here.
+
+use serde::{Deserialize, Serialize};
+
+/// A pointer into the partitioned global address space.
+///
+/// `GlobalPtr::NULL` plays the role of a null pointer-to-shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalPtr {
+    /// Rank whose shared segment holds the element.
+    pub thread: u32,
+    /// Index of the element within that rank's region (`u32::MAX` = null).
+    pub index: u32,
+}
+
+impl GlobalPtr {
+    /// The null pointer-to-shared.
+    pub const NULL: GlobalPtr = GlobalPtr { thread: u32::MAX, index: u32::MAX };
+
+    /// Creates a pointer to element `index` of `thread`'s region.
+    #[inline]
+    pub fn new(thread: usize, index: usize) -> Self {
+        GlobalPtr { thread: thread as u32, index: index as u32 }
+    }
+
+    /// `true` for the null pointer.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == GlobalPtr::NULL
+    }
+
+    /// The owning rank (UPC `upc_threadof`). Panics on null.
+    #[inline]
+    pub fn threadof(self) -> usize {
+        debug_assert!(!self.is_null(), "threadof(NULL)");
+        self.thread as usize
+    }
+
+    /// The index within the owner's region. Panics on null in debug builds.
+    #[inline]
+    pub fn indexof(self) -> usize {
+        debug_assert!(!self.is_null(), "indexof(NULL)");
+        self.index as usize
+    }
+
+    /// `true` when this pointer refers to memory with affinity to `rank`
+    /// (i.e. casting it to a local pointer is legal, per §5.2 of the paper).
+    #[inline]
+    pub fn is_local_to(self, rank: usize) -> bool {
+        !self.is_null() && self.thread as usize == rank
+    }
+}
+
+impl Default for GlobalPtr {
+    fn default() -> Self {
+        GlobalPtr::NULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_behaviour() {
+        assert!(GlobalPtr::NULL.is_null());
+        assert!(GlobalPtr::default().is_null());
+        assert!(!GlobalPtr::new(0, 0).is_null());
+    }
+
+    #[test]
+    fn accessors() {
+        let p = GlobalPtr::new(3, 17);
+        assert_eq!(p.threadof(), 3);
+        assert_eq!(p.indexof(), 17);
+        assert!(p.is_local_to(3));
+        assert!(!p.is_local_to(2));
+        assert!(!GlobalPtr::NULL.is_local_to(0));
+    }
+
+    #[test]
+    fn equality_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(GlobalPtr::new(1, 2));
+        set.insert(GlobalPtr::new(1, 2));
+        set.insert(GlobalPtr::new(2, 1));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! # pgas — a UPC-style Partitioned Global Address Space emulator
+//!
+//! The paper this workspace reproduces ("Optimizing the Barnes-Hut Algorithm
+//! in UPC", SC 2011) evaluates its optimizations on an IBM Power5 cluster
+//! using the Berkeley UPC compiler and the GASNet/LAPI runtime.  None of that
+//! is available here, so this crate provides the closest synthetic
+//! equivalent: an **emulated PGAS runtime** whose API mirrors the UPC
+//! features the paper's code relies on, layered over plain Rust threads and a
+//! **deterministic communication cost model**.
+//!
+//! The key idea: algorithms built on this crate run *for real* (they compute
+//! real forces over real shared data), but every access to shared data is
+//! classified by affinity (local / same node / remote node) and charged to a
+//! per-rank **simulated clock**.  Phase times reported by the `bh` crate are
+//! simulated seconds, which makes the scaling experiments independent of how
+//! many physical cores execute the emulation — exactly what is needed to
+//! reproduce the *shape* of the paper's tables on a single host.
+//!
+//! ## Feature map (UPC → this crate)
+//!
+//! | UPC / Berkeley UPC                      | here |
+//! |-----------------------------------------|------|
+//! | `THREADS`, `MYTHREAD`                   | [`Ctx::ranks`], [`Ctx::rank`] |
+//! | shared arrays (block-distributed)       | [`SharedVec`] |
+//! | `upc_alloc` (per-thread shared heap)    | [`SharedArena`] |
+//! | pointer-to-shared                       | [`GlobalPtr`] |
+//! | `upc_memget` / `upc_memput`             | [`SharedVec::get_block`] / [`SharedVec::put_block`] |
+//! | `upc_memget_ilist`                      | [`SharedVec::get_ilist`] |
+//! | `bupc_memget_vlist_async` + `waitsync`  | [`SharedArena::get_vlist_async`], [`Handle`] |
+//! | `upc_lock_t`                            | [`GlobalLock`] |
+//! | `upc_barrier`                           | [`Ctx::barrier`] |
+//! | collectives (reduce, broadcast, …)      | [`Ctx::allreduce_sum`], [`Ctx::allreduce_vec_sum`], [`Ctx::broadcast`], [`Ctx::exchange`] |
+//! | MPI-style two-sided messages (for the §9 comparator) | [`Ctx::send`], [`Ctx::recv`], [`Ctx::send_recv`] ([`msg`]) |
+//! | MuPC-style software scalar caching (§8) | [`swcache::CachedScalar`] |
+//!
+//! ## Safety model
+//!
+//! Like UPC's relaxed shared accesses, [`SharedVec`] and [`SharedArena`] give
+//! every rank read/write access to every element with no per-element locking.
+//! The emulator forbids torn reads at the type level by only exposing
+//! whole-value copies (`T: Copy`), but it is the application's responsibility
+//! to avoid logically conflicting writes — which the Barnes-Hut phases do by
+//! construction (owner-computes, phase-wise read-only structures), exactly as
+//! argued in §7 of the paper.  Conflicting concurrent writes are a bug in the
+//! application, not undefined behaviour visible to safe callers: all racy
+//! access is funnelled through lock-protected primitives internally (see
+//! `sync_cell`).
+
+pub mod arena;
+pub mod collectives;
+pub mod ctx;
+pub mod gptr;
+pub mod lock;
+pub mod machine;
+pub mod msg;
+pub mod phase;
+pub mod runtime;
+pub mod shared;
+pub mod stats;
+pub mod swcache;
+mod sync_cell;
+
+pub use arena::SharedArena;
+pub use ctx::{Ctx, Handle};
+pub use gptr::GlobalPtr;
+pub use lock::GlobalLock;
+pub use machine::Machine;
+pub use phase::PhaseTimer;
+pub use runtime::{RankReport, Runtime, RunReport};
+pub use shared::SharedVec;
+pub use stats::RankStats;

@@ -1,0 +1,110 @@
+//! Per-rank instrumentation counters.
+//!
+//! Beyond the simulated clock, the emulator counts every remote operation it
+//! performs on behalf of a rank.  These counters back several observations
+//! made in the paper's prose — the ~2 % body-migration rate of §5.2, the
+//! "more than 93–95 % of aggregated requests have a single source thread"
+//! statistic of §5.5 — and are generally useful when debugging why a variant
+//! is slower than expected.
+
+use serde::{Deserialize, Serialize};
+
+/// Communication and work counters for one rank.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankStats {
+    /// Fine-grained reads of shared data owned by another rank.
+    pub remote_gets: u64,
+    /// Fine-grained writes to shared data owned by another rank.
+    pub remote_puts: u64,
+    /// Reads/writes of shared data owned by this rank.
+    pub local_accesses: u64,
+    /// Bulk messages issued (memget/memput/ilist/vlist/collective fragments).
+    pub messages: u64,
+    /// Bytes fetched from other ranks.
+    pub bytes_in: u64,
+    /// Bytes sent to other ranks.
+    pub bytes_out: u64,
+    /// Global lock acquisitions.
+    pub lock_acquires: u64,
+    /// Aggregated (vlist) gather requests issued.
+    pub vlist_requests: u64,
+    /// Aggregated gather requests whose elements all lived on one rank.
+    pub vlist_single_source: u64,
+    /// Body–cell / body–body interactions charged to this rank.
+    pub interactions: u64,
+    /// Elementary tree operations charged to this rank.
+    pub tree_ops: u64,
+    /// Simulated seconds spent in compute charges.
+    pub compute_seconds: f64,
+    /// Simulated seconds spent in communication charges.
+    pub comm_seconds: f64,
+    /// Simulated seconds spent waiting at barriers / collectives.
+    pub sync_seconds: f64,
+}
+
+impl RankStats {
+    /// Merges another rank's counters into this one (used for whole-run
+    /// aggregates).
+    pub fn merge(&mut self, other: &RankStats) {
+        self.remote_gets += other.remote_gets;
+        self.remote_puts += other.remote_puts;
+        self.local_accesses += other.local_accesses;
+        self.messages += other.messages;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.lock_acquires += other.lock_acquires;
+        self.vlist_requests += other.vlist_requests;
+        self.vlist_single_source += other.vlist_single_source;
+        self.interactions += other.interactions;
+        self.tree_ops += other.tree_ops;
+        self.compute_seconds += other.compute_seconds;
+        self.comm_seconds += other.comm_seconds;
+        self.sync_seconds += other.sync_seconds;
+    }
+
+    /// Fraction of aggregated gather requests served by a single source rank
+    /// (the §5.5 statistic).  Returns `None` when no requests were issued.
+    pub fn vlist_single_source_fraction(&self) -> Option<f64> {
+        if self.vlist_requests == 0 {
+            None
+        } else {
+            Some(self.vlist_single_source as f64 / self.vlist_requests as f64)
+        }
+    }
+
+    /// Total remote fine-grained operations.
+    pub fn remote_ops(&self) -> u64 {
+        self.remote_gets + self.remote_puts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = RankStats { remote_gets: 1, bytes_in: 10, compute_seconds: 1.5, ..Default::default() };
+        let b = RankStats { remote_gets: 2, bytes_in: 5, compute_seconds: 0.5, lock_acquires: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.remote_gets, 3);
+        assert_eq!(a.bytes_in, 15);
+        assert_eq!(a.lock_acquires, 3);
+        assert!((a.compute_seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_source_fraction() {
+        let mut s = RankStats::default();
+        assert_eq!(s.vlist_single_source_fraction(), None);
+        s.vlist_requests = 10;
+        s.vlist_single_source = 9;
+        assert_eq!(s.vlist_single_source_fraction(), Some(0.9));
+    }
+
+    #[test]
+    fn remote_ops_sums_gets_and_puts() {
+        let s = RankStats { remote_gets: 4, remote_puts: 6, ..Default::default() };
+        assert_eq!(s.remote_ops(), 10);
+    }
+}

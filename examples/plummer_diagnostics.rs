@@ -1,0 +1,65 @@
+//! Physics-facing example: generate a Plummer cluster, evolve it with the
+//! sequential Barnes-Hut solver and watch its structural diagnostics
+//! (Lagrangian radii, velocity dispersion, energy balance) stay put — an
+//! equilibrium model should neither collapse nor evaporate over a few
+//! dynamical times.
+//!
+//! ```text
+//! cargo run --release --example plummer_diagnostics -- [nbodies] [steps]
+//! ```
+
+use barnes_hut_upc::prelude::*;
+use nbody::{energy, integrate, stats};
+use octree::walk;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nbodies: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4_000);
+    let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40);
+    let dt = 0.025;
+    let theta = 0.8;
+    let eps = 0.05;
+
+    let mut bodies = generate(&PlummerConfig::new(nbodies, 20_260_614));
+    let initial = stats::summarize(&bodies);
+    println!("Plummer cluster, N = {nbodies}");
+    println!("  total mass          : {:.4}", initial.total_mass);
+    println!("  half-mass radius    : {:.4}  (analytic ≈ 0.766)", initial.half_mass_radius);
+    println!("  velocity dispersion : {:.4}", initial.velocity_dispersion);
+    println!();
+
+    bodies = walk::compute_forces(&bodies, theta, eps);
+    let e0 = energy::total_energy(&bodies, eps);
+
+    println!("step,time,r10,r50,r90,sigma,virial,energy_drift");
+    for step in 0..=steps {
+        let radii = stats::lagrangian_radii(&bodies, &[0.1, 0.5, 0.9]);
+        let sigma = stats::velocity_dispersion(&bodies);
+        let virial = energy::virial_ratio(&bodies, eps);
+        let drift = ((energy::total_energy(&bodies, eps) - e0) / e0).abs();
+        println!(
+            "{step},{:.3},{:.4},{:.4},{:.4},{:.4},{:.3},{:.2e}",
+            step as f64 * dt,
+            radii[0],
+            radii[1],
+            radii[2],
+            sigma,
+            virial,
+            drift
+        );
+        if step < steps {
+            integrate::step(&mut bodies, dt, |bs| walk::compute_forces(bs, theta, eps));
+        }
+    }
+
+    let final_summary = stats::summarize(&bodies);
+    eprintln!();
+    eprintln!(
+        "half-mass radius {:.4} -> {:.4} after {} steps ({:.1} %% change)",
+        initial.half_mass_radius,
+        final_summary.half_mass_radius,
+        steps,
+        100.0 * (final_summary.half_mass_radius - initial.half_mass_radius).abs()
+            / initial.half_mass_radius
+    );
+}

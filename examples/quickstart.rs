@@ -1,0 +1,58 @@
+//! Quickstart: run the fully optimized distributed Barnes-Hut solver on an
+//! emulated cluster and print the per-phase breakdown the paper's tables
+//! report.
+//!
+//! ```text
+//! cargo run --release --example quickstart -- [nbodies] [ranks]
+//! ```
+
+use barnes_hut_upc::prelude::*;
+use pgas::Machine;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nbodies: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(16_384);
+    let ranks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    println!("Barnes-Hut in (emulated) UPC — quickstart");
+    println!("  bodies : {nbodies} (Plummer model, M = G = 1)");
+    println!("  ranks  : {ranks} (one process per node, Power5/LAPI-like cost model)");
+    println!();
+
+    // The fully optimized configuration: §6 subspace tree build plus the
+    // whole §5 ladder underneath it.
+    let machine = Machine::process_per_node(ranks);
+    let cfg = SimConfig::new(nbodies, machine, OptLevel::Subspace);
+    let result = run_simulation(&cfg);
+
+    println!("simulated time per phase (max over ranks, last {} of {} steps):", cfg.measured_steps, cfg.steps);
+    for phase in Phase::ALL {
+        println!(
+            "  {:<16} {:>10.4} s   {:>5.1} %",
+            phase.label(),
+            result.phases.get(phase),
+            result.phases.percent(phase)
+        );
+    }
+    println!("  {:<16} {:>10.4} s", "Total", result.total);
+    println!();
+    println!("body migration per step : {:.2} %", 100.0 * result.migration_fraction);
+    if let Some(frac) = result.vlist_single_source_fraction() {
+        println!("single-source gathers   : {:.1} %", 100.0 * frac);
+    }
+
+    // A couple of bodies, to show the physical state is available too.
+    println!();
+    println!("first three bodies after the run:");
+    for b in result.bodies.iter().take(3) {
+        println!(
+            "  id {:>4}  pos ({:+.3}, {:+.3}, {:+.3})  |v| {:.3}  cost {}",
+            b.id,
+            b.pos.x,
+            b.pos.y,
+            b.pos.z,
+            b.vel.norm(),
+            b.cost
+        );
+    }
+}

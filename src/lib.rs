@@ -1,0 +1,61 @@
+//! # barnes-hut-upc
+//!
+//! Umbrella crate for the reproduction of *"Optimizing the Barnes-Hut
+//! Algorithm in UPC"* (Zhang, Behzad, Snir; SC 2011).  It re-exports the
+//! workspace's public API so that applications can depend on a single crate:
+//!
+//! * [`pgas`] — the UPC-style PGAS emulator with its communication cost
+//!   model (machine description, shared arrays, global pointers, collectives,
+//!   non-blocking aggregated gathers).
+//! * [`nbody`] — the physics substrate (bodies, Plummer model, Morton codes,
+//!   direct summation, leapfrog, energy diagnostics).
+//! * [`octree`] — the sequential Barnes-Hut octree, tree walk and costzones
+//!   partitioning, plus the Warren–Salmon hashed oct-tree and ORB
+//!   partitioner comparison substrates.
+//! * [`bh`] — the distributed Barnes-Hut application with the paper's full
+//!   optimization ladder and the experiment driver.
+//! * [`bh_mpi`] — the message-passing (MPI-style) comparator the paper's
+//!   conclusion plans to compare against, running on the same machine model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use barnes_hut_upc::prelude::*;
+//!
+//! // Emulate 4 single-threaded nodes and run the fully optimized solver.
+//! let machine = Machine::process_per_node(4);
+//! let mut cfg = SimConfig::new(2_000, machine, OptLevel::Subspace);
+//! cfg.steps = 2;
+//! cfg.measured_steps = 1;
+//! let result = run_simulation(&cfg);
+//! println!("force phase: {:.3} simulated seconds", result.phases.force);
+//! assert_eq!(result.bodies.len(), 2_000);
+//! ```
+
+pub use bh;
+pub use bh_mpi;
+pub use nbody;
+pub use octree;
+pub use pgas;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use bh::{run_simulation, OptLevel, Phase, PhaseTimes, SimConfig, SimResult};
+    pub use nbody::plummer::{generate, PlummerConfig};
+    pub use nbody::{Body, Vec3};
+    pub use octree::{Octree, TreeParams};
+    pub use pgas::{Ctx, GlobalPtr, Machine, Runtime, SharedArena, SharedVec};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_pipeline() {
+        let cfg = SimConfig::test(128, 2, OptLevel::CacheLocalTree);
+        let result = run_simulation(&cfg);
+        assert_eq!(result.bodies.len(), 128);
+        assert!(result.phases.total() > 0.0);
+    }
+}

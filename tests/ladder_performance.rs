@@ -1,0 +1,171 @@
+//! Integration tests for the *performance shape* of the optimization ladder.
+//!
+//! The paper's headline claims, re-checked here on scaled-down workloads in
+//! simulated time:
+//!
+//! * the naive baseline gets dramatically slower when ranks are added
+//!   (Table 2),
+//! * replicating scalars, redistributing bodies and caching cells each cut
+//!   the relevant phases (Tables 3–5),
+//! * the merged tree build cuts tree-building time (Table 6),
+//! * non-blocking aggregation cuts the force phase further at scale
+//!   (Table 7),
+//! * the fully optimized code *speeds up* with ranks instead of slowing down
+//!   (Figure 13), and the cumulative improvement over the baseline is large
+//!   (Figure 5).
+
+use barnes_hut_upc::prelude::*;
+use pgas::Machine;
+
+const NBODIES: usize = 400;
+
+fn run(opt: OptLevel, ranks: usize, nbodies: usize) -> SimResult {
+    let mut cfg = SimConfig::new(nbodies, Machine::process_per_node(ranks), opt);
+    cfg.steps = 2;
+    cfg.measured_steps = 1;
+    bh::run_simulation(&cfg)
+}
+
+#[test]
+fn baseline_slows_down_with_more_ranks() {
+    let single = run(OptLevel::Baseline, 1, NBODIES);
+    let eight = run(OptLevel::Baseline, 8, NBODIES);
+    assert!(
+        eight.total > single.total,
+        "the naive baseline must be slower on 8 ranks ({:.3}s) than on 1 ({:.3}s)",
+        eight.total,
+        single.total
+    );
+}
+
+#[test]
+fn replicating_scalars_cuts_baseline_force_time() {
+    let baseline = run(OptLevel::Baseline, 8, NBODIES);
+    let replicated = run(OptLevel::ReplicateScalars, 8, NBODIES);
+    assert!(
+        replicated.phases.force < 0.7 * baseline.phases.force,
+        "replicating tol/eps should cut the force phase substantially ({:.3}s -> {:.3}s)",
+        baseline.phases.force,
+        replicated.phases.force
+    );
+    assert!(replicated.phases.tree < baseline.phases.tree);
+}
+
+#[test]
+fn redistribution_eliminates_cofm_and_advance_costs() {
+    let replicated = run(OptLevel::ReplicateScalars, 8, NBODIES);
+    let redistributed = run(OptLevel::Redistribute, 8, NBODIES);
+    assert!(
+        redistributed.phases.cofm < 0.5 * replicated.phases.cofm,
+        "redistribution should nearly eliminate the centre-of-mass phase ({:.4}s -> {:.4}s)",
+        replicated.phases.cofm,
+        redistributed.phases.cofm
+    );
+    assert!(
+        redistributed.phases.advance < 0.5 * replicated.phases.advance,
+        "redistribution should nearly eliminate body advancement ({:.4}s -> {:.4}s)",
+        replicated.phases.advance,
+        redistributed.phases.advance
+    );
+}
+
+#[test]
+fn caching_cells_slashes_force_time() {
+    let uncached = run(OptLevel::Redistribute, 8, NBODIES);
+    let cached = run(OptLevel::CacheLocalTree, 8, NBODIES);
+    assert!(
+        cached.phases.force < 0.15 * uncached.phases.force,
+        "demand-driven caching should cut force time by an order of magnitude ({:.3}s -> {:.3}s)",
+        uncached.phases.force,
+        cached.phases.force
+    );
+}
+
+#[test]
+fn merged_tree_build_cuts_tree_time() {
+    let locked = run(OptLevel::CacheLocalTree, 8, NBODIES);
+    let merged = run(OptLevel::MergedTreeBuild, 8, NBODIES);
+    let locked_build = locked.phases.tree + locked.phases.cofm;
+    let merged_build = merged.phases.tree + merged.phases.cofm;
+    assert!(
+        merged_build < locked_build,
+        "merged local trees should beat global insertion under locks ({locked_build:.3}s vs {merged_build:.3}s)"
+    );
+}
+
+#[test]
+fn async_aggregation_cuts_force_time_at_scale() {
+    let blocking = run(OptLevel::MergedTreeBuild, 16, NBODIES);
+    let asynchronous = run(OptLevel::AsyncAggregation, 16, NBODIES);
+    assert!(
+        asynchronous.phases.force < blocking.phases.force,
+        "aggregated non-blocking gathers should cut the force phase ({:.3}s -> {:.3}s)",
+        blocking.phases.force,
+        asynchronous.phases.force
+    );
+}
+
+#[test]
+fn optimized_code_speeds_up_with_ranks() {
+    // Figure 13: the fully optimized code shows strong-scaling speed-up.
+    let one = run(OptLevel::Subspace, 1, 600);
+    let eight = run(OptLevel::Subspace, 8, 600);
+    let speedup = one.total / eight.total;
+    assert!(
+        speedup > 2.0,
+        "the optimized code should speed up with ranks (got {speedup:.2}x on 8 ranks)"
+    );
+}
+
+#[test]
+fn cumulative_improvement_over_baseline_is_large() {
+    // Figure 5: the cumulative improvement at a non-trivial rank count is
+    // orders of magnitude (the paper reports >1600x at 112 ranks on the full
+    // problem; the scaled-down workload still shows a very large factor).
+    let baseline = run(OptLevel::Baseline, 8, NBODIES);
+    let optimized = run(OptLevel::Subspace, 8, NBODIES);
+    let improvement = baseline.total / optimized.total;
+    assert!(
+        improvement > 30.0,
+        "cumulative optimizations should improve the total time by a large factor (got {improvement:.1}x)"
+    );
+}
+
+#[test]
+fn pthreads_runtime_is_slower_than_process_mode() {
+    // Table 8 vs Table 9: one process per node beats one pthread per node.
+    let mut cfg_proc = SimConfig::new(NBODIES, Machine::process_per_node(4), OptLevel::Subspace);
+    cfg_proc.steps = 2;
+    cfg_proc.measured_steps = 1;
+    let mut cfg_pth = SimConfig::new(NBODIES, Machine::pthreads_per_node(4, 1), OptLevel::Subspace);
+    cfg_pth.steps = 2;
+    cfg_pth.measured_steps = 1;
+    let proc = bh::run_simulation(&cfg_proc);
+    let pth = bh::run_simulation(&cfg_pth);
+    assert!(
+        pth.total > 1.2 * proc.total,
+        "the pthreads runtime overhead should show up ({:.3}s vs {:.3}s)",
+        pth.total,
+        proc.total
+    );
+}
+
+#[test]
+fn weak_scaling_tree_build_scales_with_vector_reduction() {
+    // Figure 10 vs Figure 11: without vector reduction the subspace
+    // construction cost explodes with rank count; with it, it stays modest.
+    let ranks = 16;
+    let mut with_vec = SimConfig::new(ranks * 40, Machine::process_per_node(ranks), OptLevel::Subspace);
+    with_vec.steps = 2;
+    with_vec.measured_steps = 1;
+    let mut without_vec = with_vec.clone();
+    without_vec.vector_reduction = false;
+    let a = bh::run_simulation(&with_vec);
+    let b = bh::run_simulation(&without_vec);
+    assert!(
+        b.phases.partition > 2.0 * a.phases.partition,
+        "per-subspace scalar reductions should be much more expensive ({:.4}s vs {:.4}s)",
+        b.phases.partition,
+        a.phases.partition
+    );
+}

@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: every optimization level must compute the
+//! same physics.
+//!
+//! The paper's transformations are pure performance optimizations — §7
+//! stresses that they "do not change the program semantics".  These tests
+//! hold the reproduction to that: every level of the ladder, run on the same
+//! initial conditions, must produce accelerations that agree with direct
+//! summation within the θ-controlled approximation error, and the final body
+//! states across levels must agree closely with each other.
+
+use barnes_hut_upc::prelude::*;
+use nbody::direct;
+
+const NBODIES: usize = 220;
+const RANKS: usize = 3;
+
+fn run_level(opt: OptLevel) -> SimResult {
+    let mut cfg = SimConfig::test(NBODIES, RANKS, opt);
+    cfg.steps = 2;
+    cfg.measured_steps = 1;
+    bh::run_simulation(&cfg)
+}
+
+fn mean_relative_acc_error(a: &[Body], b: &[Body]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.acc - y.acc).norm() / y.acc.norm().max(1e-12))
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+fn max_position_difference(a: &[Body], b: &[Body]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x.pos - y.pos).norm()).fold(0.0, f64::max)
+}
+
+#[test]
+fn every_level_is_finite_and_conserves_mass() {
+    for opt in OptLevel::ALL {
+        let result = run_level(opt);
+        assert_eq!(result.bodies.len(), NBODIES, "{}", opt.name());
+        let mass: f64 = result.bodies.iter().map(|b| b.mass).sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass not conserved at {}", opt.name());
+        for b in &result.bodies {
+            assert!(b.pos.is_finite() && b.vel.is_finite() && b.acc.is_finite(), "non-finite state at {}", opt.name());
+            assert!(b.cost >= 1, "body cost must be at least one at {}", opt.name());
+        }
+    }
+}
+
+#[test]
+fn accelerations_agree_with_direct_summation_within_theta_error() {
+    // After the run, bodies carry the acceleration of the last measured step
+    // evaluated at (close to) their final positions; recompute the direct
+    // sum at those positions for comparison.
+    for opt in OptLevel::ALL {
+        let result = run_level(opt);
+        // The stored acceleration was computed *before* the last advance, so
+        // rewind the final half-step worth of drift for the reference by
+        // using the positions at force time: pos - vel*dt.
+        let cfg_dt = nbody::DEFAULT_DT;
+        let force_time_bodies: Vec<Body> = result
+            .bodies
+            .iter()
+            .map(|b| {
+                let mut c = *b;
+                c.pos = b.pos - b.vel * cfg_dt;
+                c
+            })
+            .collect();
+        let reference = direct::compute_forces(&force_time_bodies, nbody::DEFAULT_EPS);
+        let err = mean_relative_acc_error(&result.bodies, &reference);
+        assert!(
+            err < 0.08,
+            "{}: mean relative acceleration error {err} vs direct summation too large",
+            opt.name()
+        );
+    }
+}
+
+#[test]
+fn all_levels_agree_with_each_other_on_final_positions() {
+    let baseline = run_level(OptLevel::Baseline);
+    for opt in OptLevel::ALL.into_iter().skip(1) {
+        let other = run_level(opt);
+        let diff = max_position_difference(&baseline.bodies, &other.bodies);
+        // Different tree shapes (merged vs inserted vs subspace) change the
+        // grouping of distant bodies, so results are not bitwise identical —
+        // but after two short steps the positions must still be extremely
+        // close on the scale of the system (size ~1).
+        assert!(diff < 2e-3, "{} diverged from the baseline by {diff}", opt.name());
+    }
+}
+
+#[test]
+fn cached_levels_match_uncached_levels_exactly() {
+    // Levels 2 (uncached walk) and 3 (cached walk) traverse the *same*
+    // global tree with the same criterion, so their forces must agree to
+    // floating-point noise, not just approximation error.
+    let uncached = run_level(OptLevel::Redistribute);
+    let cached = run_level(OptLevel::CacheLocalTree);
+    let diff = max_position_difference(&uncached.bodies, &cached.bodies);
+    assert!(diff < 1e-9, "caching changed the physics: {diff}");
+}
+
+#[test]
+fn async_engine_matches_blocking_cache_exactly() {
+    let merged = run_level(OptLevel::MergedTreeBuild);
+    let asynchronous = run_level(OptLevel::AsyncAggregation);
+    let diff = max_position_difference(&merged.bodies, &asynchronous.bodies);
+    assert!(diff < 1e-9, "asynchronous communication changed the physics: {diff}");
+}
+
+#[test]
+fn single_rank_runs_work_for_every_level() {
+    for opt in OptLevel::ALL {
+        let mut cfg = SimConfig::test(100, 1, opt);
+        cfg.steps = 2;
+        cfg.measured_steps = 1;
+        let result = bh::run_simulation(&cfg);
+        assert_eq!(result.bodies.len(), 100);
+        assert!(result.phases.force > 0.0, "{} must spend time in the force phase", opt.name());
+    }
+}
+
+#[test]
+fn momentum_is_approximately_conserved_over_the_run() {
+    let result = run_level(OptLevel::Subspace);
+    let momentum: Vec3 = result.bodies.iter().map(|b| b.vel * b.mass).sum();
+    // The initial net momentum is zero; tree-force asymmetry introduces a
+    // small drift only.
+    assert!(momentum.norm() < 1e-3, "net momentum {momentum:?} too large");
+}

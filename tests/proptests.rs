@@ -1,0 +1,226 @@
+//! Workspace-level property-based tests spanning the `bh` crate's building
+//! blocks (partitioning splitters, cell summaries, phase bookkeeping) and the
+//! comparison substrates (hashed oct-tree, ORB partitioning, message-passing
+//! domain splitters).
+
+use bh::cellnode::CellNode;
+use bh::partition::{compute_splitters, PartitionPlan};
+use bh::report::{Phase, PhaseTimes};
+use nbody::{Body, Vec3};
+use octree::hashed::HashedOctree;
+use octree::orb::partition_orb;
+use octree::tree::TreeParams;
+use proptest::prelude::*;
+
+/// Strategy: a set of bodies with positions in a cube and varied masses and
+/// costs, suitable for tree and partitioning properties.
+fn arbitrary_bodies(max: usize) -> impl Strategy<Value = Vec<Body>> {
+    prop::collection::vec(
+        ((-8.0f64..8.0, -8.0f64..8.0, -8.0f64..8.0), 0.01f64..4.0, 1u32..40),
+        1..max,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, ((x, y, z), mass, cost))| {
+                let mut b = Body::at_rest(i as u32, Vec3::new(x, y, z), mass);
+                b.cost = cost;
+                b
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn splitters_partition_every_key(
+        mut keyed in prop::collection::vec((any::<u64>(), 1u32..50), 1..300),
+        parts in 1usize..20,
+    ) {
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        let splitters = compute_splitters(&keyed, parts);
+        prop_assert_eq!(splitters.len(), parts - 1);
+        prop_assert!(splitters.windows(2).all(|w| w[0] <= w[1]));
+        let plan = PartitionPlan { splitters };
+        // Every key maps to exactly one zone in range.
+        for &(k, _) in &keyed {
+            prop_assert!(plan.owner_of_key(k) < parts);
+        }
+        // Zone assignment is monotone in the key (zones are contiguous).
+        for pair in keyed.windows(2) {
+            prop_assert!(plan.owner_of_key(pair[0].0) <= plan.owner_of_key(pair[1].0));
+        }
+    }
+
+    #[test]
+    fn splitters_balance_within_one_heavy_body(
+        mut keyed in prop::collection::vec((any::<u64>(), 1u32..20), 30..300),
+        parts in 2usize..8,
+    ) {
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        // Avoid duplicate keys straddling zone boundaries, which legitimately
+        // skew the balance (all equal keys must land in one zone).
+        keyed.dedup_by_key(|&mut (k, _)| k);
+        prop_assume!(keyed.len() >= parts * 4);
+        let splitters = compute_splitters(&keyed, parts);
+        let plan = PartitionPlan { splitters };
+        let mut zone_costs = vec![0u64; parts];
+        for &(k, c) in &keyed {
+            zone_costs[plan.owner_of_key(k)] += c as u64;
+        }
+        let total: u64 = zone_costs.iter().sum();
+        let ideal = total as f64 / parts as f64;
+        let heaviest = keyed.iter().map(|&(_, c)| c as u64).max().unwrap() as f64;
+        for &z in &zone_costs {
+            prop_assert!(z as f64 <= ideal + heaviest + 1.0,
+                "zone cost {z} exceeds ideal {ideal} by more than one body ({heaviest})");
+        }
+    }
+
+    #[test]
+    fn cell_summary_merge_is_commutative_and_mass_conserving(
+        parts in prop::collection::vec(((-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0), 0.01f64..5.0), 1..20),
+    ) {
+        let mut forward = CellNode::new_cell(Vec3::ZERO, 1.0);
+        let mut backward = CellNode::new_cell(Vec3::ZERO, 1.0);
+        for &((x, y, z), m) in &parts {
+            forward.merge_summary(m, Vec3::new(x, y, z), 1, 1);
+        }
+        for &((x, y, z), m) in parts.iter().rev() {
+            backward.merge_summary(m, Vec3::new(x, y, z), 1, 1);
+        }
+        let total: f64 = parts.iter().map(|&(_, m)| m).sum();
+        prop_assert!((forward.mass - total).abs() < 1e-9);
+        prop_assert!((forward.mass - backward.mass).abs() < 1e-9);
+        prop_assert!((forward.cofm - backward.cofm).norm() < 1e-6);
+        prop_assert_eq!(forward.nbodies as usize, parts.len());
+        // The merged centre of mass lies inside the points' bounding box.
+        let lo = parts.iter().fold(Vec3::splat(f64::INFINITY), |a, &((x, y, z), _)| a.min(Vec3::new(x, y, z)));
+        let hi = parts.iter().fold(Vec3::splat(f64::NEG_INFINITY), |a, &((x, y, z), _)| a.max(Vec3::new(x, y, z)));
+        prop_assert!(forward.cofm.x >= lo.x - 1e-9 && forward.cofm.x <= hi.x + 1e-9);
+        prop_assert!(forward.cofm.y >= lo.y - 1e-9 && forward.cofm.y <= hi.y + 1e-9);
+        prop_assert!(forward.cofm.z >= lo.z - 1e-9 && forward.cofm.z <= hi.z + 1e-9);
+    }
+
+    #[test]
+    fn phase_times_algebra(
+        a in prop::collection::vec(0.0f64..100.0, 6),
+        b in prop::collection::vec(0.0f64..100.0, 6),
+    ) {
+        let mut ta = PhaseTimes::default();
+        let mut tb = PhaseTimes::default();
+        for (i, phase) in Phase::ALL.into_iter().enumerate() {
+            ta.set(phase, a[i]);
+            tb.set(phase, b[i]);
+        }
+        let max = ta.max(&tb);
+        let sum = ta.add(&tb);
+        for (i, phase) in Phase::ALL.into_iter().enumerate() {
+            prop_assert_eq!(max.get(phase), a[i].max(b[i]));
+            prop_assert!((sum.get(phase) - (a[i] + b[i])).abs() < 1e-12);
+            prop_assert!(max.get(phase) <= sum.get(phase));
+        }
+        prop_assert!((sum.total() - (ta.total() + tb.total())).abs() < 1e-9);
+        // Percentages sum to 100 whenever the total is positive.
+        if ta.total() > 0.0 {
+            let percent_sum: f64 = Phase::ALL.iter().map(|&p| ta.percent(p)).sum();
+            prop_assert!((percent_sum - 100.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hashed_octree_agrees_with_pointer_octree(bodies in arbitrary_bodies(120)) {
+        let params = TreeParams::default();
+        let mut pointer = octree::Octree::build(&bodies, params);
+        pointer.compute_mass(&bodies);
+        let mut hashed = HashedOctree::build(&bodies, params);
+        hashed.compute_mass(&bodies);
+
+        hashed.check_invariants(&bodies).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(hashed.len(), pointer.len());
+        prop_assert!((hashed.root().mass - pointer.nodes[0].mass).abs() < 1e-9);
+        prop_assert!((hashed.root().cofm - pointer.nodes[0].cofm).norm() < 1e-9);
+
+        // Identical forces for a handful of probe bodies.
+        for b in bodies.iter().take(8) {
+            let p = octree::walk::accel_on(&pointer, &bodies, b.pos, Some(b.id), 1.0, 0.05);
+            let h = hashed.accel_on(&bodies, b.pos, Some(b.id), 1.0, 0.05);
+            prop_assert!((p.acc - h.acc).norm() < 1e-9);
+            prop_assert_eq!(p.interactions, h.interactions);
+        }
+    }
+
+    #[test]
+    fn orb_partition_is_a_disjoint_cover_with_bounded_imbalance(
+        bodies in arbitrary_bodies(250),
+        parts in 1usize..12,
+    ) {
+        let p = partition_orb(&bodies, parts);
+        prop_assert_eq!(p.len(), parts);
+        prop_assert_eq!(p.total_bodies(), bodies.len());
+        let mut seen = vec![false; bodies.len()];
+        for zone in &p.zones {
+            for &i in zone {
+                prop_assert!(!seen[i], "body {} assigned twice", i);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // With enough bodies per part, no part may dwarf the ideal cost by
+        // more than the heaviest body plus the bisection rounding.
+        if bodies.len() >= parts * 8 {
+            let costs = p.zone_costs(&bodies);
+            let total: u64 = costs.iter().sum();
+            let ideal = total as f64 / parts as f64;
+            let heaviest = bodies.iter().map(|b| b.cost.max(1) as u64).max().unwrap() as f64;
+            for &c in &costs {
+                prop_assert!(
+                    (c as f64) <= ideal + heaviest * (parts as f64).log2().ceil() + 1.0,
+                    "zone cost {} too far above ideal {}", c, ideal
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mpi_domain_splitters_assign_every_key_monotonically(
+        mut samples in prop::collection::vec((any::<u64>(), 0.01f64..10.0), 1..200),
+        ranks in 1usize..16,
+    ) {
+        let splitters = bh_mpi::domain::splitters_from_samples(samples.clone(), ranks);
+        prop_assert_eq!(splitters.len(), ranks - 1);
+        prop_assert!(splitters.windows(2).all(|w| w[0] <= w[1]));
+        samples.sort_unstable_by_key(|&(k, _)| k);
+        let mut last_owner = 0usize;
+        for &(k, _) in &samples {
+            let owner = bh_mpi::domain::owner_of(k, &splitters);
+            prop_assert!(owner < ranks);
+            prop_assert!(owner >= last_owner, "ownership must be monotone in the key");
+            last_owner = owner;
+        }
+    }
+
+    #[test]
+    fn cellnode_child_geometry_partitions_the_cell(
+        cx in -10.0f64..10.0, cy in -10.0f64..10.0, cz in -10.0f64..10.0,
+        half in 0.1f64..10.0,
+        px in -1.0f64..1.0, py in -1.0f64..1.0, pz in -1.0f64..1.0,
+    ) {
+        let cell = CellNode::new_cell(Vec3::new(cx, cy, cz), half);
+        // A point inside the cell lands in exactly the child cell whose
+        // octant index the cell computes for it.
+        let p = cell.center + Vec3::new(px, py, pz) * half;
+        let octant = cell.octant_of(p);
+        let (child_center, child_half) = cell.child_geometry(octant);
+        prop_assert!((p - child_center).max_abs_component() <= child_half + 1e-9);
+        // And in no other child.
+        for other in 0..8 {
+            if other != octant {
+                let (oc, oh) = cell.child_geometry(other);
+                prop_assert!((p - oc).max_abs_component() >= oh - 1e-9);
+            }
+        }
+    }
+}

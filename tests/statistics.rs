@@ -1,0 +1,125 @@
+//! Integration tests for the side statistics the paper reports in prose.
+
+use barnes_hut_upc::prelude::*;
+use pgas::Machine;
+
+#[test]
+fn body_migration_per_step_is_a_small_fraction() {
+    // §5.2: "about 2% of the bodies allocated to a thread migrate during a
+    // time-step".  After the warm-up steps have let the partition settle, the
+    // per-step migration fraction must be small.
+    let mut cfg = SimConfig::new(1_500, Machine::process_per_node(8), OptLevel::CacheLocalTree);
+    cfg.steps = 4;
+    cfg.measured_steps = 2;
+    let result = bh::run_simulation(&cfg);
+    assert!(
+        result.migration_fraction < 0.10,
+        "migration fraction {:.3} should be a few percent once the partition has settled",
+        result.migration_fraction
+    );
+    assert!(result.migration_fraction > 0.0, "some bodies should still migrate");
+}
+
+#[test]
+fn aggregated_requests_are_mostly_single_source_after_partitioning() {
+    // §5.5: with 32 threads more than 95% of the aggregated requests have a
+    // single source thread; the effect is driven by the spatial locality of
+    // the partition and grows with the number of bodies per thread (the
+    // paper runs 62K bodies/thread).  The scaled-down run must show a clear
+    // majority, and the fraction must improve as bodies per rank grow.
+    let run = |nbodies: usize| {
+        let mut cfg = SimConfig::new(nbodies, Machine::process_per_node(4), OptLevel::Subspace);
+        cfg.steps = 3;
+        cfg.measured_steps = 1;
+        bh::run_simulation(&cfg)
+            .vlist_single_source_fraction()
+            .expect("the async engine must have issued aggregated requests")
+    };
+    let small = run(2_000);
+    let large = run(8_000);
+    assert!(
+        large > 0.6,
+        "single-source fraction {large:.2} should be a clear majority after partitioning"
+    );
+    assert!(
+        large > small,
+        "locality must improve with bodies per rank (got {small:.2} -> {large:.2})"
+    );
+}
+
+#[test]
+fn per_rank_tree_build_split_shows_merge_imbalance() {
+    // Figure 8: with the §5.4 merged tree build, the local-build sub-phase is
+    // well balanced across ranks while the merge sub-phase is not.
+    let mut cfg = SimConfig::new(1_200, Machine::process_per_node(8), OptLevel::MergedTreeBuild);
+    cfg.steps = 2;
+    cfg.measured_steps = 1;
+    let result = bh::run_simulation(&cfg);
+    let local: Vec<f64> = result.ranks.iter().map(|r| r.tree_local).collect();
+    let merge: Vec<f64> = result.ranks.iter().map(|r| r.tree_merge).collect();
+    let spread = |v: &[f64]| {
+        let max = v.iter().copied().fold(0.0, f64::max);
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        if max == 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    };
+    assert!(local.iter().all(|&t| t > 0.0), "every rank builds a local tree");
+    assert!(merge.iter().any(|&t| t > 0.0), "someone must pay for merging");
+    assert!(
+        spread(&merge) > spread(&local),
+        "merge time (spread {:.2}) should be less balanced than local build time (spread {:.2})",
+        spread(&merge),
+        spread(&local)
+    );
+}
+
+#[test]
+fn subspace_tree_build_is_better_balanced_than_merged() {
+    // §6's point: the subspace algorithm removes the merge imbalance.
+    let run = |opt| {
+        let mut cfg = SimConfig::new(1_200, Machine::process_per_node(8), opt);
+        cfg.steps = 2;
+        cfg.measured_steps = 1;
+        bh::run_simulation(&cfg)
+    };
+    let merged = run(OptLevel::MergedTreeBuild);
+    let subspace = run(OptLevel::Subspace);
+    let max_tree = |r: &SimResult| r.ranks.iter().map(|o| o.phases.tree).fold(0.0, f64::max);
+    assert!(
+        max_tree(&subspace) < max_tree(&merged),
+        "subspace tree building ({:.4}s) should beat merged tree building ({:.4}s) at scale",
+        max_tree(&subspace),
+        max_tree(&merged)
+    );
+}
+
+#[test]
+fn intranode_process_mode_is_catastrophic() {
+    // §4.1: 16 UPC processes on one node were >1000x slower than 16 pthreads
+    // on one node for the baseline.  Reproduce the direction (not the exact
+    // factor) at a small scale.
+    let mut processes = SimConfig::new(300, Machine::power5(1, 8, false), OptLevel::Baseline);
+    processes.steps = 2;
+    processes.measured_steps = 1;
+    let mut pthreads = processes.clone();
+    pthreads.machine = Machine::power5(1, 8, true);
+    let proc_result = bh::run_simulation(&processes);
+    let pth_result = bh::run_simulation(&pthreads);
+    assert!(
+        proc_result.total > 3.0 * pth_result.total,
+        "process-per-core on one node ({:.2}s) should be far slower than pthreads ({:.2}s)",
+        proc_result.total,
+        pth_result.total
+    );
+}
+
+#[test]
+fn phase_breakdown_percentages_sum_to_one_hundred() {
+    let cfg = SimConfig::test(300, 4, OptLevel::AsyncAggregation);
+    let result = bh::run_simulation(&cfg);
+    let sum: f64 = Phase::ALL.iter().map(|&p| result.phases.percent(p)).sum();
+    assert!((sum - 100.0).abs() < 1e-6, "phase percentages must sum to 100, got {sum}");
+}
