@@ -15,7 +15,9 @@ fn bench_force(c: &mut Criterion) {
     for &n in &[512usize, 2_048] {
         let bodies = generate(&PlummerConfig::new(n, 7));
         group.bench_with_input(BenchmarkId::new("barnes_hut", n), &bodies, |b, bodies| {
-            b.iter(|| black_box(walk::compute_forces(black_box(bodies), DEFAULT_THETA, DEFAULT_EPS)));
+            b.iter(|| {
+                black_box(walk::compute_forces(black_box(bodies), DEFAULT_THETA, DEFAULT_EPS))
+            });
         });
         group.bench_with_input(BenchmarkId::new("direct_summation", n), &bodies, |b, bodies| {
             b.iter(|| black_box(direct::compute_forces(black_box(bodies), DEFAULT_EPS)));

@@ -49,7 +49,14 @@ fn bench_walk(c: &mut Criterion) {
         b.iter(|| {
             let mut acc_sum = 0.0;
             for body in &bodies {
-                let r = walk::accel_on(&pointer, &bodies, body.pos, Some(body.id), DEFAULT_THETA, DEFAULT_EPS);
+                let r = walk::accel_on(
+                    &pointer,
+                    &bodies,
+                    body.pos,
+                    Some(body.id),
+                    DEFAULT_THETA,
+                    DEFAULT_EPS,
+                );
                 acc_sum += r.acc.norm_sq();
             }
             black_box(acc_sum)
@@ -59,7 +66,8 @@ fn bench_walk(c: &mut Criterion) {
         b.iter(|| {
             let mut acc_sum = 0.0;
             for body in &bodies {
-                let r = hashed.accel_on(&bodies, body.pos, Some(body.id), DEFAULT_THETA, DEFAULT_EPS);
+                let r =
+                    hashed.accel_on(&bodies, body.pos, Some(body.id), DEFAULT_THETA, DEFAULT_EPS);
                 acc_sum += r.acc.norm_sq();
             }
             black_box(acc_sum)

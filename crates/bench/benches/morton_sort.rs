@@ -29,7 +29,9 @@ fn bench_morton(c: &mut Criterion) {
         });
 
         group.bench_with_input(BenchmarkId::new("sort_indices", n), &positions, |b, positions| {
-            b.iter(|| black_box(morton::sort_indices_by_morton(black_box(positions), center, rsize)));
+            b.iter(|| {
+                black_box(morton::sort_indices_by_morton(black_box(positions), center, rsize))
+            });
         });
     }
     group.finish();

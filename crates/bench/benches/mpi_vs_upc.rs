@@ -15,7 +15,8 @@ use pgas::Machine;
 use std::hint::black_box;
 
 fn config(ranks: usize) -> SimConfig {
-    let mut cfg = SimConfig::new(4_096, Machine::process_per_node(ranks), OptLevel::AsyncAggregation);
+    let mut cfg =
+        SimConfig::new(4_096, Machine::process_per_node(ranks), OptLevel::AsyncAggregation);
     cfg.steps = 2;
     cfg.measured_steps = 1;
     cfg

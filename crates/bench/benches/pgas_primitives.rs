@@ -53,7 +53,8 @@ fn bench_pgas(c: &mut Criterion) {
     group.bench_function("aggregated_vlist_async", |b| {
         let rt = Runtime::new(Machine::test_cluster(4));
         let arena: SharedArena<u64> = SharedArena::new(4);
-        let ptrs: Vec<GlobalPtr> = (0..ELEMENTS).map(|i| arena.alloc_raw(i % 4, i as u64)).collect();
+        let ptrs: Vec<GlobalPtr> =
+            (0..ELEMENTS).map(|i| arena.alloc_raw(i % 4, i as u64)).collect();
         let ptrs_ref = &ptrs;
         b.iter(|| {
             let report = rt.run(|ctx| {

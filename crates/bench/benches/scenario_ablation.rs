@@ -1,0 +1,99 @@
+//! Criterion ablation: how the workload *shape* drives the solver.
+//!
+//! The paper evaluates only Plummer spheres; this bench runs every scenario
+//! family of the `scenarios` crate through the structures whose behaviour
+//! depends on the mass distribution, and prints the metrics alongside the
+//! timed tree build:
+//!
+//! * **tree-build depth and size** — cusps (`hernquist`) drive the octree
+//!   deep, uniform workloads (`cold-cube`) keep it shallow;
+//! * **costzones imbalance** — max-over-average zone cost after
+//!   cost-weighted partitioning with realistic per-body costs (one force
+//!   evaluation), the quantity the paper's partitioner exists to minimize;
+//! * **software-cache pressure** — remote cell fetches per interaction
+//!   during a cached (§5.3) distributed run: flatter/bimodal workloads need
+//!   more of the remote tree per rank, so their demand-driven caches miss
+//!   more.
+
+use bh::{run_simulation_on, OptLevel, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbody::body::root_cell;
+use octree::costzones::partition_by_cost;
+use octree::tree::{Octree, TreeParams};
+use octree::walk;
+use pgas::Machine;
+use scenarios::builtin;
+use std::hint::black_box;
+
+const NBODIES: usize = 2_048;
+const SEED: u64 = 20_110_417;
+const RANKS: usize = 4;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let registry = builtin();
+    let mut group = c.benchmark_group("scenario_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for scenario in registry.iter() {
+        let name = scenario.name();
+        let tuning = scenario.recommended_config();
+        let bodies = scenario.generate(NBODIES, SEED);
+
+        // Tree shape.
+        let mut tree = Octree::build(&bodies, TreeParams::default());
+        tree.compute_mass(&bodies);
+        let max_depth = tree.nodes.iter().map(|n| n.depth).max().unwrap_or(0);
+
+        // Costzones imbalance under realistic per-body costs.
+        let costed = walk::compute_forces(&bodies, tuning.theta, tuning.eps);
+        let (center, rsize) = root_cell(&costed);
+        let partition = partition_by_cost(&costed, center, rsize, RANKS);
+        let imbalance = partition.imbalance(&costed);
+
+        // Software-cache pressure in a cached distributed run: cell fetches
+        // (bulk gathers) per 1k interactions.  `bytes_in` at this level is
+        // dominated by remote-cell traffic, so the ratio is a faithful
+        // *comparative* miss-pressure metric across scenarios.
+        let mut cfg =
+            SimConfig::new(NBODIES, Machine::process_per_node(RANKS), OptLevel::CacheLocalTree);
+        cfg.steps = 2;
+        cfg.measured_steps = 1;
+        cfg.theta = tuning.theta;
+        cfg.eps = tuning.eps;
+        cfg.dt = tuning.dt;
+        let result = run_simulation_on(&cfg, bodies.clone());
+        let stats = result.total_stats();
+        let cell_bytes = std::mem::size_of::<bh::cellnode::CellNode>() as f64;
+        let fetched_cells = stats.bytes_in as f64 / cell_bytes;
+        let misses_per_1k = 1_000.0 * fetched_cells / (stats.interactions.max(1) as f64);
+
+        eprintln!(
+            "scenario_ablation/{name}: tree depth {max_depth}, {} nodes / {} bodies, \
+             costzones imbalance {imbalance:.3}, cache fetches/1k interactions {misses_per_1k:.2}, \
+             cached force {:.4} s",
+            tree.len(),
+            NBODIES,
+            result.phases.force,
+        );
+
+        group.bench_with_input(BenchmarkId::new("tree_build", name), &bodies, |b, bodies| {
+            b.iter(|| {
+                let mut t = Octree::build(black_box(bodies), TreeParams::default());
+                t.compute_mass(bodies);
+                black_box(t.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("costzones", name), &costed, |b, costed| {
+            b.iter(|| {
+                let p = partition_by_cost(black_box(costed), center, rsize, RANKS);
+                black_box(p.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -21,9 +21,13 @@ fn bench_theta(c: &mut Criterion) {
             "theta_ablation/theta={theta}: {:.0} interactions per body",
             interactions as f64 / bodies.len() as f64
         );
-        group.bench_with_input(BenchmarkId::new("force", format!("theta_{theta}")), &theta, |b, &theta| {
-            b.iter(|| black_box(walk::compute_forces(black_box(&bodies), theta, DEFAULT_EPS)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("force", format!("theta_{theta}")),
+            &theta,
+            |b, &theta| {
+                b.iter(|| black_box(walk::compute_forces(black_box(&bodies), theta, DEFAULT_EPS)));
+            },
+        );
     }
     group.finish();
 }

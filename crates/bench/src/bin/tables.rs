@@ -10,7 +10,9 @@
 //! All times are *simulated* seconds produced by the PGAS cost model; see
 //! EXPERIMENTS.md for the mapping to the paper's measured numbers.
 
-use bh_bench::experiments::{fig5_from_sweep, fig6_from_sweep, ladder_sweep, run_experiment, Experiment, ExperimentOutput};
+use bh_bench::experiments::{
+    fig5_from_sweep, fig6_from_sweep, ladder_sweep, run_experiment, Experiment, ExperimentOutput,
+};
 use bh_bench::Scale;
 use std::path::PathBuf;
 
@@ -53,12 +55,13 @@ fn parse_args() -> Options {
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1).peekable();
-    let next_value = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>, flag: &str| -> String {
-        args.next().unwrap_or_else(|| {
-            eprintln!("missing value for {flag}");
-            usage()
-        })
-    };
+    let next_value =
+        |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>, flag: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => usage(),
@@ -71,12 +74,16 @@ fn parse_args() -> Options {
             }
             "--smoke" => scale = Scale::smoke(),
             "--bodies" => scale.bodies = parse_num(&next_value(&mut args, "--bodies")),
-            "--weak-bodies" => scale.weak_bodies_per_thread = parse_num(&next_value(&mut args, "--weak-bodies")),
+            "--weak-bodies" => {
+                scale.weak_bodies_per_thread = parse_num(&next_value(&mut args, "--weak-bodies"))
+            }
             "--steps" => scale.steps = parse_num(&next_value(&mut args, "--steps")),
             "--measured" => scale.measured_steps = parse_num(&next_value(&mut args, "--measured")),
             "--seed" => scale.seed = parse_num(&next_value(&mut args, "--seed")) as u64,
             "--threads" => scale.strong_threads = parse_list(&next_value(&mut args, "--threads")),
-            "--weak-threads" => scale.weak_threads = parse_list(&next_value(&mut args, "--weak-threads")),
+            "--weak-threads" => {
+                scale.weak_threads = parse_list(&next_value(&mut args, "--weak-threads"))
+            }
             "--json" => json_dir = Some(PathBuf::from(next_value(&mut args, "--json"))),
             name => match Experiment::from_name(name) {
                 Some(e) => experiments.push(e),
@@ -136,8 +143,16 @@ fn main() {
         for (i, name) in table_names.iter().enumerate() {
             emit(name, &ExperimentOutput::Table(sweep[i].1.clone()), &opts.json_dir);
         }
-        emit("fig5", &ExperimentOutput::Series(fig5_from_sweep(&sweep, &opts.scale)), &opts.json_dir);
-        emit("fig6", &ExperimentOutput::Series(fig6_from_sweep(&sweep, &opts.scale)), &opts.json_dir);
+        emit(
+            "fig5",
+            &ExperimentOutput::Series(fig5_from_sweep(&sweep, &opts.scale)),
+            &opts.json_dir,
+        );
+        emit(
+            "fig6",
+            &ExperimentOutput::Series(fig6_from_sweep(&sweep, &opts.scale)),
+            &opts.json_dir,
+        );
         for exp in [
             Experiment::Fig7,
             Experiment::Fig8,

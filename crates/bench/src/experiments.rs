@@ -165,8 +165,11 @@ impl ExperimentOutput {
 
 /// Builds the simulation configuration for a strong-scaling run.
 fn strong_config(opt: OptLevel, threads: usize, pthreads: bool, scale: &Scale) -> SimConfig {
-    let machine =
-        if pthreads { Machine::power5(threads, 1, true) } else { Machine::process_per_node(threads) };
+    let machine = if pthreads {
+        Machine::power5(threads, 1, true)
+    } else {
+        Machine::process_per_node(threads)
+    };
     let mut cfg = SimConfig::new(scale.bodies, machine, opt);
     cfg.steps = scale.steps;
     cfg.measured_steps = scale.measured_steps;
@@ -189,7 +192,13 @@ fn weak_config(opt: OptLevel, threads: usize, threads_per_node: usize, scale: &S
 
 /// Runs one strong-scaling table (one optimization level across the thread
 /// counts of the scale).
-pub fn strong_table(title: &str, opt: OptLevel, pthreads: bool, scale: &Scale, progress: bool) -> PhaseTable {
+pub fn strong_table(
+    title: &str,
+    opt: OptLevel,
+    pthreads: bool,
+    scale: &Scale,
+    progress: bool,
+) -> PhaseTable {
     let mut table = PhaseTable::new(title);
     for &threads in &scale.strong_threads {
         if progress {
@@ -263,7 +272,13 @@ pub fn fig6_from_sweep(sweep: &[(OptLevel, PhaseTable)], scale: &Scale) -> Serie
 }
 
 /// A weak-scaling series of per-phase times for one configuration.
-fn weak_series(title: &str, opt: OptLevel, scale: &Scale, vector_reduction: bool, progress: bool) -> Series {
+fn weak_series(
+    title: &str,
+    opt: OptLevel,
+    scale: &Scale,
+    vector_reduction: bool,
+    progress: bool,
+) -> Series {
     let mut series = Series::new(
         title,
         &["threads", "tree", "cofm", "partition", "redistribute", "force", "advance", "total"],
@@ -300,7 +315,9 @@ fn fig8(scale: &Scale, progress: bool) -> Series {
     let cfg = weak_config(OptLevel::MergedTreeBuild, threads, scale.threads_per_node, scale);
     let result = run_simulation(&cfg);
     let mut series = Series::new(
-        format!("Figure 8: per-rank tree-building time split at {threads} threads (merged local trees)"),
+        format!(
+            "Figure 8: per-rank tree-building time split at {threads} threads (merged local trees)"
+        ),
         &["rank", "local_build", "merge", "tree_total"],
     );
     for (rank, outcome) in result.ranks.iter().enumerate() {
@@ -313,13 +330,16 @@ fn fig12(scale: &Scale, progress: bool) -> ExperimentOutput {
     // Weak scaling while varying threads per node: 1, 4, 8, 16 pthreads per
     // node plus one process per node.
     let mut outputs = Vec::new();
-    let configs: [(&str, usize, bool); 5] =
-        [("1 thread/node", 1, true), ("4 threads/node", 4, true), ("8 threads/node", 8, true), ("16 threads/node", 16, true), ("1 process/node", 1, false)];
+    let configs: [(&str, usize, bool); 5] = [
+        ("1 thread/node", 1, true),
+        ("4 threads/node", 4, true),
+        ("8 threads/node", 8, true),
+        ("16 threads/node", 16, true),
+        ("1 process/node", 1, false),
+    ];
     for (label, tpn, pthreads) in configs {
-        let mut series = Series::new(
-            format!("Figure 12: weak scaling, {label}"),
-            &["threads", "total"],
-        );
+        let mut series =
+            Series::new(format!("Figure 12: weak scaling, {label}"), &["threads", "total"]);
         for &threads in &scale.weak_threads {
             if progress {
                 eprintln!("  [fig12 {label}] {threads} threads ...");
@@ -327,7 +347,8 @@ fn fig12(scale: &Scale, progress: bool) -> ExperimentOutput {
             let tpn_eff = tpn.min(threads);
             let nodes = threads.div_ceil(tpn_eff);
             let machine = Machine::power5(nodes, tpn_eff, pthreads);
-            let mut cfg = SimConfig::new(scale.weak_bodies_per_thread * threads, machine, OptLevel::Subspace);
+            let mut cfg =
+                SimConfig::new(scale.weak_bodies_per_thread * threads, machine, OptLevel::Subspace);
             cfg.steps = scale.steps;
             cfg.measured_steps = scale.measured_steps;
             cfg.seed = scale.seed;
@@ -345,7 +366,10 @@ fn fig13(scale: &Scale, progress: bool) -> Series {
     // sweep follows the strong thread list and extends it with the weak
     // thread counts (16 threads/node) beyond its maximum.
     let mut series = Series::new(
-        format!("Figure 13: strong-scaling speed-up, {} bodies, fully optimized code", scale.bodies),
+        format!(
+            "Figure 13: strong-scaling speed-up, {} bodies, fully optimized code",
+            scale.bodies
+        ),
         &["threads", "total", "speedup", "bodies_per_thread"],
     );
     let mut one_thread_total = None;
@@ -542,7 +566,9 @@ pub fn run_experiment(exp: Experiment, scale: &Scale, progress: bool) -> Experim
             Experiment::Table6 => "Table 6: + merged-local-tree build (§5.4)".to_string(),
             Experiment::Table7 => "Table 7: + non-blocking aggregation (§5.5)".to_string(),
             Experiment::Table8 => "Table 8: final code, strong scaling, 1 process/node".to_string(),
-            Experiment::Table9 => "Table 9: final code, strong scaling, 1 thread/node (pthreads runtime)".to_string(),
+            Experiment::Table9 => {
+                "Table 9: final code, strong scaling, 1 thread/node (pthreads runtime)".to_string()
+            }
             _ => unreachable!(),
         };
         return ExperimentOutput::Table(strong_table(&title, opt, pthreads, scale, progress));

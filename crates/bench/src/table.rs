@@ -59,7 +59,11 @@ impl PhaseTable {
             }
             out.push_str(&format!("{:<16}", phase.label()));
             for c in &self.columns {
-                out.push_str(&format!("{:>12.3}  {:>6.1}", c.phases.get(phase), c.phases.percent(phase)));
+                out.push_str(&format!(
+                    "{:>12.3}  {:>6.1}",
+                    c.phases.get(phase),
+                    c.phases.percent(phase)
+                ));
             }
             out.push('\n');
         }

@@ -60,7 +60,12 @@ impl CacheTree {
         assert!(!root_ptr.is_null(), "force phase requires a built tree");
         let root = shared.cells.read(ctx, root_ptr);
         CacheTree {
-            nodes: vec![LocalNode { node: root, children_local: [NO_LOCAL; 8], localized: false, requested: false }],
+            nodes: vec![LocalNode {
+                node: root,
+                children_local: [NO_LOCAL; 8],
+                localized: false,
+                requested: false,
+            }],
         }
     }
 
@@ -77,7 +82,12 @@ impl CacheTree {
     /// Installs an already-fetched child under `parent`.
     fn install_child(&mut self, parent: usize, octant: usize, node: CellNode) -> usize {
         let idx = self.nodes.len();
-        self.nodes.push(LocalNode { node, children_local: [NO_LOCAL; 8], localized: false, requested: false });
+        self.nodes.push(LocalNode {
+            node,
+            children_local: [NO_LOCAL; 8],
+            localized: false,
+            requested: false,
+        });
         self.nodes[parent].children_local[octant] = idx as i32;
         idx
     }
@@ -109,9 +119,8 @@ impl CacheTree {
             return;
         }
         ctx.charge_tree_ops(1);
-        let octants: Vec<usize> = (0..8)
-            .filter(|&o| !self.nodes[parent].node.children[o].is_null())
-            .collect();
+        let octants: Vec<usize> =
+            (0..8).filter(|&o| !self.nodes[parent].node.children[o].is_null()).collect();
         assert_eq!(octants.len(), children.len(), "gathered child count mismatch");
         for (octant, node) in octants.into_iter().zip(children) {
             self.install_child(parent, octant, node);
@@ -194,7 +203,9 @@ mod tests {
     use super::*;
     use crate::config::{OptLevel, SimConfig};
     use crate::shared::RankState;
-    use crate::treebuild::{allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies};
+    use crate::treebuild::{
+        allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies,
+    };
     use nbody::direct;
     use pgas::Runtime;
 

@@ -178,7 +178,11 @@ mod tests {
     fn merge_summary_commutes() {
         let mut a = CellNode::new_cell(Vec3::ZERO, 1.0);
         let mut b = CellNode::new_cell(Vec3::ZERO, 1.0);
-        let parts = [(1.0, Vec3::new(1.0, 0.0, 0.0)), (2.0, Vec3::new(0.0, 3.0, 0.0)), (0.5, Vec3::new(0.0, 0.0, -2.0))];
+        let parts = [
+            (1.0, Vec3::new(1.0, 0.0, 0.0)),
+            (2.0, Vec3::new(0.0, 3.0, 0.0)),
+            (0.5, Vec3::new(0.0, 0.0, -2.0)),
+        ];
         for &(m, p) in &parts {
             a.merge_summary(m, p, 1, 1);
         }

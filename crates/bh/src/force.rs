@@ -37,7 +37,13 @@ pub struct BodyForce {
 
 /// Writes computed forces back into the body table under the level's access
 /// discipline.
-pub fn write_back(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &SimConfig, forces: &[BodyForce]) {
+pub fn write_back(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &RankState,
+    cfg: &SimConfig,
+    forces: &[BodyForce],
+) {
     for f in forces {
         let mut body = if cfg.opt.redistributes_bodies() {
             // Owned and local after redistribution.
@@ -55,7 +61,12 @@ pub fn write_back(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &SimConfig,
 
 /// The force phase of the literal translation (no caching): every visited
 /// cell is re-read through its pointer-to-shared for every body.
-pub fn force_phase_uncached(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &SimConfig) -> Vec<BodyForce> {
+pub fn force_phase_uncached(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &RankState,
+    cfg: &SimConfig,
+) -> Vec<BodyForce> {
     let root = shared.root.read(ctx);
     let mut out = Vec::with_capacity(st.my_ids.len());
     for &id in &st.my_ids {
@@ -134,7 +145,12 @@ fn walk_shared(
 /// ([`CacheTree`]) and the §5.3.2 merged local tree with shadow pointers
 /// ([`crate::shadow::ShadowCacheTree`]); both produce identical forces and
 /// identical remote traffic.
-pub fn force_phase_cached(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &SimConfig) -> Vec<BodyForce> {
+pub fn force_phase_cached(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &RankState,
+    cfg: &SimConfig,
+) -> Vec<BodyForce> {
     let theta = read_theta(ctx, shared, st, cfg.opt);
     let eps = read_eps(ctx, shared, st, cfg.opt);
     let mut out = Vec::with_capacity(st.my_ids.len());
@@ -173,7 +189,9 @@ mod tests {
     use super::*;
     use crate::config::OptLevel;
     use crate::shared::RankState;
-    use crate::treebuild::{allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies};
+    use crate::treebuild::{
+        allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies,
+    };
     use nbody::direct;
     use pgas::Runtime;
 
@@ -255,11 +273,7 @@ mod tests {
             ctx.barrier();
         });
         let after = shared.bodytab.snapshot();
-        let moved = before
-            .iter()
-            .zip(&after)
-            .filter(|(b, a)| (b.pos - a.pos).norm() > 0.0)
-            .count();
+        let moved = before.iter().zip(&after).filter(|(b, a)| (b.pos - a.pos).norm() > 0.0).count();
         // Plummer bodies have non-zero velocities, so essentially all move.
         assert!(moved > before.len() * 9 / 10);
     }

@@ -46,7 +46,15 @@ struct Work {
 
 impl Work {
     fn new(id: u32, pos: Vec3) -> Self {
-        Work { id, pos, acc: Vec3::ZERO, phi: 0.0, interactions: 0, frontier: vec![0], stalled: Vec::new() }
+        Work {
+            id,
+            pos,
+            acc: Vec3::ZERO,
+            phi: 0.0,
+            interactions: 0,
+            frontier: vec![0],
+            stalled: Vec::new(),
+        }
     }
 
     fn finished(&self) -> bool {
@@ -57,7 +65,12 @@ impl Work {
 /// The §5.5 force phase.  Functionally identical to
 /// [`crate::force::force_phase_cached`]; only the communication schedule
 /// differs.
-pub fn force_phase_async(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &SimConfig) -> Vec<BodyForce> {
+pub fn force_phase_async(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &RankState,
+    cfg: &SimConfig,
+) -> Vec<BodyForce> {
     let theta = read_theta(ctx, shared, st, cfg.opt);
     let eps = read_eps(ctx, shared, st, cfg.opt);
     let n1 = cfg.n1.max(1);
@@ -171,7 +184,11 @@ pub fn force_phase_async(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &Sim
                 // only happens when n2 is saturated by requests that are not
                 // ours, which cannot occur in this single-threaded engine,
                 // but the guard keeps the loop total).
-                let idx = working.iter().flat_map(|w| w.stalled.iter().copied()).next().expect("stalled node");
+                let idx = working
+                    .iter()
+                    .flat_map(|w| w.stalled.iter().copied())
+                    .next()
+                    .expect("stalled node");
                 cache.localize_children(ctx, shared, idx);
                 revive(&mut working, &cache);
             }
@@ -247,7 +264,9 @@ mod tests {
     use crate::config::{OptLevel, SimConfig};
     use crate::force::{force_phase_cached, write_back};
     use crate::shared::RankState;
-    use crate::treebuild::{allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies};
+    use crate::treebuild::{
+        allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies,
+    };
     use nbody::Body;
     use pgas::Runtime;
 

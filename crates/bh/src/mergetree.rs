@@ -26,12 +26,18 @@ use pgas::{Ctx, GlobalPtr};
 ///
 /// The returned subtree has valid summaries (mass, centre of mass, cost,
 /// body count) throughout.
-pub fn build_local_tree(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) -> GlobalPtr {
+pub fn build_local_tree(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &mut RankState,
+    cfg: &SimConfig,
+) -> GlobalPtr {
     if st.my_ids.is_empty() {
         return GlobalPtr::NULL;
     }
     // Gather owned bodies (local accesses after redistribution).
-    let bodies: Vec<Body> = st.my_ids.iter().map(|&id| read_body(ctx, shared, st, cfg, id)).collect();
+    let bodies: Vec<Body> =
+        st.my_ids.iter().map(|&id| read_body(ctx, shared, st, cfg, id)).collect();
     let params = TreeParams { leaf_capacity: cfg.leaf_capacity, max_depth: cfg.max_depth };
     let mut tree = Octree::build_in(&bodies, st.center, st.rsize, params);
     let mass_visits = tree.compute_mass(&bodies);
@@ -68,7 +74,8 @@ pub fn upload_subtree(
     for octant in 0..8 {
         let child = n.children[octant];
         if child != NO_CHILD {
-            cell.children[octant] = upload_subtree(ctx, shared, st, tree, child as usize, bodies, ids);
+            cell.children[octant] =
+                upload_subtree(ctx, shared, st, tree, child as usize, bodies, ids);
         }
     }
     let ptr = shared.cells.alloc(ctx, cell);
@@ -135,7 +142,9 @@ pub fn merge_into_global(ctx: &Ctx, shared: &BhShared, cfg: &SimConfig, local_ro
         NodeKind::Cell => merge_cells(ctx, shared, cfg, local_root, global_root),
         // A rank that owns a single body has a bare leaf as its local tree:
         // insert it like any other displaced body.
-        NodeKind::Body => insert_leaf_into_global(ctx, shared, cfg, local_root, &lnode, global_root),
+        NodeKind::Body => {
+            insert_leaf_into_global(ctx, shared, cfg, local_root, &lnode, global_root)
+        }
     }
 }
 
@@ -157,7 +166,14 @@ fn merge_cells(ctx: &Ctx, shared: &BhShared, cfg: &SimConfig, l: GlobalPtr, g: G
 }
 
 /// Merges the local node `lchild` into slot `octant` of global cell `g`.
-fn merge_child(ctx: &Ctx, shared: &BhShared, cfg: &SimConfig, g: GlobalPtr, octant: usize, lchild: GlobalPtr) {
+fn merge_child(
+    ctx: &Ctx,
+    shared: &BhShared,
+    cfg: &SimConfig,
+    g: GlobalPtr,
+    octant: usize,
+    lchild: GlobalPtr,
+) {
     let lnode = shared.cells.read_local(ctx, lchild);
     loop {
         let gnode = shared.cells.read(ctx, g);

@@ -166,7 +166,8 @@ pub fn redistribute_phase(
         let _ = shared.bodytab.get_ilist(ctx, &migrated);
     }
 
-    let outcome = RedistributeOutcome { migrated_in: migrated.len() as u64, owned: new_ids.len() as u64 };
+    let outcome =
+        RedistributeOutcome { migrated_in: migrated.len() as u64, owned: new_ids.len() as u64 };
     st.set_owned(new_ids);
     ctx.charge_local_accesses(st.my_ids.len() as u64);
     outcome
@@ -181,7 +182,8 @@ mod tests {
 
     #[test]
     fn splitters_balance_cost() {
-        let sorted: Vec<(u64, u32)> = (0..1000).map(|i| (i as u64 * 10, 1 + (i % 7) as u32)).collect();
+        let sorted: Vec<(u64, u32)> =
+            (0..1000).map(|i| (i as u64 * 10, 1 + (i % 7) as u32)).collect();
         let splitters = compute_splitters(&sorted, 8);
         assert_eq!(splitters.len(), 7);
         assert!(splitters.windows(2).all(|w| w[0] <= w[1]), "splitters must be sorted");

@@ -74,7 +74,12 @@ impl ShadowCacheTree {
             ShadowOrigin::LocalOriginal(_) => local_reuses += 1,
         }
         ShadowCacheTree {
-            nodes: vec![ShadowNode { node: root, origin, shadow: [NO_SHADOW; 8], localized: false }],
+            nodes: vec![ShadowNode {
+                node: root,
+                origin,
+                shadow: [NO_SHADOW; 8],
+                localized: false,
+            }],
             remote_copies,
             local_reuses,
         }
@@ -187,7 +192,9 @@ mod tests {
     use crate::cache::CacheTree;
     use crate::config::{OptLevel, SimConfig};
     use crate::shared::RankState;
-    use crate::treebuild::{allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies};
+    use crate::treebuild::{
+        allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies,
+    };
     use pgas::Runtime;
 
     /// Builds a shared tree over the configured bodies and runs `f` on every
@@ -225,7 +232,11 @@ mod tests {
                     let b = shared.bodytab.read_raw(id as usize);
                     let a = shadow.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
                     let c = separate.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
-                    ((a.acc - c.acc).norm(), (a.phi - c.phi).abs(), a.interactions == c.interactions)
+                    (
+                        (a.acc - c.acc).norm(),
+                        (a.phi - c.phi).abs(),
+                        a.interactions == c.interactions,
+                    )
                 })
                 .collect::<Vec<_>>()
         });

@@ -44,8 +44,26 @@ impl BhShared {
     /// Creates the shared state for a run: generates the Plummer initial
     /// conditions into the body table and initializes the shared scalars.
     pub fn new(cfg: &SimConfig) -> Self {
-        let ranks = cfg.ranks();
         let bodies = generate(&PlummerConfig::new(cfg.nbodies, cfg.seed));
+        BhShared::with_bodies(cfg, bodies)
+    }
+
+    /// Creates the shared state over caller-provided initial conditions
+    /// (any workload — see the `scenarios` crate — not just Plummer).
+    ///
+    /// The bodies must number `cfg.nbodies` and carry ids `0..nbodies` in
+    /// order: the solvers use the id as the index into the global body
+    /// table when redistributing and when assembling the final snapshot.
+    pub fn with_bodies(cfg: &SimConfig, bodies: Vec<Body>) -> Self {
+        assert_eq!(bodies.len(), cfg.nbodies, "initial conditions must match cfg.nbodies");
+        // Hard assert: the solvers index the body table by id, so reordered
+        // ids would produce silently wrong physics rather than an error.
+        // The O(n) check is negligible next to a simulation step.
+        assert!(
+            bodies.iter().enumerate().all(|(i, b)| b.id as usize == i),
+            "initial conditions must carry ids 0..nbodies in order"
+        );
+        let ranks = cfg.ranks();
         BhShared {
             bodytab: SharedVec::from_vec(ranks, bodies),
             cells: SharedArena::new(ranks),
@@ -139,7 +157,11 @@ impl RankState {
             tree_merge_time: 0.0,
             migrated: 0,
             owned_accum: 0,
-            scalar_caches: if cfg.software_scalar_cache { Some(ScalarCaches::default()) } else { None },
+            scalar_caches: if cfg.software_scalar_cache {
+                Some(ScalarCaches::default())
+            } else {
+                None
+            },
         }
     }
 
@@ -194,7 +216,12 @@ pub fn read_eps(ctx: &Ctx, shared: &BhShared, st: &RankState, opt: OptLevel) -> 
 /// discipline: the baseline reads the shared scalars on every call, later
 /// levels use the per-step replicated copies.
 #[inline]
-pub fn read_root_geometry(ctx: &Ctx, shared: &BhShared, st: &RankState, opt: OptLevel) -> (Vec3, f64) {
+pub fn read_root_geometry(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &RankState,
+    opt: OptLevel,
+) -> (Vec3, f64) {
     if opt.replicates_scalars() {
         (st.center, st.rsize)
     } else if let Some(caches) = &st.scalar_caches {
@@ -232,7 +259,14 @@ pub fn read_body(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &SimConfig, 
 }
 
 /// Writes body `id` under the level's access discipline (see [`read_body`]).
-pub fn write_body(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &SimConfig, id: u32, body: Body) {
+pub fn write_body(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &RankState,
+    cfg: &SimConfig,
+    id: u32,
+    body: Body,
+) {
     let idx = id as usize;
     if cfg.opt.redistributes_bodies() {
         debug_assert!(st.owns(id), "owner-computes: only the owner may write a body");

@@ -10,13 +10,23 @@ use crate::partition::{partition_phase, redistribute_phase};
 use crate::report::{Phase, PhaseTimes, RankOutcome, SimResult};
 use crate::shared::{BhShared, RankState};
 use crate::subspace::{subspace_partition, subspace_redistribute, subspace_treebuild};
-use crate::treebuild::{allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies};
+use crate::treebuild::{
+    allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies,
+};
 use pgas::{Ctx, GlobalPtr, Runtime};
 
 /// Runs a full simulation according to `cfg` and returns the per-phase
 /// timing breakdown, per-rank outcomes and the final body states.
 pub fn run_simulation(cfg: &SimConfig) -> SimResult {
     let shared = BhShared::new(cfg);
+    run_simulation_with(cfg, &shared)
+}
+
+/// Like [`run_simulation`] but over caller-provided initial conditions
+/// (any workload — see the `scenarios` crate — not just the built-in
+/// Plummer sphere).  The bodies must number `cfg.nbodies` with ids `0..n`.
+pub fn run_simulation_on(cfg: &SimConfig, bodies: Vec<nbody::Body>) -> SimResult {
+    let shared = BhShared::with_bodies(cfg, bodies);
     run_simulation_with(cfg, &shared)
 }
 
@@ -188,4 +198,45 @@ fn run_step_subspace(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &Sim
     st.timer.begin(ctx, Phase::CenterOfMass.key());
     ctx.barrier();
     st.timer.end(ctx, Phase::CenterOfMass.key());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptLevel;
+    use scenarios::builtin;
+
+    #[test]
+    fn run_simulation_on_accepts_any_scenario() {
+        // Every registered workload family must run through the distributed
+        // solver at a non-trivial optimization level, conserve the body
+        // count and produce finite physics.
+        for scenario in builtin().iter() {
+            let cfg = SimConfig::test(192, 3, OptLevel::Subspace);
+            let bodies = scenario.generate(cfg.nbodies, cfg.seed);
+            let result = run_simulation_on(&cfg, bodies);
+            assert_eq!(result.bodies.len(), 192, "{}", scenario.name());
+            assert!(
+                result.bodies.iter().all(|b| b.pos.is_finite() && b.vel.is_finite()),
+                "{} produced non-finite bodies",
+                scenario.name()
+            );
+            assert!(result.phases.total() > 0.0, "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn plummer_path_is_unchanged() {
+        // `run_simulation` (implicit Plummer) and `run_simulation_on` with
+        // the same Plummer bodies must agree body-for-body.
+        let cfg = SimConfig::test(128, 2, OptLevel::CacheLocalTree);
+        let implicit = run_simulation(&cfg);
+        let explicit = run_simulation_on(
+            &cfg,
+            nbody::plummer::generate(&nbody::plummer::PlummerConfig::new(cfg.nbodies, cfg.seed)),
+        );
+        for (a, b) in implicit.bodies.iter().zip(&explicit.bodies) {
+            assert!((a.pos - b.pos).norm() < 1e-9);
+        }
+    }
 }

@@ -312,7 +312,8 @@ pub fn subspace_treebuild(
             ptrs = vec![root];
         } else {
             for (i, internal) in plan.internals.iter().enumerate() {
-                ptrs[i] = shared.cells.alloc(ctx, CellNode::new_cell(internal.center, internal.half));
+                ptrs[i] =
+                    shared.cells.alloc(ctx, CellNode::new_cell(internal.center, internal.half));
             }
             // Link internal → internal edges (leaf slots are hooked later by
             // their owners).
@@ -437,7 +438,11 @@ mod tests {
     use nbody::body::center_of_mass;
     use pgas::Runtime;
 
-    fn build_subspace(nbodies: usize, ranks: usize, vector_reduction: bool) -> (BhShared, Vec<SubspacePlan>) {
+    fn build_subspace(
+        nbodies: usize,
+        ranks: usize,
+        vector_reduction: bool,
+    ) -> (BhShared, Vec<SubspacePlan>) {
         let mut cfg = SimConfig::test(nbodies, ranks, OptLevel::Subspace);
         cfg.vector_reduction = vector_reduction;
         let shared = BhShared::new(&cfg);
@@ -528,7 +533,12 @@ mod tests {
             assert!(leaf.owner < 4, "leaf without owner");
             // Each leaf obeys the split threshold (leaves above τ only occur
             // at the depth cap, which this input never reaches).
-            assert!(leaf.cost <= plan.tau + 1e-9, "leaf cost {} exceeds tau {}", leaf.cost, plan.tau);
+            assert!(
+                leaf.cost <= plan.tau + 1e-9,
+                "leaf cost {} exceeds tau {}",
+                leaf.cost,
+                plan.tau
+            );
         }
     }
 

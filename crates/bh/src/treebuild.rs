@@ -19,7 +19,12 @@ use pgas::{Ctx, GlobalPtr};
 /// shared scalars by thread 0 (baseline) or replicated locally (§5.1).
 ///
 /// Returns `(center, rsize)`.
-pub fn bounding_box_phase(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) -> (Vec3, f64) {
+pub fn bounding_box_phase(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &mut RankState,
+    cfg: &SimConfig,
+) -> (Vec3, f64) {
     let mut lo = Vec3::splat(f64::INFINITY);
     let mut hi = Vec3::splat(f64::NEG_INFINITY);
     for &id in &st.my_ids {
@@ -201,7 +206,13 @@ pub fn center_of_mass_phase(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cf
 
 /// Attempts to compute the centre of mass of `ptr`.  Returns `false` when a
 /// child's summary is not ready yet.
-fn try_summarize_cell(ctx: &Ctx, shared: &BhShared, st: &RankState, cfg: &SimConfig, ptr: GlobalPtr) -> bool {
+fn try_summarize_cell(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &RankState,
+    cfg: &SimConfig,
+    ptr: GlobalPtr,
+) -> bool {
     let node = shared.cells.read(ctx, ptr);
     if node.done {
         return true;

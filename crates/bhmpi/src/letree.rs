@@ -76,7 +76,12 @@ impl DomainBox {
 /// Builds the export list of this rank's tree for a destination domain box.
 ///
 /// Returns the list and the number of tree nodes visited (for work charging).
-pub fn export_for(tree: &Octree, bodies: &[Body], dest: &DomainBox, theta: f64) -> (Vec<LetItem>, u64) {
+pub fn export_for(
+    tree: &Octree,
+    bodies: &[Body],
+    dest: &DomainBox,
+    theta: f64,
+) -> (Vec<LetItem>, u64) {
     let mut items = Vec::new();
     let mut visited = 0u64;
     if !dest.occupied || tree.is_empty() {
@@ -213,7 +218,10 @@ mod tests {
         let near_box = DomainBox { lo: Vec3::splat(-0.1), hi: Vec3::splat(0.1), occupied: true };
         let (far_items, _) = export_for(&tree, &bodies, &far_box, 1.0);
         let (near_items, _) = export_for(&tree, &bodies, &near_box, 1.0);
-        assert!(far_items.len() < 10, "a very distant domain should receive a handful of summaries");
+        assert!(
+            far_items.len() < 10,
+            "a very distant domain should receive a handful of summaries"
+        );
         assert!(
             near_items.len() > 10 * far_items.len(),
             "a nearby domain needs far more detail ({} vs {})",
@@ -239,8 +247,7 @@ mod tests {
         let rt = Runtime::new(Machine::test_cluster(4));
         let report = rt.run(|ctx| {
             let per = bodies.len() / ctx.ranks();
-            let mine: Vec<Body> =
-                bodies.iter().skip(ctx.rank() * per).take(per).copied().collect();
+            let mine: Vec<Body> = bodies.iter().skip(ctx.rank() * per).take(per).copied().collect();
             let my_mass: f64 = mine.iter().map(|b| b.mass).sum();
             let domains: Vec<DomainBox> = ctx.allgather(DomainBox::of(&mine));
             let tree = tree_over(&mine);

@@ -126,7 +126,8 @@ fn run_step(ctx: &Ctx, st: &mut MpiRankState, cfg: &SimConfig) {
 
     // Redistribution: all-to-all body exchange.
     st.timer.begin(ctx, Phase::Redistribute.key());
-    let (owned, migrated_in) = exchange_bodies(ctx, std::mem::take(&mut st.owned), &global, &splitters);
+    let (owned, migrated_in) =
+        exchange_bodies(ctx, std::mem::take(&mut st.owned), &global, &splitters);
     st.owned = owned;
     st.migrated += migrated_in;
     ctx.barrier();
@@ -310,13 +311,9 @@ mod tests {
     fn more_ranks_do_not_change_physics() {
         let a = run_simulation(&test_cfg(200, 2));
         let b = run_simulation(&test_cfg(200, 5));
-        let mean_diff: f64 = a
-            .bodies
-            .iter()
-            .zip(&b.bodies)
-            .map(|(x, y)| (x.pos - y.pos).norm())
-            .sum::<f64>()
-            / a.bodies.len() as f64;
+        let mean_diff: f64 =
+            a.bodies.iter().zip(&b.bodies).map(|(x, y)| (x.pos - y.pos).norm()).sum::<f64>()
+                / a.bodies.len() as f64;
         assert!(mean_diff < 1e-2, "rank count must not change the physics: {mean_diff}");
     }
 }

@@ -23,7 +23,12 @@ use crate::G;
 /// the same floating-point expression (this is what makes their results
 /// comparable bit-for-bit in the θ → 0 / single-cell cases).
 #[inline]
-pub fn pairwise_acceleration(target: Vec3, source_pos: Vec3, source_mass: f64, eps: f64) -> (Vec3, f64) {
+pub fn pairwise_acceleration(
+    target: Vec3,
+    source_pos: Vec3,
+    source_mass: f64,
+    eps: f64,
+) -> (Vec3, f64) {
     let dr = source_pos - target;
     let dist_sq = dr.norm_sq() + eps * eps;
     let dist = dist_sq.sqrt();

@@ -85,9 +85,13 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for &(x, y, z) in
-            &[(0u64, 0, 0), (1, 2, 3), (100, 200, 300), (2_000_000, 1_000_000, 1_500_000), ((1 << 21) - 1, 0, (1 << 21) - 1)]
-        {
+        for &(x, y, z) in &[
+            (0u64, 0, 0),
+            (1, 2, 3),
+            (100, 200, 300),
+            (2_000_000, 1_000_000, 1_500_000),
+            ((1 << 21) - 1, 0, (1 << 21) - 1),
+        ] {
             let code = encode_ints(x, y, z);
             assert_eq!(decode_ints(code), (x, y, z), "roundtrip failed for ({x},{y},{z})");
         }
@@ -133,8 +137,9 @@ mod tests {
 
     #[test]
     fn sort_indices_is_a_permutation() {
-        let pts: Vec<Vec3> =
-            (0..100).map(|i| Vec3::new((i * 37 % 13) as f64, (i * 17 % 7) as f64, (i % 5) as f64)).collect();
+        let pts: Vec<Vec3> = (0..100)
+            .map(|i| Vec3::new((i * 37 % 13) as f64, (i * 17 % 7) as f64, (i % 5) as f64))
+            .collect();
         let order = sort_indices_by_morton(&pts, Vec3::splat(6.0), 16.0);
         let mut seen = vec![false; pts.len()];
         for &i in &order {

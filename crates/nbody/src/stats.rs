@@ -22,20 +22,13 @@ use crate::vec3::Vec3;
 /// `fractions` must be sorted ascending and lie in `(0, 1]`.  Returns one
 /// radius per requested fraction; returns all zeros for an empty system.
 pub fn lagrangian_radii(bodies: &[Body], fractions: &[f64]) -> Vec<f64> {
-    assert!(
-        fractions.windows(2).all(|w| w[0] <= w[1]),
-        "fractions must be sorted ascending"
-    );
-    assert!(
-        fractions.iter().all(|&f| f > 0.0 && f <= 1.0),
-        "fractions must lie in (0, 1]"
-    );
+    assert!(fractions.windows(2).all(|w| w[0] <= w[1]), "fractions must be sorted ascending");
+    assert!(fractions.iter().all(|&f| f > 0.0 && f <= 1.0), "fractions must lie in (0, 1]");
     if bodies.is_empty() {
         return vec![0.0; fractions.len()];
     }
     let com = center_of_mass(bodies);
-    let mut by_radius: Vec<(f64, f64)> =
-        bodies.iter().map(|b| (b.pos.dist(com), b.mass)).collect();
+    let mut by_radius: Vec<(f64, f64)> = bodies.iter().map(|b| (b.pos.dist(com), b.mass)).collect();
     by_radius.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let total = total_mass(bodies);
 
@@ -48,7 +41,11 @@ pub fn lagrangian_radii(bodies: &[Body], fractions: &[f64]) -> Vec<f64> {
             acc += by_radius[idx].1;
             idx += 1;
         }
-        out.push(if idx < by_radius.len() { by_radius[idx].0 } else { by_radius.last().unwrap().0 });
+        out.push(if idx < by_radius.len() {
+            by_radius[idx].0
+        } else {
+            by_radius.last().unwrap().0
+        });
     }
     out
 }
@@ -69,8 +66,7 @@ pub fn velocity_dispersion(bodies: &[Body]) -> f64 {
         return 0.0;
     }
     let mean: Vec3 = bodies.iter().map(|b| b.vel * b.mass).sum::<Vec3>() / total;
-    let var: f64 =
-        bodies.iter().map(|b| b.mass * (b.vel - mean).norm_sq()).sum::<f64>() / total;
+    let var: f64 = bodies.iter().map(|b| b.mass * (b.vel - mean).norm_sq()).sum::<f64>() / total;
     (var / 3.0).sqrt()
 }
 
@@ -196,9 +192,8 @@ mod tests {
     fn equal_mass_shell_counts() {
         // Four equal-mass bodies at radii 1..4: the 50% radius is the radius
         // of the body that carries the cumulative mass past 0.5.
-        let bodies: Vec<Body> = (1..=4)
-            .map(|i| Body::at_rest(i as u32, Vec3::new(i as f64, 0.0, 0.0), 1.0))
-            .collect();
+        let bodies: Vec<Body> =
+            (1..=4).map(|i| Body::at_rest(i as u32, Vec3::new(i as f64, 0.0, 0.0), 1.0)).collect();
         // Centre of mass is at x = 2.5, so radii from the COM are
         // 1.5, 0.5, 0.5, 1.5.
         let r = lagrangian_radii(&bodies, &[0.5, 1.0]);

@@ -48,10 +48,7 @@ impl Partition {
 
     /// The cost of each zone given the bodies' costs.
     pub fn zone_costs(&self, bodies: &[Body]) -> Vec<u64> {
-        self.zones
-            .iter()
-            .map(|z| z.iter().map(|&i| bodies[i].cost.max(1) as u64).sum())
-            .collect()
+        self.zones.iter().map(|z| z.iter().map(|&i| bodies[i].cost.max(1) as u64).sum()).collect()
     }
 
     /// Maximum zone cost divided by the ideal (average) zone cost; 1.0 is a
@@ -194,8 +191,7 @@ mod tests {
         };
         let all: Vec<usize> = (0..bodies.len()).collect();
         let global = mean_dist(&all);
-        let zonal: f64 =
-            p.zones.iter().map(|z| mean_dist(z)).sum::<f64>() / p.zones.len() as f64;
+        let zonal: f64 = p.zones.iter().map(|z| mean_dist(z)).sum::<f64>() / p.zones.len() as f64;
         assert!(zonal < 0.8 * global, "zones should be compact: zonal {zonal} vs global {global}");
     }
 

@@ -164,13 +164,7 @@ impl HashedOctree {
     pub fn build_in(bodies: &[Body], center: Vec3, rsize: f64, params: TreeParams) -> Self {
         let max_depth = params.max_depth.min(MAX_KEY_DEPTH);
         let params = TreeParams { max_depth, ..params };
-        let mut tree = HashedOctree {
-            cells: HashMap::new(),
-            center,
-            rsize,
-            params,
-            build_ops: 0,
-        };
+        let mut tree = HashedOctree { cells: HashMap::new(), center, rsize, params, build_ops: 0 };
         tree.cells.insert(ROOT_KEY, HashedCell::new_leaf(ROOT_KEY, center, rsize / 2.0));
         for (i, b) in bodies.iter().enumerate() {
             tree.insert(bodies, i, b.pos);
@@ -397,7 +391,15 @@ impl HashedOctree {
         }
         for octant in 0..8 {
             if cell.has_child(octant) {
-                self.walk_cell(child_key(key, octant), bodies, target, exclude_id, theta, eps, result);
+                self.walk_cell(
+                    child_key(key, octant),
+                    bodies,
+                    target,
+                    exclude_id,
+                    theta,
+                    eps,
+                    result,
+                );
             }
         }
     }

@@ -34,7 +34,13 @@ pub fn partition_orb(bodies: &[Body], parts: usize) -> Partition {
 }
 
 /// Recursively bisects `indices` into zones `[first_zone, first_zone + nzones)`.
-fn bisect(bodies: &[Body], indices: Vec<usize>, first_zone: usize, nzones: usize, zones: &mut Vec<Vec<usize>>) {
+fn bisect(
+    bodies: &[Body],
+    indices: Vec<usize>,
+    first_zone: usize,
+    nzones: usize,
+    zones: &mut Vec<Vec<usize>>,
+) {
     if nzones == 1 {
         zones[first_zone] = indices;
         return;
@@ -216,9 +222,8 @@ mod tests {
     fn splits_along_the_longest_axis() {
         // Bodies spread along x only: a 2-way ORB cut must separate low-x
         // from high-x bodies.
-        let bodies: Vec<Body> = (0..10)
-            .map(|i| Body::at_rest(i, Vec3::new(i as f64, 0.0, 0.0), 1.0))
-            .collect();
+        let bodies: Vec<Body> =
+            (0..10).map(|i| Body::at_rest(i, Vec3::new(i as f64, 0.0, 0.0), 1.0)).collect();
         let p = partition_orb(&bodies, 2);
         let max_left = p.zones[0].iter().map(|&i| bodies[i].pos.x).fold(f64::MIN, f64::max);
         let min_right = p.zones[1].iter().map(|&i| bodies[i].pos.x).fold(f64::MAX, f64::min);
@@ -231,14 +236,14 @@ mod tests {
     fn cost_weighted_cut_position() {
         // One very expensive body on the left should pull the cut so that the
         // left zone holds fewer bodies.
-        let mut bodies: Vec<Body> = (0..10)
-            .map(|i| Body::at_rest(i, Vec3::new(i as f64, 0.0, 0.0), 1.0))
-            .collect();
+        let mut bodies: Vec<Body> =
+            (0..10).map(|i| Body::at_rest(i, Vec3::new(i as f64, 0.0, 0.0), 1.0)).collect();
         bodies[0].cost = 9; // left-most body as expensive as 9 others
         let p = partition_orb(&bodies, 2);
         assert!(p.zones[0].len() < p.zones[1].len());
         let costs = p.zone_costs(&bodies);
-        let imbalance = *costs.iter().max().unwrap() as f64 / (costs.iter().sum::<u64>() as f64 / 2.0);
+        let imbalance =
+            *costs.iter().max().unwrap() as f64 / (costs.iter().sum::<u64>() as f64 / 2.0);
         assert!(imbalance < 1.3);
     }
 }

@@ -129,7 +129,13 @@ impl Octree {
 
     /// Creates an empty tree with the given root geometry.
     pub fn empty(center: Vec3, rsize: f64, params: TreeParams) -> Self {
-        Octree { nodes: vec![Node::new_leaf(center, rsize / 2.0, 0)], center, rsize, params, build_ops: 0 }
+        Octree {
+            nodes: vec![Node::new_leaf(center, rsize / 2.0, 0)],
+            center,
+            rsize,
+            params,
+            build_ops: 0,
+        }
     }
 
     /// Number of nodes.
@@ -245,7 +251,8 @@ impl Octree {
                 cost += bodies[i].cost.max(1) as u64;
             }
             self.nodes[node].mass = mass;
-            self.nodes[node].cofm = if mass > 0.0 { moment / mass } else { self.nodes[node].center };
+            self.nodes[node].cofm =
+                if mass > 0.0 { moment / mass } else { self.nodes[node].center };
             self.nodes[node].cost = cost;
             return;
         }

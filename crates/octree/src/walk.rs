@@ -143,7 +143,10 @@ mod tests {
         let tree_forces = compute_forces(&bodies, 0.0, DEFAULT_EPS);
         let direct_forces = direct::compute_forces(&bodies, DEFAULT_EPS);
         for (t, d) in tree_forces.iter().zip(&direct_forces) {
-            assert!(relative_error(t.acc, d.acc) < 1e-9, "theta=0 walk must equal direct summation");
+            assert!(
+                relative_error(t.acc, d.acc) < 1e-9,
+                "theta=0 walk must equal direct summation"
+            );
         }
     }
 
@@ -170,10 +173,7 @@ mod tests {
         let coarse = compute_forces(&bodies, 1.2, DEFAULT_EPS);
         let fine = compute_forces(&bodies, 0.4, DEFAULT_EPS);
         let err = |set: &Vec<Body>| {
-            set.iter()
-                .zip(&direct_forces)
-                .map(|(t, d)| relative_error(t.acc, d.acc))
-                .sum::<f64>()
+            set.iter().zip(&direct_forces).map(|(t, d)| relative_error(t.acc, d.acc)).sum::<f64>()
                 / set.len() as f64
         };
         assert!(err(&fine) < err(&coarse));

@@ -28,9 +28,9 @@ impl<'w> Ctx<'w> {
         // Deposit.
         {
             let mut board = world.board.lock();
-            let entry = board
-                .entry(seq)
-                .or_insert_with(|| Box::new(vec![None::<T>; ranks]) as Box<dyn std::any::Any + Send>);
+            let entry = board.entry(seq).or_insert_with(|| {
+                Box::new(vec![None::<T>; ranks]) as Box<dyn std::any::Any + Send>
+            });
             let slots = entry.downcast_mut::<Vec<Option<T>>>().expect("collective type mismatch");
             slots[self.rank()] = Some(value);
         }
@@ -119,7 +119,11 @@ impl<'w> Ctx<'w> {
     where
         T: Clone + Send + 'static,
     {
-        assert_eq!(outgoing.len(), self.ranks(), "exchange requires one bucket per destination rank");
+        assert_eq!(
+            outgoing.len(),
+            self.ranks(),
+            "exchange requires one bucket per destination rank"
+        );
         let elem_bytes = std::mem::size_of::<T>();
 
         // Charge the send side before the gather.

@@ -66,6 +66,6 @@ pub use gptr::GlobalPtr;
 pub use lock::GlobalLock;
 pub use machine::Machine;
 pub use phase::PhaseTimer;
-pub use runtime::{RankReport, Runtime, RunReport};
+pub use runtime::{RankReport, RunReport, Runtime};
 pub use shared::SharedVec;
 pub use stats::RankStats;

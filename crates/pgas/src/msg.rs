@@ -166,10 +166,9 @@ impl<'w> Ctx<'w> {
                 s.bytes_in += envelope.bytes as u64;
             }
         });
-        *envelope
-            .payload
-            .downcast::<Vec<T>>()
-            .unwrap_or_else(|_| panic!("message from rank {source} received with the wrong element type"))
+        *envelope.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+            panic!("message from rank {source} received with the wrong element type")
+        })
     }
 }
 

@@ -27,7 +27,11 @@ impl PhaseTimer {
     /// # Panics
     /// Panics if another phase is still open.
     pub fn begin(&mut self, ctx: &Ctx, phase: &str) {
-        assert!(self.open.is_none(), "phase {:?} still open", self.open.as_ref().map(|(n, _)| n.clone()));
+        assert!(
+            self.open.is_none(),
+            "phase {:?} still open",
+            self.open.as_ref().map(|(n, _)| n.clone())
+        );
         self.open = Some((phase.to_string(), ctx.now()));
     }
 

@@ -84,8 +84,15 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = RankStats { remote_gets: 1, bytes_in: 10, compute_seconds: 1.5, ..Default::default() };
-        let b = RankStats { remote_gets: 2, bytes_in: 5, compute_seconds: 0.5, lock_acquires: 3, ..Default::default() };
+        let mut a =
+            RankStats { remote_gets: 1, bytes_in: 10, compute_seconds: 1.5, ..Default::default() };
+        let b = RankStats {
+            remote_gets: 2,
+            bytes_in: 5,
+            compute_seconds: 0.5,
+            lock_acquires: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.remote_gets, 3);
         assert_eq!(a.bytes_in, 15);

@@ -1,0 +1,80 @@
+//! Cold uniform cube: the classic violent-relaxation stress test.
+//!
+//! Bodies are placed uniformly at random inside a cube and released at rest.
+//! The system is maximally out of equilibrium (virial ratio 0): it collapses
+//! through its centre within roughly a free-fall time, producing a transient
+//! density spike and strong body migration — the worst case for the paper's
+//! costzones partitioner and the §5.2 redistribution machinery, whose ~2%
+//! steady-state migration statistic assumes near-equilibrium workloads.
+
+use crate::{to_com_frame, Scenario, Tuning};
+use nbody::{Body, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A cold (zero-velocity) uniform cube of side [`ColdCube::side`].
+#[derive(Debug, Clone, Copy)]
+pub struct ColdCube {
+    /// Side length of the cube (centred on the origin).
+    pub side: f64,
+}
+
+impl Default for ColdCube {
+    fn default() -> Self {
+        // Side 2 puts the initial extent in the same ballpark as the other
+        // scenarios' r90, so machine-shape comparisons stay apples-to-apples.
+        ColdCube { side: 2.0 }
+    }
+}
+
+impl Scenario for ColdCube {
+    fn name(&self) -> &'static str {
+        "cold-cube"
+    }
+
+    fn description(&self) -> &'static str {
+        "uniform cold cube collapsing through its centre (violent relaxation)"
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Body> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let half = self.side / 2.0;
+        let mass = if n == 0 { 0.0 } else { 1.0 / n as f64 };
+        let mut bodies: Vec<Body> = (0..n)
+            .map(|i| {
+                let pos = Vec3::new(
+                    rng.gen_range(-half..=half),
+                    rng.gen_range(-half..=half),
+                    rng.gen_range(-half..=half),
+                );
+                Body::at_rest(i as u32, pos, mass)
+            })
+            .collect();
+        to_com_frame(&mut bodies);
+        bodies
+    }
+
+    fn recommended_config(&self) -> Tuning {
+        // The collapse develops a dense core: shorten the step so the
+        // leapfrog stays stable through peak density.
+        Tuning { dt: 0.005, ..Tuning::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostics;
+
+    #[test]
+    fn cold_and_uniform() {
+        let bodies = ColdCube::default().generate(2_000, 3);
+        assert!(bodies.iter().all(|b| b.vel == Vec3::ZERO || b.vel.norm() < 1e-12));
+        let d = Diagnostics::measure(&bodies, 0.05);
+        assert!(d.virial_ratio < 1e-9, "cold system must have virial ratio 0");
+        assert!((d.total_mass - 1.0).abs() < 1e-12);
+        // Uniform cube of side s: the median distance from the centre is
+        // ~0.49 s (between the inscribed-sphere radius 0.5 s and the mean).
+        assert!(d.r50 > 0.4 * 2.0 && d.r50 < 0.55 * 2.0, "r50 {}", d.r50);
+    }
+}

@@ -1,0 +1,198 @@
+//! Hernquist-profile sphere: a steep ρ ∝ 1/r central cusp.
+//!
+//! The Hernquist (1990) model has density `ρ(r) = M a / (2π r (r+a)³)` and
+//! the closed-form cumulative mass `M(<r) = M r² / (r+a)²`, which makes the
+//! radius exactly invertible by inverse-transform sampling.  Unlike the
+//! cored Plummer sphere, the central cusp drives the octree to its maximum
+//! depth near the centre — the adversarial case for tree-build and for the
+//! per-body cost imbalance the costzones partitioner must absorb.
+//!
+//! Velocities are drawn from a local isotropic Maxwellian whose dispersion
+//! comes from numerically integrating the spherical Jeans equation
+//! `σ²(r) = (1/ρ) ∫_r^∞ ρ M / s² ds`, truncated at the local escape speed;
+//! the global kinetic energy is then pinned to the profile's potential
+//! energy so the sphere starts in virial equilibrium.
+
+use crate::sampling::{gaussian, scale_kinetic_energy};
+use crate::{to_com_frame, Scenario, Tuning};
+use nbody::{Body, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Hernquist sphere with scale radius [`Hernquist::scale_radius`].
+#[derive(Debug, Clone, Copy)]
+pub struct Hernquist {
+    /// The profile's scale radius `a` (half-mass radius is ≈ 2.41 a).
+    pub scale_radius: f64,
+    /// Mass fraction at which the profile is truncated (the last percent of
+    /// a Hernquist sphere extends to tens of scale radii).
+    pub mass_cut: f64,
+}
+
+impl Default for Hernquist {
+    fn default() -> Self {
+        // a = 1/3 puts the half-mass radius at ~0.8, matching the Plummer
+        // scenario's scale so cross-scenario comparisons see equal extents.
+        Hernquist { scale_radius: 1.0 / 3.0, mass_cut: 0.98 }
+    }
+}
+
+/// Log-spaced radial grid used for the Jeans integration.
+const GRID: usize = 512;
+
+impl Hernquist {
+    /// Truncation radius implied by the mass cut: `m = r²/(r+a)²`.
+    fn r_max(&self) -> f64 {
+        let s = self.mass_cut.sqrt();
+        self.scale_radius * s / (1.0 - s)
+    }
+
+    /// Density of the unit-mass profile.
+    fn rho(&self, r: f64) -> f64 {
+        let a = self.scale_radius;
+        a / (2.0 * std::f64::consts::PI * r * (r + a).powi(3))
+    }
+
+    /// Cumulative mass of the unit-mass profile.
+    fn mass_within(&self, r: f64) -> f64 {
+        let a = self.scale_radius;
+        (r / (r + a)).powi(2)
+    }
+
+    /// Builds `(radii, σ²(r))` by integrating the Jeans equation inward on a
+    /// log grid, plus the truncated profile's total potential energy.
+    fn jeans_table(&self) -> (Vec<f64>, Vec<f64>, f64) {
+        let a = self.scale_radius;
+        let r_lo = a * 1e-4;
+        let r_hi = self.r_max() * 4.0;
+        let log_step = (r_hi / r_lo).ln() / (GRID - 1) as f64;
+        let radii: Vec<f64> = (0..GRID).map(|i| r_lo * (log_step * i as f64).exp()).collect();
+
+        // Integrand of the Jeans integral and of the potential energy.
+        let jeans = |r: f64| self.rho(r) * self.mass_within(r) / (r * r);
+        let mut sigma2 = vec![0.0f64; GRID];
+        // Tail beyond the grid: ρM/r² ~ a/(2π) · 1/r⁵ ⇒ ∫ ≈ a/(8π r⁴).
+        let mut acc = a / (8.0 * std::f64::consts::PI * r_hi.powi(4));
+        for i in (0..GRID - 1).rev() {
+            let dr = radii[i + 1] - radii[i];
+            acc += 0.5 * (jeans(radii[i]) + jeans(radii[i + 1])) * dr;
+            sigma2[i] = acc / self.rho(radii[i]);
+        }
+        sigma2[GRID - 1] = acc / self.rho(radii[GRID - 1]);
+
+        // Potential energy of the truncated profile:
+        // U = -∫ (M(r)/r) dM = -∫ (M(r)/r) 4π r² ρ(r) dr.
+        let pot =
+            |r: f64| (self.mass_within(r) / r) * 4.0 * std::f64::consts::PI * r * r * self.rho(r);
+        let mut u = 0.0;
+        for i in 0..GRID - 1 {
+            if radii[i] > self.r_max() {
+                break;
+            }
+            let hi = radii[i + 1].min(self.r_max());
+            u -= 0.5 * (pot(radii[i]) + pot(hi)) * (hi - radii[i]);
+        }
+        (radii, sigma2, u)
+    }
+}
+
+/// Linear interpolation on the log grid.
+fn interp(radii: &[f64], values: &[f64], r: f64) -> f64 {
+    match radii.binary_search_by(|x| x.partial_cmp(&r).unwrap()) {
+        Ok(i) => values[i],
+        Err(0) => values[0],
+        Err(i) if i >= radii.len() => values[radii.len() - 1],
+        Err(i) => {
+            let t = (r - radii[i - 1]) / (radii[i] - radii[i - 1]);
+            values[i - 1] * (1.0 - t) + values[i] * t
+        }
+    }
+}
+
+impl Scenario for Hernquist {
+    fn name(&self) -> &'static str {
+        "hernquist"
+    }
+
+    fn description(&self) -> &'static str {
+        "Hernquist sphere: steep 1/r density cusp driving maximum tree depth"
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Body> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = self.scale_radius;
+        let (radii, sigma2, u_total) = self.jeans_table();
+        let mass = 1.0 / n as f64;
+
+        let mut bodies = Vec::with_capacity(n);
+        for i in 0..n {
+            // Inverse-transform radius: m = r²/(r+a)² ⇒ r = a√m/(1-√m).
+            let m: f64 = rng.gen_range(1e-8..self.mass_cut);
+            let s = m.sqrt();
+            let r = a * s / (1.0 - s);
+            let pos = crate::sampling::random_direction(&mut rng, r);
+
+            // Local Maxwellian, truncated at the escape speed of the full
+            // profile, v_esc² = 2/(r+a).
+            let sigma = interp(&radii, &sigma2, r).max(0.0).sqrt();
+            let v_esc = (2.0 / (r + a)).sqrt();
+            let vel = loop {
+                let v =
+                    Vec3::new(gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng)) * sigma;
+                if v.norm() < v_esc {
+                    break v;
+                }
+            };
+            bodies.push(Body::new(i as u32, pos, vel, mass));
+        }
+
+        // Pin the global virial ratio: T = |U|/2 for equilibrium.
+        scale_kinetic_energy(&mut bodies, 0.5 * u_total.abs());
+        to_com_frame(&mut bodies);
+        bodies
+    }
+
+    fn recommended_config(&self) -> Tuning {
+        // The cusp needs a smaller softening than the cored Plummer sphere,
+        // and a slightly stricter opening angle near the dense centre.
+        Tuning { theta: 0.8, eps: 0.02, dt: 0.02 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostics;
+
+    #[test]
+    fn half_mass_radius_matches_the_profile() {
+        let h = Hernquist::default();
+        let bodies = h.generate(4_000, 17);
+        let d = Diagnostics::measure(&bodies, 0.02);
+        // Analytic r50 = a·√0.5/(1-√0.5) ≈ 2.414 a ≈ 0.80 for a = 1/3.
+        let expect = h.scale_radius * (0.5f64.sqrt()) / (1.0 - 0.5f64.sqrt());
+        assert!((d.r50 - expect).abs() < 0.15 * expect, "r50 {} vs analytic {expect}", d.r50);
+        // The cusp concentrates mass: r10 far inside r50.
+        assert!(d.concentration > 8.0, "concentration {}", d.concentration);
+    }
+
+    #[test]
+    fn virial_equilibrium_is_pinned() {
+        let bodies = Hernquist::default().generate(3_000, 23);
+        let d = Diagnostics::measure(&bodies, 0.02);
+        assert!(
+            d.virial_ratio > 0.7 && d.virial_ratio < 1.3,
+            "virial ratio {} out of band",
+            d.virial_ratio
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = Hernquist::default();
+        assert_eq!(h.generate(512, 4), h.generate(512, 4));
+    }
+}

@@ -1,0 +1,228 @@
+//! King (lowered isothermal) sphere: a tidally truncated cluster.
+//!
+//! The King (1966) model lowers the isothermal distribution function by a
+//! constant so it vanishes at a finite escape energy: bodies hotter than the
+//! local escape speed simply do not exist, giving the cluster a sharp tidal
+//! edge at a finite radius.  The model is parameterized by the central
+//! dimensionless potential `W₀ = Ψ(0)/σ²`; larger values are more centrally
+//! concentrated (`W₀ = 6` is a typical globular cluster).
+//!
+//! Construction follows the textbook route (Binney & Tremaine §4.3.3c):
+//!
+//! 1. integrate the dimensionless Poisson equation
+//!    `W'' + (2/r) W' = -9 ρ̂(W)/ρ̂(W₀)` outward from `W(0) = W₀` until the
+//!    density vanishes (the tidal radius `r_t`), tabulating `W(r)` and the
+//!    enclosed mass `M(r)`;
+//! 2. sample radii by inverse transform of `M(r)`, and speeds by rejection
+//!    from the lowered Maxwellian `f(v) ∝ v² (e^{W - v²/2} - 1)`;
+//! 3. rescale to the workspace conventions (total mass 1, half-mass radius
+//!    ≈ 0.8) and pin the kinetic energy to the profile's potential energy.
+
+use crate::sampling::{erf, random_direction, scale_kinetic_energy};
+use crate::{to_com_frame, Scenario, Tuning};
+use nbody::Body;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// A King sphere with central potential depth [`King::w0`].
+#[derive(Debug, Clone, Copy)]
+pub struct King {
+    /// Central dimensionless potential `W₀` (concentration parameter).
+    pub w0: f64,
+    /// Half-mass radius the generated cluster is rescaled to.
+    pub half_mass_radius: f64,
+}
+
+impl Default for King {
+    fn default() -> Self {
+        King { w0: 6.0, half_mass_radius: 0.8 }
+    }
+}
+
+/// Dimensionless King density (central value at `w = w0`):
+/// `ρ̂(W) = e^W erf(√W) - √(4W/π) (1 + 2W/3)` for `W > 0`, else 0.
+fn rho_hat(w: f64) -> f64 {
+    if w <= 0.0 {
+        return 0.0;
+    }
+    let sw = w.sqrt();
+    (w.exp() * erf(sw) - (4.0 * w / PI).sqrt() * (1.0 + 2.0 * w / 3.0)).max(0.0)
+}
+
+/// One row of the integrated model: radius, potential, enclosed mass.
+struct Row {
+    r: f64,
+    w: f64,
+    m: f64,
+}
+
+impl King {
+    /// Integrates the King ODE outward (RK4), returning the radial table and
+    /// the model's potential energy `U = -∫ (M/r) dM` in King units.
+    fn integrate(&self) -> (Vec<Row>, f64) {
+        let rho0 = rho_hat(self.w0);
+        assert!(rho0 > 0.0, "King w0 must be positive");
+        let rhs = |r: f64, w: f64, v: f64| -> (f64, f64) {
+            // y = (W, V); W' = V, V' = -9 ρ̂(W)/ρ̂(W₀) - 2V/r.
+            (v, -9.0 * rho_hat(w) / rho0 - 2.0 * v / r)
+        };
+
+        let dr = 2e-3;
+        let mut r = 1e-6;
+        let mut w = self.w0;
+        let mut v = 0.0;
+        let mut m = 0.0;
+        let mut table = vec![Row { r, w, m }];
+        let mut u = 0.0;
+        // W decreases monotonically; stop at the tidal radius (W = 0).  The
+        // radius bound is a safety net only — W₀ ≤ 10 reaches W = 0 well
+        // before r = 60 core radii.
+        while w > 0.0 && r < 60.0 {
+            let (k1w, k1v) = rhs(r, w, v);
+            let (k2w, k2v) = rhs(r + dr / 2.0, w + k1w * dr / 2.0, v + k1v * dr / 2.0);
+            let (k3w, k3v) = rhs(r + dr / 2.0, w + k2w * dr / 2.0, v + k2v * dr / 2.0);
+            let (k4w, k4v) = rhs(r + dr, w + k3w * dr, v + k3v * dr);
+            let w_next = w + dr / 6.0 * (k1w + 2.0 * k2w + 2.0 * k3w + k4w);
+            let v_next = v + dr / 6.0 * (k1v + 2.0 * k2v + 2.0 * k3v + k4v);
+            let r_next = r + dr;
+
+            let rho_mid = rho_hat((w + w_next) / 2.0) / rho0;
+            let r_mid = r + dr / 2.0;
+            let dm = 4.0 * PI * r_mid * r_mid * rho_mid * dr;
+            if m > 0.0 {
+                u -= (m + dm / 2.0) / r_mid * dm;
+            }
+            m += dm;
+
+            r = r_next;
+            w = w_next.max(0.0);
+            v = v_next;
+            table.push(Row { r, w, m });
+            if w_next <= 0.0 {
+                break;
+            }
+        }
+        (table, u)
+    }
+}
+
+impl Scenario for King {
+    fn name(&self) -> &'static str {
+        "king"
+    }
+
+    fn description(&self) -> &'static str {
+        "King (lowered isothermal) sphere: dense core with a sharp tidal edge"
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Body> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (table, u_king) = self.integrate();
+        let m_total = table.last().unwrap().m;
+
+        // Length rescaling: King-unit half-mass radius → the configured one.
+        let r_half_king = {
+            let target = m_total / 2.0;
+            let i = table.partition_point(|row| row.m < target);
+            table[i.min(table.len() - 1)].r
+        };
+        let lambda = self.half_mass_radius / r_half_king;
+
+        let mass = 1.0 / n as f64;
+        let mut bodies = Vec::with_capacity(n);
+        for i in 0..n {
+            // Radius by inverse transform of M(r).
+            let target = rng.gen_range(0.0..1.0) * m_total;
+            let idx = table.partition_point(|row| row.m < target).min(table.len() - 1);
+            let (lo, hi) = (&table[idx.saturating_sub(1)], &table[idx]);
+            let t = if hi.m > lo.m { (target - lo.m) / (hi.m - lo.m) } else { 0.0 };
+            let r_king = lo.r + t * (hi.r - lo.r);
+            let w_here = (lo.w + t * (hi.w - lo.w)).max(0.0);
+
+            // Speed from the lowered Maxwellian, v ∈ [0, √(2W)].
+            let v_max = (2.0 * w_here).sqrt();
+            let density = |v: f64| v * v * ((w_here - v * v / 2.0).exp() - 1.0);
+            let bound = (1..32)
+                .map(|k| density(v_max * k as f64 / 32.0))
+                .fold(0.0f64, f64::max)
+                .max(1e-300);
+            let speed = if v_max > 0.0 {
+                loop {
+                    let v = rng.gen_range(0.0..v_max);
+                    let y = rng.gen_range(0.0..bound * 1.05);
+                    if y < density(v) {
+                        break v;
+                    }
+                }
+            } else {
+                0.0
+            };
+
+            let pos = random_direction(&mut rng, r_king * lambda);
+            let vel = random_direction(&mut rng, speed);
+            bodies.push(Body::new(i as u32, pos, vel, mass));
+        }
+
+        // Potential energy transforms as U → U/(λ M²) under r → λr, M → 1.
+        let u_scaled = u_king / (lambda * m_total * m_total);
+        scale_kinetic_energy(&mut bodies, 0.5 * u_scaled.abs());
+        to_com_frame(&mut bodies);
+        bodies
+    }
+
+    fn recommended_config(&self) -> Tuning {
+        // Denser core than Plummer: slightly smaller softening.
+        Tuning { eps: 0.03, ..Tuning::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostics;
+
+    #[test]
+    fn density_vanishes_at_zero_and_grows_with_w() {
+        assert_eq!(rho_hat(0.0), 0.0);
+        assert_eq!(rho_hat(-1.0), 0.0);
+        assert!(rho_hat(2.0) > rho_hat(1.0));
+        assert!(rho_hat(6.0) > rho_hat(2.0));
+    }
+
+    #[test]
+    fn model_has_a_finite_tidal_radius() {
+        let (table, u) = King::default().integrate();
+        let last = table.last().unwrap();
+        assert!(last.w <= 1e-6, "potential must reach zero (tidal edge)");
+        assert!(last.r > 1.0 && last.r < 60.0, "tidal radius {} out of range", last.r);
+        assert!(u < 0.0, "potential energy must be negative");
+        // W₀ = 6 concentration: r_t / r_c ≈ 20 (c ≈ 1.25 … 1.35).
+        assert!(last.r > 10.0, "w0=6 tidal radius {} core radii too small", last.r);
+    }
+
+    #[test]
+    fn generated_cluster_has_the_configured_half_mass_radius() {
+        let king = King::default();
+        let bodies = king.generate(4_000, 31);
+        let d = Diagnostics::measure(&bodies, 0.03);
+        assert!(
+            (d.r50 - king.half_mass_radius).abs() < 0.15 * king.half_mass_radius,
+            "r50 {} vs configured {}",
+            d.r50,
+            king.half_mass_radius
+        );
+        // Sharp tidal edge: unlike Plummer/Hernquist halos, r90/r50 is small.
+        assert!(d.r90 / d.r50 < 3.0, "tidal truncation missing: r90/r50 {}", d.r90 / d.r50);
+        assert!(d.virial_ratio > 0.7 && d.virial_ratio < 1.3, "virial {}", d.virial_ratio);
+    }
+
+    #[test]
+    fn deterministic() {
+        let king = King::default();
+        assert_eq!(king.generate(600, 8), king.generate(600, 8));
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's workload: a Plummer sphere in virial equilibrium.
+//!
+//! Thin [`Scenario`] wrapper around [`nbody::plummer`], which implements the
+//! SPLASH-2 generator (§4.1 of the paper) — this keeps the original
+//! generator the single source of truth while making it reachable through
+//! the registry like every other workload.
+
+use crate::{Scenario, Tuning};
+use nbody::plummer::{generate, PlummerConfig};
+use nbody::Body;
+
+/// The Plummer sphere (Aarseth, Hénon, Wielen 1974), `M = G = 1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Plummer;
+
+impl Scenario for Plummer {
+    fn name(&self) -> &'static str {
+        "plummer"
+    }
+
+    fn description(&self) -> &'static str {
+        "Plummer sphere in virial equilibrium (the paper's §4.1 workload)"
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<Body> {
+        generate(&PlummerConfig::new(n, seed))
+    }
+
+    fn recommended_config(&self) -> Tuning {
+        // The paper's defaults were calibrated on exactly this workload.
+        Tuning::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_underlying_generator() {
+        let via_scenario = Plummer.generate(256, 7);
+        let direct = generate(&PlummerConfig::new(256, 7));
+        assert_eq!(via_scenario, direct);
+    }
+}

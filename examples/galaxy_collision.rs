@@ -1,39 +1,60 @@
-//! A domain scenario: two Plummer "galaxies" on a collision course.
+//! A domain scenario: two "galaxies" on a collision course, built with the
+//! `scenarios` subsystem's [`Merger`] composer.
 //!
-//! This example exercises the sequential library surface (Plummer generator,
-//! octree force evaluation, leapfrog integrator, energy diagnostics) rather
-//! than the distributed solver, and prints a CSV time series of separation
-//! and energy that can be plotted directly.
+//! The merger components default to two Plummer spheres, but any registered
+//! scenario family can collide with any other — pass their names as the
+//! third and fourth arguments.  The example exercises the sequential
+//! library surface (scenario generation, octree force evaluation, leapfrog
+//! integrator, energy diagnostics) and prints a CSV time series of
+//! separation and energy that can be plotted directly.
 //!
 //! ```text
-//! cargo run --release --example galaxy_collision -- [bodies_per_galaxy] [steps]
+//! cargo run --release --example galaxy_collision -- [bodies_per_galaxy] [steps] [family_a] [family_b]
+//! cargo run --release --example galaxy_collision -- 2000 40 plummer exp-disk
 //! ```
 
 use barnes_hut_upc::prelude::*;
 use nbody::{energy, integrate};
 use octree::walk;
+use scenarios::Merger;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let per_galaxy: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
     let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40);
+    let family_a = args.next().unwrap_or_else(|| "plummer".to_string());
+    let family_b = args.next().unwrap_or_else(|| "plummer".to_string());
     let dt = 0.05;
     let theta = 0.7;
     let eps = 0.05;
 
-    // Two Plummer spheres, offset and moving towards each other.
-    let mut bodies = Vec::with_capacity(2 * per_galaxy);
-    let offset = Vec3::new(2.5, 0.6, 0.0);
-    let closing_speed = Vec3::new(0.25, 0.0, 0.0);
-    for (galaxy, (sign, seed)) in [(1.0, 11u64), (-1.0, 23u64)].into_iter().enumerate() {
-        for mut b in generate(&PlummerConfig::new(per_galaxy, seed)) {
-            b.id = (galaxy * per_galaxy + b.id as usize) as u32;
-            b.pos += offset * sign;
-            b.vel -= closing_speed * sign;
-            b.mass /= 2.0; // keep the total mass at 1
-            bodies.push(b);
-        }
-    }
+    // Two equal-mass sub-scenarios, offset and closing — `scenarios::make`
+    // keeps the components swappable by name from one source of truth.
+    let component = |name: &str| -> Box<dyn Scenario> {
+        scenarios::make(name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown scenario family: {name} (try one of {:?})",
+                scenarios::BUILTIN_NAMES
+            );
+            std::process::exit(2);
+        })
+    };
+    let merger = Merger::new(
+        component(&family_a),
+        component(&family_b),
+        Vec3::new(5.0, 1.2, 0.0),
+        Vec3::new(-0.5, 0.0, 0.0),
+        0.5,
+    );
+
+    let mut bodies = merger.generate(2 * per_galaxy, 20_111_123);
+    let diag = merger.diagnostics(&bodies);
+    eprintln!(
+        "merger of {family_a} + {family_b}: n {} | r50 {:.3} | virial {:.3}",
+        bodies.len(),
+        diag.r50,
+        diag.virial_ratio
+    );
 
     // Bootstrap the leapfrog with an initial force evaluation.
     bodies = walk::compute_forces(&bodies, theta, eps);
@@ -65,7 +86,8 @@ fn main() {
     });
 }
 
-/// Centres of mass of the two galaxies (bodies are stored galaxy-by-galaxy).
+/// Centres of mass of the two galaxies (the merger stores the primary's
+/// bodies first).
 fn centers(bodies: &[Body], per_galaxy: usize) -> (Vec3, Vec3) {
     let com = |slice: &[Body]| {
         let m: f64 = slice.iter().map(|b| b.mass).sum();

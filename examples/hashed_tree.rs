@@ -40,8 +40,18 @@ fn main() {
 
     println!("{:<22} {:>12} {:>12}", "", "pointer", "hashed");
     println!("{:<22} {:>12} {:>12}", "cells", pointer.len(), hashed.len());
-    println!("{:<22} {:>11.1}ms {:>11.1}ms", "build + mass", pointer_build.as_secs_f64() * 1e3, hashed_build.as_secs_f64() * 1e3);
-    println!("{:<22} {:>11.1}ms {:>11.1}ms", "force walk (all bodies)", pointer_walk.as_secs_f64() * 1e3, hashed_walk.as_secs_f64() * 1e3);
+    println!(
+        "{:<22} {:>11.1}ms {:>11.1}ms",
+        "build + mass",
+        pointer_build.as_secs_f64() * 1e3,
+        hashed_build.as_secs_f64() * 1e3
+    );
+    println!(
+        "{:<22} {:>11.1}ms {:>11.1}ms",
+        "force walk (all bodies)",
+        pointer_walk.as_secs_f64() * 1e3,
+        hashed_walk.as_secs_f64() * 1e3
+    );
 
     // The two structures implement the same geometry, so the forces agree to
     // rounding.

@@ -22,7 +22,14 @@ fn main() {
     println!();
     println!(
         "{:>6}  {:>12} {:>12} {:>12}  {:>12} {:>12} {:>12}  {:>8}",
-        "ranks", "UPC tree", "UPC force", "UPC total", "MPI tree", "MPI force", "MPI total", "MPI/UPC"
+        "ranks",
+        "UPC tree",
+        "UPC force",
+        "UPC total",
+        "MPI tree",
+        "MPI force",
+        "MPI total",
+        "MPI/UPC"
     );
 
     let mut ranks = 1usize;

@@ -1,11 +1,15 @@
-//! Physics-facing example: generate a Plummer cluster, evolve it with the
-//! sequential Barnes-Hut solver and watch its structural diagnostics
-//! (Lagrangian radii, velocity dispersion, energy balance) stay put — an
-//! equilibrium model should neither collapse nor evaporate over a few
-//! dynamical times.
+//! Physics-facing example: generate a cluster from any registered scenario,
+//! evolve it with the sequential Barnes-Hut solver and watch its structural
+//! diagnostics (Lagrangian radii, velocity dispersion, energy balance).
+//!
+//! For equilibrium scenarios (`plummer`, `king`, `hernquist`) the profile
+//! should neither collapse nor evaporate over a few dynamical times; for
+//! `cold-cube` the same time series instead shows the collapse happening —
+//! the half-mass radius plunges within the first free-fall time.
 //!
 //! ```text
-//! cargo run --release --example plummer_diagnostics -- [nbodies] [steps]
+//! cargo run --release --example plummer_diagnostics -- [scenario] [nbodies] [steps]
+//! cargo run --release --example plummer_diagnostics -- king 4000 40
 //! ```
 
 use barnes_hut_upc::prelude::*;
@@ -14,18 +18,28 @@ use octree::walk;
 
 fn main() {
     let mut args = std::env::args().skip(1);
+    let scenario_name = args.next().unwrap_or_else(|| "plummer".to_string());
     let nbodies: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4_000);
     let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40);
-    let dt = 0.025;
-    let theta = 0.8;
-    let eps = 0.05;
 
-    let mut bodies = generate(&PlummerConfig::new(nbodies, 20_260_614));
+    let registry = scenario_registry();
+    let scenario = registry.get(&scenario_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown scenario: {scenario_name} (registered: {})",
+            registry.names().join(", ")
+        );
+        std::process::exit(2)
+    });
+    let tuning = scenario.recommended_config();
+    let (theta, eps, dt) = (tuning.theta.min(0.8), tuning.eps, tuning.dt);
+
+    let mut bodies = scenario.generate(nbodies, 20_260_614);
     let initial = stats::summarize(&bodies);
-    println!("Plummer cluster, N = {nbodies}");
+    println!("{} cluster, N = {nbodies}", scenario.name());
     println!("  total mass          : {:.4}", initial.total_mass);
-    println!("  half-mass radius    : {:.4}  (analytic ≈ 0.766)", initial.half_mass_radius);
+    println!("  half-mass radius    : {:.4}", initial.half_mass_radius);
     println!("  velocity dispersion : {:.4}", initial.velocity_dispersion);
+    println!("  virial ratio        : {:.4}", scenario.diagnostics(&bodies).virial_ratio);
     println!();
 
     bodies = walk::compute_forces(&bodies, theta, eps);

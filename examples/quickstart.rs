@@ -25,7 +25,10 @@ fn main() {
     let cfg = SimConfig::new(nbodies, machine, OptLevel::Subspace);
     let result = run_simulation(&cfg);
 
-    println!("simulated time per phase (max over ranks, last {} of {} steps):", cfg.measured_steps, cfg.steps);
+    println!(
+        "simulated time per phase (max over ranks, last {} of {} steps):",
+        cfg.measured_steps, cfg.steps
+    );
     for phase in Phase::ALL {
         println!(
             "  {:<16} {:>10.4} s   {:>5.1} %",

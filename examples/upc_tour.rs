@@ -68,7 +68,10 @@ fn main() {
         (fine_cost, bulk_cost, async_cost, total, ctx.stats_snapshot())
     });
 
-    println!("{:<6} {:>14} {:>14} {:>14} {:>12} {:>12}", "rank", "fine-grained", "bulk memget", "async vlist", "remote gets", "messages");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "rank", "fine-grained", "bulk memget", "async vlist", "remote gets", "messages"
+    );
     for r in &report.ranks {
         let (fine, bulk, asynchronous, _, stats) = &r.result;
         println!(

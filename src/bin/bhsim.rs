@@ -1,0 +1,292 @@
+//! `bhsim` — scenario driver for the emulated Barnes-Hut ladder.
+//!
+//! Runs any registered workload scenario through any optimization level of
+//! the paper's ladder on any emulated machine shape, and prints the
+//! per-phase timing breakdown (the paper's table rows) together with the
+//! communication-traffic counters the emulator collects.
+//!
+//! ```text
+//! bhsim --list
+//! bhsim --scenario exp-disk --n 4096 --opt subspace --nodes 4
+//! bhsim --scenario merger --n 16384 --opt baseline --nodes 8 --threads-per-node 4 --pthreads
+//! bhsim --scenario king --n 8192 --opt cache-local-tree --steps 6 --measured 2 --json
+//! ```
+
+use barnes_hut_upc::prelude::*;
+use bh::report::RankOutcome;
+
+struct Options {
+    scenario: String,
+    nbodies: usize,
+    opt: OptLevel,
+    nodes: usize,
+    threads_per_node: usize,
+    pthreads: bool,
+    seed: u64,
+    steps: usize,
+    measured: usize,
+    theta: Option<f64>,
+    eps: Option<f64>,
+    dt: Option<f64>,
+    json: bool,
+    list: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scenario: "plummer".to_string(),
+            nbodies: 16_384,
+            opt: OptLevel::Subspace,
+            nodes: 4,
+            threads_per_node: 1,
+            pthreads: false,
+            seed: 1_234_567,
+            steps: 4,
+            measured: 2,
+            theta: None,
+            eps: None,
+            dt: None,
+            json: false,
+            list: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bhsim [options]\n\
+         \n\
+         workload:\n\
+           --scenario NAME      workload family (default plummer); see --list\n\
+           --n N                number of bodies          (default 16384)\n\
+           --seed S             workload RNG seed         (default 1234567)\n\
+         \n\
+         solver:\n\
+           --opt LEVEL          optimization level        (default subspace)\n\
+                                levels: {}\n\
+           --steps N            time steps to run         (default 4)\n\
+           --measured N         trailing steps measured   (default 2)\n\
+           --theta T            opening criterion         (default: scenario's)\n\
+           --eps E              softening                 (default: scenario's)\n\
+           --dt DT              time step                 (default: scenario's)\n\
+         \n\
+         machine:\n\
+           --nodes N            emulated nodes            (default 4)\n\
+           --threads-per-node T UPC threads per node      (default 1)\n\
+           --pthreads           emulate the -pthreads runtime\n\
+         \n\
+         output:\n\
+           --list               list the registered scenarios and exit\n\
+           --json               print the report as JSON instead of a table\n",
+        OptLevel::ALL.map(|l| l.name()).join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number: {s}");
+        usage()
+    })
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    let value = |arg: Option<String>, flag: &str| -> String {
+        arg.unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            "--list" => opts.list = true,
+            "--json" => opts.json = true,
+            "--pthreads" => opts.pthreads = true,
+            "--scenario" => opts.scenario = value(args.next(), "--scenario"),
+            "--n" => opts.nbodies = num(&value(args.next(), "--n")),
+            "--seed" => opts.seed = num(&value(args.next(), "--seed")),
+            "--nodes" => opts.nodes = num(&value(args.next(), "--nodes")),
+            "--threads-per-node" => {
+                opts.threads_per_node = num(&value(args.next(), "--threads-per-node"))
+            }
+            "--steps" => opts.steps = num(&value(args.next(), "--steps")),
+            "--measured" => opts.measured = num(&value(args.next(), "--measured")),
+            "--theta" => opts.theta = Some(num(&value(args.next(), "--theta"))),
+            "--eps" => opts.eps = Some(num(&value(args.next(), "--eps"))),
+            "--dt" => opts.dt = Some(num(&value(args.next(), "--dt"))),
+            "--opt" => {
+                let name = value(args.next(), "--opt");
+                opts.opt = OptLevel::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown optimization level: {name}");
+                    usage()
+                });
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                usage()
+            }
+        }
+    }
+    if opts.nodes == 0 || opts.threads_per_node == 0 {
+        eprintln!("--nodes and --threads-per-node must be positive");
+        usage()
+    }
+    if opts.measured == 0 || opts.measured > opts.steps {
+        eprintln!("--measured must lie in 1..=steps");
+        usage()
+    }
+    opts
+}
+
+fn list_scenarios() {
+    println!("registered scenarios:");
+    for scenario in scenario_registry().iter() {
+        let t = scenario.recommended_config();
+        println!(
+            "  {:<10} {}  [theta {}, eps {}, dt {}]",
+            scenario.name(),
+            scenario.description(),
+            t.theta,
+            t.eps,
+            t.dt
+        );
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if opts.list {
+        list_scenarios();
+        return;
+    }
+
+    let registry = scenario_registry();
+    let scenario = registry.get(&opts.scenario).unwrap_or_else(|| {
+        eprintln!(
+            "unknown scenario: {} (registered: {})",
+            opts.scenario,
+            registry.names().join(", ")
+        );
+        std::process::exit(2)
+    });
+
+    // Machine shape.
+    let machine = if opts.pthreads {
+        Machine::pthreads_per_node(opts.nodes, opts.threads_per_node)
+    } else {
+        Machine::power5(opts.nodes, opts.threads_per_node, false)
+    };
+
+    // Solver configuration: the scenario's recommended tuning, then any
+    // explicit command-line overrides.
+    let tuning = scenario.recommended_config();
+    let mut cfg = SimConfig::new(opts.nbodies, machine, opts.opt);
+    cfg.seed = opts.seed;
+    cfg.steps = opts.steps;
+    cfg.measured_steps = opts.measured;
+    cfg.theta = opts.theta.unwrap_or(tuning.theta);
+    cfg.eps = opts.eps.unwrap_or(tuning.eps);
+    cfg.dt = opts.dt.unwrap_or(tuning.dt);
+
+    eprintln!(
+        "bhsim: scenario {} | n {} | opt {} | {} node(s) x {} thread(s){} | {} step(s), {} measured",
+        scenario.name(),
+        opts.nbodies,
+        opts.opt.name(),
+        opts.nodes,
+        opts.threads_per_node,
+        if opts.pthreads { " (pthreads)" } else { "" },
+        opts.steps,
+        opts.measured,
+    );
+
+    let bodies = scenario.generate(opts.nbodies, opts.seed);
+    let diag = scenario.diagnostics(&bodies);
+    eprintln!(
+        "workload: mass {:.3} | r10/r50/r90 {:.3}/{:.3}/{:.3} | sigma {:.3} | virial {:.3} | |L| {:.3}",
+        diag.total_mass,
+        diag.r10,
+        diag.r50,
+        diag.r90,
+        diag.velocity_dispersion,
+        diag.virial_ratio,
+        diag.angular_momentum,
+    );
+
+    let result = run_simulation_on(&cfg, bodies);
+
+    if opts.json {
+        print_json(scenario.name(), &cfg, &diag, &result);
+    } else {
+        print_report(&cfg, &result);
+    }
+}
+
+fn print_report(cfg: &SimConfig, result: &SimResult) {
+    println!();
+    println!(
+        "per-phase simulated seconds (max over {} ranks, {} measured step(s)):",
+        cfg.ranks(),
+        cfg.measured_steps
+    );
+    println!("  {:<16} {:>12}  {:>6}", "phase", "seconds", "%");
+    for phase in Phase::ALL {
+        println!(
+            "  {:<16} {:>12.6}  {:>5.1}%",
+            phase.label(),
+            result.phases.get(phase),
+            result.phases.percent(phase)
+        );
+    }
+    println!("  {:<16} {:>12.6}", "TOTAL", result.total);
+
+    let stats = result.total_stats();
+    println!();
+    println!("communication traffic (sum over ranks, whole run):");
+    println!("  fine-grained remote ops : {:>12}", stats.remote_ops());
+    println!("  bulk messages           : {:>12}", stats.messages);
+    println!("  bytes in / out          : {:>12} / {}", stats.bytes_in, stats.bytes_out);
+    println!("  lock acquisitions       : {:>12}", stats.lock_acquires);
+    println!("  interactions            : {:>12}", stats.interactions);
+    println!("  tree operations         : {:>12}", stats.tree_ops);
+    if let Some(fraction) = result.vlist_single_source_fraction() {
+        println!("  vlist single-source     : {:>11.1}%", 100.0 * fraction);
+    }
+    println!("  migration / step        : {:>11.2}%", 100.0 * result.migration_fraction);
+
+    // Load balance over ranks: the paper's imbalance discussions in one line.
+    let times: Vec<f64> = result.ranks.iter().map(|r: &RankOutcome| r.phases.total()).collect();
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+    if mean > 0.0 {
+        println!("  rank imbalance (max/avg): {:>12.3}", max / mean);
+    }
+}
+
+fn print_json(scenario: &str, cfg: &SimConfig, diag: &Diagnostics, result: &SimResult) {
+    // A compact machine-readable summary (the full SimResult with all body
+    // states would dominate the output; traffic and phases are what sweep
+    // scripts consume).
+    let summary = serde::Value::Object(vec![
+        ("scenario".to_string(), serde::Value::String(scenario.to_string())),
+        ("nbodies".to_string(), serde::Value::UInt(cfg.nbodies as u64)),
+        ("opt".to_string(), serde::Value::String(cfg.opt.name().to_string())),
+        ("ranks".to_string(), serde::Value::UInt(cfg.ranks() as u64)),
+        ("workload".to_string(), serde::Serialize::to_value(diag)),
+        ("phases".to_string(), serde::Serialize::to_value(&result.phases)),
+        ("total".to_string(), serde::Value::Float(result.total)),
+        ("migration_fraction".to_string(), serde::Value::Float(result.migration_fraction)),
+        ("traffic".to_string(), serde::Serialize::to_value(&result.total_stats())),
+    ]);
+    struct Raw(serde::Value);
+    impl serde::Serialize for Raw {
+        fn to_value(&self) -> serde::Value {
+            self.0.clone()
+        }
+    }
+    println!("{}", serde_json::to_string_pretty(&Raw(summary)).expect("serialize report"));
+}

@@ -16,6 +16,12 @@
 //!   optimization ladder and the experiment driver.
 //! * [`bh_mpi`] — the message-passing (MPI-style) comparator the paper's
 //!   conclusion plans to compare against, running on the same machine model.
+//! * [`scenarios`] — the workload-generation subsystem: six deterministic,
+//!   seedable initial-condition families (`plummer`, `king`, `hernquist`,
+//!   `exp-disk`, `cold-cube`, `merger`) behind a string-keyed registry, so
+//!   every solver and bench can run any workload, not just the paper's
+//!   Plummer spheres.  The `bhsim` binary drives any scenario through any
+//!   optimization level on any emulated machine shape.
 //!
 //! ## Quickstart
 //!
@@ -31,20 +37,51 @@
 //! println!("force phase: {:.3} simulated seconds", result.phases.force);
 //! assert_eq!(result.bodies.len(), 2_000);
 //! ```
+//!
+//! ## Running a non-Plummer workload
+//!
+//! Any registered scenario feeds the same solvers through
+//! [`run_simulation_on`](bh::run_simulation_on):
+//!
+//! ```
+//! use barnes_hut_upc::prelude::*;
+//!
+//! // A rotating exponential disk on 2 emulated nodes, cached force phase.
+//! let registry = scenario_registry();
+//! let disk = registry.get("exp-disk").unwrap();
+//! let mut cfg = SimConfig::new(1_024, Machine::process_per_node(2), OptLevel::CacheLocalTree);
+//! cfg.steps = 2;
+//! cfg.measured_steps = 1;
+//! let tuning = disk.recommended_config();
+//! cfg.theta = tuning.theta;
+//! cfg.eps = tuning.eps;
+//! cfg.dt = tuning.dt;
+//! let bodies = disk.generate(cfg.nbodies, cfg.seed);
+//! let result = run_simulation_on(&cfg, bodies);
+//! assert_eq!(result.bodies.len(), 1_024);
+//! assert!(result.phases.force > 0.0);
+//! ```
+//!
+//! From the command line, the same run is
+//! `cargo run --release --bin bhsim -- --scenario exp-disk --n 1024 --opt cache-local-tree --nodes 2`.
 
 pub use bh;
 pub use bh_mpi;
 pub use nbody;
 pub use octree;
 pub use pgas;
+pub use scenarios;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use bh::{run_simulation, OptLevel, Phase, PhaseTimes, SimConfig, SimResult};
+    pub use bh::{
+        run_simulation, run_simulation_on, OptLevel, Phase, PhaseTimes, SimConfig, SimResult,
+    };
     pub use nbody::plummer::{generate, PlummerConfig};
     pub use nbody::{Body, Vec3};
     pub use octree::{Octree, TreeParams};
     pub use pgas::{Ctx, GlobalPtr, Machine, Runtime, SharedArena, SharedVec};
+    pub use scenarios::{builtin as scenario_registry, Diagnostics, Registry, Scenario, Tuning};
 }
 
 #[cfg(test)]

@@ -23,10 +23,7 @@ fn run_level(opt: OptLevel) -> SimResult {
 
 fn mean_relative_acc_error(a: &[Body], b: &[Body]) -> f64 {
     assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x.acc - y.acc).norm() / y.acc.norm().max(1e-12))
-        .sum::<f64>()
+    a.iter().zip(b).map(|(x, y)| (x.acc - y.acc).norm() / y.acc.norm().max(1e-12)).sum::<f64>()
         / a.len() as f64
 }
 
@@ -42,7 +39,11 @@ fn every_level_is_finite_and_conserves_mass() {
         let mass: f64 = result.bodies.iter().map(|b| b.mass).sum();
         assert!((mass - 1.0).abs() < 1e-9, "mass not conserved at {}", opt.name());
         for b in &result.bodies {
-            assert!(b.pos.is_finite() && b.vel.is_finite() && b.acc.is_finite(), "non-finite state at {}", opt.name());
+            assert!(
+                b.pos.is_finite() && b.vel.is_finite() && b.acc.is_finite(),
+                "non-finite state at {}",
+                opt.name()
+            );
             assert!(b.cost >= 1, "body cost must be at least one at {}", opt.name());
         }
     }

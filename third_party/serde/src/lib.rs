@@ -1,0 +1,158 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of serde it uses: `#[derive(Serialize, Deserialize)]` plus a JSON
+//! emitter (`serde_json::to_string_pretty`).  Instead of serde's generic
+//! serializer architecture, [`Serialize`] converts directly into a [`Value`]
+//! tree that `serde_json` renders; this supports every externally-tagged
+//! shape the workspace derives (named structs, unit and newtype/tuple enum
+//! variants) with serde-compatible JSON output.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree (the subset of the JSON data model we emit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Ordered list.
+    Array(Vec<Value>),
+    /// Ordered key-value map (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types convertible into a [`Value`] tree.
+///
+/// Derivable with `#[derive(Serialize)]`; the derive emits one `Object`
+/// entry per named field and serde's externally-tagged representation for
+/// enums (unit variant → string, newtype variant → `{"Variant": value}`,
+/// tuple variant → `{"Variant": [values…]}`).
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for deserializable types.
+///
+/// Nothing in this workspace deserializes at run time (results are written,
+/// never read back), so the trait carries no methods; the derive emits an
+/// empty impl to keep `#[derive(Deserialize)]` lines source-compatible.
+pub trait Deserialize<'de>: Sized {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_values() {
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(vec![1u8, 2].to_value(), Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+    }
+}

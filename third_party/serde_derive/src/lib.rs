@@ -1,0 +1,293 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! The build environment has no network access, so this proc-macro crate is
+//! hand-rolled without `syn`/`quote`: it walks the raw [`TokenStream`] of the
+//! deriving item, extracts the type shape (named-field struct, tuple struct,
+//! or enum with unit/newtype/tuple/struct variants) and emits a
+//! `serde::Serialize` impl building the [`serde::Value`] tree, or an empty
+//! `serde::Deserialize` marker impl.
+//!
+//! Limitations (checked with clear panics): no generic type parameters and
+//! no serde field attributes — nothing in this workspace uses either.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for non-generic structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(vec![{entries}])")
+        }
+        Shape::TupleStruct(arity) => {
+            let entries = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(vec![{entries}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantFields::Tuple(arity) => {
+                            let binders =
+                                (0..*arity).map(|i| format!("f{i}")).collect::<Vec<_>>().join(", ");
+                            let values = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vname}({binders}) => ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Value::Array(vec![{values}]))]),"
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Value::Object(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    \
+             fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the empty `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}\n")
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, shape: Shape::NamedStruct(parse_named_fields(g.stream())) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item { name, shape: Shape::TupleStruct(count_tuple_fields(g.stream())) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Item { name, shape: Shape::UnitStruct }
+            }
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, shape: Shape::Enum(parse_variants(g.stream())) }
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        kw => panic!("serde_derive: cannot derive for `{kw}` items"),
+    }
+}
+
+/// Skips outer attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(crate)`, `pub(in ...)`).
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts the field names of a named-field body, skipping types (which may
+/// contain commas inside angle brackets, e.g. `HashMap<K, V>`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type(&mut tokens);
+    }
+    fields
+}
+
+/// Consumes a type up to (and including) the next top-level comma.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0usize;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple body by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    if tokens.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for token in tokens {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantFields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                tokens.next();
+                VariantFields::Named(named)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Consume a trailing comma (and reject explicit discriminants, which
+        // the vendored derive does not support).
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive: explicit discriminants are not supported (variant `{name}`)")
+            }
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            other => panic!("serde_derive: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

@@ -1,0 +1,157 @@
+//! Offline drop-in subset of `serde_json`: renders the [`serde::Value`]
+//! trees produced by the vendored `serde` into JSON text.  Only the output
+//! half of serde_json is provided — nothing in this workspace parses JSON.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error.
+///
+/// The vendored emitter is infallible in practice (non-finite floats are
+/// rendered as `null`, like serde_json does for `f64::NAN` under its
+/// arbitrary-precision feature off); the type exists for signature
+/// compatibility.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Keep integral floats distinguishable from integers.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => write_seq(out, indent, level, items.len(), '[', ']', |out, i| {
+            write_value(out, &items[i], indent, level + 1)
+        }),
+        Value::Object(entries) => {
+            write_seq(out, indent, level, entries.len(), '{', '}', |out, i| {
+                let (key, val) = &entries[i];
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            })
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (level + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * level));
+    }
+    out.push(close);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_objects() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("bh".to_string())),
+            ("sizes".to_string(), Value::Array(vec![Value::UInt(1), Value::UInt(2)])),
+            ("ratio".to_string(), Value::Float(0.5)),
+        ]);
+        assert_eq!(
+            to_string(&Wrap(v.clone())).unwrap(),
+            r#"{"name":"bh","sizes":[1,2],"ratio":0.5}"#
+        );
+        let pretty = to_string_pretty(&Wrap(v)).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"bh\""));
+    }
+
+    #[test]
+    fn escapes_strings_and_handles_non_finite() {
+        let v = Value::Object(vec![
+            ("s".to_string(), Value::String("a\"b\\c\n".to_string())),
+            ("f".to_string(), Value::Float(f64::NAN)),
+            ("i".to_string(), Value::Float(3.0)),
+        ]);
+        assert_eq!(to_string(&Wrap(v)).unwrap(), r#"{"s":"a\"b\\c\n","f":null,"i":3.0}"#);
+    }
+
+    struct Wrap(Value);
+    impl Serialize for Wrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
