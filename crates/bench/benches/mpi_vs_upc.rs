@@ -4,14 +4,17 @@
 //! The paper's conclusion (§9) suspects that "with all these changes, the
 //! UPC code is as efficient as a similar MPI code" and defers the direct
 //! comparison to future work.  This bench performs that comparison on the
-//! emulated machine: the same bodies, the same machine model, the same
-//! measurement protocol, two programming models.  The printed simulated
+//! emulated machine through the engine backend registry and the shared
+//! comparison driver — the same code path as `bhsim --compare upc,mpi` —
+//! so the driver logic lives in exactly one place.  The printed simulated
 //! totals are the relevant output; the Criterion timings measure the host
 //! cost of the emulation itself.
 
-use bh::{OptLevel, SimConfig};
+use barnes_hut_upc::backends;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{run_backends, OptLevel, SimConfig};
 use pgas::Machine;
+use scenarios::builtin;
 use std::hint::black_box;
 
 fn config(ranks: usize) -> SimConfig {
@@ -27,20 +30,26 @@ fn bench_mpi_vs_upc(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
+    let registry = backends();
+    let scenarios = builtin();
+    let plummer = scenarios.get("plummer").expect("plummer is builtin");
+    let names = vec!["upc".to_string(), "mpi".to_string()];
     for ranks in [4, 16] {
         let cfg = config(ranks);
-        let upc = bh::run_simulation(&cfg);
-        let mpi = bh_mpi::run_simulation(&cfg);
+        let bodies = plummer.generate(cfg.nbodies, cfg.seed);
+        let runs = run_backends(&registry, &names, &cfg, &bodies)
+            .expect("upc and mpi are registered builtin backends");
+        let (upc, mpi) = (&runs[0].result, &runs[1].result);
         eprintln!(
             "mpi_vs_upc/{ranks} ranks: UPC total = {:.4} s (force {:.4}), MPI total = {:.4} s (force {:.4})",
             upc.total, upc.phases.force, mpi.total, mpi.phases.force
         );
-        group.bench_with_input(BenchmarkId::new("upc_optimized", ranks), &cfg, |b, cfg| {
-            b.iter(|| black_box(bh::run_simulation(black_box(cfg)).total));
-        });
-        group.bench_with_input(BenchmarkId::new("mpi_style", ranks), &cfg, |b, cfg| {
-            b.iter(|| black_box(bh_mpi::run_simulation(black_box(cfg)).total));
-        });
+        for backend_name in ["upc", "mpi"] {
+            let backend = registry.get(backend_name).expect("builtin backend");
+            group.bench_with_input(BenchmarkId::new(backend_name, ranks), &cfg, |b, cfg| {
+                b.iter(|| black_box(backend.run(black_box(cfg), black_box(bodies.clone())).total));
+            });
+        }
     }
     group.finish();
 }

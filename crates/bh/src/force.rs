@@ -37,6 +37,15 @@ pub struct BodyForce {
 
 /// Writes computed forces back into the body table under the level's access
 /// discipline.
+///
+/// On the redistributed path (§5.2 onwards) every force belongs to an owned,
+/// local body (its pointer-to-shared cast to local), so the write-back runs
+/// as one read pass over all owned bodies, the field updates in private
+/// memory, then one write pass — instead of interleaving a read-modify-write
+/// round trip through the body table per body.  The accesses stay individual
+/// local slot accesses (not pgas bulk messages: nothing is remote here), and
+/// the charged counts are identical to the per-body path — one local access
+/// per body for the read and one for the write, charged in two batches.
 pub fn write_back(
     ctx: &Ctx,
     shared: &BhShared,
@@ -44,18 +53,34 @@ pub fn write_back(
     cfg: &SimConfig,
     forces: &[BodyForce],
 ) {
-    for f in forces {
-        let mut body = if cfg.opt.redistributes_bodies() {
-            // Owned and local after redistribution.
-            ctx.charge_local_accesses(1);
-            shared.bodytab.read_raw(f.id as usize)
-        } else {
-            read_body(ctx, shared, st, cfg, f.id)
-        };
-        body.acc = f.acc;
-        body.phi = f.phi;
-        body.cost = f.cost.max(1);
-        write_body(ctx, shared, st, cfg, f.id, body);
+    if cfg.opt.redistributes_bodies() {
+        debug_assert!(
+            forces.iter().all(|f| st.owns(f.id)),
+            "owner-computes: only the owner may write a body"
+        );
+        // Read pass: all owned bodies, one batched charge.
+        ctx.charge_local_accesses(forces.len() as u64);
+        let mut bodies: Vec<Body> =
+            forces.iter().map(|f| shared.bodytab.read_raw(f.id as usize)).collect();
+        for (body, f) in bodies.iter_mut().zip(forces) {
+            body.acc = f.acc;
+            body.phi = f.phi;
+            body.cost = f.cost.max(1);
+        }
+        // Write pass: the updated bodies back into the table, one batched
+        // charge.
+        ctx.charge_local_accesses(forces.len() as u64);
+        for (body, f) in bodies.iter().zip(forces) {
+            shared.bodytab.write_raw(f.id as usize, *body);
+        }
+    } else {
+        for f in forces {
+            let mut body = read_body(ctx, shared, st, cfg, f.id);
+            body.acc = f.acc;
+            body.phi = f.phi;
+            body.cost = f.cost.max(1);
+            write_body(ctx, shared, st, cfg, f.id, body);
+        }
     }
 }
 
@@ -259,6 +284,34 @@ mod tests {
             remote_cached < remote_uncached,
             "caching must reduce remote traffic ({remote_cached} vs {remote_uncached})"
         );
+    }
+
+    #[test]
+    fn batched_write_back_charges_match_per_body_discipline() {
+        // The redistributed-path write-back runs as two passes with batched
+        // charges but must charge exactly what the per-body discipline
+        // charged: one local access per body for the read and one for the
+        // write, and no remote traffic at all.
+        let cfg = SimConfig::test(60, 2, OptLevel::Redistribute);
+        let shared = BhShared::new(&cfg);
+        let rt = Runtime::new(cfg.machine.clone());
+        rt.run(|ctx| {
+            let st = RankState::new(ctx, &shared, &cfg);
+            let forces: Vec<BodyForce> = st
+                .my_ids
+                .iter()
+                .map(|&id| BodyForce { id, acc: Vec3::ZERO, phi: -1.0, cost: 7 })
+                .collect();
+            let before = ctx.stats_snapshot();
+            write_back(ctx, &shared, &st, &cfg, &forces);
+            let after = ctx.stats_snapshot();
+            assert_eq!(after.local_accesses - before.local_accesses, 2 * forces.len() as u64);
+            assert_eq!(after.remote_gets, before.remote_gets);
+            assert_eq!(after.remote_puts, before.remote_puts);
+            ctx.barrier();
+        });
+        let snap = shared.bodytab.snapshot();
+        assert!(snap.iter().all(|b| b.cost == 7 && b.phi == -1.0));
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! The main entry point is [`run_simulation`], which runs the paper's
 //! experiment protocol (four time steps, last two measured) and returns the
 //! per-phase timing breakdown its tables report, together with the final
-//! body states for correctness checks.
+//! body states for correctness checks.  The configuration and result types
+//! are the solver-neutral ones from the [`engine`] crate (re-exported here),
+//! and [`UpcBackend`] registers this solver as the `upc` backend so any
+//! scenario can run on it next to the `mpi` and `direct` competitors.
 //!
 //! ```
 //! use bh::{run_simulation, OptLevel, SimConfig};
@@ -32,6 +35,7 @@
 //! # let _ = Machine::test_cluster(2);
 //! ```
 
+pub mod backend;
 pub mod cache;
 pub mod cellnode;
 pub mod config;
@@ -46,6 +50,7 @@ pub mod sim;
 pub mod subspace;
 pub mod treebuild;
 
+pub use backend::UpcBackend;
 pub use cellnode::{CellNode, NodeKind};
 pub use config::{OptLevel, SimConfig};
 pub use report::{Phase, PhaseTimes, RankOutcome, SimResult};

@@ -165,6 +165,35 @@ fn merge_cells(ctx: &Ctx, shared: &BhShared, cfg: &SimConfig, l: GlobalPtr, g: G
     }
 }
 
+/// Swaps `expect` for `replacement` in slot `octant` of cell `g`, under the
+/// cell's lock.  Returns `false` when the slot no longer holds `expect`.
+///
+/// The mutation goes through [`pgas::SharedArena::update`] (same get+put
+/// billing as a read-then-write) rather than a whole-node read/write so that
+/// it cannot clobber a concurrent atomic summary fold on `g`: summary merges
+/// take only the element lock, not [`BhShared::lock_for`], so writing back a
+/// stale full node here would silently drop them.
+fn swap_child_slot(
+    ctx: &Ctx,
+    shared: &BhShared,
+    g: GlobalPtr,
+    octant: usize,
+    expect: GlobalPtr,
+    replacement: GlobalPtr,
+) -> bool {
+    let guard = shared.lock_for(g).lock(ctx);
+    let swapped = shared.cells.update(ctx, g, |cell| {
+        if cell.children[octant] == expect {
+            cell.children[octant] = replacement;
+            true
+        } else {
+            false
+        }
+    });
+    drop(guard);
+    swapped
+}
+
 /// Merges the local node `lchild` into slot `octant` of global cell `g`.
 fn merge_child(
     ctx: &Ctx,
@@ -181,16 +210,9 @@ fn merge_child(
 
         if gchild.is_null() {
             // Try to hook the whole local subtree with one pointer update.
-            let guard = shared.lock_for(g).lock(ctx);
-            let fresh = shared.cells.read(ctx, g);
-            if fresh.children[octant].is_null() {
-                let mut updated = fresh;
-                updated.children[octant] = lchild;
-                shared.cells.write(ctx, g, updated);
-                drop(guard);
+            if swap_child_slot(ctx, shared, g, octant, GlobalPtr::NULL, lchild) {
                 return;
             }
-            drop(guard);
             continue; // Lost the race; re-evaluate.
         }
 
@@ -207,37 +229,27 @@ fn merge_child(
             (NodeKind::Body, NodeKind::Cell) => {
                 // Swap: our cell takes the slot, the displaced body is
                 // re-inserted below it.
-                let guard = shared.lock_for(g).lock(ctx);
-                let fresh = shared.cells.read(ctx, g);
-                if fresh.children[octant] != gchild {
-                    drop(guard);
+                if !swap_child_slot(ctx, shared, g, octant, gchild, lchild) {
                     continue;
                 }
-                let mut updated = fresh;
-                updated.children[octant] = lchild;
-                shared.cells.write(ctx, g, updated);
-                drop(guard);
                 insert_leaf_into_global(ctx, shared, cfg, gchild, &gchild_node, lchild);
                 return;
             }
             (NodeKind::Body, NodeKind::Body) => {
-                // Two bodies collide in the slot: subdivide.
-                let guard = shared.lock_for(g).lock(ctx);
-                let fresh = shared.cells.read(ctx, g);
-                if fresh.children[octant] != gchild {
-                    drop(guard);
-                    continue;
-                }
-                let (ccenter, chalf) = fresh.child_geometry(octant);
+                // Two bodies collide in the slot: subdivide.  The new cell is
+                // allocated before the swap (a cell's geometry and a body
+                // leaf's summary are immutable, so nothing can go stale); a
+                // lost swap merely strands the allocation until the per-step
+                // arena clear.
+                let (ccenter, chalf) = gnode.child_geometry(octant);
                 let mut new_cell = CellNode::new_cell(ccenter, chalf);
                 new_cell.done = true;
                 new_cell.merge_summary(gchild_node.mass, gchild_node.cofm, gchild_node.cost, 1);
                 new_cell.children[new_cell.octant_of(gchild_node.cofm)] = gchild;
                 let new_ptr = shared.cells.alloc(ctx, new_cell);
-                let mut updated = fresh;
-                updated.children[octant] = new_ptr;
-                shared.cells.write(ctx, g, updated);
-                drop(guard);
+                if !swap_child_slot(ctx, shared, g, octant, gchild, new_ptr) {
+                    continue;
+                }
                 insert_leaf_into_global(ctx, shared, cfg, lchild, &lnode, new_ptr);
                 return;
             }
@@ -258,7 +270,12 @@ fn insert_leaf_into_global(
 ) {
     let mut cur = cell_ptr;
     let mut depth = 0usize;
-    loop {
+    // Outer loop: one iteration per *cell on the descent path*, folding the
+    // leaf's summary into that cell exactly once.  The inner loop retries
+    // lost slot races without re-folding (a retry used to re-run the fold,
+    // double-counting the leaf in `cur` whenever another rank won a hook or
+    // subdivision race).
+    'descend: loop {
         depth += 1;
         shared.cells.update(ctx, cur, |cell| {
             cell.merge_summary(leaf.mass, leaf.cofm, leaf.cost, 1);
@@ -270,47 +287,37 @@ fn insert_leaf_into_global(
             // triggers with Plummer inputs).
             return;
         }
-        let node = shared.cells.read(ctx, cur);
-        let octant = node.octant_of(leaf.cofm);
-        let child = node.children[octant];
+        loop {
+            let node = shared.cells.read(ctx, cur);
+            let octant = node.octant_of(leaf.cofm);
+            let child = node.children[octant];
 
-        if child.is_null() {
-            let guard = shared.lock_for(cur).lock(ctx);
-            let fresh = shared.cells.read(ctx, cur);
-            if fresh.children[octant].is_null() {
-                let mut updated = fresh;
-                updated.children[octant] = leaf_ptr;
-                shared.cells.write(ctx, cur, updated);
-                drop(guard);
-                return;
+            if child.is_null() {
+                if swap_child_slot(ctx, shared, cur, octant, GlobalPtr::NULL, leaf_ptr) {
+                    return;
+                }
+                continue;
             }
-            drop(guard);
-            continue;
-        }
 
-        let child_node = shared.cells.read(ctx, child);
-        if child_node.is_cell() {
-            cur = child;
-            continue;
+            let child_node = shared.cells.read(ctx, child);
+            if child_node.is_cell() {
+                cur = child;
+                continue 'descend;
+            }
+            // Body/body collision: subdivide and keep descending (see
+            // `merge_child` for why the allocation precedes the swap).
+            let (ccenter, chalf) = node.child_geometry(octant);
+            let mut new_cell = CellNode::new_cell(ccenter, chalf);
+            new_cell.done = true;
+            new_cell.merge_summary(child_node.mass, child_node.cofm, child_node.cost, 1);
+            new_cell.children[new_cell.octant_of(child_node.cofm)] = child;
+            let new_ptr = shared.cells.alloc(ctx, new_cell);
+            if !swap_child_slot(ctx, shared, cur, octant, child, new_ptr) {
+                continue;
+            }
+            cur = new_ptr;
+            continue 'descend;
         }
-        // Body/body collision: subdivide and keep descending.
-        let guard = shared.lock_for(cur).lock(ctx);
-        let fresh = shared.cells.read(ctx, cur);
-        if fresh.children[octant] != child {
-            drop(guard);
-            continue;
-        }
-        let (ccenter, chalf) = fresh.child_geometry(octant);
-        let mut new_cell = CellNode::new_cell(ccenter, chalf);
-        new_cell.done = true;
-        new_cell.merge_summary(child_node.mass, child_node.cofm, child_node.cost, 1);
-        new_cell.children[new_cell.octant_of(child_node.cofm)] = child;
-        let new_ptr = shared.cells.alloc(ctx, new_cell);
-        let mut updated = fresh;
-        updated.children[octant] = new_ptr;
-        shared.cells.write(ctx, cur, updated);
-        drop(guard);
-        cur = new_ptr;
     }
 }
 

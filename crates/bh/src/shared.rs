@@ -55,14 +55,7 @@ impl BhShared {
     /// order: the solvers use the id as the index into the global body
     /// table when redistributing and when assembling the final snapshot.
     pub fn with_bodies(cfg: &SimConfig, bodies: Vec<Body>) -> Self {
-        assert_eq!(bodies.len(), cfg.nbodies, "initial conditions must match cfg.nbodies");
-        // Hard assert: the solvers index the body table by id, so reordered
-        // ids would produce silently wrong physics rather than an error.
-        // The O(n) check is negligible next to a simulation step.
-        assert!(
-            bodies.iter().enumerate().all(|(i, b)| b.id as usize == i),
-            "initial conditions must carry ids 0..nbodies in order"
-        );
+        engine::validate_bodies(cfg, &bodies);
         let ranks = cfg.ranks();
         BhShared {
             bodytab: SharedVec::from_vec(ranks, bodies),

@@ -7,7 +7,7 @@ use crate::force::{advance_phase, force_phase_cached, force_phase_uncached, writ
 use crate::frontier::force_phase_async;
 use crate::mergetree::{allocate_merge_root, build_local_tree, merge_into_global};
 use crate::partition::{partition_phase, redistribute_phase};
-use crate::report::{Phase, PhaseTimes, RankOutcome, SimResult};
+use crate::report::{measurement_begins, Phase, PhaseTimes, RankOutcome, SimResult};
 use crate::shared::{BhShared, RankState};
 use crate::subspace::{subspace_partition, subspace_redistribute, subspace_treebuild};
 use crate::treebuild::{
@@ -37,7 +37,7 @@ pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
     let report = runtime.run(|ctx| {
         let mut st = RankState::new(ctx, shared, cfg);
         for step in 0..cfg.steps {
-            if step + cfg.measured_steps == cfg.steps {
+            if measurement_begins(cfg, step) {
                 // Start of the measured window (the paper measures the last
                 // two of four steps): reset all accumulators.
                 st.timer.reset();
@@ -60,31 +60,17 @@ pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
     });
 
     let mut ranks: Vec<RankOutcome> = Vec::with_capacity(report.ranks.len());
-    let mut phases = PhaseTimes::default();
-    let mut migrated = 0u64;
     for r in &report.ranks {
         let mut outcome = r.result.clone();
         outcome.stats = r.stats.clone();
-        phases = phases.max(&outcome.phases);
-        migrated += outcome.migrated_bodies;
         ranks.push(outcome);
     }
-    // Every body is owned by exactly one rank each step, so the ownership
-    // population per measured step is the body count.
-    let ownership_slots = (cfg.nbodies.max(1) * cfg.measured_steps.max(1)) as u64;
-    let migration_fraction = migrated as f64 / ownership_slots as f64;
-    let total = phases.total();
-
-    SimResult { phases, total, ranks, migration_fraction, bodies: shared.bodytab.snapshot() }
+    SimResult::aggregate(cfg, ranks, shared.bodytab.snapshot())
 }
 
 /// Converts a rank's phase timer into the table row structure.
 fn phase_times(st: &RankState) -> PhaseTimes {
-    let mut t = PhaseTimes::default();
-    for phase in Phase::ALL {
-        t.set(phase, st.timer.get(phase.key()));
-    }
-    t
+    PhaseTimes::from_timer(&st.timer)
 }
 
 /// Runs one time step with the phase structure of the configured

@@ -1,0 +1,54 @@
+//! The message-passing solver as an [`engine`] backend.
+
+use crate::sim::{check_config, run_simulation_on};
+use engine::{Backend, SimConfig, SimResult};
+use nbody::Body;
+
+/// The MPI-style solver (registry key `mpi`).
+///
+/// [`Backend::supports`] enforces the pseudo-body id headroom
+/// ([`crate::sim::check_config`]), so oversized configurations fail with a
+/// clear error before any simulation work starts.
+pub struct MpiBackend;
+
+impl Backend for MpiBackend {
+    fn name(&self) -> &'static str {
+        "mpi"
+    }
+
+    fn description(&self) -> &'static str {
+        "message-passing solver (Morton decomposition, all-to-all exchange, pushed LETs)"
+    }
+
+    fn supports(&self, cfg: &SimConfig) -> Result<(), String> {
+        check_config(cfg)
+    }
+
+    fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult {
+        run_simulation_on(cfg, bodies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::PSEUDO_ID_BASE;
+    use engine::OptLevel;
+    use nbody::plummer::{generate, PlummerConfig};
+
+    #[test]
+    fn backend_runs_and_reports_supports() {
+        let cfg = SimConfig::test(128, 2, OptLevel::Subspace);
+        assert!(MpiBackend.supports(&cfg).is_ok());
+        let result = MpiBackend.run(&cfg, generate(&PlummerConfig::new(cfg.nbodies, cfg.seed)));
+        assert_eq!(result.bodies.len(), 128);
+        assert!(result.phases.force > 0.0);
+    }
+
+    #[test]
+    fn oversized_configs_are_unsupported() {
+        let mut cfg = SimConfig::test(128, 2, OptLevel::Subspace);
+        cfg.nbodies = PSEUDO_ID_BASE as usize + 1;
+        assert!(MpiBackend.supports(&cfg).is_err());
+    }
+}

@@ -1,22 +1,24 @@
 //! The message-passing simulation driver.
 //!
-//! Mirrors the protocol of [`bh::run_simulation`] — the same Plummer initial
-//! conditions, the same number of time steps with the last `measured_steps`
-//! timed, the same per-phase breakdown — but every phase is expressed with
-//! explicit message passing: an all-to-all body exchange instead of one-sided
-//! redistribution, a pushed locally-essential-tree exchange instead of
-//! demand-driven caching, and a purely local force walk.
+//! Mirrors the protocol of the UPC solver — the same number of time steps
+//! with the last `measured_steps` timed, the same per-phase breakdown — but
+//! every phase is expressed with explicit message passing: an all-to-all
+//! body exchange instead of one-sided redistribution, a pushed
+//! locally-essential-tree exchange instead of demand-driven caching, and a
+//! purely local force walk.
 //!
-//! The output reuses [`bh::SimResult`] so that the bench harness and the
-//! integration tests can compare the two programming models on identical
-//! workloads (§9 of the paper: "We plan, in future work, to directly compare
-//! the performance of this code to the performance of a similar code
-//! expressed in MPI").
+//! [`run_simulation_on`] accepts caller-provided initial conditions, so any
+//! `scenarios` workload runs under message passing; [`run_simulation`] keeps
+//! the historical Plummer entry point.  The output is the solver-neutral
+//! [`engine::SimResult`], so the bench harness and the integration tests can
+//! compare programming models on identical workloads (§9 of the paper: "We
+//! plan, in future work, to directly compare the performance of this code to
+//! the performance of a similar code expressed in MPI").
 
 use crate::domain::{exchange_bodies, plan};
 use crate::letree::{exchange_let, DomainBox, LetItem};
-use bh::report::{Phase, PhaseTimes, RankOutcome, SimResult};
-use bh::SimConfig;
+use engine::report::{measurement_begins, Phase, PhaseTimes, RankOutcome, SimResult};
+use engine::SimConfig;
 use nbody::plummer::{generate, PlummerConfig};
 use nbody::Body;
 use octree::tree::{Octree, TreeParams};
@@ -24,8 +26,32 @@ use octree::walk::accel_on;
 use pgas::{Ctx, PhaseTimer, Runtime};
 
 /// Base id given to imported pseudo-bodies so they never collide with real
-/// body ids.
-const PSEUDO_ID_BASE: u32 = u32::MAX - (1 << 24);
+/// body ids (see [`check_config`] for the enforced headroom).
+pub const PSEUDO_ID_BASE: u32 = u32::MAX - (1 << 24);
+
+/// Checks that `cfg` is runnable by this solver.
+///
+/// Imported locally-essential-tree items are grafted into the local tree as
+/// pseudo-bodies with ids `PSEUDO_ID_BASE..`; a run whose real body ids
+/// reach that range would silently alias pseudo-bodies with real ones (the
+/// force walk excludes interaction partners by id).  Such configurations are
+/// rejected with a clear error instead.  The bound is `nbodies <
+/// PSEUDO_ID_BASE` — `nbodies == PSEUDO_ID_BASE` (whose highest real id
+/// would sit flush against the reserved range) is rejected too, keeping the
+/// boundary id unused on both sides.  The other half of the invariant — the
+/// per-step LET import count fitting the `1 << 24`-id pseudo window — is
+/// only known mid-run and is asserted where the pseudo ids are minted
+/// (`graft_imports`).
+pub fn check_config(cfg: &SimConfig) -> Result<(), String> {
+    if cfg.nbodies as u64 >= PSEUDO_ID_BASE as u64 {
+        return Err(format!(
+            "nbodies = {} reaches the pseudo-body id space: runs require nbodies < \
+             PSEUDO_ID_BASE = {} (ids from there up are reserved for imported LET point masses)",
+            cfg.nbodies, PSEUDO_ID_BASE
+        ));
+    }
+    Ok(())
+}
 
 /// Per-rank state of the message-passing solver.
 struct MpiRankState {
@@ -37,15 +63,31 @@ struct MpiRankState {
     migrated: u64,
 }
 
-/// Runs the message-passing Barnes-Hut simulation described by `cfg`.
+/// Runs the message-passing Barnes-Hut simulation described by `cfg` over
+/// the paper's Plummer initial conditions (see [`run_simulation_on`] for
+/// arbitrary workloads).
+pub fn run_simulation(cfg: &SimConfig) -> SimResult {
+    run_simulation_on(cfg, generate(&PlummerConfig::new(cfg.nbodies, cfg.seed)))
+}
+
+/// Runs the message-passing Barnes-Hut simulation described by `cfg` over
+/// caller-provided initial conditions (any workload — see the `scenarios`
+/// crate).  The bodies must number `cfg.nbodies` with ids `0..n` in order.
 ///
 /// `cfg.opt`, `cfg.n1`–`n3`, `cfg.alpha` and `cfg.vector_reduction` are
 /// ignored: they parameterise the UPC optimization ladder, which has no
 /// counterpart here.  Everything else (bodies, seed, θ, ε, dt, step counts,
 /// machine) is honoured, so a run with the same `SimConfig` is directly
 /// comparable to the UPC solver's.
-pub fn run_simulation(cfg: &SimConfig) -> SimResult {
-    let all_bodies = generate(&PlummerConfig::new(cfg.nbodies, cfg.seed));
+///
+/// # Panics
+/// Panics when [`check_config`] rejects `cfg` (body ids would alias the
+/// pseudo-body id space) or when the bodies do not match `cfg.nbodies`.
+pub fn run_simulation_on(cfg: &SimConfig, all_bodies: Vec<Body>) -> SimResult {
+    if let Err(e) = check_config(cfg) {
+        panic!("bh_mpi::run_simulation_on: {e}");
+    }
+    engine::validate_bodies(cfg, &all_bodies);
     let runtime = Runtime::new(cfg.machine.clone());
     let ranks = runtime.ranks();
 
@@ -63,7 +105,7 @@ pub fn run_simulation(cfg: &SimConfig) -> SimResult {
             migrated: 0,
         };
         for step in 0..cfg.steps {
-            if step + cfg.measured_steps == cfg.steps {
+            if measurement_begins(cfg, step) {
                 st.timer.reset();
                 st.tree_local_time = 0.0;
                 st.let_exchange_time = 0.0;
@@ -72,12 +114,8 @@ pub fn run_simulation(cfg: &SimConfig) -> SimResult {
             run_step(ctx, &mut st, cfg);
         }
 
-        let mut phases = PhaseTimes::default();
-        for phase in Phase::ALL {
-            phases.set(phase, st.timer.get(phase.key()));
-        }
         let outcome = RankOutcome {
-            phases,
+            phases: PhaseTimes::from_timer(&st.timer),
             tree_local: st.tree_local_time,
             tree_merge: st.let_exchange_time,
             owned_bodies: st.owned.len() as u64,
@@ -94,27 +132,16 @@ pub fn run_simulation(cfg: &SimConfig) -> SimResult {
     });
 
     let mut ranks_out = Vec::with_capacity(report.ranks.len());
-    let mut phases = PhaseTimes::default();
-    let mut migrated = 0u64;
     let mut bodies = Vec::new();
     for r in &report.ranks {
         let (mut outcome, final_bodies) = r.result.clone();
         outcome.stats = r.stats.clone();
-        phases = phases.max(&outcome.phases);
-        migrated += outcome.migrated_bodies;
         if r.rank == 0 {
             bodies = final_bodies;
         }
         ranks_out.push(outcome);
     }
-    let ownership_slots = (cfg.nbodies.max(1) * cfg.measured_steps.max(1)) as u64;
-    SimResult {
-        phases,
-        total: phases.total(),
-        ranks: ranks_out,
-        migration_fraction: migrated as f64 / ownership_slots as f64,
-        bodies,
-    }
+    SimResult::aggregate(cfg, ranks_out, bodies)
 }
 
 /// One message-passing time step.
@@ -190,6 +217,18 @@ fn run_step(ctx: &Ctx, st: &mut MpiRankState, cfg: &SimConfig) {
 /// Inserts the imported LET items into the local tree as point masses and
 /// returns the combined body slice the force walk runs over.
 fn graft_imports(ctx: &Ctx, tree: &mut Octree, owned: &[Body], imported: &[LetItem]) -> Vec<Body> {
+    // The pseudo-id window holds `1 << 24` ids; past it the u32 addition
+    // below would wrap around into real body ids — the silent aliasing
+    // [`check_config`] exists to prevent.  `check_config` bounds the real
+    // ids; the per-step import count can only be bounded here, where it is
+    // known.
+    assert!(
+        imported.len() < (1usize << 24),
+        "LET import count {} exceeds the pseudo-body id window ({} ids starting at {})",
+        imported.len(),
+        1u32 << 24,
+        PSEUDO_ID_BASE
+    );
     let mut walk_bodies = owned.to_vec();
     walk_bodies.reserve(imported.len());
     for (k, item) in imported.iter().enumerate() {
@@ -208,7 +247,7 @@ fn graft_imports(ctx: &Ctx, tree: &mut Octree, owned: &[Body], imported: &[LetIt
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bh::OptLevel;
+    use engine::OptLevel;
     use nbody::direct;
 
     fn test_cfg(nbodies: usize, ranks: usize) -> SimConfig {
@@ -251,25 +290,38 @@ mod tests {
     }
 
     #[test]
-    fn final_state_matches_upc_solver_closely() {
-        // Same workload, same step count: the message-passing solver and the
-        // UPC solver are both θ=1 Barnes-Hut codes, so their final body
-        // positions must agree to within the multipole-approximation noise.
-        let cfg = test_cfg(256, 4);
-        let mpi = run_simulation(&cfg);
-        let upc = bh::run_simulation(&cfg);
-        assert_eq!(mpi.bodies.len(), upc.bodies.len());
-        let mean_pos_diff: f64 = mpi
-            .bodies
-            .iter()
-            .zip(&upc.bodies)
-            .map(|(a, b)| {
-                assert_eq!(a.id, b.id);
-                (a.pos - b.pos).norm()
+    fn any_workload_runs_through_run_simulation_on() {
+        // Caller-provided bodies (here: a deliberately non-Plummer cold
+        // lattice) must flow through the full message-passing pipeline.
+        let cfg = test_cfg(216, 3);
+        let bodies: Vec<Body> = (0..216u32)
+            .map(|i| {
+                let (x, y, z) = (i % 6, (i / 6) % 6, i / 36);
+                Body::at_rest(
+                    i,
+                    nbody::Vec3::new(x as f64 - 2.5, y as f64 - 2.5, z as f64 - 2.5),
+                    1.0 / 216.0,
+                )
             })
-            .sum::<f64>()
-            / mpi.bodies.len() as f64;
-        assert!(mean_pos_diff < 1e-2, "solvers diverged: mean position difference {mean_pos_diff}");
+            .collect();
+        let result = run_simulation_on(&cfg, bodies);
+        assert_eq!(result.bodies.len(), 216);
+        assert!(result.bodies.iter().enumerate().all(|(i, b)| b.id as usize == i));
+        assert!(result.bodies.iter().all(|b| b.pos.is_finite() && b.vel.is_finite()));
+        assert!(result.phases.force > 0.0);
+    }
+
+    #[test]
+    fn pseudo_id_collisions_are_rejected() {
+        let mut cfg = test_cfg(64, 2);
+        assert!(check_config(&cfg).is_ok());
+        cfg.nbodies = PSEUDO_ID_BASE as usize;
+        let err = check_config(&cfg).unwrap_err();
+        assert!(err.contains("pseudo-body id space"), "{err}");
+        cfg.nbodies = PSEUDO_ID_BASE as usize + 7;
+        assert!(check_config(&cfg).is_err());
+        cfg.nbodies = PSEUDO_ID_BASE as usize - 1;
+        assert!(check_config(&cfg).is_ok());
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! The backend abstraction: one trait for every solver.
+//!
+//! The paper's conclusion (§9) leaves "directly compare the performance of
+//! this code to the performance of a similar code expressed in MPI" as
+//! future work.  That comparison needs the solvers to be interchangeable:
+//! a [`Backend`] consumes a [`SimConfig`] plus the initial bodies (from any
+//! `scenarios` generator) and produces a [`SimResult`], nothing more.  The
+//! string-keyed [`BackendRegistry`] mirrors the scenarios registry so that
+//! drivers, benches and tests can select solvers by name (`upc`, `mpi`,
+//! `direct`) exactly as they select workloads.
+
+use crate::config::SimConfig;
+use crate::report::SimResult;
+use nbody::Body;
+
+/// A solver that can run any scenario's bodies under a [`SimConfig`].
+///
+/// Implementations must honour the shared conventions: the bodies number
+/// `cfg.nbodies` with ids `0..n` in order, the run executes `cfg.steps`
+/// steps with the trailing `cfg.measured_steps` timed, and the returned
+/// [`SimResult::bodies`] are sorted by id.
+pub trait Backend: Send + Sync {
+    /// Registry key (stable, kebab-case).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for `bhsim --list`.
+    fn description(&self) -> &'static str;
+
+    /// Checks whether this backend can run `cfg`, returning a clear error
+    /// when it cannot (e.g. a body count that would collide with the MPI
+    /// solver's pseudo-body id space).
+    fn supports(&self, cfg: &SimConfig) -> Result<(), String> {
+        let _ = cfg;
+        Ok(())
+    }
+
+    /// Runs the simulation over the given initial conditions.
+    ///
+    /// Callers should check [`Backend::supports`] first; implementations may
+    /// panic on configurations they reported as unsupported.
+    fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult;
+}
+
+/// Asserts the shared body conventions every backend relies on: the bodies
+/// number `cfg.nbodies` and carry ids `0..n` in order (the solvers index
+/// tables and assemble snapshots by id, so a violation would produce
+/// silently wrong physics rather than an error; the O(n) check is
+/// negligible next to a simulation step).
+pub fn validate_bodies(cfg: &SimConfig, bodies: &[Body]) {
+    assert_eq!(bodies.len(), cfg.nbodies, "initial conditions must match cfg.nbodies");
+    assert!(
+        bodies.iter().enumerate().all(|(i, b)| b.id as usize == i),
+        "initial conditions must carry ids 0..nbodies in order"
+    );
+}
+
+/// A string-keyed collection of backends.
+///
+/// Later registrations shadow earlier ones with the same name, so
+/// applications can override a built-in backend while keeping the rest.
+#[derive(Default)]
+pub struct BackendRegistry {
+    entries: Vec<Box<dyn Backend>>,
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn new() -> BackendRegistry {
+        BackendRegistry::default()
+    }
+
+    /// Adds a backend (shadowing any previous entry with the same name).
+    pub fn register(&mut self, backend: Box<dyn Backend>) {
+        self.entries.push(backend);
+    }
+
+    /// Looks a backend up by its [`Backend::name`].
+    pub fn get(&self, name: &str) -> Option<&dyn Backend> {
+        self.entries.iter().rev().find(|b| b.name() == name).map(|b| b.as_ref())
+    }
+
+    /// The names currently registered, in registration order, deduplicated.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for b in &self.entries {
+            if !names.contains(&b.name()) {
+                names.push(b.name());
+            }
+        }
+        names
+    }
+
+    /// Iterates over the visible (non-shadowed) backends.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Backend> {
+        self.names().into_iter().filter_map(|n| self.get(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptLevel;
+
+    struct Dummy(&'static str);
+    impl Backend for Dummy {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn description(&self) -> &'static str {
+            "dummy"
+        }
+        fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult {
+            SimResult::aggregate(cfg, Vec::new(), bodies)
+        }
+    }
+
+    #[test]
+    fn registry_lookup_and_shadowing() {
+        let mut registry = BackendRegistry::new();
+        registry.register(Box::new(Dummy("a")));
+        registry.register(Box::new(Dummy("b")));
+        assert_eq!(registry.names(), vec!["a", "b"]);
+        assert!(registry.get("a").is_some());
+        assert!(registry.get("c").is_none());
+        registry.register(Box::new(Dummy("a")));
+        assert_eq!(registry.names().len(), 2, "shadowing must not duplicate names");
+        assert_eq!(registry.iter().count(), 2);
+    }
+
+    #[test]
+    fn default_supports_accepts_everything() {
+        let cfg = SimConfig::test(16, 1, OptLevel::Baseline);
+        assert!(Dummy("x").supports(&cfg).is_ok());
+    }
+}

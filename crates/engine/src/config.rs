@@ -1,0 +1,253 @@
+//! Simulation configuration: the optimization ladder and all tunables.
+//!
+//! [`SimConfig`] describes one run completely — workload size and seed,
+//! physics parameters, emulated machine, measurement protocol — and is
+//! consumed by every backend.  [`OptLevel`] parameterises the UPC ladder;
+//! backends without a ladder (the MPI comparator, direct summation) ignore
+//! it, so a single `SimConfig` drives directly comparable runs everywhere.
+
+use pgas::Machine;
+use serde::{Deserialize, Serialize};
+
+/// The cumulative optimization ladder of the paper.
+///
+/// Each level includes every optimization below it, exactly as the paper's
+/// evaluation applies them cumulatively (Tables 2–7 and §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// §4: the literal SPLASH-2 → UPC translation.  Shared scalars live on
+    /// thread 0 and are re-read remotely, bodies stay in their original
+    /// block distribution, the octree is built by global insertion under
+    /// locks, and the force walk dereferences pointers-to-shared for every
+    /// cell it touches.
+    Baseline,
+    /// §5.1: `tol`, `eps` and `rsize` are replicated into private variables
+    /// on every thread.
+    ReplicateScalars,
+    /// §5.2: bodies are redistributed to their owning thread after
+    /// partitioning (indexed bulk gather, double-buffered), so that all body
+    /// accesses in the remaining phases are local and pointer-cast.
+    Redistribute,
+    /// §5.3.1: remote octree cells are cached on demand in a per-thread
+    /// local tree during force computation.
+    CacheLocalTree,
+    /// §5.4: each thread builds a local octree without locks and merges it
+    /// into the global tree, merging centres of mass commutatively.
+    MergedTreeBuild,
+    /// §5.5: non-blocking aggregated gathers (`bupc_memget_vlist_async`)
+    /// overlap cache misses with force computation on other working bodies.
+    AsyncAggregation,
+    /// §6: the scalable subspace (cost-threshold) tree-building algorithm
+    /// with level-wise vector reductions and an all-to-all body exchange.
+    Subspace,
+}
+
+impl OptLevel {
+    /// All levels in ladder order.
+    pub const ALL: [OptLevel; 7] = [
+        OptLevel::Baseline,
+        OptLevel::ReplicateScalars,
+        OptLevel::Redistribute,
+        OptLevel::CacheLocalTree,
+        OptLevel::MergedTreeBuild,
+        OptLevel::AsyncAggregation,
+        OptLevel::Subspace,
+    ];
+
+    /// Short name used by reports and the bench harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::Baseline => "baseline",
+            OptLevel::ReplicateScalars => "replicate-scalars",
+            OptLevel::Redistribute => "redistribute",
+            OptLevel::CacheLocalTree => "cache-local-tree",
+            OptLevel::MergedTreeBuild => "merged-tree-build",
+            OptLevel::AsyncAggregation => "async-aggregation",
+            OptLevel::Subspace => "subspace",
+        }
+    }
+
+    /// Parses a level from its [`OptLevel::name`].
+    pub fn from_name(name: &str) -> Option<OptLevel> {
+        OptLevel::ALL.iter().copied().find(|l| l.name() == name)
+    }
+
+    /// `true` when shared scalars (`tol`, `eps`, `rsize`) are replicated
+    /// locally (§5.1), i.e. at every level above the baseline.
+    pub fn replicates_scalars(self) -> bool {
+        self >= OptLevel::ReplicateScalars
+    }
+
+    /// `true` when bodies are redistributed to their owners (§5.2).
+    pub fn redistributes_bodies(self) -> bool {
+        self >= OptLevel::Redistribute
+    }
+
+    /// `true` when the force phase caches remote cells locally (§5.3).
+    pub fn caches_cells(self) -> bool {
+        self >= OptLevel::CacheLocalTree
+    }
+
+    /// `true` when tree building uses local trees merged into the global
+    /// tree (§5.4) rather than global insertion under locks.
+    pub fn merged_tree_build(self) -> bool {
+        self == OptLevel::MergedTreeBuild || self == OptLevel::AsyncAggregation
+    }
+
+    /// `true` when the force phase uses non-blocking aggregated gathers
+    /// (§5.5).
+    pub fn async_aggregation(self) -> bool {
+        self >= OptLevel::AsyncAggregation
+    }
+
+    /// `true` when tree building uses the §6 subspace algorithm.
+    pub fn subspace_tree_build(self) -> bool {
+        self == OptLevel::Subspace
+    }
+}
+
+/// The default workload RNG seed used by [`SimConfig::new`] (and therefore
+/// by every driver that doesn't override `--seed`).
+pub const DEFAULT_SEED: u64 = 1_234_567;
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of bodies.
+    pub nbodies: usize,
+    /// RNG seed for the initial conditions.
+    pub seed: u64,
+    /// Opening criterion θ (paper default 1.0).
+    pub theta: f64,
+    /// Softening ε (SPLASH-2 default 0.05).
+    pub eps: f64,
+    /// Time step (paper default 0.025).
+    pub dt: f64,
+    /// Total number of time steps (paper: 4).
+    pub steps: usize,
+    /// Number of trailing steps whose phase times are reported (paper: 2).
+    pub measured_steps: usize,
+    /// Optimization level (UPC ladder only; other backends ignore it).
+    pub opt: OptLevel,
+    /// Emulated machine.
+    pub machine: Machine,
+    /// §5.5 framework parameters: number of working bodies processed
+    /// concurrently (n1), maximum outstanding gathers (n2) and minimum
+    /// request length before a gather is issued (n3).  Paper default: 4.
+    pub n1: usize,
+    /// See [`SimConfig::n1`].
+    pub n2: usize,
+    /// See [`SimConfig::n1`].
+    pub n3: usize,
+    /// §6 subspace threshold factor α (cells with cost > α·Cost/THREADS are
+    /// split).  Paper uses 2/3.
+    pub alpha: f64,
+    /// §6: use one vector reduction per level (Figure 11) instead of one
+    /// scalar reduction per subspace (Figure 10).
+    pub vector_reduction: bool,
+    /// Number of separate fine-grained field accesses charged when the
+    /// literal translation reads a remote body or cell field-by-field
+    /// (before the bulk-transfer/caching optimizations kick in).
+    pub fine_grained_fields: u32,
+    /// Octree leaf capacity (SPLASH-2: 1).
+    pub leaf_capacity: usize,
+    /// Maximum octree depth.
+    pub max_depth: usize,
+    /// Use the §5.3.2 merged-local-tree cache (shadow pointers, remote cells
+    /// only) instead of the §5.3.1 separate local tree during the cached
+    /// force phase.  The paper found "little performance improvement" from
+    /// this variant; the `cache_variants` bench quantifies the difference.
+    pub shadow_cache: bool,
+    /// Route the baseline's shared-scalar reads (`tol`, `eps`, `rsize`)
+    /// through a MuPC-style transparent software cache
+    /// ([`pgas::swcache::CachedScalar`], invalidated at every barrier)
+    /// instead of reading them remotely every time.  Only meaningful below
+    /// [`OptLevel::ReplicateScalars`]; used by the software-caching ablation.
+    pub software_scalar_cache: bool,
+}
+
+impl SimConfig {
+    /// A configuration with the paper's algorithmic defaults for the given
+    /// problem size, machine and optimization level.
+    pub fn new(nbodies: usize, machine: Machine, opt: OptLevel) -> Self {
+        SimConfig {
+            nbodies,
+            seed: DEFAULT_SEED,
+            theta: nbody::DEFAULT_THETA,
+            eps: nbody::DEFAULT_EPS,
+            dt: nbody::DEFAULT_DT,
+            steps: 4,
+            measured_steps: 2,
+            opt,
+            machine,
+            n1: 4,
+            n2: 4,
+            n3: 4,
+            alpha: 2.0 / 3.0,
+            vector_reduction: true,
+            fine_grained_fields: 3,
+            leaf_capacity: 1,
+            max_depth: 48,
+            shadow_cache: false,
+            software_scalar_cache: false,
+        }
+    }
+
+    /// A small, fast configuration used by unit and integration tests.
+    pub fn test(nbodies: usize, ranks: usize, opt: OptLevel) -> Self {
+        let mut cfg = SimConfig::new(nbodies, Machine::test_cluster(ranks), opt);
+        cfg.steps = 2;
+        cfg.measured_steps = 1;
+        cfg
+    }
+
+    /// Number of ranks implied by the machine.
+    pub fn ranks(&self) -> usize {
+        self.machine.ranks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ordered_and_cumulative() {
+        assert!(OptLevel::Baseline < OptLevel::ReplicateScalars);
+        assert!(OptLevel::ReplicateScalars < OptLevel::Subspace);
+        assert!(!OptLevel::Baseline.replicates_scalars());
+        assert!(OptLevel::ReplicateScalars.replicates_scalars());
+        assert!(OptLevel::Subspace.replicates_scalars());
+        assert!(OptLevel::Redistribute.redistributes_bodies());
+        assert!(!OptLevel::Redistribute.caches_cells());
+        assert!(OptLevel::CacheLocalTree.caches_cells());
+        assert!(OptLevel::MergedTreeBuild.merged_tree_build());
+        assert!(!OptLevel::Subspace.merged_tree_build());
+        assert!(OptLevel::Subspace.subspace_tree_build());
+        assert!(OptLevel::Subspace.async_aggregation());
+        assert!(OptLevel::AsyncAggregation.async_aggregation());
+        assert!(!OptLevel::MergedTreeBuild.async_aggregation());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for l in OptLevel::ALL {
+            assert_eq!(OptLevel::from_name(l.name()), Some(l));
+        }
+        assert_eq!(OptLevel::from_name("nope"), None);
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = SimConfig::new(1024, Machine::test_cluster(2), OptLevel::Baseline);
+        assert_eq!(cfg.theta, 1.0);
+        assert_eq!(cfg.dt, 0.025);
+        assert_eq!(cfg.steps, 4);
+        assert_eq!(cfg.measured_steps, 2);
+        assert_eq!(cfg.n1, 4);
+        assert_eq!(cfg.n2, 4);
+        assert_eq!(cfg.n3, 4);
+        assert!((cfg.alpha - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cfg.ranks(), 2);
+    }
+}

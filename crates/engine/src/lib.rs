@@ -1,0 +1,41 @@
+//! # engine — the solver-neutral engine layer
+//!
+//! The workspace contains three Barnes-Hut solvers — the UPC-emulated ladder
+//! (`bh`), the message-passing comparator (`bhmpi`) and the direct-summation
+//! reference ([`direct`], in this crate) — and the paper's conclusion (§9)
+//! explicitly asks for them to be compared head-to-head.  A comparison needs
+//! a shared vocabulary that none of the competitors owns, so this crate holds
+//! everything that is solver-*neutral*:
+//!
+//! * [`config`] — [`SimConfig`] and the [`OptLevel`] ladder: the full
+//!   description of one run (workload size, seed, physics parameters,
+//!   emulated machine, measurement protocol).
+//! * [`report`] — [`Phase`], [`PhaseTimes`], [`RankOutcome`] and
+//!   [`SimResult`]: the per-phase timing rows of the paper's tables, the
+//!   per-rank outcomes, the rank-report aggregation
+//!   ([`SimResult::aggregate`]) and the measured-window bookkeeping
+//!   ([`report::measurement_begins`]) every driver shares.
+//! * [`backend`] — the [`Backend`] trait (`name()`, `supports()`, `run()`)
+//!   and the string-keyed [`BackendRegistry`], mirroring the `scenarios`
+//!   registry: any scenario's bodies can be pushed through any backend.
+//! * [`direct`] — [`DirectBackend`], a distributed O(n²) direct-summation
+//!   solver wrapping `nbody::direct` as the ground-truth reference.
+//! * [`compare`] — the one shared comparison driver: run the same
+//!   configuration and bodies through a list of registered backends and
+//!   render a side-by-side per-phase timing + traffic table.
+//!
+//! The dependency arrows all point *into* this crate: `bh` and `bhmpi` each
+//! depend on `engine` (never on each other), and the umbrella crate
+//! assembles the built-in backend registry from all three solvers.
+
+pub mod backend;
+pub mod compare;
+pub mod config;
+pub mod direct;
+pub mod report;
+
+pub use backend::{validate_bodies, Backend, BackendRegistry};
+pub use compare::{comparison_table, run_backends, BackendRun};
+pub use config::{OptLevel, SimConfig, DEFAULT_SEED};
+pub use direct::DirectBackend;
+pub use report::{Phase, PhaseTimes, RankOutcome, SimResult};

@@ -2,23 +2,39 @@
 //! message-passing (MPI-style) comparator — the experiment the paper's
 //! conclusion (§9) defers to future work.
 //!
-//! Both solvers run the same Plummer workload on the same emulated machine;
-//! the table printed below shows the per-phase simulated times side by side
-//! for a sweep of rank counts.
+//! Both backends come from the engine registry and run through the shared
+//! comparison driver ([`engine::run_backends`]) — the same code path as
+//! `bhsim --compare upc,mpi` — on the same workload and the same emulated
+//! machine, for a sweep of rank counts.
 //!
 //! ```text
-//! cargo run --release --example mpi_vs_upc -- [nbodies] [max_ranks]
+//! cargo run --release --example mpi_vs_upc -- [nbodies] [max_ranks] [scenario]
 //! ```
 
+use barnes_hut_upc::engine;
 use barnes_hut_upc::prelude::*;
-use pgas::Machine;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let nbodies: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8_192);
     let max_ranks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    let scenario_name = args.next().unwrap_or_else(|| "plummer".to_string());
 
-    println!("UPC (optimized, §5+§6) vs MPI-style (LET + all-to-all) — {nbodies} bodies");
+    let scenarios = scenario_registry();
+    let scenario = scenarios.get(&scenario_name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown scenario: {scenario_name} (registered: {})",
+            scenarios.names().join(", ")
+        );
+        std::process::exit(2)
+    });
+    let backends = backend_registry();
+    let names = vec!["upc".to_string(), "mpi".to_string()];
+
+    println!(
+        "UPC (optimized, §5+§6) vs MPI-style (LET + all-to-all) — {nbodies} bodies, {} workload",
+        scenario.name()
+    );
     println!();
     println!(
         "{:>6}  {:>12} {:>12} {:>12}  {:>12} {:>12} {:>12}  {:>8}",
@@ -32,13 +48,22 @@ fn main() {
         "MPI/UPC"
     );
 
+    // The workload depends only on (scenario, n, seed), not the rank count:
+    // every machine shape in the sweep runs bit-identical bodies.
+    let tuning = scenario.recommended_config();
+    let bodies = scenario.generate(nbodies, engine::DEFAULT_SEED);
+
     let mut ranks = 1usize;
     while ranks <= max_ranks {
         let machine = Machine::process_per_node(ranks);
-        let cfg = SimConfig::new(nbodies, machine, OptLevel::Subspace);
+        let mut cfg = SimConfig::new(nbodies, machine, OptLevel::Subspace);
+        cfg.theta = tuning.theta;
+        cfg.eps = tuning.eps;
+        cfg.dt = tuning.dt;
 
-        let upc = bh::run_simulation(&cfg);
-        let mpi = bh_mpi::run_simulation(&cfg);
+        let runs = engine::run_backends(&backends, &names, &cfg, &bodies)
+            .expect("upc and mpi are registered builtin backends");
+        let (upc, mpi) = (&runs[0].result, &runs[1].result);
 
         println!(
             "{:>6}  {:>11.4}s {:>11.4}s {:>11.4}s  {:>11.4}s {:>11.4}s {:>11.4}s  {:>8.2}",

@@ -1,22 +1,28 @@
-//! `bhsim` — scenario driver for the emulated Barnes-Hut ladder.
+//! `bhsim` — scenario × backend driver for the emulated Barnes-Hut system.
 //!
-//! Runs any registered workload scenario through any optimization level of
-//! the paper's ladder on any emulated machine shape, and prints the
-//! per-phase timing breakdown (the paper's table rows) together with the
-//! communication-traffic counters the emulator collects.
+//! Runs any registered workload scenario through any registered solver
+//! backend (`upc` — the paper's optimization ladder, `mpi` — the
+//! message-passing comparator, `direct` — exact summation) on any emulated
+//! machine shape, and prints the per-phase timing breakdown (the paper's
+//! table rows) together with the communication-traffic counters the emulator
+//! collects.  `--compare` runs the same scenario/seed/machine through
+//! several backends and prints one side-by-side table — the head-to-head
+//! experiment the paper's §9 defers to future work.
 //!
 //! ```text
 //! bhsim --list
 //! bhsim --scenario exp-disk --n 4096 --opt subspace --nodes 4
-//! bhsim --scenario merger --n 16384 --opt baseline --nodes 8 --threads-per-node 4 --pthreads
-//! bhsim --scenario king --n 8192 --opt cache-local-tree --steps 6 --measured 2 --json
+//! bhsim --scenario hernquist --n 8192 --backend mpi --nodes 8
+//! bhsim --scenario king --n 2048 --compare upc,mpi,direct --json
 //! ```
 
+use barnes_hut_upc::engine;
 use barnes_hut_upc::prelude::*;
-use bh::report::RankOutcome;
 
 struct Options {
     scenario: String,
+    backend: String,
+    compare: Option<Vec<String>>,
     nbodies: usize,
     opt: OptLevel,
     nodes: usize,
@@ -36,6 +42,8 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             scenario: "plummer".to_string(),
+            backend: "upc".to_string(),
+            compare: None,
             nbodies: 16_384,
             opt: OptLevel::Subspace,
             nodes: 4,
@@ -63,7 +71,10 @@ fn usage() -> ! {
            --seed S             workload RNG seed         (default 1234567)\n\
          \n\
          solver:\n\
-           --opt LEVEL          optimization level        (default subspace)\n\
+           --backend NAME       solver backend            (default upc); see --list\n\
+           --compare B1,B2,...  run several backends on the same workload and\n\
+                                print one side-by-side comparison table\n\
+           --opt LEVEL          upc optimization level    (default subspace)\n\
                                 levels: {}\n\
            --steps N            time steps to run         (default 4)\n\
            --measured N         trailing steps measured   (default 2)\n\
@@ -77,7 +88,7 @@ fn usage() -> ! {
            --pthreads           emulate the -pthreads runtime\n\
          \n\
          output:\n\
-           --list               list the registered scenarios and exit\n\
+           --list               list the registered scenarios and backends, then exit\n\
            --json               print the report as JSON instead of a table\n",
         OptLevel::ALL.map(|l| l.name()).join(", ")
     );
@@ -107,6 +118,20 @@ fn parse_args() -> Options {
             "--json" => opts.json = true,
             "--pthreads" => opts.pthreads = true,
             "--scenario" => opts.scenario = value(args.next(), "--scenario"),
+            "--backend" => opts.backend = value(args.next(), "--backend"),
+            "--compare" => {
+                let list = value(args.next(), "--compare");
+                let names: Vec<String> = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if names.is_empty() {
+                    eprintln!("--compare needs a comma-separated list of backends");
+                    usage()
+                }
+                opts.compare = Some(names);
+            }
             "--n" => opts.nbodies = num(&value(args.next(), "--n")),
             "--seed" => opts.seed = num(&value(args.next(), "--seed")),
             "--nodes" => opts.nodes = num(&value(args.next(), "--nodes")),
@@ -142,7 +167,7 @@ fn parse_args() -> Options {
     opts
 }
 
-fn list_scenarios() {
+fn list_registries() {
     println!("registered scenarios:");
     for scenario in scenario_registry().iter() {
         let t = scenario.recommended_config();
@@ -155,12 +180,17 @@ fn list_scenarios() {
             t.dt
         );
     }
+    println!();
+    println!("registered backends:");
+    for backend in backend_registry().iter() {
+        println!("  {:<10} {}", backend.name(), backend.description());
+    }
 }
 
 fn main() {
     let opts = parse_args();
     if opts.list {
-        list_scenarios();
+        list_registries();
         return;
     }
 
@@ -192,10 +222,13 @@ fn main() {
     cfg.eps = opts.eps.unwrap_or(tuning.eps);
     cfg.dt = opts.dt.unwrap_or(tuning.dt);
 
+    let backend_names = opts.compare.clone().unwrap_or_else(|| vec![opts.backend.clone()]);
+
     eprintln!(
-        "bhsim: scenario {} | n {} | opt {} | {} node(s) x {} thread(s){} | {} step(s), {} measured",
+        "bhsim: scenario {} | n {} | backend(s) {} | opt {} | {} node(s) x {} thread(s){} | {} step(s), {} measured",
         scenario.name(),
         opts.nbodies,
+        backend_names.join(","),
         opts.opt.name(),
         opts.nodes,
         opts.threads_per_node,
@@ -217,12 +250,23 @@ fn main() {
         diag.angular_momentum,
     );
 
-    let result = run_simulation_on(&cfg, bodies);
+    // The single comparison driver: one backend is just a one-column run.
+    let backends = backend_registry();
+    let runs = engine::run_backends(&backends, &backend_names, &cfg, &bodies).unwrap_or_else(|e| {
+        eprintln!("bhsim: {e}");
+        std::process::exit(2)
+    });
 
+    // `--compare upc` (one name) still gets comparison-shaped output — a
+    // one-column table, a one-element JSON array — so sweep scripts see a
+    // stable shape regardless of how many backends they request.
+    let comparing = opts.compare.is_some();
     if opts.json {
-        print_json(scenario.name(), &cfg, &diag, &result);
+        print_json(scenario.name(), &cfg, &diag, &runs, comparing);
+    } else if comparing {
+        print_comparison(&cfg, &runs);
     } else {
-        print_report(&cfg, &result);
+        print_report(&cfg, &runs[0].result);
     }
 }
 
@@ -259,7 +303,7 @@ fn print_report(cfg: &SimConfig, result: &SimResult) {
     println!("  migration / step        : {:>11.2}%", 100.0 * result.migration_fraction);
 
     // Load balance over ranks: the paper's imbalance discussions in one line.
-    let times: Vec<f64> = result.ranks.iter().map(|r: &RankOutcome| r.phases.total()).collect();
+    let times: Vec<f64> = result.ranks.iter().map(|r| r.phases.total()).collect();
     let max = times.iter().cloned().fold(0.0f64, f64::max);
     let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
     if mean > 0.0 {
@@ -267,12 +311,40 @@ fn print_report(cfg: &SimConfig, result: &SimResult) {
     }
 }
 
-fn print_json(scenario: &str, cfg: &SimConfig, diag: &Diagnostics, result: &SimResult) {
+fn print_comparison(cfg: &SimConfig, runs: &[BackendRun]) {
+    println!();
+    println!(
+        "head-to-head, per-phase simulated seconds (max over {} ranks, {} measured step(s)):",
+        cfg.ranks(),
+        cfg.measured_steps
+    );
+    print!("{}", engine::comparison_table(runs));
+    // Makespan ratios against the first (reference) backend.
+    let reference = &runs[0];
+    println!();
+    for run in &runs[1..] {
+        println!(
+            "  {} / {} makespan ratio: {:.3}",
+            run.name,
+            reference.name,
+            run.result.total / reference.result.total.max(1e-12)
+        );
+    }
+}
+
+fn summary_value(
+    scenario: &str,
+    backend: &str,
+    cfg: &SimConfig,
+    diag: &Diagnostics,
+    result: &SimResult,
+) -> serde::Value {
     // A compact machine-readable summary (the full SimResult with all body
     // states would dominate the output; traffic and phases are what sweep
     // scripts consume).
-    let summary = serde::Value::Object(vec![
+    serde::Value::Object(vec![
         ("scenario".to_string(), serde::Value::String(scenario.to_string())),
+        ("backend".to_string(), serde::Value::String(backend.to_string())),
         ("nbodies".to_string(), serde::Value::UInt(cfg.nbodies as u64)),
         ("opt".to_string(), serde::Value::String(cfg.opt.name().to_string())),
         ("ranks".to_string(), serde::Value::UInt(cfg.ranks() as u64)),
@@ -281,12 +353,32 @@ fn print_json(scenario: &str, cfg: &SimConfig, diag: &Diagnostics, result: &SimR
         ("total".to_string(), serde::Value::Float(result.total)),
         ("migration_fraction".to_string(), serde::Value::Float(result.migration_fraction)),
         ("traffic".to_string(), serde::Serialize::to_value(&result.total_stats())),
-    ]);
+    ])
+}
+
+fn print_json(
+    scenario: &str,
+    cfg: &SimConfig,
+    diag: &Diagnostics,
+    runs: &[BackendRun],
+    comparing: bool,
+) {
+    // `--compare` always emits an array (even with one backend); a plain
+    // `--backend` run emits a single object.
+    let value = if comparing {
+        serde::Value::Array(
+            runs.iter()
+                .map(|run| summary_value(scenario, &run.name, cfg, diag, &run.result))
+                .collect(),
+        )
+    } else {
+        summary_value(scenario, &runs[0].name, cfg, diag, &runs[0].result)
+    };
     struct Raw(serde::Value);
     impl serde::Serialize for Raw {
         fn to_value(&self) -> serde::Value {
             self.0.clone()
         }
     }
-    println!("{}", serde_json::to_string_pretty(&Raw(summary)).expect("serialize report"));
+    println!("{}", serde_json::to_string_pretty(&Raw(value)).expect("serialize report"));
 }
