@@ -1,10 +1,19 @@
-//! # bh-bench — experiment harness
+//! # bh-bench — experiment harness and performance subsystem
 //!
-//! Regenerates every table and figure of the paper's evaluation from the
-//! emulated implementation.  The entry point is the `tables` binary
-//! (`cargo run -p bh-bench --release --bin tables -- --help`); this library
-//! holds the experiment definitions so that they are also usable from tests
-//! and Criterion benches.
+//! Two entry points:
+//!
+//! * `tables` (`cargo run -p bh-bench --release --bin tables -- --help`) —
+//!   regenerates every table and figure of the paper's evaluation from the
+//!   emulated implementation.
+//! * `benchsuite` (`cargo run -p bh-bench --release --bin benchsuite`) —
+//!   the performance subsystem: sweeps scenario × backend × opt-level ×
+//!   machine-shape through the backend registry, measures the
+//!   leaf-coalesced force kernel against the per-body walk, and emits the
+//!   schema-versioned `BENCH_*.json` record the CI perf gate diffs against
+//!   (see [`suite`] and `engine::bench`).
+//!
+//! This library holds the experiment and suite definitions so that they are
+//! also usable from tests and Criterion benches.
 //!
 //! The paper's runs use 2M bodies (strong scaling) and 250K bodies/thread
 //! (weak scaling) on up to 1024 threads of a Power5 cluster.  Those sizes are
@@ -18,8 +27,10 @@
 
 pub mod experiments;
 pub mod scale;
+pub mod suite;
 pub mod table;
 
 pub use experiments::{run_experiment, Experiment, ExperimentOutput};
 pub use scale::Scale;
+pub use suite::{full_grid, kernel_plan, quick_grid, run_kernel_pair, run_point, run_suite};
 pub use table::{PhaseTable, Series};

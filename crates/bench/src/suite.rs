@@ -1,0 +1,428 @@
+//! The benchsuite: the sweep grids, the sweep runner and the force-kernel
+//! A-B benchmark behind the `benchsuite` binary.
+//!
+//! Two grids exist so one committed baseline serves both CI and humans:
+//!
+//! * the **quick grid** — small workloads, one repetition by default —
+//!   cheap enough for the CI `perf-smoke` job to regenerate on every pull
+//!   request and diff against the committed `BENCH_*.json`;
+//! * the **full grid** — paper-sized workloads (n = 4096), several
+//!   repetitions, the opt-ladder slice and extra machine shapes — what the
+//!   committed record is produced from.
+//!
+//! A full `benchsuite` run emits *both* grids, so the committed record
+//! always contains the quick points a later `--quick` run needs to match
+//! keys against ([`engine::bench::diff_against_baseline`]).
+//!
+//! The kernel benchmark ([`run_kernel_pair`]) is the A-B experiment behind
+//! the leaf-coalesced force kernel: the same built tree, the same bodies,
+//! walked once per repetition with the per-body reference evaluation
+//! (`CacheTree::walk_per_body` — one node record chased per leaf,
+//! reproducing the replaced walk's per-leaf memory behavior under the
+//! batched schedule) and once with the SoA-batched one (`CacheTree::walk`),
+//! interleaved so host drift hits both equally.  The two produce
+//! bit-identical forces and identical interaction counts — asserted here on
+//! every run — so the wall-time ratio isolates the memory layout.
+
+use barnes_hut_upc::prelude::*;
+use bh::cache::CacheTree;
+use bh::shared::{BhShared, RankState};
+use bh::treebuild::{allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies};
+use engine::bench::{
+    KernelRecord, Record, RunRecord, RunSpec, Sample, Stat, KERNEL_COALESCED, KERNEL_PER_BODY,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One point of the benchmark sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Scenario registry key.
+    pub scenario: &'static str,
+    /// Backend registry key.
+    pub backend: &'static str,
+    /// UPC optimization level.
+    pub opt: OptLevel,
+    /// Number of bodies.
+    pub nbodies: usize,
+    /// Emulated nodes (one UPC thread each).
+    pub nodes: usize,
+    /// Total time steps.
+    pub steps: usize,
+    /// Trailing measured steps.
+    pub measured_steps: usize,
+}
+
+impl SweepPoint {
+    fn new(
+        scenario: &'static str,
+        backend: &'static str,
+        opt: OptLevel,
+        nbodies: usize,
+        nodes: usize,
+    ) -> SweepPoint {
+        SweepPoint { scenario, backend, opt, nbodies, nodes, steps: 4, measured_steps: 2 }
+    }
+
+    /// The [`SimConfig`] this point runs under (scenario tuning applied).
+    pub fn config(&self) -> SimConfig {
+        let registry = scenario_registry();
+        let scenario = registry.get(self.scenario).expect("grid scenario is registered");
+        let tuning = scenario.recommended_config();
+        let machine = Machine::power5(self.nodes, 1, false);
+        let mut cfg = SimConfig::new(self.nbodies, machine, self.opt);
+        cfg.steps = self.steps;
+        cfg.measured_steps = self.measured_steps;
+        cfg.theta = tuning.theta;
+        cfg.eps = tuning.eps;
+        cfg.dt = tuning.dt;
+        cfg
+    }
+}
+
+/// The scenario families every grid covers.
+pub const GRID_SCENARIOS: [&str; 3] = ["plummer", "king", "exp-disk"];
+
+/// The backends every grid covers.
+pub const GRID_BACKENDS: [&str; 3] = ["upc", "mpi", "direct"];
+
+/// The quick grid: every scenario × backend at a small size on 2 nodes,
+/// 2 steps with 1 measured — what CI regenerates on every pull request.
+pub fn quick_grid() -> Vec<SweepPoint> {
+    let mut grid = Vec::new();
+    for scenario in GRID_SCENARIOS {
+        for backend in GRID_BACKENDS {
+            let mut p = SweepPoint::new(scenario, backend, OptLevel::Subspace, 512, 2);
+            p.steps = 2;
+            p.measured_steps = 1;
+            grid.push(p);
+        }
+    }
+    grid
+}
+
+/// The full grid: the scenario × backend matrix at n = 4096 on 4 nodes with
+/// the paper's 4-steps/2-measured protocol, an opt-ladder slice on the
+/// Plummer workload, and a machine-shape sweep of the optimized solver.
+pub fn full_grid() -> Vec<SweepPoint> {
+    let mut grid = Vec::new();
+    for scenario in GRID_SCENARIOS {
+        for backend in GRID_BACKENDS {
+            grid.push(SweepPoint::new(scenario, backend, OptLevel::Subspace, 4096, 4));
+        }
+    }
+    // Opt-ladder slice (the matrix already holds subspace).
+    for opt in [OptLevel::CacheLocalTree, OptLevel::AsyncAggregation] {
+        grid.push(SweepPoint::new("plummer", "upc", opt, 4096, 4));
+    }
+    // Machine shapes around the matrix's 4 nodes.
+    for nodes in [2, 8] {
+        grid.push(SweepPoint::new("plummer", "upc", OptLevel::Subspace, 4096, nodes));
+    }
+    grid
+}
+
+/// The kernel A-B measurements of each mode: `(scenario, nbodies, reps)`.
+/// The full list leads with the acceptance-defining Plummer n = 4096 pair.
+pub fn kernel_plan(quick: bool) -> Vec<(&'static str, usize, usize)> {
+    if quick {
+        // Large enough (and repeated enough) that the A-B medians are
+        // meaningfully apart from scheduler noise on a loaded CI runner.
+        vec![("plummer", 2048, 5)]
+    } else {
+        vec![("plummer", 4096, 7), ("plummer", 8192, 5), ("king", 4096, 5)]
+    }
+}
+
+/// Runs one sweep point `reps` times and aggregates the samples.
+pub fn run_point(point: &SweepPoint, reps: usize) -> Result<RunRecord, String> {
+    let cfg = point.config();
+    let registry = scenario_registry();
+    let scenario = registry.get(point.scenario).expect("grid scenario is registered");
+    let bodies = scenario.generate(cfg.nbodies, cfg.seed);
+    let backends = backend_registry();
+    let names = vec![point.backend.to_string()];
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let runs = engine::run_backends(&backends, &names, &cfg, &bodies)?;
+        samples.push(Sample::from_run(&runs[0]));
+    }
+    Ok(RunRecord::from_samples(RunSpec::new(point.scenario, point.backend, &cfg), &samples))
+}
+
+/// Runs the force-kernel A-B benchmark for one scenario and size: builds the
+/// shared tree once (single rank, §5.3.1 cache level), then computes all
+/// forces `reps` times with each engine, interleaved.  Returns the
+/// per-body-walk record followed by the leaf-coalesced record.
+///
+/// # Panics
+/// Panics if the two engines disagree — bit-for-bit on accelerations, or on
+/// the interaction count — since then the timing comparison is meaningless.
+pub fn run_kernel_pair(scenario_name: &str, nbodies: usize, reps: usize) -> Vec<KernelRecord> {
+    let registry = scenario_registry();
+    let scenario = registry.get(scenario_name).expect("kernel scenario is registered");
+    let tuning = scenario.recommended_config();
+    let mut cfg = SimConfig::new(nbodies, Machine::power5(1, 1, false), OptLevel::CacheLocalTree);
+    cfg.theta = tuning.theta;
+    cfg.eps = tuning.eps;
+    cfg.steps = 1;
+    cfg.measured_steps = 1;
+    let bodies = scenario.generate(nbodies, cfg.seed);
+    let shared = BhShared::with_bodies(&cfg, bodies);
+    let runtime = Runtime::new(cfg.machine.clone());
+    let reps = reps.max(1);
+
+    let cfg_ref = &cfg;
+    let shared_ref = &shared;
+    let report = runtime.run(|ctx| {
+        let mut st = RankState::new(ctx, shared_ref, cfg_ref);
+        let (center, rsize) = bounding_box_phase(ctx, shared_ref, &mut st, cfg_ref);
+        allocate_root(ctx, shared_ref, center, rsize);
+        ctx.barrier();
+        insert_owned_bodies(ctx, shared_ref, &mut st, cfg_ref);
+        ctx.barrier();
+        center_of_mass_phase(ctx, shared_ref, &mut st, cfg_ref);
+        ctx.barrier();
+
+        let positions: Vec<(u32, Vec3)> = st
+            .my_ids
+            .iter()
+            .map(|&id| (id, shared_ref.bodytab.read_raw(id as usize).pos))
+            .collect();
+
+        let run_engine = |batched: bool| -> (f64, u64, f64) {
+            let start = Instant::now();
+            let mut cache = CacheTree::new(ctx, shared_ref);
+            let mut interactions = 0u64;
+            let mut sink = 0.0;
+            for &(id, pos) in &positions {
+                let r = if batched {
+                    cache.walk(ctx, shared_ref, pos, id, cfg_ref.theta, cfg_ref.eps)
+                } else {
+                    cache.walk_per_body(ctx, shared_ref, pos, id, cfg_ref.theta, cfg_ref.eps)
+                };
+                interactions += r.interactions as u64;
+                sink += r.acc.x + r.acc.y + r.acc.z + r.phi;
+            }
+            (start.elapsed().as_secs_f64() * 1e3, interactions, sink)
+        };
+
+        // Untimed warm-up of both engines (page faults, allocator warm-up).
+        let (_, warm_walk, warm_walk_sink) = run_engine(false);
+        let (_, warm_batch, warm_batch_sink) = run_engine(true);
+        assert_eq!(warm_walk, warm_batch, "kernel engines must evaluate identical interactions");
+        assert_eq!(
+            warm_walk_sink, warm_batch_sink,
+            "kernel engines must produce bit-identical forces"
+        );
+
+        let mut walk_ms = Vec::with_capacity(reps);
+        let mut batched_ms = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let (ms, n, sink) = run_engine(false);
+            assert_eq!(n, warm_walk);
+            black_box(sink);
+            walk_ms.push(ms);
+            let (ms, n, sink) = run_engine(true);
+            assert_eq!(n, warm_batch);
+            black_box(sink);
+            batched_ms.push(ms);
+        }
+        (walk_ms, batched_ms, warm_walk)
+    });
+
+    let (walk_ms, batched_ms, interactions) = report.ranks[0].result.clone();
+    let record = |engine: &str, times: &[f64]| KernelRecord {
+        scenario: scenario_name.to_string(),
+        nbodies,
+        engine: engine.to_string(),
+        reps,
+        force_wall_ms: Stat::of(times),
+        interactions,
+    };
+    vec![record(KERNEL_PER_BODY, &walk_ms), record(KERNEL_COALESCED, &batched_ms)]
+}
+
+/// Runs the whole suite: the quick grid always, plus the full grid and the
+/// full kernel plan unless `quick`.  `reps` overrides the per-mode default
+/// repetition count (quick: 1, full: 3) when `Some`.  Progress lines go to
+/// `progress` as each point completes.
+pub fn run_suite(
+    quick: bool,
+    reps: Option<usize>,
+    mut progress: impl FnMut(&str),
+) -> Result<Record, String> {
+    let mut record = Record::new(commit_id(), quick);
+
+    let quick_reps = reps.unwrap_or(1);
+    for point in quick_grid() {
+        let run = run_point(&point, quick_reps)?;
+        progress(&format!(
+            "quick {:<40} wall {:>8.1} ms  sim {:>9.4} s",
+            run.spec.key(),
+            run.wall_ms.median,
+            run.total_sim_median
+        ));
+        record.runs.push(run);
+    }
+
+    if !quick {
+        let full_reps = reps.unwrap_or(3);
+        for point in full_grid() {
+            let run = run_point(&point, full_reps)?;
+            progress(&format!(
+                "full  {:<40} wall {:>8.1} ms  sim {:>9.4} s",
+                run.spec.key(),
+                run.wall_ms.median,
+                run.total_sim_median
+            ));
+            record.runs.push(run);
+        }
+    }
+
+    for (scenario, nbodies, kernel_reps) in kernel_plan(quick) {
+        let pair = run_kernel_pair(scenario, nbodies, kernel_reps);
+        progress(&format!(
+            "kernel {scenario}/n{nbodies}: per-body {:.2} ms, coalesced {:.2} ms ({:.2}x)",
+            pair[0].force_wall_ms.median,
+            pair[1].force_wall_ms.median,
+            pair[0].force_wall_ms.median / pair[1].force_wall_ms.median.max(1e-9),
+        ));
+        record.kernels.extend(pair);
+    }
+
+    record.validate()?;
+    Ok(record)
+}
+
+/// The current git commit id (with a `-dirty` suffix when the working tree
+/// has uncommitted changes), or `"unknown"` outside a checkout.
+pub fn commit_id() -> String {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let Some(head) = git(&["rev-parse", "--short=12", "HEAD"]) else {
+        return "unknown".to_string();
+    };
+    let head = head.trim().to_string();
+    if head.is_empty() {
+        return "unknown".to_string();
+    }
+    match git(&["status", "--porcelain"]) {
+        Some(status) if status.trim().is_empty() => head,
+        _ => format!("{head}-dirty"),
+    }
+}
+
+/// Renders a record as the human-readable tables printed next to the JSON.
+pub fn human_table(record: &Record) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "benchsuite record — schema {}, commit {}, {} run(s), {} kernel record(s)\n\n",
+        record.schema,
+        record.commit,
+        record.runs.len(),
+        record.kernels.len()
+    ));
+    out.push_str(&format!(
+        "  {:<42} {:>4} {:>11} {:>11} {:>11} {:>12} {:>11}\n",
+        "run", "reps", "wall med ms", "sim total s", "force med s", "interactions", "remote ops"
+    ));
+    for run in &record.runs {
+        out.push_str(&format!(
+            "  {:<42} {:>4} {:>11.1} {:>11.4} {:>11.4} {:>12} {:>11}\n",
+            run.spec.key(),
+            run.reps,
+            run.wall_ms.median,
+            run.total_sim_median,
+            run.phases_median.force,
+            run.interactions,
+            run.remote_gets + run.remote_puts,
+        ));
+    }
+    if !record.kernels.is_empty() {
+        out.push_str(&format!(
+            "\n  {:<24} {:>16} {:>4} {:>12} {:>12} {:>12}\n",
+            "kernel", "engine", "reps", "median ms", "p90 ms", "interactions"
+        ));
+        for k in &record.kernels {
+            out.push_str(&format!(
+                "  {:<24} {:>16} {:>4} {:>12.3} {:>12.3} {:>12}\n",
+                format!("{}/n{}", k.scenario, k.nbodies),
+                k.engine,
+                k.reps,
+                k.force_wall_ms.median,
+                k.force_wall_ms.p90,
+                k.interactions,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::bench::{diff_against_baseline, kernel_regressions};
+
+    #[test]
+    fn quick_grid_covers_the_scenario_backend_matrix() {
+        let grid = quick_grid();
+        assert_eq!(grid.len(), GRID_SCENARIOS.len() * GRID_BACKENDS.len());
+        for scenario in GRID_SCENARIOS {
+            for backend in GRID_BACKENDS {
+                assert!(
+                    grid.iter().any(|p| p.scenario == scenario && p.backend == backend),
+                    "missing {scenario}x{backend}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_grid_extends_the_quick_matrix() {
+        let grid = full_grid();
+        assert!(grid.len() > GRID_SCENARIOS.len() * GRID_BACKENDS.len());
+        assert!(grid.iter().all(|p| p.nbodies >= 4096));
+        // The opt-ladder slice and the machine-shape sweep are present.
+        assert!(grid.iter().any(|p| p.opt == OptLevel::CacheLocalTree));
+        assert!(grid.iter().any(|p| p.nodes == 8));
+    }
+
+    #[test]
+    fn run_point_produces_a_valid_record_that_diffs_clean_against_itself() {
+        let point = &quick_grid()[0];
+        let a = run_point(point, 1).expect("run");
+        let b = run_point(point, 1).expect("run");
+        let mut current = Record::new("test".to_string(), true);
+        current.runs.push(a);
+        current.validate().expect("valid record");
+        let mut baseline = Record::new("test".to_string(), true);
+        baseline.runs.push(b);
+        // Two runs of the same deterministic point must diff clean under the
+        // CI threshold.
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert_eq!(diff.compared, 1);
+        assert!(diff.regressions.is_empty(), "{:?}", diff.describe_regressions());
+    }
+
+    #[test]
+    fn kernel_pair_agrees_and_records_both_engines() {
+        let pair = run_kernel_pair("plummer", 256, 1);
+        assert_eq!(pair.len(), 2);
+        assert_eq!(pair[0].engine, KERNEL_PER_BODY);
+        assert_eq!(pair[1].engine, KERNEL_COALESCED);
+        assert_eq!(pair[0].interactions, pair[1].interactions);
+        assert!(pair[0].force_wall_ms.median > 0.0);
+        // At a tiny size the ratio is noise; just make sure the gate helper
+        // accepts a well-formed pair under a generous threshold.
+        let mut record = Record::new("test".to_string(), true);
+        record.kernels.extend(pair);
+        let _ = kernel_regressions(&record, 10.0);
+    }
+}

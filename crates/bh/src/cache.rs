@@ -13,12 +13,91 @@
 use crate::cellnode::{CellNode, NodeKind};
 use crate::shared::BhShared;
 use nbody::direct::pairwise_acceleration;
-use nbody::Vec3;
+use nbody::{SoaBodies, Vec3};
 use octree::walk::cell_is_far;
 use pgas::{Ctx, GlobalPtr};
 
 /// Sentinel for "no local child".
 const NO_LOCAL: i32 = -1;
+
+/// Arena of coalesced children shared by the cached walk variants (§5.3.1
+/// separate tree and §5.3.2 shadow tree): the body-leaf children of every
+/// localized cell gathered once into one structure-of-arrays batch
+/// ([`SoaBodies`] — contiguous positions and masses), plus the indices of
+/// the cell-kind children, both in octant order per cell.  The batched
+/// walks stream through these arrays instead of chasing one node record per
+/// leaf.
+#[derive(Debug, Default)]
+pub(crate) struct LeafArena {
+    leaves: SoaBodies,
+    cell_kids: Vec<u32>,
+}
+
+/// One cell's slice of a [`LeafArena`], recorded when its children are
+/// coalesced.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ChildRanges {
+    leaf_start: u32,
+    leaf_len: u32,
+    kids_start: u32,
+    kids_len: u32,
+}
+
+impl LeafArena {
+    /// Coalesces one cell's children — `(cache index, payload)` pairs in
+    /// octant order — into the arenas, returning the cell's ranges.  Called
+    /// exactly once per cell, right after its children are installed.
+    pub(crate) fn coalesce<'a>(
+        &mut self,
+        children: impl Iterator<Item = (u32, &'a CellNode)>,
+    ) -> ChildRanges {
+        let leaf_start = self.leaves.len() as u32;
+        let kids_start = self.cell_kids.len() as u32;
+        for (idx, child) in children {
+            match child.kind {
+                NodeKind::Body => {
+                    self.leaves.push(child.body_id, child.cofm, child.mass);
+                }
+                NodeKind::Cell => self.cell_kids.push(idx),
+            }
+        }
+        ChildRanges {
+            leaf_start,
+            leaf_len: self.leaves.len() as u32 - leaf_start,
+            kids_start,
+            kids_len: self.cell_kids.len() as u32 - kids_start,
+        }
+    }
+
+    /// Accumulates the ranged cell's leaf batch onto `(acc, phi)` (skipping
+    /// `self_id`), returning the interactions evaluated.
+    #[inline]
+    pub(crate) fn accumulate(
+        &self,
+        r: ChildRanges,
+        pos: Vec3,
+        self_id: u32,
+        eps: f64,
+        acc: &mut Vec3,
+        phi: &mut f64,
+    ) -> u32 {
+        self.leaves.accumulate_excluding_id(
+            r.leaf_start as usize,
+            r.leaf_len as usize,
+            pos,
+            self_id,
+            eps,
+            acc,
+            phi,
+        )
+    }
+
+    /// The ranged cell's cell-kind children, in octant order.
+    #[inline]
+    pub(crate) fn kids(&self, r: ChildRanges) -> &[u32] {
+        &self.cell_kids[r.kids_start as usize..(r.kids_start + r.kids_len) as usize]
+    }
+}
 
 /// A locally cached copy of a shared tree node.
 #[derive(Debug, Clone)]
@@ -33,13 +112,36 @@ pub struct LocalNode {
     /// `true` once a gather for this node's children has been issued but not
     /// yet completed (used by the §5.5 non-blocking framework).
     pub requested: bool,
+    /// This cell's slice of the cache's [`LeafArena`].
+    ranges: ChildRanges,
+}
+
+impl LocalNode {
+    fn new(node: CellNode) -> LocalNode {
+        LocalNode {
+            node,
+            children_local: [NO_LOCAL; 8],
+            localized: false,
+            requested: false,
+            ranges: ChildRanges::default(),
+        }
+    }
 }
 
 /// A per-rank cache tree.
+///
+/// Besides the per-node copies, the cache keeps a [`LeafArena`] built as
+/// cells are localized, so the batched [`CacheTree::walk`] streams each
+/// opened cell's leaves from contiguous arrays.  The per-body evaluation —
+/// one `LocalNode` record chased per leaf — survives as
+/// [`CacheTree::walk_per_body`], the reference the `benchsuite` kernel
+/// benchmark and the bit-for-bit equivalence tests run against.
 pub struct CacheTree {
     /// All localized nodes; index 0 is the local copy of the global root
     /// (`L_root` in the paper).
     pub nodes: Vec<LocalNode>,
+    /// Coalesced children of every localized cell.
+    arena: LeafArena,
 }
 
 /// Statistics of a cached force walk for one body.
@@ -59,14 +161,7 @@ impl CacheTree {
         let root_ptr = shared.root.read(ctx);
         assert!(!root_ptr.is_null(), "force phase requires a built tree");
         let root = shared.cells.read(ctx, root_ptr);
-        CacheTree {
-            nodes: vec![LocalNode {
-                node: root,
-                children_local: [NO_LOCAL; 8],
-                localized: false,
-                requested: false,
-            }],
-        }
+        CacheTree { nodes: vec![LocalNode::new(root)], arena: LeafArena::default() }
     }
 
     /// Number of cached nodes.
@@ -82,14 +177,22 @@ impl CacheTree {
     /// Installs an already-fetched child under `parent`.
     fn install_child(&mut self, parent: usize, octant: usize, node: CellNode) -> usize {
         let idx = self.nodes.len();
-        self.nodes.push(LocalNode {
-            node,
-            children_local: [NO_LOCAL; 8],
-            localized: false,
-            requested: false,
-        });
+        self.nodes.push(LocalNode::new(node));
         self.nodes[parent].children_local[octant] = idx as i32;
         idx
+    }
+
+    /// Coalesces the freshly localized children of `parent` into the arena.
+    fn coalesce_children(&mut self, parent: usize) {
+        let children = self.nodes[parent].children_local;
+        let nodes = &self.nodes;
+        let ranges = self.arena.coalesce(
+            children
+                .iter()
+                .filter(|&&c| c != NO_LOCAL)
+                .map(|&c| (c as u32, &nodes[c as usize].node)),
+        );
+        self.nodes[parent].ranges = ranges;
     }
 
     /// Localizes the children of `parent` with blocking pointer-to-shared
@@ -107,6 +210,7 @@ impl CacheTree {
             let child = shared.cells.read(ctx, child_ptr);
             self.install_child(parent, octant, child);
         }
+        self.coalesce_children(parent);
         self.nodes[parent].localized = true;
         self.nodes[parent].requested = false;
     }
@@ -125,6 +229,7 @@ impl CacheTree {
         for (octant, node) in octants.into_iter().zip(children) {
             self.install_child(parent, octant, node);
         }
+        self.coalesce_children(parent);
         self.nodes[parent].localized = true;
         self.nodes[parent].requested = false;
     }
@@ -146,7 +251,87 @@ impl CacheTree {
 
     /// Force walk for one body position using the cache, localizing cells on
     /// demand with blocking reads (the §5.3.1 algorithm).
+    ///
+    /// Opened cells evaluate their coalesced body leaves through the SoA
+    /// batch gathered at localization time (contiguous positions and masses,
+    /// no per-leaf pointer chasing) and push only their cell-kind children.
+    /// The evaluation order — leaves of the opened cell in octant order,
+    /// then its cell children depth-first — matches
+    /// [`CacheTree::walk_per_body`] exactly, so the two produce bit-identical
+    /// forces; they differ only in memory layout.
     pub fn walk(
+        &mut self,
+        ctx: &Ctx,
+        shared: &BhShared,
+        pos: Vec3,
+        self_id: u32,
+        theta: f64,
+        eps: f64,
+    ) -> CachedWalkResult {
+        let mut result = CachedWalkResult::default();
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            let node = self.nodes[idx].node;
+            match node.kind {
+                NodeKind::Body => {
+                    // Only reachable when the root itself is a body leaf.
+                    if node.body_id == self_id {
+                        continue;
+                    }
+                    let (a, p) = pairwise_acceleration(pos, node.cofm, node.mass, eps);
+                    result.acc += a;
+                    result.phi += p;
+                    result.interactions += 1;
+                }
+                NodeKind::Cell => {
+                    if node.nbodies == 0 {
+                        continue;
+                    }
+                    let dist_sq = pos.dist_sq(node.cofm);
+                    if cell_is_far(node.side(), dist_sq, theta) {
+                        let (a, p) = pairwise_acceleration(pos, node.cofm, node.mass, eps);
+                        result.acc += a;
+                        result.phi += p;
+                        result.interactions += 1;
+                    } else {
+                        if !self.nodes[idx].localized {
+                            self.localize_children(ctx, shared, idx);
+                        }
+                        let ranges = self.nodes[idx].ranges;
+                        result.interactions += self.arena.accumulate(
+                            ranges,
+                            pos,
+                            self_id,
+                            eps,
+                            &mut result.acc,
+                            &mut result.phi,
+                        );
+                        for &k in self.arena.kids(ranges) {
+                            stack.push(k as usize);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.charge_interactions(result.interactions as u64);
+        result
+    }
+
+    /// The per-body reference evaluation: identical traversal schedule to
+    /// [`CacheTree::walk`], but each body leaf of an opened cell is read out
+    /// of its own [`LocalNode`] record (an array-of-structures pointer chase
+    /// per leaf) instead of the coalesced SoA batch.
+    ///
+    /// This reproduces the *memory behavior* of the walk this PR replaced —
+    /// one node record dragged through the cache per leaf — under the
+    /// batched walk's evaluation schedule, so the A-B pair isolates the
+    /// layout change alone and the two agree bit for bit.  (The replaced
+    /// walk itself pushed body leaves through the traversal stack and thus
+    /// accumulated in a different order; its per-leaf record reads are what
+    /// this reference preserves.)  The `benchsuite` kernel benchmark times
+    /// this walk against the batched one, and the equivalence tests assert
+    /// the bit-for-bit agreement.
+    pub fn walk_per_body(
         &mut self,
         ctx: &Ctx,
         shared: &BhShared,
@@ -183,10 +368,24 @@ impl CacheTree {
                         if !self.nodes[idx].localized {
                             self.localize_children(ctx, shared, idx);
                         }
-                        for o in 0..8 {
-                            let c = self.nodes[idx].children_local[o];
-                            if c != NO_LOCAL {
-                                stack.push(c as usize);
+                        let children = self.nodes[idx].children_local;
+                        for c in children {
+                            if c == NO_LOCAL {
+                                continue;
+                            }
+                            let child = self.nodes[c as usize].node;
+                            match child.kind {
+                                NodeKind::Body => {
+                                    if child.body_id == self_id {
+                                        continue;
+                                    }
+                                    let (a, p) =
+                                        pairwise_acceleration(pos, child.cofm, child.mass, eps);
+                                    result.acc += a;
+                                    result.phi += p;
+                                    result.interactions += 1;
+                                }
+                                NodeKind::Cell => stack.push(c as usize),
                             }
                         }
                     }
@@ -263,20 +462,20 @@ mod tests {
     fn cache_fetches_each_remote_cell_at_most_once() {
         let cfg = SimConfig::test(300, 4, OptLevel::CacheLocalTree);
         let (_, results) = with_built_tree(&cfg, |ctx, shared, st| {
-            let before = ctx.stats_snapshot().remote_gets;
+            let before = ctx.stats_snapshot();
             let mut cache = CacheTree::new(ctx, shared);
             for &id in &st.my_ids {
                 let b = shared.bodytab.read_raw(id as usize);
                 cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
             }
-            let first_pass = ctx.stats_snapshot().remote_gets - before;
+            let first_pass = ctx.stats_snapshot().delta(&before).remote_gets;
             // A second pass over the same bodies must not fetch anything new.
-            let before2 = ctx.stats_snapshot().remote_gets;
+            let before2 = ctx.stats_snapshot();
             for &id in &st.my_ids {
                 let b = shared.bodytab.read_raw(id as usize);
                 cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
             }
-            let second_pass = ctx.stats_snapshot().remote_gets - before2;
+            let second_pass = ctx.stats_snapshot().delta(&before2).remote_gets;
             (first_pass, second_pass, cache.len())
         });
         for (first, second, cached) in results {

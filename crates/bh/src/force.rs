@@ -304,10 +304,10 @@ mod tests {
                 .collect();
             let before = ctx.stats_snapshot();
             write_back(ctx, &shared, &st, &cfg, &forces);
-            let after = ctx.stats_snapshot();
-            assert_eq!(after.local_accesses - before.local_accesses, 2 * forces.len() as u64);
-            assert_eq!(after.remote_gets, before.remote_gets);
-            assert_eq!(after.remote_puts, before.remote_puts);
+            let charged = ctx.stats_snapshot().delta(&before);
+            assert_eq!(charged.local_accesses, 2 * forces.len() as u64);
+            assert_eq!(charged.remote_gets, 0);
+            assert_eq!(charged.remote_puts, 0);
             ctx.barrier();
         });
         let snap = shared.bodytab.snapshot();

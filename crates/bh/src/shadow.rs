@@ -15,6 +15,7 @@
 //! confirm that observation: remote traffic is identical to §5.3.1, only the
 //! local copying cost differs.
 
+use crate::cache::{ChildRanges, LeafArena};
 use crate::cellnode::{CellNode, NodeKind};
 use crate::shared::BhShared;
 use nbody::direct::pairwise_acceleration;
@@ -48,10 +49,29 @@ pub struct ShadowNode {
     pub shadow: [i32; 8],
     /// `true` once every child of this node has a shadow link.
     pub localized: bool,
+    /// This cell's slice of the cache's [`LeafArena`].
+    ranges: ChildRanges,
+}
+
+impl ShadowNode {
+    fn new(node: CellNode, origin: ShadowOrigin) -> ShadowNode {
+        ShadowNode {
+            node,
+            origin,
+            shadow: [NO_SHADOW; 8],
+            localized: false,
+            ranges: ChildRanges::default(),
+        }
+    }
 }
 
 /// The §5.3.2 per-rank cache: a merged local tree that only copies remote
 /// cells.
+///
+/// Like [`crate::cache::CacheTree`], localized cells coalesce their body
+/// leaves into one SoA batch per cell (the shared [`LeafArena`]) so the
+/// walk streams contiguous positions and masses instead of chasing one node
+/// record per leaf.
 pub struct ShadowCacheTree {
     /// All cache nodes; index 0 is the local view of the global root.
     pub nodes: Vec<ShadowNode>,
@@ -59,6 +79,8 @@ pub struct ShadowCacheTree {
     pub remote_copies: u64,
     /// Number of local cells reused in place (pointer cast instead of copy).
     pub local_reuses: u64,
+    /// Coalesced children of every localized cell.
+    arena: LeafArena,
 }
 
 impl ShadowCacheTree {
@@ -74,14 +96,10 @@ impl ShadowCacheTree {
             ShadowOrigin::LocalOriginal(_) => local_reuses += 1,
         }
         ShadowCacheTree {
-            nodes: vec![ShadowNode {
-                node: root,
-                origin,
-                shadow: [NO_SHADOW; 8],
-                localized: false,
-            }],
+            nodes: vec![ShadowNode::new(root, origin)],
             remote_copies,
             local_reuses,
+            arena: LeafArena::default(),
         }
     }
 
@@ -123,10 +141,24 @@ impl ShadowCacheTree {
                 ShadowOrigin::LocalOriginal(_) => self.local_reuses += 1,
             }
             let idx = self.nodes.len();
-            self.nodes.push(ShadowNode { node, origin, shadow: [NO_SHADOW; 8], localized: false });
+            self.nodes.push(ShadowNode::new(node, origin));
             self.nodes[parent].shadow[octant] = idx as i32;
         }
+        self.coalesce_children(parent);
         self.nodes[parent].localized = true;
+    }
+
+    /// Coalesces the freshly localized children of `parent` into the arena.
+    fn coalesce_children(&mut self, parent: usize) {
+        let shadow = self.nodes[parent].shadow;
+        let nodes = &self.nodes;
+        let ranges = self.arena.coalesce(
+            shadow
+                .iter()
+                .filter(|&&c| c != NO_SHADOW)
+                .map(|&c| (c as u32, &nodes[c as usize].node)),
+        );
+        self.nodes[parent].ranges = ranges;
     }
 
     /// Force walk for one body position, localizing cells on demand.
@@ -149,6 +181,7 @@ impl ShadowCacheTree {
             let node = self.nodes[idx].node;
             match node.kind {
                 NodeKind::Body => {
+                    // Only reachable when the root itself is a body leaf.
                     if node.body_id == self_id {
                         continue;
                     }
@@ -171,11 +204,17 @@ impl ShadowCacheTree {
                         if !self.nodes[idx].localized {
                             self.localize_children(ctx, shared, idx);
                         }
-                        for o in 0..8 {
-                            let c = self.nodes[idx].shadow[o];
-                            if c != NO_SHADOW {
-                                stack.push(c as usize);
-                            }
+                        let ranges = self.nodes[idx].ranges;
+                        result.interactions += self.arena.accumulate(
+                            ranges,
+                            pos,
+                            self_id,
+                            eps,
+                            &mut result.acc,
+                            &mut result.phi,
+                        );
+                        for &k in self.arena.kids(ranges) {
+                            stack.push(k as usize);
                         }
                     }
                 }
@@ -273,21 +312,21 @@ mod tests {
         // insertion order, and hence the tree shape, differs from run to run).
         let cfg = SimConfig::test(300, 4, OptLevel::CacheLocalTree);
         let results = with_built_tree(&cfg, |ctx, shared, st| {
-            let before_shadow = ctx.stats_snapshot().remote_gets;
+            let before_shadow = ctx.stats_snapshot();
             let mut shadow = ShadowCacheTree::new(ctx, shared);
             for &id in &st.my_ids {
                 let b = shared.bodytab.read_raw(id as usize);
                 shadow.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
             }
-            let shadow_remote = ctx.stats_snapshot().remote_gets - before_shadow;
+            let shadow_remote = ctx.stats_snapshot().delta(&before_shadow).remote_gets;
 
-            let before_separate = ctx.stats_snapshot().remote_gets;
+            let before_separate = ctx.stats_snapshot();
             let mut separate = CacheTree::new(ctx, shared);
             for &id in &st.my_ids {
                 let b = shared.bodytab.read_raw(id as usize);
                 separate.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
             }
-            let separate_remote = ctx.stats_snapshot().remote_gets - before_separate;
+            let separate_remote = ctx.stats_snapshot().delta(&before_separate).remote_gets;
             (shadow_remote, separate_remote)
         });
         for (shadow_remote, separate_remote) in results {
@@ -304,12 +343,12 @@ mod tests {
                 let b = shared.bodytab.read_raw(id as usize);
                 cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
             }
-            let before = ctx.stats_snapshot().remote_gets;
+            let before = ctx.stats_snapshot();
             for &id in &st.my_ids {
                 let b = shared.bodytab.read_raw(id as usize);
                 cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
             }
-            ctx.stats_snapshot().remote_gets - before
+            ctx.stats_snapshot().delta(&before).remote_gets
         });
         assert!(results.into_iter().all(|extra| extra == 0));
     }

@@ -1,0 +1,733 @@
+//! The benchmark vocabulary: run specifications, repetition samples,
+//! schema-versioned records and baseline diffing.
+//!
+//! The paper's core claim is *comparative performance* — per-phase timing
+//! and communication traffic of the optimization ladder across machine
+//! shapes — so the workspace needs a machine-readable trajectory of those
+//! numbers and a way for CI to catch a regression.  This module holds the
+//! types that the `benchsuite` binary (in `bh-bench`) and the `bhsim`
+//! `--compare` driver share:
+//!
+//! * [`RunSpec`] — one point of the sweep (scenario × backend × opt level ×
+//!   machine shape × size), with a stable [`RunSpec::key`] used to match
+//!   runs against a committed baseline.
+//! * [`Sample`] — one repetition's measurements: real wall time plus the
+//!   deterministic outputs (simulated per-phase seconds, traffic counters).
+//! * [`RunRecord`] / [`KernelRecord`] — aggregated medians/p90s over the
+//!   repetitions of one sweep point / one force-kernel A-B pair.
+//! * [`Record`] — the schema-versioned document written to `BENCH_*.json`
+//!   ([`SCHEMA`]), parseable back via [`Record::from_json`].
+//! * [`diff_against_baseline`] / [`kernel_regressions`] — the regression
+//!   gate: deterministic metrics are compared against the committed
+//!   baseline under a configurable threshold, and the leaf-coalesced force
+//!   kernel must not lose to the per-body walk it replaced.
+//!
+//! Wall-clock times are recorded (median/p90 over repetitions) but **never
+//! gated against the baseline**: the committed record was produced on a
+//! different machine than the CI runner, so only the emulator's
+//! deterministic outputs — simulated phase times and traffic counters — are
+//! comparable across hosts.  The one wall-clock gate is *within* a record:
+//! the kernel A-B pair ran on the same host seconds apart, so their ratio
+//! is meaningful anywhere.
+
+use crate::compare::BackendRun;
+use crate::config::SimConfig;
+use crate::report::{Phase, PhaseTimes};
+use pgas::RankStats;
+use serde::{Deserialize, Serialize, Value};
+
+/// Schema identifier written into (and required of) every record.
+pub const SCHEMA: &str = "bhbench/v1";
+
+/// Kernel-record engine name for the batched (SoA) cached walk.
+pub const KERNEL_COALESCED: &str = "leaf-coalesced";
+/// Kernel-record engine name for the per-body reference walk (one node
+/// record chased per leaf — the replaced walk's memory behavior).
+pub const KERNEL_PER_BODY: &str = "per-body-walk";
+
+/// One point of the benchmark sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Workload family (scenario registry key).
+    pub scenario: String,
+    /// Solver (backend registry key).
+    pub backend: String,
+    /// UPC optimization level name (meaningful for the `upc` backend; the
+    /// other backends record the level they were configured with).
+    pub opt: String,
+    /// Number of bodies.
+    pub nbodies: usize,
+    /// Emulated nodes.
+    pub nodes: usize,
+    /// Emulated UPC threads per node.
+    pub threads_per_node: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Total time steps.
+    pub steps: usize,
+    /// Trailing measured steps.
+    pub measured_steps: usize,
+}
+
+impl RunSpec {
+    /// Builds the spec for running `scenario` through `backend` under `cfg`.
+    pub fn new(scenario: &str, backend: &str, cfg: &SimConfig) -> RunSpec {
+        RunSpec {
+            scenario: scenario.to_string(),
+            backend: backend.to_string(),
+            opt: cfg.opt.name().to_string(),
+            nbodies: cfg.nbodies,
+            nodes: cfg.machine.nodes,
+            threads_per_node: cfg.machine.threads_per_node,
+            seed: cfg.seed,
+            steps: cfg.steps,
+            measured_steps: cfg.measured_steps,
+        }
+    }
+
+    /// Stable identity used to match runs between a current record and a
+    /// committed baseline.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/n{}/m{}x{}",
+            self.scenario, self.backend, self.opt, self.nbodies, self.nodes, self.threads_per_node
+        )
+    }
+}
+
+/// One repetition's measurements for a sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sample {
+    /// Real (host) wall time of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated per-phase seconds (max over ranks, measured window).
+    pub phases: PhaseTimes,
+    /// Simulated makespan of the measured window.
+    pub total_sim: f64,
+    /// Body migration per measured step.
+    pub migration_fraction: f64,
+    /// Communication counters summed over ranks, whole run.
+    pub stats: RankStats,
+}
+
+impl Sample {
+    /// Extracts the sample of one completed [`BackendRun`].
+    pub fn from_run(run: &BackendRun) -> Sample {
+        Sample {
+            wall_ms: run.wall_ms,
+            phases: run.result.phases,
+            total_sim: run.result.total,
+            migration_fraction: run.result.migration_fraction,
+            stats: run.result.total_stats(),
+        }
+    }
+}
+
+/// Median and 90th percentile of a set of repetitions (nearest-rank).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stat {
+    /// Median (nearest-rank) over the repetitions.
+    pub median: f64,
+    /// 90th percentile (nearest-rank) over the repetitions.
+    pub p90: f64,
+}
+
+impl Stat {
+    /// Computes the statistic of a non-empty set of values.
+    pub fn of(values: &[f64]) -> Stat {
+        assert!(!values.is_empty(), "Stat::of needs at least one value");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+        Stat { median: nearest_rank(&sorted, 0.50), p90: nearest_rank(&sorted, 0.90) }
+    }
+}
+
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn median_u64(values: impl Iterator<Item = u64>) -> u64 {
+    let mut v: Vec<u64> = values.collect();
+    v.sort_unstable();
+    v[(v.len() - 1) / 2]
+}
+
+/// Aggregated repetitions of one sweep point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The sweep point.
+    pub spec: RunSpec,
+    /// Number of repetitions aggregated.
+    pub reps: usize,
+    /// Wall time of the whole run (informational; host-dependent).
+    pub wall_ms: Stat,
+    /// Per-phase simulated medians over the repetitions.
+    pub phases_median: PhaseTimes,
+    /// Per-phase simulated p90s over the repetitions.
+    pub phases_p90: PhaseTimes,
+    /// Median simulated makespan.
+    pub total_sim_median: f64,
+    /// Median interaction count (deterministic up to tree-build races).
+    pub interactions: u64,
+    /// Median fine-grained remote gets.
+    pub remote_gets: u64,
+    /// Median fine-grained remote puts.
+    pub remote_puts: u64,
+    /// Median bulk message count.
+    pub messages: u64,
+    /// Median bytes received.
+    pub bytes_in: u64,
+    /// Median bytes sent.
+    pub bytes_out: u64,
+    /// Median global lock acquisitions.
+    pub lock_acquires: u64,
+}
+
+impl RunRecord {
+    /// Aggregates the repetitions of one sweep point.
+    pub fn from_samples(spec: RunSpec, samples: &[Sample]) -> RunRecord {
+        assert!(!samples.is_empty(), "a run record needs at least one sample");
+        let walls: Vec<f64> = samples.iter().map(|s| s.wall_ms).collect();
+        let mut phases_median = PhaseTimes::default();
+        let mut phases_p90 = PhaseTimes::default();
+        for phase in Phase::ALL {
+            let per: Vec<f64> = samples.iter().map(|s| s.phases.get(phase)).collect();
+            let stat = Stat::of(&per);
+            phases_median.set(phase, stat.median);
+            phases_p90.set(phase, stat.p90);
+        }
+        let totals: Vec<f64> = samples.iter().map(|s| s.total_sim).collect();
+        RunRecord {
+            spec,
+            reps: samples.len(),
+            wall_ms: Stat::of(&walls),
+            phases_median,
+            phases_p90,
+            total_sim_median: Stat::of(&totals).median,
+            interactions: median_u64(samples.iter().map(|s| s.stats.interactions)),
+            remote_gets: median_u64(samples.iter().map(|s| s.stats.remote_gets)),
+            remote_puts: median_u64(samples.iter().map(|s| s.stats.remote_puts)),
+            messages: median_u64(samples.iter().map(|s| s.stats.messages)),
+            bytes_in: median_u64(samples.iter().map(|s| s.stats.bytes_in)),
+            bytes_out: median_u64(samples.iter().map(|s| s.stats.bytes_out)),
+            lock_acquires: median_u64(samples.iter().map(|s| s.stats.lock_acquires)),
+        }
+    }
+}
+
+/// Aggregated repetitions of one force-kernel measurement (one engine of an
+/// A-B pair; records with both engines for the same scenario and size form
+/// the comparison the perf gate checks).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Workload family.
+    pub scenario: String,
+    /// Number of bodies walked.
+    pub nbodies: usize,
+    /// Kernel engine: [`KERNEL_COALESCED`] or [`KERNEL_PER_BODY`].
+    pub engine: String,
+    /// Number of repetitions aggregated.
+    pub reps: usize,
+    /// Wall time of computing all forces once, milliseconds.
+    pub force_wall_ms: Stat,
+    /// Interactions evaluated per repetition (identical across engines).
+    pub interactions: u64,
+}
+
+/// The schema-versioned document committed as `BENCH_*.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Record {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Commit the record was produced from (`unknown` outside a checkout).
+    pub commit: String,
+    /// `true` when only the quick grid was run.
+    pub quick: bool,
+    /// Aggregated sweep points.
+    pub runs: Vec<RunRecord>,
+    /// Aggregated force-kernel measurements.
+    pub kernels: Vec<KernelRecord>,
+}
+
+impl Record {
+    /// An empty record for the given provenance.
+    pub fn new(commit: String, quick: bool) -> Record {
+        Record { schema: SCHEMA.to_string(), commit, quick, runs: Vec::new(), kernels: Vec::new() }
+    }
+
+    /// Checks the structural invariants every well-formed record satisfies.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!("schema mismatch: {:?} (expected {SCHEMA:?})", self.schema));
+        }
+        if self.runs.is_empty() {
+            return Err("record contains no runs".to_string());
+        }
+        for run in &self.runs {
+            let key = run.spec.key();
+            if run.reps == 0 {
+                return Err(format!("{key}: zero repetitions"));
+            }
+            if run.wall_ms.median < 0.0 || run.wall_ms.p90 < run.wall_ms.median {
+                return Err(format!("{key}: ill-formed wall_ms stat"));
+            }
+            for phase in Phase::ALL {
+                let (m, p) = (run.phases_median.get(phase), run.phases_p90.get(phase));
+                if m < 0.0 || p < m {
+                    return Err(format!("{key}: ill-formed {} stat", phase.label()));
+                }
+            }
+            if run.total_sim_median <= 0.0 {
+                return Err(format!("{key}: non-positive simulated makespan"));
+            }
+            if run.interactions == 0 {
+                return Err(format!("{key}: zero interactions"));
+            }
+        }
+        for k in &self.kernels {
+            if k.engine != KERNEL_COALESCED && k.engine != KERNEL_PER_BODY {
+                return Err(format!("unknown kernel engine {:?}", k.engine));
+            }
+            if k.reps == 0 || k.interactions == 0 || k.force_wall_ms.median <= 0.0 {
+                return Err(format!("ill-formed kernel record {}/{}", k.scenario, k.engine));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the record as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialize bench record")
+    }
+
+    /// Parses and validates a record from JSON text (a committed
+    /// `BENCH_*.json`).  Any structural problem is a schema violation and
+    /// reported as `Err`.
+    pub fn from_json(text: &str) -> Result<Record, String> {
+        let value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let record = decode_record(&value)?;
+        record.validate()?;
+        Ok(record)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON decoding (the vendored serde derives serialization only).
+
+fn field<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("{ctx}: missing field {key:?}"))
+}
+
+fn f64_field(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    field(v, key, ctx)?.as_f64().ok_or_else(|| format!("{ctx}: field {key:?} is not a number"))
+}
+
+fn u64_field(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    field(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: field {key:?} is not a non-negative integer"))
+}
+
+fn usize_field(v: &Value, key: &str, ctx: &str) -> Result<usize, String> {
+    Ok(u64_field(v, key, ctx)? as usize)
+}
+
+fn str_field(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
+    Ok(field(v, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: field {key:?} is not a string"))?
+        .to_string())
+}
+
+fn decode_stat(v: &Value, ctx: &str) -> Result<Stat, String> {
+    Ok(Stat { median: f64_field(v, "median", ctx)?, p90: f64_field(v, "p90", ctx)? })
+}
+
+fn decode_phases(v: &Value, ctx: &str) -> Result<PhaseTimes, String> {
+    Ok(PhaseTimes {
+        tree: f64_field(v, "tree", ctx)?,
+        cofm: f64_field(v, "cofm", ctx)?,
+        partition: f64_field(v, "partition", ctx)?,
+        redistribute: f64_field(v, "redistribute", ctx)?,
+        force: f64_field(v, "force", ctx)?,
+        advance: f64_field(v, "advance", ctx)?,
+    })
+}
+
+fn decode_spec(v: &Value, ctx: &str) -> Result<RunSpec, String> {
+    Ok(RunSpec {
+        scenario: str_field(v, "scenario", ctx)?,
+        backend: str_field(v, "backend", ctx)?,
+        opt: str_field(v, "opt", ctx)?,
+        nbodies: usize_field(v, "nbodies", ctx)?,
+        nodes: usize_field(v, "nodes", ctx)?,
+        threads_per_node: usize_field(v, "threads_per_node", ctx)?,
+        seed: u64_field(v, "seed", ctx)?,
+        steps: usize_field(v, "steps", ctx)?,
+        measured_steps: usize_field(v, "measured_steps", ctx)?,
+    })
+}
+
+fn decode_run(v: &Value) -> Result<RunRecord, String> {
+    let spec = decode_spec(field(v, "spec", "run")?, "run.spec")?;
+    let ctx = spec.key();
+    Ok(RunRecord {
+        reps: usize_field(v, "reps", &ctx)?,
+        wall_ms: decode_stat(field(v, "wall_ms", &ctx)?, &ctx)?,
+        phases_median: decode_phases(field(v, "phases_median", &ctx)?, &ctx)?,
+        phases_p90: decode_phases(field(v, "phases_p90", &ctx)?, &ctx)?,
+        total_sim_median: f64_field(v, "total_sim_median", &ctx)?,
+        interactions: u64_field(v, "interactions", &ctx)?,
+        remote_gets: u64_field(v, "remote_gets", &ctx)?,
+        remote_puts: u64_field(v, "remote_puts", &ctx)?,
+        messages: u64_field(v, "messages", &ctx)?,
+        bytes_in: u64_field(v, "bytes_in", &ctx)?,
+        bytes_out: u64_field(v, "bytes_out", &ctx)?,
+        lock_acquires: u64_field(v, "lock_acquires", &ctx)?,
+        spec,
+    })
+}
+
+fn decode_kernel(v: &Value) -> Result<KernelRecord, String> {
+    let ctx = "kernel";
+    Ok(KernelRecord {
+        scenario: str_field(v, "scenario", ctx)?,
+        nbodies: usize_field(v, "nbodies", ctx)?,
+        engine: str_field(v, "engine", ctx)?,
+        reps: usize_field(v, "reps", ctx)?,
+        force_wall_ms: decode_stat(field(v, "force_wall_ms", ctx)?, ctx)?,
+        interactions: u64_field(v, "interactions", ctx)?,
+    })
+}
+
+fn decode_record(v: &Value) -> Result<Record, String> {
+    let runs = field(v, "runs", "record")?
+        .as_array()
+        .ok_or("record: runs is not an array")?
+        .iter()
+        .map(decode_run)
+        .collect::<Result<Vec<_>, _>>()?;
+    let kernels = field(v, "kernels", "record")?
+        .as_array()
+        .ok_or("record: kernels is not an array")?
+        .iter()
+        .map(decode_kernel)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Record {
+        schema: str_field(v, "schema", "record")?,
+        commit: str_field(v, "commit", "record")?,
+        quick: field(v, "quick", "record")?.as_bool().ok_or("record: quick is not a bool")?,
+        runs,
+        kernels,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Baseline diffing.
+
+/// One metric compared against the baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricDiff {
+    /// The sweep point ([`RunSpec::key`]) or kernel pair the metric belongs
+    /// to.
+    pub key: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+}
+
+impl MetricDiff {
+    fn describe(&self) -> String {
+        format!(
+            "{} {}: {:.4} -> {:.4} ({:+.1}%)",
+            self.key,
+            self.metric,
+            self.baseline,
+            self.current,
+            100.0 * (self.ratio - 1.0)
+        )
+    }
+}
+
+/// Outcome of diffing a record against a committed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDiff {
+    /// Number of sweep points found in both records.
+    pub compared: usize,
+    /// Deterministic metrics that regressed past the threshold.
+    pub regressions: Vec<MetricDiff>,
+    /// Current sweep points with no baseline counterpart (informational).
+    pub unmatched: Vec<String>,
+    /// Sweep points whose [`RunSpec::key`] matched but whose measurement
+    /// protocol (seed, steps, measured steps) differs — the baseline is
+    /// stale and the numbers are not comparable; callers must treat these
+    /// as an error, not a regression.
+    pub protocol_mismatches: Vec<String>,
+}
+
+impl BaselineDiff {
+    /// Human-readable summary lines of the regressions.
+    pub fn describe_regressions(&self) -> Vec<String> {
+        self.regressions.iter().map(MetricDiff::describe).collect()
+    }
+}
+
+/// Phases below this many simulated seconds are exempt from relative
+/// comparison: they are dominated by discrete cost-model quanta where a
+/// single extra barrier flips the ratio wildly without meaning anything.
+const PHASE_FLOOR_SIM_SECONDS: f64 = 1e-4;
+
+/// Counters below this magnitude are exempt from relative comparison.
+const COUNTER_FLOOR: f64 = 64.0;
+
+/// Compares `current` against `baseline`: every sweep point present in both
+/// records has its **deterministic** metrics (simulated phase medians,
+/// simulated makespan, traffic counters) checked; a metric regresses when it
+/// exceeds the baseline by more than `threshold` (a fraction, e.g. `0.25`
+/// for the CI gate's 25 %).  Wall-clock times are never compared — they are
+/// host-dependent (see the module docs).
+pub fn diff_against_baseline(current: &Record, baseline: &Record, threshold: f64) -> BaselineDiff {
+    let mut diff = BaselineDiff::default();
+    for run in &current.runs {
+        let key = run.spec.key();
+        let Some(base) = baseline.runs.iter().find(|b| b.spec.key() == key) else {
+            diff.unmatched.push(key);
+            continue;
+        };
+        // The key identifies the sweep point; the rest of the spec is the
+        // measurement protocol.  If it drifted (grid edited without
+        // regenerating the baseline), the numbers are incomparable — a
+        // relative check would report a spurious regression or mask a real
+        // one.
+        if base.spec != run.spec {
+            diff.protocol_mismatches.push(format!(
+                "{key}: seed/steps/measured_steps {}/{}/{} vs baseline {}/{}/{}",
+                run.spec.seed,
+                run.spec.steps,
+                run.spec.measured_steps,
+                base.spec.seed,
+                base.spec.steps,
+                base.spec.measured_steps
+            ));
+            continue;
+        }
+        diff.compared += 1;
+        let mut check = |metric: &str, baseline: f64, current: f64, floor: f64| {
+            if baseline < floor && current < floor {
+                return;
+            }
+            let ratio = current / baseline.max(f64::MIN_POSITIVE);
+            if ratio > 1.0 + threshold {
+                diff.regressions.push(MetricDiff {
+                    key: key.clone(),
+                    metric: metric.to_string(),
+                    baseline,
+                    current,
+                    ratio,
+                });
+            }
+        };
+        check("total_sim", base.total_sim_median, run.total_sim_median, PHASE_FLOOR_SIM_SECONDS);
+        for phase in Phase::ALL {
+            check(
+                phase.key(),
+                base.phases_median.get(phase),
+                run.phases_median.get(phase),
+                PHASE_FLOOR_SIM_SECONDS,
+            );
+        }
+        check("interactions", base.interactions as f64, run.interactions as f64, COUNTER_FLOOR);
+        check(
+            "remote_ops",
+            (base.remote_gets + base.remote_puts) as f64,
+            (run.remote_gets + run.remote_puts) as f64,
+            COUNTER_FLOOR,
+        );
+        check("messages", base.messages as f64, run.messages as f64, COUNTER_FLOOR);
+        check("bytes_out", base.bytes_out as f64, run.bytes_out as f64, COUNTER_FLOOR);
+        check("lock_acquires", base.lock_acquires as f64, run.lock_acquires as f64, COUNTER_FLOOR);
+    }
+    diff
+}
+
+/// The within-record kernel gate: for every scenario/size measured with both
+/// engines, the leaf-coalesced kernel's median force time must not exceed
+/// the per-body walk's by more than `threshold` (both ran on the same host,
+/// so the ratio is host-independent).  Returns the offending pairs.
+pub fn kernel_regressions(record: &Record, threshold: f64) -> Vec<MetricDiff> {
+    let mut out = Vec::new();
+    for walk in record.kernels.iter().filter(|k| k.engine == KERNEL_PER_BODY) {
+        let pair = record.kernels.iter().find(|k| {
+            k.engine == KERNEL_COALESCED && k.scenario == walk.scenario && k.nbodies == walk.nbodies
+        });
+        if let Some(coalesced) = pair {
+            let ratio = coalesced.force_wall_ms.median / walk.force_wall_ms.median.max(1e-9);
+            if ratio > 1.0 + threshold {
+                out.push(MetricDiff {
+                    key: format!("kernel {}/n{}", walk.scenario, walk.nbodies),
+                    metric: "force_wall_ms (coalesced vs per-body)".to_string(),
+                    baseline: walk.force_wall_ms.median,
+                    current: coalesced.force_wall_ms.median,
+                    ratio,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptLevel;
+    use pgas::Machine;
+
+    fn sample(wall: f64, force: f64, interactions: u64) -> Sample {
+        Sample {
+            wall_ms: wall,
+            phases: PhaseTimes { force, tree: 0.5, ..Default::default() },
+            total_sim: force + 0.5,
+            migration_fraction: 0.01,
+            stats: RankStats { interactions, remote_gets: 1000, ..Default::default() },
+        }
+    }
+
+    fn spec() -> RunSpec {
+        let cfg = SimConfig::new(256, Machine::process_per_node(2), OptLevel::Subspace);
+        RunSpec::new("plummer", "upc", &cfg)
+    }
+
+    fn record_with(force: f64, interactions: u64) -> Record {
+        let samples = [
+            sample(10.0, force, interactions),
+            sample(12.0, force, interactions),
+            sample(11.0, force, interactions),
+        ];
+        let mut record = Record::new("test".to_string(), false);
+        record.runs.push(RunRecord::from_samples(spec(), &samples));
+        record
+    }
+
+    #[test]
+    fn stat_uses_nearest_rank() {
+        let s = Stat::of(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p90, 5.0);
+        let one = Stat::of(&[7.0]);
+        assert_eq!(one.median, 7.0);
+        assert_eq!(one.p90, 7.0);
+    }
+
+    #[test]
+    fn spec_key_is_stable_and_discriminating() {
+        let a = spec();
+        assert_eq!(a.key(), "plummer/upc/subspace/n256/m2x1");
+        let mut b = a.clone();
+        b.nbodies = 512;
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn record_json_round_trips_and_validates() {
+        let mut record = record_with(2.0, 50_000);
+        record.kernels.push(KernelRecord {
+            scenario: "plummer".to_string(),
+            nbodies: 4096,
+            engine: KERNEL_COALESCED.to_string(),
+            reps: 5,
+            force_wall_ms: Stat { median: 3.0, p90: 3.5 },
+            interactions: 1_000_000,
+        });
+        let text = record.to_json();
+        let parsed = Record::from_json(&text).expect("round trip");
+        assert_eq!(parsed.runs.len(), 1);
+        assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
+        assert_eq!(parsed.runs[0].interactions, 50_000);
+        assert_eq!(parsed.kernels[0].nbodies, 4096);
+        assert_eq!(parsed.kernels[0].force_wall_ms.median, 3.0);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        assert!(Record::from_json("not json").is_err());
+        assert!(Record::from_json("{}").is_err());
+        let wrong_schema = r#"{"schema":"nope","commit":"x","quick":false,"runs":[],"kernels":[]}"#;
+        assert!(Record::from_json(wrong_schema).unwrap_err().contains("schema mismatch"));
+        let empty =
+            format!(r#"{{"schema":"{SCHEMA}","commit":"x","quick":false,"runs":[],"kernels":[]}}"#);
+        assert!(Record::from_json(&empty).unwrap_err().contains("no runs"));
+        // A record whose run is missing a field is a schema violation too.
+        let mut record = record_with(2.0, 10_000);
+        record.runs[0].reps = 0;
+        assert!(Record::from_json(&record.to_json()).is_err());
+    }
+
+    #[test]
+    fn diff_flags_regressions_past_the_threshold_only() {
+        let baseline = record_with(2.0, 100_000);
+        let same = record_with(2.2, 110_000); // +10% — under a 25% gate
+        let diff = diff_against_baseline(&same, &baseline, 0.25);
+        assert_eq!(diff.compared, 1);
+        assert!(diff.regressions.is_empty(), "{:?}", diff.regressions);
+
+        let worse = record_with(3.0, 140_000); // +50% force, +40% interactions
+        let diff = diff_against_baseline(&worse, &baseline, 0.25);
+        let metrics: Vec<&str> = diff.regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"force"), "{metrics:?}");
+        assert!(metrics.contains(&"interactions"), "{metrics:?}");
+        assert!(!diff.describe_regressions().is_empty());
+    }
+
+    #[test]
+    fn diff_rejects_protocol_drift_instead_of_comparing() {
+        // Same key, different measurement protocol: the numbers must not be
+        // compared (a 2x interaction "regression" here would just be the
+        // doubled measured window), and the mismatch must be surfaced.
+        let baseline = record_with(2.0, 100_000);
+        let mut current = record_with(2.0, 200_000);
+        current.runs[0].spec.measured_steps += 1;
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert_eq!(diff.compared, 0);
+        assert!(diff.regressions.is_empty(), "incomparable points must not regress");
+        assert_eq!(diff.protocol_mismatches.len(), 1);
+        assert!(diff.protocol_mismatches[0].contains(&current.runs[0].spec.key()));
+    }
+
+    #[test]
+    fn diff_skips_unmatched_points_and_wall_times() {
+        let baseline = record_with(2.0, 100_000);
+        let mut current = record_with(2.0, 100_000);
+        current.runs[0].spec.nbodies = 999; // different key
+        current.runs[0].wall_ms = Stat { median: 1e9, p90: 1e9 }; // never gated
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert_eq!(diff.compared, 0);
+        assert_eq!(diff.unmatched, vec![current.runs[0].spec.key()]);
+        assert!(diff.regressions.is_empty());
+    }
+
+    #[test]
+    fn kernel_gate_compares_pairs_within_the_record() {
+        let mut record = record_with(2.0, 100_000);
+        let kernel = |engine: &str, median: f64| KernelRecord {
+            scenario: "plummer".to_string(),
+            nbodies: 4096,
+            engine: engine.to_string(),
+            reps: 5,
+            force_wall_ms: Stat { median, p90: median * 1.1 },
+            interactions: 1_000_000,
+        };
+        record.kernels.push(kernel(KERNEL_PER_BODY, 10.0));
+        record.kernels.push(kernel(KERNEL_COALESCED, 8.0));
+        assert!(kernel_regressions(&record, 0.10).is_empty());
+        record.kernels[1].force_wall_ms.median = 12.0; // coalesced lost
+        let bad = kernel_regressions(&record, 0.10);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].key.contains("plummer/n4096"));
+    }
+}

@@ -20,6 +20,11 @@ pub struct BackendRun {
     pub name: String,
     /// Its full result.
     pub result: SimResult,
+    /// Real (host) wall time of the run, milliseconds.  The simulated times
+    /// in [`BackendRun::result`] are the paper's numbers; this is what the
+    /// run actually cost the host, recorded for the bench vocabulary
+    /// (`engine::bench::Sample`).
+    pub wall_ms: f64,
 }
 
 /// Runs the same configuration and initial bodies through each named backend
@@ -49,9 +54,10 @@ pub fn run_backends(
     Ok(backends
         .into_iter()
         .zip(names)
-        .map(|(backend, name)| BackendRun {
-            name: name.clone(),
-            result: backend.run(cfg, bodies.to_vec()),
+        .map(|(backend, name)| {
+            let start = std::time::Instant::now();
+            let result = backend.run(cfg, bodies.to_vec());
+            BackendRun { name: name.clone(), result, wall_ms: start.elapsed().as_secs_f64() * 1e3 }
         })
         .collect())
 }

@@ -16,8 +16,7 @@ use crate::backend::Backend;
 use crate::config::SimConfig;
 use crate::report::{measurement_begins, PhaseTimes, RankOutcome, SimResult};
 use crate::Phase;
-use nbody::direct::pairwise_acceleration;
-use nbody::Body;
+use nbody::{Body, SoaBodies};
 use pgas::{Ctx, PhaseTimer, Runtime};
 
 /// The exact O(n²) solver as an engine backend (registry key `direct`).
@@ -112,20 +111,17 @@ fn run_step(ctx: &Ctx, owned: &mut [Body], timer: &mut PhaseTimer, cfg: &SimConf
     ctx.barrier();
     timer.end(ctx, Phase::Redistribute.key());
 
-    // Exact pairwise force evaluation for the owned block.
+    // Exact pairwise force evaluation for the owned block.  The replicated
+    // system is gathered once per step into a structure-of-arrays batch and
+    // streamed per target — the same leaf-coalesced kernel the cached tree
+    // walks use, bit-identical to the naive loop over `Body` records.
     timer.begin(ctx, Phase::Force.key());
     let n = all.len();
+    let soa = SoaBodies::from_bodies(&all);
     for body in owned.iter_mut() {
         let mut acc = nbody::Vec3::ZERO;
         let mut phi = 0.0;
-        for src in &all {
-            if src.id == body.id {
-                continue;
-            }
-            let (a, p) = pairwise_acceleration(body.pos, src.pos, src.mass, cfg.eps);
-            acc += a;
-            phi += p;
-        }
+        soa.accumulate_excluding_id(0, n, body.pos, body.id, cfg.eps, &mut acc, &mut phi);
         body.acc = acc;
         body.phi = phi;
         body.cost = (n.saturating_sub(1)) as u32;

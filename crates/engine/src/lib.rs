@@ -18,6 +18,10 @@
 //! * [`backend`] — the [`Backend`] trait (`name()`, `supports()`, `run()`)
 //!   and the string-keyed [`BackendRegistry`], mirroring the `scenarios`
 //!   registry: any scenario's bodies can be pushed through any backend.
+//! * [`bench`] — the benchmark vocabulary shared by the `benchsuite` binary
+//!   and `bhsim --compare`: [`bench::RunSpec`], [`bench::Sample`], the
+//!   schema-versioned [`bench::Record`] written to `BENCH_*.json`, and the
+//!   baseline diffing behind the CI perf gate.
 //! * [`direct`] — [`DirectBackend`], a distributed O(n²) direct-summation
 //!   solver wrapping `nbody::direct` as the ground-truth reference.
 //! * [`compare`] — the one shared comparison driver: run the same
@@ -29,6 +33,7 @@
 //! assembles the built-in backend registry from all three solvers.
 
 pub mod backend;
+pub mod bench;
 pub mod compare;
 pub mod config;
 pub mod direct;

@@ -42,21 +42,17 @@ pub fn pairwise_acceleration(
 /// writing the results into `acc` and `phi` fields of the returned copy.
 ///
 /// Self-interaction is skipped by body index, not by position, so coincident
-/// bodies are handled.
+/// bodies are handled.  The sources are gathered once into a
+/// structure-of-arrays batch ([`crate::soa::SoaBodies`]) and streamed per
+/// target; the accumulation order matches the naive nested loop, so results
+/// are bit-identical to it.
 pub fn compute_forces(bodies: &[Body], eps: f64) -> Vec<Body> {
+    let soa = crate::soa::SoaBodies::from_bodies(bodies);
     let mut out = bodies.to_vec();
     for i in 0..out.len() {
         let mut acc = Vec3::ZERO;
         let mut phi = 0.0;
-        let target = bodies[i].pos;
-        for (j, src) in bodies.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            let (a, p) = pairwise_acceleration(target, src.pos, src.mass, eps);
-            acc += a;
-            phi += p;
-        }
+        soa.accumulate_excluding_index(bodies[i].pos, Some(i), eps, &mut acc, &mut phi);
         out[i].acc = acc;
         out[i].phi = phi;
         out[i].cost = (bodies.len() - 1) as u32;

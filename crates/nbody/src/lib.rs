@@ -15,6 +15,9 @@
 //!   body orderings and costzones-style partitioning.
 //! * [`direct`] — the O(n²) direct-summation force computation, used as the
 //!   accuracy baseline against which Barnes-Hut forces are validated.
+//! * [`soa`] — structure-of-arrays point-mass batches ([`SoaBodies`]): the
+//!   leaf-coalesced inner loop shared by the cached tree walks and the
+//!   direct solvers (bit-identical to the scalar loop, faster layout).
 //! * [`integrate`] — the leapfrog (kick-drift-kick) integrator with the
 //!   SPLASH-2 default time step.
 //! * [`energy`] — kinetic/potential energy and virial diagnostics.
@@ -31,10 +34,12 @@ pub mod energy;
 pub mod integrate;
 pub mod morton;
 pub mod plummer;
+pub mod soa;
 pub mod stats;
 pub mod vec3;
 
 pub use body::Body;
+pub use soa::SoaBodies;
 pub use vec3::Vec3;
 
 /// Gravitational constant used throughout the workspace.

@@ -1,0 +1,286 @@
+//! Structure-of-arrays point-mass batches for the hot force kernels.
+//!
+//! Every force engine in the workspace bottoms out in the same inner loop:
+//! accumulate [`direct::pairwise_acceleration`](crate::direct::pairwise_acceleration)
+//! over a set of source masses.  When those sources are read out of node or
+//! body *structs* (an array-of-structures layout), each iteration drags a
+//! whole record through the cache to use 32 bytes of it — and for tree
+//! walks the records are not even adjacent, so every source is a pointer
+//! chase.  [`SoaBodies`] fixes the layout: positions and masses live in
+//! contiguous parallel arrays, gathered **once** per batch, and the inner
+//! loop streams through them with unit stride.
+//!
+//! The kernel deliberately evaluates the *identical* floating-point
+//! expression in the *identical* order as a scalar loop over the same
+//! sources, so batched and per-source accumulation agree **bit for bit** —
+//! the equivalence the `batched_kernel` integration tests pin down.  The
+//! speedup comes purely from the memory layout, not from reassociating the
+//! sums.
+//!
+//! Users:
+//! * `bh`'s cached force walks coalesce the body leaves of each opened cell
+//!   into one [`SoaBodies`] arena slice (built at localization time, reused
+//!   by every later walk through that cell);
+//! * the O(n²) reference solvers ([`direct::compute_forces`]
+//!   (crate::direct::compute_forces) and the engine's `direct` backend)
+//!   gather the whole system once per step and stream it per target.
+
+use crate::body::Body;
+use crate::direct::pairwise_acceleration;
+use crate::vec3::Vec3;
+
+/// A batch of point masses in structure-of-arrays layout.
+///
+/// The four coordinate/mass arrays always have the same length; `ids` carries
+/// the global body id of each entry so targets can skip their own
+/// self-interaction.
+#[derive(Debug, Clone, Default)]
+pub struct SoaBodies {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
+    mass: Vec<f64>,
+    ids: Vec<u32>,
+}
+
+impl SoaBodies {
+    /// An empty batch.
+    pub fn new() -> SoaBodies {
+        SoaBodies::default()
+    }
+
+    /// An empty batch with room for `cap` sources.
+    pub fn with_capacity(cap: usize) -> SoaBodies {
+        SoaBodies {
+            xs: Vec::with_capacity(cap),
+            ys: Vec::with_capacity(cap),
+            zs: Vec::with_capacity(cap),
+            mass: Vec::with_capacity(cap),
+            ids: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Gathers a whole body slice, preserving order.
+    pub fn from_bodies(bodies: &[Body]) -> SoaBodies {
+        let mut soa = SoaBodies::with_capacity(bodies.len());
+        for b in bodies {
+            soa.push(b.id, b.pos, b.mass);
+        }
+        soa
+    }
+
+    /// Appends one source and returns its index in the batch.
+    pub fn push(&mut self, id: u32, pos: Vec3, mass: f64) -> usize {
+        let idx = self.xs.len();
+        self.xs.push(pos.x);
+        self.ys.push(pos.y);
+        self.zs.push(pos.z);
+        self.mass.push(mass);
+        self.ids.push(id);
+        idx
+    }
+
+    /// Number of sources in the batch.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when the batch holds no sources.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Drops all sources, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.zs.clear();
+        self.mass.clear();
+        self.ids.clear();
+    }
+
+    /// Accumulates the acceleration and potential exerted on `target` by the
+    /// sources in `start..start + len`, skipping any source whose id equals
+    /// `exclude_id`.  Returns the number of interactions evaluated.
+    ///
+    /// The accumulation order is the batch order, and each interaction uses
+    /// [`pairwise_acceleration`] — exactly what a scalar loop over the same
+    /// sources computes, so the result is bit-identical to the per-source
+    /// path.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_excluding_id(
+        &self,
+        start: usize,
+        len: usize,
+        target: Vec3,
+        exclude_id: u32,
+        eps: f64,
+        acc: &mut Vec3,
+        phi: &mut f64,
+    ) -> u32 {
+        let end = start + len;
+        let (xs, ys, zs) = (&self.xs[start..end], &self.ys[start..end], &self.zs[start..end]);
+        let (ms, ids) = (&self.mass[start..end], &self.ids[start..end]);
+        let mut interactions = 0u32;
+        for j in 0..len {
+            if ids[j] == exclude_id {
+                continue;
+            }
+            let (a, p) = pairwise_acceleration(target, Vec3::new(xs[j], ys[j], zs[j]), ms[j], eps);
+            *acc += a;
+            *phi += p;
+            interactions += 1;
+        }
+        interactions
+    }
+
+    /// Accumulates over the whole batch, skipping the source at `exclude`
+    /// (by *index*, so coincident bodies and duplicate ids are handled the
+    /// way [`crate::direct::compute_forces`] documents).  Returns the number
+    /// of interactions evaluated.
+    #[inline]
+    pub fn accumulate_excluding_index(
+        &self,
+        target: Vec3,
+        exclude: Option<usize>,
+        eps: f64,
+        acc: &mut Vec3,
+        phi: &mut f64,
+    ) -> u32 {
+        let mut interactions = 0u32;
+        for j in 0..self.len() {
+            if Some(j) == exclude {
+                continue;
+            }
+            let (a, p) = pairwise_acceleration(
+                target,
+                Vec3::new(self.xs[j], self.ys[j], self.zs[j]),
+                self.mass[j],
+                eps,
+            );
+            *acc += a;
+            *phi += p;
+            interactions += 1;
+        }
+        interactions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plummer::{generate, PlummerConfig};
+
+    fn scalar_reference(
+        bodies: &[Body],
+        target: Vec3,
+        exclude_id: u32,
+        eps: f64,
+    ) -> (Vec3, f64, u32) {
+        let mut acc = Vec3::ZERO;
+        let mut phi = 0.0;
+        let mut n = 0;
+        for b in bodies {
+            if b.id == exclude_id {
+                continue;
+            }
+            let (a, p) = pairwise_acceleration(target, b.pos, b.mass, eps);
+            acc += a;
+            phi += p;
+            n += 1;
+        }
+        (acc, phi, n)
+    }
+
+    #[test]
+    fn batched_accumulation_is_bit_identical_to_scalar_loop() {
+        let bodies = generate(&PlummerConfig::new(64, 11));
+        let soa = SoaBodies::from_bodies(&bodies);
+        for target in &bodies {
+            let mut acc = Vec3::ZERO;
+            let mut phi = 0.0;
+            let n = soa.accumulate_excluding_id(
+                0,
+                soa.len(),
+                target.pos,
+                target.id,
+                0.05,
+                &mut acc,
+                &mut phi,
+            );
+            let (racc, rphi, rn) = scalar_reference(&bodies, target.pos, target.id, 0.05);
+            assert_eq!(acc, racc, "accumulation must be bit-identical");
+            assert_eq!(phi, rphi);
+            assert_eq!(n, rn);
+        }
+    }
+
+    #[test]
+    fn sub_ranges_compose_to_the_whole() {
+        // Accumulating [0, k) then [k, n) equals accumulating [0, n):
+        // the order of additions is identical, so this is exact.
+        let bodies = generate(&PlummerConfig::new(40, 3));
+        let soa = SoaBodies::from_bodies(&bodies);
+        let target = Vec3::new(0.3, -0.2, 0.7);
+        let k = 17;
+        let mut acc = Vec3::ZERO;
+        let mut phi = 0.0;
+        let a = soa.accumulate_excluding_id(0, k, target, u32::MAX, 0.05, &mut acc, &mut phi);
+        let b = soa.accumulate_excluding_id(
+            k,
+            soa.len() - k,
+            target,
+            u32::MAX,
+            0.05,
+            &mut acc,
+            &mut phi,
+        );
+        let mut whole_acc = Vec3::ZERO;
+        let mut whole_phi = 0.0;
+        let n = soa.accumulate_excluding_id(
+            0,
+            soa.len(),
+            target,
+            u32::MAX,
+            0.05,
+            &mut whole_acc,
+            &mut whole_phi,
+        );
+        assert_eq!(acc, whole_acc);
+        assert_eq!(phi, whole_phi);
+        assert_eq!(a + b, n);
+    }
+
+    #[test]
+    fn index_exclusion_handles_coincident_bodies() {
+        // Two bodies at the same position: excluding by index leaves exactly
+        // one finite contribution even with eps = 0.
+        let mut bodies = vec![
+            Body::at_rest(0, Vec3::new(1.0, 0.0, 0.0), 1.0),
+            Body::at_rest(1, Vec3::new(1.0, 0.0, 0.0), 2.0),
+        ];
+        bodies[1].id = 0; // duplicate id: index exclusion must still work
+        let soa = SoaBodies::from_bodies(&bodies);
+        let mut acc = Vec3::ZERO;
+        let mut phi = 0.0;
+        let n = soa.accumulate_excluding_index(bodies[0].pos, Some(0), 0.05, &mut acc, &mut phi);
+        assert_eq!(n, 1);
+        assert!(acc.is_finite());
+    }
+
+    #[test]
+    fn push_clear_and_capacity_round_trip() {
+        let mut soa = SoaBodies::with_capacity(4);
+        assert!(soa.is_empty());
+        assert_eq!(soa.push(7, Vec3::new(1.0, 2.0, 3.0), 4.0), 0);
+        assert_eq!(soa.push(8, Vec3::new(-1.0, 0.0, 1.0), 2.0), 1);
+        assert_eq!(soa.len(), 2);
+        let mut acc = Vec3::ZERO;
+        let mut phi = 0.0;
+        let n = soa.accumulate_excluding_id(1, 1, Vec3::ZERO, 7, 0.0, &mut acc, &mut phi);
+        assert_eq!(n, 1, "range accumulation must only see the requested slice");
+        soa.clear();
+        assert!(soa.is_empty());
+    }
+}

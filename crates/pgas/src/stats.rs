@@ -62,6 +62,31 @@ impl RankStats {
         self.sync_seconds += other.sync_seconds;
     }
 
+    /// Counter-wise difference `self - earlier`, for measuring what one
+    /// region of code cost: snapshot before ([`crate::Ctx::stats_snapshot`]),
+    /// snapshot after, subtract.  Saturates at zero so a reset between
+    /// snapshots cannot underflow.
+    pub fn delta(&self, earlier: &RankStats) -> RankStats {
+        RankStats {
+            remote_gets: self.remote_gets.saturating_sub(earlier.remote_gets),
+            remote_puts: self.remote_puts.saturating_sub(earlier.remote_puts),
+            local_accesses: self.local_accesses.saturating_sub(earlier.local_accesses),
+            messages: self.messages.saturating_sub(earlier.messages),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
+            lock_acquires: self.lock_acquires.saturating_sub(earlier.lock_acquires),
+            vlist_requests: self.vlist_requests.saturating_sub(earlier.vlist_requests),
+            vlist_single_source: self
+                .vlist_single_source
+                .saturating_sub(earlier.vlist_single_source),
+            interactions: self.interactions.saturating_sub(earlier.interactions),
+            tree_ops: self.tree_ops.saturating_sub(earlier.tree_ops),
+            compute_seconds: (self.compute_seconds - earlier.compute_seconds).max(0.0),
+            comm_seconds: (self.comm_seconds - earlier.comm_seconds).max(0.0),
+            sync_seconds: (self.sync_seconds - earlier.sync_seconds).max(0.0),
+        }
+    }
+
     /// Fraction of aggregated gather requests served by a single source rank
     /// (the §5.5 statistic).  Returns `None` when no requests were issued.
     pub fn vlist_single_source_fraction(&self) -> Option<f64> {
@@ -113,5 +138,16 @@ mod tests {
     fn remote_ops_sums_gets_and_puts() {
         let s = RankStats { remote_gets: 4, remote_puts: 6, ..Default::default() };
         assert_eq!(s.remote_ops(), 10);
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let before = RankStats { interactions: 10, bytes_in: 5, ..Default::default() };
+        let after =
+            RankStats { interactions: 25, bytes_in: 3, remote_gets: 7, ..Default::default() };
+        let d = after.delta(&before);
+        assert_eq!(d.interactions, 15);
+        assert_eq!(d.remote_gets, 7);
+        assert_eq!(d.bytes_in, 0, "delta must saturate, not underflow");
     }
 }

@@ -18,6 +18,7 @@
 
 use barnes_hut_upc::engine;
 use barnes_hut_upc::prelude::*;
+use engine::bench::RunSpec;
 
 struct Options {
     scenario: String,
@@ -334,26 +335,27 @@ fn print_comparison(cfg: &SimConfig, runs: &[BackendRun]) {
 
 fn summary_value(
     scenario: &str,
-    backend: &str,
     cfg: &SimConfig,
     diag: &Diagnostics,
-    result: &SimResult,
+    run: &BackendRun,
 ) -> serde::Value {
     // A compact machine-readable summary (the full SimResult with all body
-    // states would dominate the output; traffic and phases are what sweep
-    // scripts consume).
-    serde::Value::Object(vec![
+    // states would dominate the output).  The measurement half is the
+    // bench vocabulary's `Sample` — the same fields `benchsuite` aggregates
+    // into BENCH_*.json records — so sweep scripts read one schema
+    // everywhere: `wall_ms`, `phases`, `total_sim`, `migration_fraction`,
+    // `stats`.
+    let mut entries = vec![
         ("scenario".to_string(), serde::Value::String(scenario.to_string())),
-        ("backend".to_string(), serde::Value::String(backend.to_string())),
-        ("nbodies".to_string(), serde::Value::UInt(cfg.nbodies as u64)),
-        ("opt".to_string(), serde::Value::String(cfg.opt.name().to_string())),
-        ("ranks".to_string(), serde::Value::UInt(cfg.ranks() as u64)),
+        ("backend".to_string(), serde::Value::String(run.name.clone())),
+        ("spec".to_string(), serde::Serialize::to_value(&RunSpec::new(scenario, &run.name, cfg))),
         ("workload".to_string(), serde::Serialize::to_value(diag)),
-        ("phases".to_string(), serde::Serialize::to_value(&result.phases)),
-        ("total".to_string(), serde::Value::Float(result.total)),
-        ("migration_fraction".to_string(), serde::Value::Float(result.migration_fraction)),
-        ("traffic".to_string(), serde::Serialize::to_value(&result.total_stats())),
-    ])
+    ];
+    let sample = engine::bench::Sample::from_run(run);
+    if let serde::Value::Object(fields) = serde::Serialize::to_value(&sample) {
+        entries.extend(fields);
+    }
+    serde::Value::Object(entries)
 }
 
 fn print_json(
@@ -367,12 +369,10 @@ fn print_json(
     // `--backend` run emits a single object.
     let value = if comparing {
         serde::Value::Array(
-            runs.iter()
-                .map(|run| summary_value(scenario, &run.name, cfg, diag, &run.result))
-                .collect(),
+            runs.iter().map(|run| summary_value(scenario, cfg, diag, run)).collect(),
         )
     } else {
-        summary_value(scenario, &runs[0].name, cfg, diag, &runs[0].result)
+        summary_value(scenario, cfg, diag, &runs[0])
     };
     struct Raw(serde::Value);
     impl serde::Serialize for Raw {

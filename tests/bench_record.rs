@@ -1,0 +1,59 @@
+//! Guards on the committed benchmark baseline (`BENCH_0003.json`): the CI
+//! perf gate diffs against this file, so it must stay schema-valid and keep
+//! demonstrating the claims it was committed for.
+
+use engine::bench::{kernel_regressions, Record, KERNEL_COALESCED, KERNEL_PER_BODY};
+use std::collections::BTreeSet;
+
+fn committed_record() -> Record {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0003.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
+    Record::from_json(&text).expect("committed baseline must be schema-valid")
+}
+
+#[test]
+fn committed_baseline_covers_the_scenario_backend_matrix() {
+    let record = committed_record();
+    let scenarios: BTreeSet<&str> = record.runs.iter().map(|r| r.spec.scenario.as_str()).collect();
+    let backends: BTreeSet<&str> = record.runs.iter().map(|r| r.spec.backend.as_str()).collect();
+    assert!(scenarios.len() >= 3, "baseline must cover >= 3 scenarios, got {scenarios:?}");
+    assert!(backends.len() >= 3, "baseline must cover >= 3 backends, got {backends:?}");
+    for run in &record.runs {
+        // Per-phase medians and traffic counters are present and sane
+        // (validate() checks shape; these are the semantic floors).
+        assert!(run.phases_median.force > 0.0, "{}: no force-phase median", run.spec.key());
+        assert!(run.interactions > 0, "{}: no interaction counter", run.spec.key());
+    }
+    // The quick grid CI diffs against is present.
+    assert!(
+        record.runs.iter().any(|r| r.spec.nbodies <= 1024),
+        "baseline must contain the quick grid for the CI perf gate"
+    );
+}
+
+#[test]
+fn committed_baseline_shows_the_coalesced_kernel_winning_at_4096() {
+    let record = committed_record();
+    let find = |engine: &str| {
+        record
+            .kernels
+            .iter()
+            .find(|k| k.scenario == "plummer" && k.nbodies >= 4096 && k.engine == engine)
+            .unwrap_or_else(|| panic!("baseline must carry a plummer n>=4096 {engine} kernel"))
+    };
+    let walk = find(KERNEL_PER_BODY);
+    let coalesced = find(KERNEL_COALESCED);
+    assert_eq!(walk.interactions, coalesced.interactions, "the A-B pair must evaluate equal work");
+    assert!(
+        coalesced.force_wall_ms.median < walk.force_wall_ms.median,
+        "the committed record must show the leaf-coalesced kernel beating the per-body walk \
+         ({:.3} ms vs {:.3} ms)",
+        coalesced.force_wall_ms.median,
+        walk.force_wall_ms.median
+    );
+    // The remaining pairs get a small slack so a future baseline
+    // regeneration is not failed by sub-percent timer noise on one pair;
+    // the flagship pair above stays strict.
+    assert!(kernel_regressions(&record, 0.05).is_empty(), "a kernel pair regressed");
+}

@@ -17,6 +17,9 @@
 use barnes_hut_upc::prelude::*;
 use pgas::Machine;
 
+mod common;
+use common::deterministic_counters_mode;
+
 const NBODIES: usize = 400;
 
 fn run(opt: OptLevel, ranks: usize, nbodies: usize) -> SimResult {
@@ -30,6 +33,19 @@ fn run(opt: OptLevel, ranks: usize, nbodies: usize) -> SimResult {
 fn baseline_slows_down_with_more_ranks() {
     let single = run(OptLevel::Baseline, 1, NBODIES);
     let eight = run(OptLevel::Baseline, 8, NBODIES);
+    if deterministic_counters_mode() {
+        // The mechanism behind the slowdown, in deterministic counters: one
+        // rank touches everything locally, eight ranks turn the same work
+        // into a flood of fine-grained remote operations.
+        let single_remote = single.total_stats().remote_ops();
+        let eight_remote = eight.total_stats().remote_ops();
+        assert_eq!(single_remote, 0, "one rank must not perform remote operations");
+        assert!(
+            eight_remote as usize > 100 * NBODIES,
+            "the baseline on 8 ranks must drown in fine-grained remote ops (got {eight_remote})"
+        );
+        return;
+    }
     assert!(
         eight.total > single.total,
         "the naive baseline must be slower on 8 ranks ({:.3}s) than on 1 ({:.3}s)",
@@ -42,6 +58,24 @@ fn baseline_slows_down_with_more_ranks() {
 fn replicating_scalars_cuts_baseline_force_time() {
     let baseline = run(OptLevel::Baseline, 8, NBODIES);
     let replicated = run(OptLevel::ReplicateScalars, 8, NBODIES);
+    if deterministic_counters_mode() {
+        // Table 3's mechanism in counters: replication removes the remote
+        // tol/eps reads the force walk performs per interaction (observed
+        // ~450k -> ~310k remote gets on this workload), and changes no
+        // physics (identical interaction counts).
+        let base_gets = baseline.total_stats().remote_gets;
+        let repl_gets = replicated.total_stats().remote_gets;
+        assert!(
+            base_gets as f64 > 1.2 * repl_gets as f64,
+            "replicating scalars must remove remote scalar reads ({base_gets} vs {repl_gets})"
+        );
+        assert_eq!(
+            baseline.total_stats().interactions,
+            replicated.total_stats().interactions,
+            "replication must not change what is evaluated"
+        );
+        return;
+    }
     assert!(
         replicated.phases.force < 0.7 * baseline.phases.force,
         "replicating tol/eps should cut the force phase substantially ({:.3}s -> {:.3}s)",
@@ -84,6 +118,18 @@ fn redistribution_eliminates_cofm_and_advance_costs() {
 fn caching_cells_slashes_force_time() {
     let uncached = run(OptLevel::Redistribute, 8, NBODIES);
     let cached = run(OptLevel::CacheLocalTree, 8, NBODIES);
+    if deterministic_counters_mode() {
+        // The 99% force-time cut of Table 5 is a traffic cut: every remote
+        // cell is fetched once per rank per step instead of once per visit
+        // (observed ~300k -> ~11k remote gets on this workload).
+        let uncached_gets = uncached.total_stats().remote_gets;
+        let cached_gets = cached.total_stats().remote_gets;
+        assert!(
+            (cached_gets as f64) < 0.2 * uncached_gets as f64,
+            "demand-driven caching must slash remote reads ({uncached_gets} -> {cached_gets})"
+        );
+        return;
+    }
     assert!(
         cached.phases.force < 0.15 * uncached.phases.force,
         "demand-driven caching should cut force time by an order of magnitude ({:.3}s -> {:.3}s)",
@@ -96,6 +142,18 @@ fn caching_cells_slashes_force_time() {
 fn merged_tree_build_cuts_tree_time() {
     let locked = run(OptLevel::CacheLocalTree, 8, NBODIES);
     let merged = run(OptLevel::MergedTreeBuild, 8, NBODIES);
+    if deterministic_counters_mode() {
+        // §5.4's mechanism: local trees are built without global locks, so
+        // the lock traffic of the insertion-under-locks build disappears
+        // (observed ~1250 -> ~500 acquisitions on this workload).
+        let locked_locks = locked.total_stats().lock_acquires;
+        let merged_locks = merged.total_stats().lock_acquires;
+        assert!(
+            merged_locks < locked_locks,
+            "merged local trees must acquire fewer global locks ({locked_locks} -> {merged_locks})"
+        );
+        return;
+    }
     let locked_build = locked.phases.tree + locked.phases.cofm;
     let merged_build = merged.phases.tree + merged.phases.cofm;
     assert!(
@@ -108,6 +166,21 @@ fn merged_tree_build_cuts_tree_time() {
 fn async_aggregation_cuts_force_time_at_scale() {
     let blocking = run(OptLevel::MergedTreeBuild, 16, NBODIES);
     let asynchronous = run(OptLevel::AsyncAggregation, 16, NBODIES);
+    if deterministic_counters_mode() {
+        // §5.5's mechanism: cache misses are batched into aggregated vlist
+        // gathers, so messages drop while the interactions are unchanged.
+        let async_stats = asynchronous.total_stats();
+        let blocking_stats = blocking.total_stats();
+        assert!(async_stats.vlist_requests > 0, "the async engine must issue aggregated gathers");
+        assert!(
+            async_stats.messages < blocking_stats.messages,
+            "aggregation must reduce bulk message count ({} vs {})",
+            async_stats.messages,
+            blocking_stats.messages
+        );
+        assert_eq!(async_stats.interactions, blocking_stats.interactions);
+        return;
+    }
     assert!(
         asynchronous.phases.force < blocking.phases.force,
         "aggregated non-blocking gathers should cut the force phase ({:.3}s -> {:.3}s)",
@@ -121,6 +194,19 @@ fn optimized_code_speeds_up_with_ranks() {
     // Figure 13: the fully optimized code shows strong-scaling speed-up.
     let one = run(OptLevel::Subspace, 1, 600);
     let eight = run(OptLevel::Subspace, 8, 600);
+    if deterministic_counters_mode() {
+        // Strong scaling in counters: the costzones partitioner spreads the
+        // interaction work, so the busiest of 8 ranks carries a small
+        // fraction of the single rank's load (observed ~6x less).
+        let max_inter = |r: &SimResult| r.ranks.iter().map(|o| o.stats.interactions).max().unwrap();
+        let m1 = max_inter(&one);
+        let m8 = max_inter(&eight);
+        assert!(
+            (m8 as f64) < 0.5 * m1 as f64,
+            "8 ranks must spread the interaction work ({m1} -> busiest rank {m8})"
+        );
+        return;
+    }
     let speedup = one.total / eight.total;
     // The exact factor depends on the Plummer sample (and therefore on the
     // RNG stream feeding the generator); on this workload it sits just below
@@ -139,6 +225,21 @@ fn cumulative_improvement_over_baseline_is_large() {
     // problem; the scaled-down workload still shows a very large factor).
     let baseline = run(OptLevel::Baseline, 8, NBODIES);
     let optimized = run(OptLevel::Subspace, 8, NBODIES);
+    if deterministic_counters_mode() {
+        // The cumulative ladder in counters: identical physics (same
+        // interaction count), two orders of magnitude less fine-grained
+        // remote traffic (observed ~455k -> ~5k on this workload).
+        let base = baseline.total_stats();
+        let opt = optimized.total_stats();
+        assert_eq!(base.interactions, opt.interactions, "the ladder must not change the physics");
+        assert!(
+            (opt.remote_ops() as f64) < base.remote_ops() as f64 / 30.0,
+            "the full ladder must eliminate almost all remote traffic ({} -> {})",
+            base.remote_ops(),
+            opt.remote_ops()
+        );
+        return;
+    }
     let improvement = baseline.total / optimized.total;
     assert!(
         improvement > 30.0,

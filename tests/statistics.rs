@@ -3,6 +3,9 @@
 use barnes_hut_upc::prelude::*;
 use pgas::Machine;
 
+mod common;
+use common::deterministic_counters_mode;
+
 #[test]
 fn body_migration_per_step_is_a_small_fraction() {
     // §5.2: "about 2% of the bodies allocated to a thread migrate during a
@@ -87,6 +90,21 @@ fn subspace_tree_build_is_better_balanced_than_merged() {
     };
     let merged = run(OptLevel::MergedTreeBuild);
     let subspace = run(OptLevel::Subspace);
+    // The counter form (deterministic): the busiest rank performs fewer
+    // elementary tree operations under the subspace build than under the
+    // merged build, whose root-ward merge concentrates work on one rank
+    // (observed ~6000 vs ~3300 on this workload).
+    let max_ops = |r: &SimResult| r.ranks.iter().map(|o| o.stats.tree_ops).max().unwrap();
+    assert!(
+        max_ops(&subspace) < max_ops(&merged),
+        "the subspace build must spread tree operations (busiest rank {} vs {})",
+        max_ops(&subspace),
+        max_ops(&merged)
+    );
+    if deterministic_counters_mode() {
+        return;
+    }
+    // The timing form carries merge-race noise and is skipped in CI.
     let max_tree = |r: &SimResult| r.ranks.iter().map(|o| o.phases.tree).fold(0.0, f64::max);
     assert!(
         max_tree(&subspace) < max_tree(&merged),

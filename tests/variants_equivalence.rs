@@ -9,6 +9,9 @@
 
 use barnes_hut_upc::prelude::*;
 
+mod common;
+use common::deterministic_counters_mode;
+
 const NBODIES: usize = 240;
 const RANKS: usize = 3;
 
@@ -34,9 +37,27 @@ fn shadow_cache_matches_separate_cache_and_changes_little() {
     let diff = mean_position_difference(&separate.bodies, &shadow.bodies);
     assert!(diff < 1e-3, "shadow-pointer cache changed the physics: {diff}");
 
-    // §5.3.2: "little performance improvement" — the two cached variants
-    // must be within a small factor of each other, far closer than the
-    // orders of magnitude separating cached from uncached levels.
+    // §5.3.2: "little performance improvement" — the variant does not
+    // change global communication.  In counters: remote traffic within a
+    // small factor (the two runs race their tree builds independently, and
+    // which rank allocates a cell decides its affinity, so per-run remote
+    // counts wobble ~10%; exact equality over one shared tree is asserted
+    // in the `bh::shadow` unit tests).  The cached/uncached gap this is
+    // contrasted with is ~27x.
+    let (sh, sep) = (shadow.total_stats(), separate.total_stats());
+    let gets_ratio = sh.remote_gets as f64 / sep.remote_gets.max(1) as f64;
+    assert!(
+        (0.7..=1.4).contains(&gets_ratio),
+        "shadow cache must not change remote traffic ({} vs {})",
+        sh.remote_gets,
+        sep.remote_gets
+    );
+    if deterministic_counters_mode() {
+        return;
+    }
+    // The timing form of the same claim: the two cached variants land within
+    // a small factor of each other, far closer than the orders of magnitude
+    // separating cached from uncached levels.
     let ratio = shadow.phases.force / separate.phases.force.max(1e-12);
     assert!(
         (0.5..=1.5).contains(&ratio),
@@ -70,6 +91,18 @@ fn software_scalar_cache_does_not_recover_the_manual_ladder() {
     let swcached =
         bh::run_simulation(&cfg_with(OptLevel::Baseline, |c| c.software_scalar_cache = true));
     let manually_optimized = bh::run_simulation(&cfg_with(OptLevel::CacheLocalTree, |_| {}));
+    if deterministic_counters_mode() {
+        // The counter form: the software cache only removes scalar reads,
+        // leaving the fine-grained body/cell traffic that caching cells
+        // eliminates (observed ~40x apart on this workload).
+        let sw = swcached.total_stats().remote_gets;
+        let manual = manually_optimized.total_stats().remote_gets;
+        assert!(
+            sw as f64 > 3.0 * manual as f64,
+            "transparent scalar caching ({sw} remote gets) must not approach the §5.3 cell cache ({manual})"
+        );
+        return;
+    }
     assert!(
         swcached.phases.force > 3.0 * manually_optimized.phases.force,
         "transparent scalar caching ({:.4}s) must not come close to the §5.3 cached force phase ({:.4}s)",
@@ -87,12 +120,15 @@ fn software_scalar_cache_recovers_part_of_the_replication_gain() {
 
     // Ordering claim: baseline ≥ software cache ≥ manual replication (the
     // manual version also avoids the first read per epoch and the cache
-    // bookkeeping).  Baseline-level force phases carry a few percent of
-    // thread-scheduling noise between independent runs (lock/allocation
-    // order changes the per-rank maximum), so the comparisons allow that
-    // slack; the noise-free version of the first claim — the cache strictly
-    // removes remote scalar reads — is asserted on the traffic counters in
-    // `software_scalar_cache_preserves_physics_and_cuts_scalar_traffic`.
+    // bookkeeping).  The counter form is deterministic; the timing form
+    // carries a few percent of thread-scheduling noise (lock/allocation
+    // order changes the per-rank maximum) and is skipped in CI.
+    let (p, s, r) = (plain.total_stats(), swcached.total_stats(), replicated.total_stats());
+    assert!(s.remote_gets as f64 <= p.remote_gets as f64 * 1.02);
+    assert!(r.remote_gets as f64 <= s.remote_gets as f64 * 1.02);
+    if deterministic_counters_mode() {
+        return;
+    }
     assert!(swcached.phases.force <= plain.phases.force * 1.10);
     assert!(replicated.phases.force <= swcached.phases.force * 1.10);
 }

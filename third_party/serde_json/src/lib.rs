@@ -1,6 +1,8 @@
 //! Offline drop-in subset of `serde_json`: renders the [`serde::Value`]
-//! trees produced by the vendored `serde` into JSON text.  Only the output
-//! half of serde_json is provided — nothing in this workspace parses JSON.
+//! trees produced by the vendored `serde` into JSON text, and parses JSON
+//! text back into [`serde::Value`] trees ([`from_str`]) for the consumers
+//! that read committed records (the bench harness diffing a run against a
+//! `BENCH_*.json` baseline).
 
 use serde::{Serialize, Value};
 use std::fmt;
@@ -34,6 +36,250 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Supports the full JSON grammar this workspace emits: objects (field order
+/// preserved), arrays, strings with the standard escapes (including
+/// `\uXXXX`), numbers, booleans and `null`.  Numbers without a fraction or
+/// exponent that fit an integer parse as [`Value::Int`]/[`Value::UInt`];
+/// everything else parses as [`Value::Float`].
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+/// Maximum container nesting accepted by [`from_str`] (matches serde_json's
+/// default recursion limit); deeper input is rejected as an error instead of
+/// recursing the parser off the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{' | b'[') => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(self.err("recursion limit exceeded"));
+                }
+                self.depth += 1;
+                let value = if self.peek() == Some(b'{') {
+                    self.parse_object()
+                } else {
+                    self.parse_array()
+                };
+                self.depth -= 1;
+                value
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    while self.peek().is_some_and(|n| n & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| self.err("invalid number"))
+    }
 }
 
 fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
@@ -153,5 +399,58 @@ mod tests {
         fn to_value(&self) -> Value {
             self.0.clone()
         }
+    }
+
+    #[test]
+    fn parses_what_it_emits() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("bh \"quoted\"\n".to_string())),
+            ("sizes".to_string(), Value::Array(vec![Value::UInt(1), Value::Int(-2)])),
+            ("ratio".to_string(), Value::Float(0.5)),
+            ("big".to_string(), Value::Float(3.0)),
+            ("ok".to_string(), Value::Bool(true)),
+            ("none".to_string(), Value::Null),
+            ("empty_obj".to_string(), Value::Object(vec![])),
+            ("empty_arr".to_string(), Value::Array(vec![])),
+        ]);
+        for text in
+            [to_string(&Wrap(v.clone())).unwrap(), to_string_pretty(&Wrap(v.clone())).unwrap()]
+        {
+            let parsed = from_str(&text).unwrap();
+            // Integral floats render as "3.0" and round-trip as floats;
+            // everything else round-trips exactly.
+            assert_eq!(parsed, v, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_numbers_and_nesting() {
+        let v = from_str(
+            r#"{"a": [1e3, -2.5, 18446744073709551615, "\u0041\ud83d\ude00"], "b": {"c": null}}"#,
+        )
+        .unwrap();
+        let Value::Object(entries) = &v else { panic!("expected object") };
+        let Value::Array(items) = &entries[0].1 else { panic!("expected array") };
+        assert_eq!(items[0], Value::Float(1000.0));
+        assert_eq!(items[1], Value::Float(-2.5));
+        assert_eq!(items[2], Value::UInt(u64::MAX));
+        assert_eq!(items[3], Value::String("A😀".to_string()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\"}", "tru", "\"\\q\"", "1 2", "{\"a\":1,}"] {
+            assert!(from_str(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+        // Nesting at the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str(&ok).is_ok());
     }
 }
