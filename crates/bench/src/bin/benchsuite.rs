@@ -180,6 +180,14 @@ fn main() {
                 "baseline {path} shares no sweep points with this run — stale baseline?"
             ));
         }
+        // The symmetric direction of the diff: a baseline point this run
+        // should have reproduced but did not means a run or kernel engine
+        // silently vanished from the grid — its regressions would be
+        // unobservable, so the gate fails rather than passing by omission.
+        for m in &diff.missing {
+            eprintln!("benchsuite: MISSING {m} (present in baseline, absent from this run)");
+            failed = true;
+        }
         for line in diff.describe_regressions() {
             eprintln!("benchsuite: REGRESSION {line}");
             failed = true;

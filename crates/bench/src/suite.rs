@@ -43,6 +43,8 @@ pub struct SweepPoint {
     pub backend: &'static str,
     /// UPC optimization level.
     pub opt: OptLevel,
+    /// Tree lifecycle across steps.
+    pub policy: TreePolicy,
     /// Number of bodies.
     pub nbodies: usize,
     /// Emulated nodes (one UPC thread each).
@@ -61,7 +63,16 @@ impl SweepPoint {
         nbodies: usize,
         nodes: usize,
     ) -> SweepPoint {
-        SweepPoint { scenario, backend, opt, nbodies, nodes, steps: 4, measured_steps: 2 }
+        SweepPoint {
+            scenario,
+            backend,
+            opt,
+            policy: TreePolicy::Rebuild,
+            nbodies,
+            nodes,
+            steps: 4,
+            measured_steps: 2,
+        }
     }
 
     /// The [`SimConfig`] this point runs under (scenario tuning applied).
@@ -73,6 +84,7 @@ impl SweepPoint {
         let mut cfg = SimConfig::new(self.nbodies, machine, self.opt);
         cfg.steps = self.steps;
         cfg.measured_steps = self.measured_steps;
+        cfg.tree_policy = self.policy;
         cfg.theta = tuning.theta;
         cfg.eps = tuning.eps;
         cfg.dt = tuning.dt;
@@ -86,8 +98,45 @@ pub const GRID_SCENARIOS: [&str; 3] = ["plummer", "king", "exp-disk"];
 /// The backends every grid covers.
 pub const GRID_BACKENDS: [&str; 3] = ["upc", "mpi", "direct"];
 
+/// The scenario families of the steps-ladder (tree-policy) slice: long
+/// trajectories where the persistent tree must beat per-step rebuild.
+pub const POLICY_SCENARIOS: [&str; 2] = ["plummer", "king"];
+
+/// The tree policies the steps-ladder slice sweeps.
+pub fn policy_slice() -> [TreePolicy; 3] {
+    [
+        TreePolicy::Rebuild,
+        TreePolicy::Reuse {
+            rebuild_every: TreePolicy::DEFAULT_REBUILD_EVERY,
+            drift_threshold: TreePolicy::DEFAULT_DRIFT_THRESHOLD,
+        },
+        TreePolicy::Adaptive,
+    ]
+}
+
+/// The steps-ladder slice: reuse-vs-rebuild on long (steps = 8)
+/// trajectories through the cached-tree level — the workload family the
+/// tree-lifecycle subsystem exists for.  Quick mode runs it at the quick
+/// grid's size so CI regenerates it on every pull request.
+fn steps_ladder_slice(nbodies: usize) -> Vec<SweepPoint> {
+    let mut slice = Vec::new();
+    for scenario in POLICY_SCENARIOS {
+        for policy in policy_slice() {
+            let mut p = SweepPoint::new(scenario, "upc", OptLevel::CacheLocalTree, nbodies, 2);
+            p.policy = policy;
+            p.steps = 8;
+            p.measured_steps = 4;
+            slice.push(p);
+        }
+    }
+    slice
+}
+
 /// The quick grid: every scenario × backend at a small size on 2 nodes,
-/// 2 steps with 1 measured — what CI regenerates on every pull request.
+/// 2 steps with 1 measured, plus the steps-ladder tree-policy slice — what
+/// CI regenerates on every pull request.  (The quick and full grids use
+/// disjoint problem sizes; the baseline diff's missing-point scoping relies
+/// on that.)
 pub fn quick_grid() -> Vec<SweepPoint> {
     let mut grid = Vec::new();
     for scenario in GRID_SCENARIOS {
@@ -98,6 +147,7 @@ pub fn quick_grid() -> Vec<SweepPoint> {
             grid.push(p);
         }
     }
+    grid.extend(steps_ladder_slice(512));
     grid
 }
 
@@ -119,6 +169,10 @@ pub fn full_grid() -> Vec<SweepPoint> {
     for nodes in [2, 8] {
         grid.push(SweepPoint::new("plummer", "upc", OptLevel::Subspace, 4096, nodes));
     }
+    // The steps-ladder tree-policy slice at a paper-adjacent size (the
+    // acceptance evidence that reuse/adaptive beat per-step rebuild on
+    // long trajectories).
+    grid.extend(steps_ladder_slice(2048));
     grid
 }
 
@@ -373,7 +427,11 @@ mod tests {
     #[test]
     fn quick_grid_covers_the_scenario_backend_matrix() {
         let grid = quick_grid();
-        assert_eq!(grid.len(), GRID_SCENARIOS.len() * GRID_BACKENDS.len());
+        assert_eq!(
+            grid.len(),
+            GRID_SCENARIOS.len() * GRID_BACKENDS.len()
+                + POLICY_SCENARIOS.len() * policy_slice().len()
+        );
         for scenario in GRID_SCENARIOS {
             for backend in GRID_BACKENDS {
                 assert!(
@@ -388,10 +446,36 @@ mod tests {
     fn full_grid_extends_the_quick_matrix() {
         let grid = full_grid();
         assert!(grid.len() > GRID_SCENARIOS.len() * GRID_BACKENDS.len());
-        assert!(grid.iter().all(|p| p.nbodies >= 4096));
+        assert!(grid.iter().all(|p| p.nbodies >= 2048));
         // The opt-ladder slice and the machine-shape sweep are present.
         assert!(grid.iter().any(|p| p.opt == OptLevel::CacheLocalTree));
         assert!(grid.iter().any(|p| p.nodes == 8));
+    }
+
+    #[test]
+    fn both_grids_carry_the_steps_ladder_slice_with_disjoint_sizes() {
+        for (grid, label) in [(quick_grid(), "quick"), (full_grid(), "full")] {
+            for scenario in POLICY_SCENARIOS {
+                for policy in policy_slice() {
+                    assert!(
+                        grid.iter().any(|p| {
+                            p.scenario == scenario
+                                && p.policy.name() == policy.name()
+                                && p.steps >= 8
+                        }),
+                        "{label} grid misses {scenario} x {}",
+                        policy.name()
+                    );
+                }
+            }
+        }
+        // The missing-point scoping of the baseline diff relies on the two
+        // grids using disjoint problem sizes.
+        let quick_sizes: std::collections::BTreeSet<usize> =
+            quick_grid().iter().map(|p| p.nbodies).collect();
+        let full_sizes: std::collections::BTreeSet<usize> =
+            full_grid().iter().map(|p| p.nbodies).collect();
+        assert!(quick_sizes.is_disjoint(&full_sizes), "{quick_sizes:?} vs {full_sizes:?}");
     }
 
     #[test]

@@ -97,6 +97,13 @@ impl LeafArena {
     pub(crate) fn kids(&self, r: ChildRanges) -> &[u32] {
         &self.cell_kids[r.kids_start as usize..(r.kids_start + r.kids_len) as usize]
     }
+
+    /// Empties the arena while keeping its allocations (the tree-lifecycle
+    /// refresh re-coalesces every localized cell in place).
+    pub(crate) fn clear(&mut self) {
+        self.leaves.clear();
+        self.cell_kids.clear();
+    }
 }
 
 /// A locally cached copy of a shared tree node.
@@ -104,6 +111,9 @@ impl LeafArena {
 pub struct LocalNode {
     /// Copied payload of the shared node.
     pub node: CellNode,
+    /// The pointer-to-shared the payload was copied from (the refresh path
+    /// re-reads through it when the tree survives into the next step).
+    pub gptr: GlobalPtr,
     /// Local indices of the children once localized.
     pub children_local: [i32; 8],
     /// `true` once all children of this node have local copies
@@ -112,17 +122,26 @@ pub struct LocalNode {
     /// `true` once a gather for this node's children has been issued but not
     /// yet completed (used by the §5.5 non-blocking framework).
     pub requested: bool,
+    /// Cache epoch the payload was last read in (see [`CacheTree::refresh`];
+    /// a stale payload is re-read through `gptr` on first touch).
+    epoch: u32,
+    /// Cache epoch `ranges` was coalesced in (the arena is emptied at every
+    /// refresh, so stale ranges must not be dereferenced).
+    ranges_epoch: u32,
     /// This cell's slice of the cache's [`LeafArena`].
     ranges: ChildRanges,
 }
 
 impl LocalNode {
-    fn new(node: CellNode) -> LocalNode {
+    fn new(node: CellNode, gptr: GlobalPtr, epoch: u32) -> LocalNode {
         LocalNode {
             node,
+            gptr,
             children_local: [NO_LOCAL; 8],
             localized: false,
             requested: false,
+            epoch,
+            ranges_epoch: epoch,
             ranges: ChildRanges::default(),
         }
     }
@@ -140,6 +159,13 @@ pub struct CacheTree {
     /// All localized nodes; index 0 is the local copy of the global root
     /// (`L_root` in the paper).
     pub nodes: Vec<LocalNode>,
+    /// The tree generation this cache was built against (see
+    /// [`crate::lifecycle`]).  While the generation is unchanged the cache
+    /// is [`CacheTree::refresh`]ed across steps instead of rebuilt.
+    pub generation: u64,
+    /// Current refresh epoch: nodes whose [`LocalNode::epoch`] lags are
+    /// stale and re-read on first touch.
+    epoch: u32,
     /// Coalesced children of every localized cell.
     arena: LeafArena,
 }
@@ -158,10 +184,69 @@ pub struct CachedWalkResult {
 impl CacheTree {
     /// Creates the cache by copying the global root cell.
     pub fn new(ctx: &Ctx, shared: &BhShared) -> Self {
+        CacheTree::new_for(ctx, shared, 0)
+    }
+
+    /// Like [`CacheTree::new`], tagged with the tree generation it was
+    /// built against.
+    pub fn new_for(ctx: &Ctx, shared: &BhShared, generation: u64) -> Self {
         let root_ptr = shared.root.read(ctx);
         assert!(!root_ptr.is_null(), "force phase requires a built tree");
         let root = shared.cells.read(ctx, root_ptr);
-        CacheTree { nodes: vec![LocalNode::new(root)], arena: LeafArena::default() }
+        CacheTree {
+            nodes: vec![LocalNode::new(root, root_ptr, 0)],
+            generation,
+            epoch: 0,
+            arena: LeafArena::default(),
+        }
+    }
+
+    /// Carries the cache into the next step of the *same* tree generation:
+    /// bumps the refresh epoch (marking every cached payload stale) and
+    /// empties the leaf arena, all without touching the network.  Payloads
+    /// are then re-read lazily, on first touch by the walk — so a step's
+    /// remote traffic matches what a fresh cache would have paid for the
+    /// cells it actually visits, while the node allocations, the localized
+    /// structure and the arena capacity all survive.  Localizations whose
+    /// child-pointer set changed underneath (incremental re-inserts
+    /// subdivide slots) are dropped at re-read time.
+    pub fn refresh(&mut self, _ctx: &Ctx, _shared: &BhShared) {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.arena.clear();
+    }
+
+    /// Ensures node `idx`'s payload was read in the current epoch,
+    /// re-reading it through its pointer-to-shared if not.
+    fn ensure_fresh(&mut self, ctx: &Ctx, shared: &BhShared, idx: usize) {
+        if self.nodes[idx].epoch == self.epoch {
+            return;
+        }
+        let fresh = shared.cells.read(ctx, self.nodes[idx].gptr);
+        let stale_children =
+            self.nodes[idx].localized && fresh.children != self.nodes[idx].node.children;
+        self.nodes[idx].node = fresh;
+        self.nodes[idx].requested = false;
+        self.nodes[idx].epoch = self.epoch;
+        if stale_children {
+            self.nodes[idx].children_local = [NO_LOCAL; 8];
+            self.nodes[idx].localized = false;
+            self.nodes[idx].ranges = ChildRanges::default();
+        }
+    }
+
+    /// Brings a localized cell's children into the current epoch and
+    /// re-coalesces its leaf batch (the arena was emptied by the refresh).
+    fn ensure_children_current(&mut self, ctx: &Ctx, shared: &BhShared, parent: usize) {
+        if self.nodes[parent].ranges_epoch == self.epoch {
+            return;
+        }
+        for octant in 0..8 {
+            let c = self.nodes[parent].children_local[octant];
+            if c != NO_LOCAL {
+                self.ensure_fresh(ctx, shared, c as usize);
+            }
+        }
+        self.coalesce_children(parent);
     }
 
     /// Number of cached nodes.
@@ -176,8 +261,10 @@ impl CacheTree {
 
     /// Installs an already-fetched child under `parent`.
     fn install_child(&mut self, parent: usize, octant: usize, node: CellNode) -> usize {
+        let gptr = self.nodes[parent].node.children[octant];
         let idx = self.nodes.len();
-        self.nodes.push(LocalNode::new(node));
+        let epoch = self.epoch;
+        self.nodes.push(LocalNode::new(node, gptr, epoch));
         self.nodes[parent].children_local[octant] = idx as i32;
         idx
     }
@@ -193,6 +280,7 @@ impl CacheTree {
                 .map(|&c| (c as u32, &nodes[c as usize].node)),
         );
         self.nodes[parent].ranges = ranges;
+        self.nodes[parent].ranges_epoch = self.epoch;
     }
 
     /// Localizes the children of `parent` with blocking pointer-to-shared
@@ -271,6 +359,7 @@ impl CacheTree {
         let mut result = CachedWalkResult::default();
         let mut stack = vec![0usize];
         while let Some(idx) = stack.pop() {
+            self.ensure_fresh(ctx, shared, idx);
             let node = self.nodes[idx].node;
             match node.kind {
                 NodeKind::Body => {
@@ -296,6 +385,8 @@ impl CacheTree {
                     } else {
                         if !self.nodes[idx].localized {
                             self.localize_children(ctx, shared, idx);
+                        } else {
+                            self.ensure_children_current(ctx, shared, idx);
                         }
                         let ranges = self.nodes[idx].ranges;
                         result.interactions += self.arena.accumulate(
@@ -343,6 +434,7 @@ impl CacheTree {
         let mut result = CachedWalkResult::default();
         let mut stack = vec![0usize];
         while let Some(idx) = stack.pop() {
+            self.ensure_fresh(ctx, shared, idx);
             let node = self.nodes[idx].node;
             match node.kind {
                 NodeKind::Body => {
@@ -367,6 +459,8 @@ impl CacheTree {
                     } else {
                         if !self.nodes[idx].localized {
                             self.localize_children(ctx, shared, idx);
+                        } else {
+                            self.ensure_children_current(ctx, shared, idx);
                         }
                         let children = self.nodes[idx].children_local;
                         for c in children {
@@ -485,6 +579,62 @@ mod tests {
             // exceed the cache size.
             assert!(first <= cached as u64);
         }
+    }
+
+    #[test]
+    fn refreshed_cache_matches_a_fresh_cache_bit_for_bit() {
+        // Walk once, mutate the tree's payloads (as a reuse step's in-place
+        // refresh + re-fold would), refresh the cache and walk again: the
+        // refreshed walk must agree bit-for-bit with a cache built from
+        // scratch, while re-using the node/arena allocations.
+        let cfg = SimConfig::test(200, 2, OptLevel::CacheLocalTree);
+        let (_, results) = with_built_tree(&cfg, |ctx, shared, st| {
+            let mut cache = CacheTree::new(ctx, shared);
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+            }
+            let nodes_before = cache.len();
+
+            // Nudge every leaf payload (same structure, new positions), as
+            // the incremental update would.
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                for rank in 0..ctx.ranks() {
+                    for i in 0..shared.cells.len_of(rank) {
+                        let ptr = pgas::GlobalPtr::new(rank, i);
+                        let mut node = shared.cells.read_raw(ptr);
+                        if node.is_body() {
+                            node.cofm.x += 1e-6;
+                            shared.cells.write(ctx, ptr, node);
+                        }
+                    }
+                }
+            }
+            ctx.barrier();
+
+            // The refresh itself must not touch the network; payload
+            // re-reads happen lazily, on first touch.
+            let before = ctx.stats_snapshot();
+            cache.refresh(ctx, shared);
+            assert_eq!(ctx.stats_snapshot().delta(&before).remote_gets, 0);
+
+            let mut fresh = CacheTree::new(ctx, shared);
+            for &id in &st.my_ids {
+                let b = shared.bodytab.read_raw(id as usize);
+                let a = cache.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+                let f = fresh.walk(ctx, shared, b.pos, id, cfg.theta, cfg.eps);
+                assert_eq!(a.acc.x.to_bits(), f.acc.x.to_bits());
+                assert_eq!(a.acc.y.to_bits(), f.acc.y.to_bits());
+                assert_eq!(a.acc.z.to_bits(), f.acc.z.to_bits());
+                assert_eq!(a.phi.to_bits(), f.phi.to_bits());
+                assert_eq!(a.interactions, f.interactions);
+            }
+            // Same structure: no node was re-allocated by the refresh.
+            assert_eq!(cache.len(), nodes_before);
+            ctx.barrier();
+        });
+        drop(results);
     }
 
     #[test]

@@ -163,35 +163,62 @@ fn walk_shared(
     BodyForce { id, acc, phi, cost: interactions }
 }
 
-/// The §5.3 cached force phase: one cache tree per rank per step, blocking
+/// The §5.3 cached force phase: one cache tree per rank, blocking
 /// localization on miss.
 ///
 /// [`SimConfig::shadow_cache`] selects between the §5.3.1 separate local tree
 /// ([`CacheTree`]) and the §5.3.2 merged local tree with shadow pointers
 /// ([`crate::shadow::ShadowCacheTree`]); both produce identical forces and
 /// identical remote traffic.
+///
+/// Under per-step rebuild the cache lives for exactly one step, as the paper
+/// describes.  Under a persistent [`crate::config::TreePolicy`] the cache is
+/// carried in [`RankState`] across steps: while the tree generation is
+/// unchanged it is refreshed in place (payload re-reads, arenas
+/// re-coalesced, allocations kept); a full rebuild bumps the generation and
+/// invalidates it.
 pub fn force_phase_cached(
     ctx: &Ctx,
     shared: &BhShared,
-    st: &RankState,
+    st: &mut RankState,
     cfg: &SimConfig,
 ) -> Vec<BodyForce> {
     let theta = read_theta(ctx, shared, st, cfg.opt);
     let eps = read_eps(ctx, shared, st, cfg.opt);
+    let persistent = crate::lifecycle::persistent_tree(cfg);
+    let generation = st.lifecycle.generation;
     let mut out = Vec::with_capacity(st.my_ids.len());
     if cfg.shadow_cache {
-        let mut cache = crate::shadow::ShadowCacheTree::new(ctx, shared);
+        let mut cache = match st.shadow_slot.take() {
+            Some(mut c) if persistent && c.generation == generation => {
+                c.refresh(ctx, shared);
+                c
+            }
+            _ => crate::shadow::ShadowCacheTree::new_for(ctx, shared, generation),
+        };
         for &id in &st.my_ids {
             let body = read_body(ctx, shared, st, cfg, id);
             let r = cache.walk(ctx, shared, body.pos, id, theta, eps);
             out.push(BodyForce { id, acc: r.acc, phi: r.phi, cost: r.interactions });
         }
+        if persistent {
+            st.shadow_slot = Some(cache);
+        }
     } else {
-        let mut cache = CacheTree::new(ctx, shared);
+        let mut cache = match st.cache_slot.take() {
+            Some(mut c) if persistent && c.generation == generation => {
+                c.refresh(ctx, shared);
+                c
+            }
+            _ => CacheTree::new_for(ctx, shared, generation),
+        };
         for &id in &st.my_ids {
             let body = read_body(ctx, shared, st, cfg, id);
             let r = cache.walk(ctx, shared, body.pos, id, theta, eps);
             out.push(BodyForce { id, acc: r.acc, phi: r.phi, cost: r.interactions });
+        }
+        if persistent {
+            st.cache_slot = Some(cache);
         }
     }
     out
@@ -222,7 +249,7 @@ mod tests {
 
     fn forces_with(
         cfg: &SimConfig,
-        engine: impl Fn(&Ctx, &BhShared, &RankState, &SimConfig) -> Vec<BodyForce> + Sync,
+        engine: impl Fn(&Ctx, &BhShared, &mut RankState, &SimConfig) -> Vec<BodyForce> + Sync,
     ) -> (Vec<Body>, Vec<Body>, u64) {
         let shared = BhShared::new(cfg);
         let initial = shared.bodytab.snapshot();
@@ -236,7 +263,7 @@ mod tests {
             ctx.barrier();
             center_of_mass_phase(ctx, &shared, &mut st, cfg);
             ctx.barrier();
-            let forces = engine(ctx, &shared, &st, cfg);
+            let forces = engine(ctx, &shared, &mut st, cfg);
             write_back(ctx, &shared, &st, cfg, &forces);
             ctx.barrier();
         });
@@ -254,7 +281,8 @@ mod tests {
     #[test]
     fn uncached_forces_agree_with_sequential_tree_code() {
         let cfg = SimConfig::test(200, 3, OptLevel::ReplicateScalars);
-        let (initial, after, _) = forces_with(&cfg, force_phase_uncached);
+        let (initial, after, _) =
+            forces_with(&cfg, |c, s, st, f| force_phase_uncached(c, s, st, f));
         let reference = octree::walk::compute_forces(&initial, cfg.theta, cfg.eps);
         // Both are Barnes-Hut with theta=1; trees may differ slightly in
         // construction order (and hence grouping), so allow a loose bound
@@ -276,7 +304,8 @@ mod tests {
         // exactly the same accelerations as the uncached walk.
         let cfg_a = SimConfig::test(250, 4, OptLevel::Redistribute);
         let cfg_b = SimConfig::test(250, 4, OptLevel::CacheLocalTree);
-        let (_, after_uncached, remote_uncached) = forces_with(&cfg_a, force_phase_uncached);
+        let (_, after_uncached, remote_uncached) =
+            forces_with(&cfg_a, |c, s, st, f| force_phase_uncached(c, s, st, f));
         let (_, after_cached, remote_cached) = forces_with(&cfg_b, force_phase_cached);
         let err = max_relative_error(&after_cached, &after_uncached);
         assert!(err < 1e-9, "cached vs uncached force mismatch: {err}");
@@ -335,8 +364,10 @@ mod tests {
     fn baseline_force_reads_scalars_remotely_replicated_does_not() {
         let base = SimConfig::test(80, 2, OptLevel::Baseline);
         let repl = SimConfig::test(80, 2, OptLevel::ReplicateScalars);
-        let (_, _, base_remote) = forces_with(&base, force_phase_uncached);
-        let (_, _, repl_remote) = forces_with(&repl, force_phase_uncached);
+        let (_, _, base_remote) =
+            forces_with(&base, |c, s, st, f| force_phase_uncached(c, s, st, f));
+        let (_, _, repl_remote) =
+            forces_with(&repl, |c, s, st, f| force_phase_uncached(c, s, st, f));
         assert!(
             base_remote > repl_remote,
             "baseline must perform more remote reads ({base_remote}) than replicated scalars ({repl_remote})"

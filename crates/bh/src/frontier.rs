@@ -64,7 +64,11 @@ impl Work {
 
 /// The §5.5 force phase.  Functionally identical to
 /// [`crate::force::force_phase_cached`]; only the communication schedule
-/// differs.
+/// differs.  The cache tree lives for one step: this engine only runs at
+/// [`crate::config::OptLevel::AsyncAggregation`] and above, where the tree
+/// itself is rebuilt every step regardless of policy
+/// ([`crate::lifecycle::persistent_tree`]), so there is never a surviving
+/// generation to refresh against.
 pub fn force_phase_async(
     ctx: &Ctx,
     shared: &BhShared,
@@ -272,7 +276,7 @@ mod tests {
 
     fn run_force(
         cfg: &SimConfig,
-        engine: impl Fn(&Ctx, &BhShared, &RankState, &SimConfig) -> Vec<BodyForce> + Sync,
+        engine: impl Fn(&Ctx, &BhShared, &mut RankState, &SimConfig) -> Vec<BodyForce> + Sync,
     ) -> (Vec<Body>, f64, Option<f64>) {
         let shared = BhShared::new(cfg);
         let rt = Runtime::new(cfg.machine.clone());
@@ -286,7 +290,7 @@ mod tests {
             center_of_mass_phase(ctx, &shared, &mut st, cfg);
             ctx.barrier();
             let start = ctx.now();
-            let forces = engine(ctx, &shared, &st, cfg);
+            let forces = engine(ctx, &shared, &mut st, cfg);
             let force_time = ctx.now() - start;
             write_back(ctx, &shared, &st, cfg, &forces);
             ctx.barrier();
@@ -301,7 +305,8 @@ mod tests {
     fn async_forces_match_blocking_cached_forces() {
         let cfg_async = SimConfig::test(300, 4, OptLevel::AsyncAggregation);
         let cfg_cached = SimConfig::test(300, 4, OptLevel::CacheLocalTree);
-        let (async_bodies, _, _) = run_force(&cfg_async, force_phase_async);
+        let (async_bodies, _, _) =
+            run_force(&cfg_async, |c, s, st, f| force_phase_async(c, s, st, f));
         let (cached_bodies, _, _) = run_force(&cfg_cached, force_phase_cached);
         for (a, b) in async_bodies.iter().zip(&cached_bodies) {
             let err = (a.acc - b.acc).norm() / b.acc.norm().max(1e-12);
@@ -319,7 +324,7 @@ mod tests {
         let mut cfg_cached = SimConfig::test(400, 8, OptLevel::CacheLocalTree);
         cfg_async.measured_steps = 1;
         cfg_cached.measured_steps = 1;
-        let (_, t_async, _) = run_force(&cfg_async, force_phase_async);
+        let (_, t_async, _) = run_force(&cfg_async, |c, s, st, f| force_phase_async(c, s, st, f));
         let (_, t_cached, _) = run_force(&cfg_cached, force_phase_cached);
         assert!(
             t_async < t_cached,
@@ -335,7 +340,7 @@ mod tests {
         // whole-simulation integration tests); here, with the initial block
         // distribution, we only require the statistic to be well-formed.
         let cfg = SimConfig::test(600, 4, OptLevel::AsyncAggregation);
-        let (_, _, single) = run_force(&cfg, force_phase_async);
+        let (_, _, single) = run_force(&cfg, |c, s, st, f| force_phase_async(c, s, st, f));
         let fraction = single.expect("async engine must issue aggregated requests");
         assert!(fraction > 0.0 && fraction <= 1.0, "ill-formed single-source fraction {fraction}");
     }
@@ -347,7 +352,7 @@ mod tests {
         cfg.n2 = 1;
         cfg.n3 = 1;
         let cfg_ref = SimConfig::test(150, 2, OptLevel::CacheLocalTree);
-        let (a, _, _) = run_force(&cfg, force_phase_async);
+        let (a, _, _) = run_force(&cfg, |c, s, st, f| force_phase_async(c, s, st, f));
         let (b, _, _) = run_force(&cfg_ref, force_phase_cached);
         for (x, y) in a.iter().zip(&b) {
             assert!((x.acc - y.acc).norm() / y.acc.norm().max(1e-12) < 1e-9);

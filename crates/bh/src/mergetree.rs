@@ -132,25 +132,42 @@ pub fn allocate_merge_root(ctx: &Ctx, shared: &BhShared, center: Vec3, rsize: f6
 
 /// Merges this rank's local tree (rooted at `local_root`) into the global
 /// tree.
-pub fn merge_into_global(ctx: &Ctx, shared: &BhShared, cfg: &SimConfig, local_root: GlobalPtr) {
+///
+/// Cells allocated along the way (slot subdivisions) are recorded in
+/// `st.my_cells` so the tree-lifecycle re-fold can reset and re-summarize
+/// them on reuse steps; per-step rebuild simply clears the list.
+pub fn merge_into_global(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &mut RankState,
+    cfg: &SimConfig,
+    local_root: GlobalPtr,
+) {
     if local_root.is_null() {
         return;
     }
     let global_root = shared.root.read(ctx);
     let lnode = shared.cells.read_local(ctx, local_root);
     match lnode.kind {
-        NodeKind::Cell => merge_cells(ctx, shared, cfg, local_root, global_root),
+        NodeKind::Cell => merge_cells(ctx, shared, st, cfg, local_root, global_root),
         // A rank that owns a single body has a bare leaf as its local tree:
         // insert it like any other displaced body.
         NodeKind::Body => {
-            insert_leaf_into_global(ctx, shared, cfg, local_root, &lnode, global_root)
+            insert_leaf_into_global(ctx, shared, st, cfg, local_root, &lnode, global_root)
         }
     }
 }
 
 /// Merges local cell `l` (owned by this rank, valid summary) into global cell
 /// `g` (same geometry).
-fn merge_cells(ctx: &Ctx, shared: &BhShared, cfg: &SimConfig, l: GlobalPtr, g: GlobalPtr) {
+fn merge_cells(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &mut RankState,
+    cfg: &SimConfig,
+    l: GlobalPtr,
+    g: GlobalPtr,
+) {
     let lnode = shared.cells.read_local(ctx, l);
     // Fold the whole subtree's summary into the global cell atomically.
     shared.cells.update(ctx, g, |cell| {
@@ -160,7 +177,7 @@ fn merge_cells(ctx: &Ctx, shared: &BhShared, cfg: &SimConfig, l: GlobalPtr, g: G
     for octant in 0..8 {
         let lchild = lnode.children[octant];
         if !lchild.is_null() {
-            merge_child(ctx, shared, cfg, g, octant, lchild);
+            merge_child(ctx, shared, st, cfg, g, octant, lchild);
         }
     }
 }
@@ -173,7 +190,7 @@ fn merge_cells(ctx: &Ctx, shared: &BhShared, cfg: &SimConfig, l: GlobalPtr, g: G
 /// it cannot clobber a concurrent atomic summary fold on `g`: summary merges
 /// take only the element lock, not [`BhShared::lock_for`], so writing back a
 /// stale full node here would silently drop them.
-fn swap_child_slot(
+pub(crate) fn swap_child_slot(
     ctx: &Ctx,
     shared: &BhShared,
     g: GlobalPtr,
@@ -198,6 +215,7 @@ fn swap_child_slot(
 fn merge_child(
     ctx: &Ctx,
     shared: &BhShared,
+    st: &mut RankState,
     cfg: &SimConfig,
     g: GlobalPtr,
     octant: usize,
@@ -219,11 +237,11 @@ fn merge_child(
         let gchild_node = shared.cells.read(ctx, gchild);
         match (gchild_node.kind, lnode.kind) {
             (NodeKind::Cell, NodeKind::Cell) => {
-                merge_cells(ctx, shared, cfg, lchild, gchild);
+                merge_cells(ctx, shared, st, cfg, lchild, gchild);
                 return;
             }
             (NodeKind::Cell, NodeKind::Body) => {
-                insert_leaf_into_global(ctx, shared, cfg, lchild, &lnode, gchild);
+                insert_leaf_into_global(ctx, shared, st, cfg, lchild, &lnode, gchild);
                 return;
             }
             (NodeKind::Body, NodeKind::Cell) => {
@@ -232,25 +250,26 @@ fn merge_child(
                 if !swap_child_slot(ctx, shared, g, octant, gchild, lchild) {
                     continue;
                 }
-                insert_leaf_into_global(ctx, shared, cfg, gchild, &gchild_node, lchild);
+                insert_leaf_into_global(ctx, shared, st, cfg, gchild, &gchild_node, lchild);
                 return;
             }
             (NodeKind::Body, NodeKind::Body) => {
                 // Two bodies collide in the slot: subdivide.  The new cell is
                 // allocated before the swap (a cell's geometry and a body
                 // leaf's summary are immutable, so nothing can go stale); a
-                // lost swap merely strands the allocation until the per-step
-                // arena clear.
+                // lost swap merely strands the allocation until the arena
+                // clear at the next teardown.
                 let (ccenter, chalf) = gnode.child_geometry(octant);
                 let mut new_cell = CellNode::new_cell(ccenter, chalf);
                 new_cell.done = true;
                 new_cell.merge_summary(gchild_node.mass, gchild_node.cofm, gchild_node.cost, 1);
                 new_cell.children[new_cell.octant_of(gchild_node.cofm)] = gchild;
                 let new_ptr = shared.cells.alloc(ctx, new_cell);
+                st.my_cells.push(new_ptr);
                 if !swap_child_slot(ctx, shared, g, octant, gchild, new_ptr) {
                     continue;
                 }
-                insert_leaf_into_global(ctx, shared, cfg, lchild, &lnode, new_ptr);
+                insert_leaf_into_global(ctx, shared, st, cfg, lchild, &lnode, new_ptr);
                 return;
             }
         }
@@ -263,6 +282,7 @@ fn merge_child(
 fn insert_leaf_into_global(
     ctx: &Ctx,
     shared: &BhShared,
+    st: &mut RankState,
     cfg: &SimConfig,
     leaf_ptr: GlobalPtr,
     leaf: &CellNode,
@@ -312,6 +332,7 @@ fn insert_leaf_into_global(
             new_cell.merge_summary(child_node.mass, child_node.cofm, child_node.cost, 1);
             new_cell.children[new_cell.octant_of(child_node.cofm)] = child;
             let new_ptr = shared.cells.alloc(ctx, new_cell);
+            st.my_cells.push(new_ptr);
             if !swap_child_slot(ctx, shared, cur, octant, child, new_ptr) {
                 continue;
             }
@@ -341,7 +362,7 @@ mod tests {
             ctx.barrier();
             let local_root = build_local_tree(ctx, &shared, &mut st, &cfg);
             ctx.barrier();
-            merge_into_global(ctx, &shared, &cfg, local_root);
+            merge_into_global(ctx, &shared, &mut st, &cfg, local_root);
             ctx.barrier();
         });
         (shared, cfg)
@@ -427,7 +448,7 @@ mod tests {
             let (center, rsize) = bounding_box_phase(ctx, &shared, &mut st, &cfg);
             allocate_merge_root(ctx, &shared, center, rsize);
             let local_root = build_local_tree(ctx, &shared, &mut st, &cfg);
-            merge_into_global(ctx, &shared, &cfg, local_root);
+            merge_into_global(ctx, &shared, &mut st, &cfg, local_root);
             ctx.stats_snapshot().remote_gets
         });
         assert_eq!(report.ranks[0].result, 0);

@@ -43,23 +43,34 @@ pub struct ShadowNode {
     /// the shared cell, refreshed at installation time — legal because cells
     /// are read-only during the force phase, §7 of the paper).
     pub node: CellNode,
+    /// The pointer-to-shared the payload came from (the refresh path
+    /// re-reads through it when the tree survives into the next step).
+    pub gptr: GlobalPtr,
     /// Provenance of the payload.
     pub origin: ShadowOrigin,
     /// Shadow child links (`shadowp[]` of Listing 2): indices into the cache.
     pub shadow: [i32; 8],
     /// `true` once every child of this node has a shadow link.
     pub localized: bool,
+    /// Cache epoch the payload was last read in (see
+    /// [`ShadowCacheTree::refresh`]).
+    epoch: u32,
+    /// Cache epoch `ranges` was coalesced in.
+    ranges_epoch: u32,
     /// This cell's slice of the cache's [`LeafArena`].
     ranges: ChildRanges,
 }
 
 impl ShadowNode {
-    fn new(node: CellNode, origin: ShadowOrigin) -> ShadowNode {
+    fn new(node: CellNode, gptr: GlobalPtr, origin: ShadowOrigin, epoch: u32) -> ShadowNode {
         ShadowNode {
             node,
+            gptr,
             origin,
             shadow: [NO_SHADOW; 8],
             localized: false,
+            epoch,
+            ranges_epoch: epoch,
             ranges: ChildRanges::default(),
         }
     }
@@ -75,6 +86,12 @@ impl ShadowNode {
 pub struct ShadowCacheTree {
     /// All cache nodes; index 0 is the local view of the global root.
     pub nodes: Vec<ShadowNode>,
+    /// The tree generation this cache was built against (see
+    /// [`crate::lifecycle`]); while unchanged, the cache is
+    /// [`ShadowCacheTree::refresh`]ed across steps instead of rebuilt.
+    pub generation: u64,
+    /// Current refresh epoch (see [`ShadowCacheTree::refresh`]).
+    epoch: u32,
     /// Number of remote cells copied into the cache.
     pub remote_copies: u64,
     /// Number of local cells reused in place (pointer cast instead of copy).
@@ -86,6 +103,12 @@ pub struct ShadowCacheTree {
 impl ShadowCacheTree {
     /// Creates the cache from the global root cell.
     pub fn new(ctx: &Ctx, shared: &BhShared) -> Self {
+        ShadowCacheTree::new_for(ctx, shared, 0)
+    }
+
+    /// Like [`ShadowCacheTree::new`], tagged with the tree generation it
+    /// was built against.
+    pub fn new_for(ctx: &Ctx, shared: &BhShared, generation: u64) -> Self {
         let root_ptr = shared.root.read(ctx);
         assert!(!root_ptr.is_null(), "force phase requires a built tree");
         let (root, origin) = Self::load(ctx, shared, root_ptr);
@@ -96,11 +119,56 @@ impl ShadowCacheTree {
             ShadowOrigin::LocalOriginal(_) => local_reuses += 1,
         }
         ShadowCacheTree {
-            nodes: vec![ShadowNode::new(root, origin)],
+            nodes: vec![ShadowNode::new(root, root_ptr, origin, 0)],
+            generation,
+            epoch: 0,
             remote_copies,
             local_reuses,
             arena: LeafArena::default(),
         }
+    }
+
+    /// Carries the cache into the next step of the *same* tree generation:
+    /// bumps the refresh epoch and empties the leaf arena without touching
+    /// the network.  Payloads are re-read lazily on first touch, under the
+    /// §5.3.2 discipline (remote copies re-fetched, local originals
+    /// re-cast); localizations whose child-pointer set changed underneath
+    /// are dropped at re-read time.
+    pub fn refresh(&mut self, _ctx: &Ctx, _shared: &BhShared) {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.arena.clear();
+    }
+
+    /// Ensures node `idx`'s payload was read in the current epoch.
+    fn ensure_fresh(&mut self, ctx: &Ctx, shared: &BhShared, idx: usize) {
+        if self.nodes[idx].epoch == self.epoch {
+            return;
+        }
+        let (fresh, _) = Self::load(ctx, shared, self.nodes[idx].gptr);
+        let stale_children =
+            self.nodes[idx].localized && fresh.children != self.nodes[idx].node.children;
+        self.nodes[idx].node = fresh;
+        self.nodes[idx].epoch = self.epoch;
+        if stale_children {
+            self.nodes[idx].shadow = [NO_SHADOW; 8];
+            self.nodes[idx].localized = false;
+            self.nodes[idx].ranges = ChildRanges::default();
+        }
+    }
+
+    /// Brings a localized cell's children into the current epoch and
+    /// re-coalesces its leaf batch.
+    fn ensure_children_current(&mut self, ctx: &Ctx, shared: &BhShared, parent: usize) {
+        if self.nodes[parent].ranges_epoch == self.epoch {
+            return;
+        }
+        for octant in 0..8 {
+            let c = self.nodes[parent].shadow[octant];
+            if c != NO_SHADOW {
+                self.ensure_fresh(ctx, shared, c as usize);
+            }
+        }
+        self.coalesce_children(parent);
     }
 
     /// Number of nodes reachable through shadow pointers.
@@ -141,7 +209,8 @@ impl ShadowCacheTree {
                 ShadowOrigin::LocalOriginal(_) => self.local_reuses += 1,
             }
             let idx = self.nodes.len();
-            self.nodes.push(ShadowNode::new(node, origin));
+            let epoch = self.epoch;
+            self.nodes.push(ShadowNode::new(node, child_ptr, origin, epoch));
             self.nodes[parent].shadow[octant] = idx as i32;
         }
         self.coalesce_children(parent);
@@ -159,6 +228,7 @@ impl ShadowCacheTree {
                 .map(|&c| (c as u32, &nodes[c as usize].node)),
         );
         self.nodes[parent].ranges = ranges;
+        self.nodes[parent].ranges_epoch = self.epoch;
     }
 
     /// Force walk for one body position, localizing cells on demand.
@@ -178,6 +248,7 @@ impl ShadowCacheTree {
         let mut result = crate::cache::CachedWalkResult::default();
         let mut stack = vec![0usize];
         while let Some(idx) = stack.pop() {
+            self.ensure_fresh(ctx, shared, idx);
             let node = self.nodes[idx].node;
             match node.kind {
                 NodeKind::Body => {
@@ -203,6 +274,8 @@ impl ShadowCacheTree {
                     } else {
                         if !self.nodes[idx].localized {
                             self.localize_children(ctx, shared, idx);
+                        } else {
+                            self.ensure_children_current(ctx, shared, idx);
                         }
                         let ranges = self.nodes[idx].ranges;
                         result.interactions += self.arena.accumulate(

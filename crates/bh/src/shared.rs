@@ -2,8 +2,11 @@
 //! per-rank private state, together with the body-access helpers that encode
 //! each optimization level's access/billing discipline.
 
+use crate::cache::CacheTree;
 use crate::cellnode::CellNode;
 use crate::config::{OptLevel, SimConfig};
+use crate::lifecycle::{LeafSite, TreeLifecycle};
+use crate::shadow::ShadowCacheTree;
 use nbody::plummer::{generate, PlummerConfig};
 use nbody::{Body, Vec3};
 use pgas::shared::SharedScalar;
@@ -38,6 +41,10 @@ pub struct BhShared {
     /// Lock table protecting concurrent cell modification during the global
     /// insertion tree build.
     pub locks: pgas::lock::LockTable,
+    /// Per-body leaf sites of the persistent tree (the tree-lifecycle
+    /// subsystem's side table, indexed by body id like `bodytab`).  Only
+    /// populated under a reuse-capable [`crate::config::TreePolicy`].
+    pub sites: pgas::SharedVec<LeafSite>,
 }
 
 impl BhShared {
@@ -57,8 +64,10 @@ impl BhShared {
     pub fn with_bodies(cfg: &SimConfig, bodies: Vec<Body>) -> Self {
         engine::validate_bodies(cfg, &bodies);
         let ranks = cfg.ranks();
+        let nbodies = bodies.len();
         BhShared {
             bodytab: SharedVec::from_vec(ranks, bodies),
+            sites: SharedVec::new(ranks, nbodies, LeafSite::INVALID),
             cells: SharedArena::new(ranks),
             root: SharedScalar::new(GlobalPtr::NULL),
             rsize: SharedScalar::new(0.0),
@@ -124,6 +133,18 @@ pub struct RankState {
     /// Transparent software caches for the shared scalars, present only when
     /// [`SimConfig::software_scalar_cache`] is enabled.
     pub scalar_caches: Option<ScalarCaches>,
+    /// Lower corner of this step's global bounding box (stashed by the
+    /// bounding-box phase; the tree-lifecycle fit test reads it).
+    pub bbox_lo: Vec3,
+    /// Upper corner of this step's global bounding box.
+    pub bbox_hi: Vec3,
+    /// Persistent-tree bookkeeping (see [`crate::lifecycle`]).
+    pub lifecycle: TreeLifecycle,
+    /// The force-phase cache carried across steps while the tree generation
+    /// is unchanged (reuse policies only; `None` under per-step rebuild).
+    pub cache_slot: Option<CacheTree>,
+    /// Shadow-variant counterpart of [`RankState::cache_slot`].
+    pub shadow_slot: Option<ShadowCacheTree>,
 }
 
 impl RankState {
@@ -155,6 +176,11 @@ impl RankState {
             } else {
                 None
             },
+            bbox_lo: Vec3::ZERO,
+            bbox_hi: Vec3::ZERO,
+            lifecycle: TreeLifecycle::default(),
+            cache_slot: None,
+            shadow_slot: None,
         }
     }
 

@@ -1,10 +1,18 @@
 //! The simulation driver: runs the configured number of time steps with the
 //! phase structure of the paper and collects the per-phase times its tables
 //! report.
+//!
+//! Each step's tree-building phase is governed by the configured
+//! [`crate::config::TreePolicy`]: the default per-step rebuild reproduces
+//! the paper's protocol exactly, while the reuse/adaptive policies route
+//! through the tree-lifecycle subsystem ([`crate::lifecycle`]) — a
+//! persistent global tree, incrementally updated, with drift-triggered
+//! rebuilds.
 
 use crate::config::SimConfig;
 use crate::force::{advance_phase, force_phase_cached, force_phase_uncached, write_back};
 use crate::frontier::force_phase_async;
+use crate::lifecycle;
 use crate::mergetree::{allocate_merge_root, build_local_tree, merge_into_global};
 use crate::partition::{partition_phase, redistribute_phase};
 use crate::report::{measurement_begins, Phase, PhaseTimes, RankOutcome, SimResult};
@@ -32,7 +40,14 @@ pub fn run_simulation_on(cfg: &SimConfig, bodies: Vec<nbody::Body>) -> SimResult
 
 /// Like [`run_simulation`] but over an existing shared state (used by tests
 /// and benches that want to inspect or pre-seed the body table).
+///
+/// # Panics
+/// Panics when [`SimConfig::validate`] rejects `cfg` (unrunnable
+/// measurement window, non-positive physics parameters, ...).
 pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
+    if let Err(e) = cfg.validate() {
+        panic!("bh::run_simulation: invalid config: {e}");
+    }
     let runtime = Runtime::new(cfg.machine.clone());
     let report = runtime.run(|ctx| {
         let mut st = RankState::new(ctx, shared, cfg);
@@ -46,7 +61,7 @@ pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
                 st.migrated = 0;
                 st.owned_accum = 0;
             }
-            run_step(ctx, shared, &mut st, cfg);
+            run_step(ctx, shared, &mut st, cfg, step);
         }
         let phases = phase_times(&st);
         RankOutcome {
@@ -75,11 +90,11 @@ fn phase_times(st: &RankState) -> PhaseTimes {
 
 /// Runs one time step with the phase structure of the configured
 /// optimization level.
-fn run_step(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) {
+fn run_step(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig, step: usize) {
     if cfg.opt.subspace_tree_build() {
         run_step_subspace(ctx, shared, st, cfg);
     } else {
-        run_step_classic(ctx, shared, st, cfg);
+        run_step_classic(ctx, shared, st, cfg, step);
     }
 
     // Force computation.
@@ -101,49 +116,82 @@ fn run_step(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) {
     ctx.barrier();
     st.timer.end(ctx, Phase::Advance.key());
 
-    // Step cleanup: the tree is rebuilt from scratch next step.
-    st.my_cells.clear();
-    if ctx.rank() == 0 {
-        shared.cells.clear(ctx);
-        shared.root.write_raw(GlobalPtr::NULL);
+    // Step cleanup: under the per-step rebuild protocol (and the subspace
+    // build, which re-plans the tree shape every step) the tree is torn
+    // down; persistent policies keep it for the next step's lifecycle
+    // decision.
+    if !lifecycle::persistent_tree(cfg) {
+        st.my_cells.clear();
+        if ctx.rank() == 0 {
+            shared.cells.clear(ctx);
+            shared.root.write_raw(GlobalPtr::NULL);
+        }
+        ctx.barrier();
     }
-    ctx.barrier();
 }
 
 /// Tree building → centre of mass → partitioning → redistribution, as used
 /// by every level below the §6 subspace algorithm.
-fn run_step_classic(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) {
-    // Tree building.
+fn run_step_classic(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &mut RankState,
+    cfg: &SimConfig,
+    step: usize,
+) {
+    // Tree building: reuse the persistent tree when the lifecycle decision
+    // allows it, rebuild from scratch otherwise.  Under the default
+    // `TreePolicy::Rebuild` the decision short-circuits (no collectives, no
+    // charges) and the phase below is exactly the paper's.
     st.timer.begin(ctx, Phase::TreeBuild.key());
     let (center, rsize) = bounding_box_phase(ctx, shared, st, cfg);
-    if cfg.opt.merged_tree_build() {
-        allocate_merge_root(ctx, shared, center, rsize);
-        ctx.barrier();
-        let local_start = ctx.now();
-        let local_root = build_local_tree(ctx, shared, st, cfg);
-        let merge_start = ctx.now();
-        st.tree_local_time += merge_start - local_start;
-        merge_into_global(ctx, shared, cfg, local_root);
-        // Record the merge sub-phase before the barrier so that the Figure 8
-        // style per-rank breakdown shows the merge imbalance rather than the
-        // barrier wait.
-        st.tree_merge_time += ctx.now() - merge_start;
-        ctx.barrier();
-    } else {
-        allocate_root(ctx, shared, center, rsize);
-        ctx.barrier();
-        insert_owned_bodies(ctx, shared, st, cfg);
-        ctx.barrier();
+    let decision = lifecycle::decide(ctx, shared, st, cfg, step);
+    let rebuilt = matches!(decision, lifecycle::StepBuild::Rebuild);
+    match decision {
+        lifecycle::StepBuild::Reuse(probes) => {
+            lifecycle::incremental_update(ctx, shared, st, cfg, probes);
+        }
+        lifecycle::StepBuild::Rebuild => {
+            lifecycle::clear_stale_tree(ctx, shared, st);
+            if cfg.opt.merged_tree_build() {
+                allocate_merge_root(ctx, shared, center, rsize);
+                ctx.barrier();
+                let local_start = ctx.now();
+                let local_root = build_local_tree(ctx, shared, st, cfg);
+                let merge_start = ctx.now();
+                st.tree_local_time += merge_start - local_start;
+                merge_into_global(ctx, shared, st, cfg, local_root);
+                // Record the merge sub-phase before the barrier so that the
+                // Figure 8 style per-rank breakdown shows the merge
+                // imbalance rather than the barrier wait.
+                st.tree_merge_time += ctx.now() - merge_start;
+                ctx.barrier();
+            } else {
+                allocate_root(ctx, shared, center, rsize);
+                ctx.barrier();
+                insert_owned_bodies(ctx, shared, st, cfg);
+                ctx.barrier();
+            }
+        }
     }
     st.timer.end(ctx, Phase::TreeBuild.key());
 
-    // Centre-of-mass computation (folded into tree building by §5.4+).
+    // Centre-of-mass computation (folded into tree building by §5.4+; a
+    // reuse step re-folded the summaries during the incremental update).
     st.timer.begin(ctx, Phase::CenterOfMass.key());
-    if !cfg.opt.merged_tree_build() {
+    if rebuilt && !cfg.opt.merged_tree_build() {
         center_of_mass_phase(ctx, shared, st, cfg);
     }
     ctx.barrier();
     st.timer.end(ctx, Phase::CenterOfMass.key());
+
+    // A fresh build under a persistent policy captures every owned body's
+    // leaf site and bumps the tree generation (tree-building work).
+    if rebuilt && lifecycle::persistent_tree(cfg) {
+        st.timer.begin(ctx, Phase::TreeBuild.key());
+        lifecycle::after_rebuild(ctx, shared, st, cfg, step, center, rsize);
+        st.timer.end(ctx, Phase::TreeBuild.key());
+    }
 
     // Partitioning.
     st.timer.begin(ctx, Phase::Partition.key());

@@ -47,6 +47,10 @@ pub fn bounding_box_phase(
         ghi = ghi.max(h);
     }
     let center = (glo + ghi) * 0.5;
+    // Stash the raw box for the tree-lifecycle fit test (does the new box
+    // still sit inside the persistent root cell?).
+    st.bbox_lo = glo;
+    st.bbox_hi = ghi;
     let half_extent = (ghi - glo).max_abs_component() * 0.5;
     let mut rsize = 1.0f64;
     while rsize < 2.0 * half_extent + 1e-12 {
@@ -174,8 +178,16 @@ pub fn insert_body(
 /// (children before parents), waiting on the `done` flag of children created
 /// by other ranks — the same protocol SPLASH-2 uses.
 pub fn center_of_mass_phase(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig) {
-    // The root cell belongs to rank 0 but is created outside `my_cells`;
-    // give rank 0 the responsibility for it.
+    let pending = summary_pending(ctx, shared, st);
+    drain_summaries(pending, |ptr| try_summarize_cell(ctx, shared, st, cfg, ptr));
+}
+
+/// The cells this rank is responsible for summarizing, in reverse creation
+/// order (descendants were pushed after their ancestors).  The root cell
+/// belongs to rank 0 but is created outside `my_cells`; rank 0 takes the
+/// responsibility for it.  Shared by this phase and the tree-lifecycle
+/// re-fold.
+pub(crate) fn summary_pending(ctx: &Ctx, shared: &BhShared, st: &RankState) -> Vec<GlobalPtr> {
     let mut pending: Vec<GlobalPtr> = st.my_cells.clone();
     if ctx.rank() == 0 {
         let root = shared.root.read(ctx);
@@ -183,17 +195,27 @@ pub fn center_of_mass_phase(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cf
             pending.insert(0, root);
         }
     }
-    // Reverse creation order: descendants were pushed after their ancestors.
     pending.reverse();
+    pending
+}
 
-    let mut remaining = pending;
+/// Drains a summary worklist under the SPLASH-2 done-flag protocol:
+/// `try_one` returns `false` while a cell's children (owned by other ranks)
+/// are not ready, and the cell is retried after the rest of the list has
+/// had a chance to make progress.  Shared by the centre-of-mass phase and
+/// the tree-lifecycle re-fold, so the livelock guard lives in one place.
+pub(crate) fn drain_summaries(
+    mut remaining: Vec<GlobalPtr>,
+    mut try_one: impl FnMut(GlobalPtr) -> bool,
+) {
     while !remaining.is_empty() {
         let mut next = Vec::new();
         let mut progressed = false;
         for &ptr in &remaining {
-            match try_summarize_cell(ctx, shared, st, cfg, ptr) {
-                true => progressed = true,
-                false => next.push(ptr),
+            if try_one(ptr) {
+                progressed = true;
+            } else {
+                next.push(ptr);
             }
         }
         remaining = next;

@@ -6,9 +6,14 @@ use nbody::Body;
 
 /// The MPI-style solver (registry key `mpi`).
 ///
-/// [`Backend::supports`] enforces the pseudo-body id headroom
-/// ([`crate::sim::check_config`]), so oversized configurations fail with a
-/// clear error before any simulation work starts.
+/// [`Backend::supports`] validates the configuration, enforces the
+/// pseudo-body id headroom ([`crate::sim::check_config`]) and rejects
+/// non-[`engine::TreePolicy::Rebuild`] tree policies — this solver rebuilds
+/// its local trees and locally-essential imports from scratch every step by
+/// construction, so the only *correct* behaviour it can offer a
+/// reuse/adaptive caller is the rebuild fallback, and silently substituting
+/// it would make policy comparisons lie.  Unsupported configurations fail
+/// with a clear error before any simulation work starts.
 pub struct MpiBackend;
 
 impl Backend for MpiBackend {
@@ -21,7 +26,17 @@ impl Backend for MpiBackend {
     }
 
     fn supports(&self, cfg: &SimConfig) -> Result<(), String> {
-        check_config(cfg)
+        cfg.validate()?;
+        check_config(cfg)?;
+        if cfg.tree_policy.reuses_tree() {
+            return Err(format!(
+                "tree policy {} is not supported: the message-passing solver rebuilds its \
+                 local trees every step (use the default TreePolicy::Rebuild, or the upc \
+                 backend for persistent-tree stepping)",
+                cfg.tree_policy.name()
+            ));
+        }
+        Ok(())
     }
 
     fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult {
@@ -50,5 +65,17 @@ mod tests {
         let mut cfg = SimConfig::test(128, 2, OptLevel::Subspace);
         cfg.nbodies = PSEUDO_ID_BASE as usize + 1;
         assert!(MpiBackend.supports(&cfg).is_err());
+    }
+
+    #[test]
+    fn invalid_windows_and_reuse_policies_are_unsupported() {
+        let mut cfg = SimConfig::test(128, 2, OptLevel::Subspace);
+        cfg.measured_steps = cfg.steps + 1;
+        assert!(MpiBackend.supports(&cfg).unwrap_err().contains("measured_steps"));
+
+        let mut cfg = SimConfig::test(128, 2, OptLevel::Subspace);
+        cfg.tree_policy = engine::TreePolicy::Adaptive;
+        let err = MpiBackend.supports(&cfg).unwrap_err();
+        assert!(err.contains("not supported"), "{err}");
     }
 }

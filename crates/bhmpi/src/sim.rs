@@ -81,9 +81,14 @@ pub fn run_simulation(cfg: &SimConfig) -> SimResult {
 /// comparable to the UPC solver's.
 ///
 /// # Panics
-/// Panics when [`check_config`] rejects `cfg` (body ids would alias the
-/// pseudo-body id space) or when the bodies do not match `cfg.nbodies`.
+/// Panics when [`SimConfig::validate`] or [`check_config`] rejects `cfg`
+/// (unrunnable measurement window, non-positive physics parameters, body
+/// ids that would alias the pseudo-body id space) or when the bodies do not
+/// match `cfg.nbodies`.
 pub fn run_simulation_on(cfg: &SimConfig, all_bodies: Vec<Body>) -> SimResult {
+    if let Err(e) = cfg.validate() {
+        panic!("bh_mpi::run_simulation_on: invalid config: {e}");
+    }
     if let Err(e) = check_config(cfg) {
         panic!("bh_mpi::run_simulation_on: {e}");
     }

@@ -29,9 +29,13 @@ pub trait Backend: Send + Sync {
     /// Checks whether this backend can run `cfg`, returning a clear error
     /// when it cannot (e.g. a body count that would collide with the MPI
     /// solver's pseudo-body id space).
+    ///
+    /// The default checks [`SimConfig::validate`], so every backend rejects
+    /// unrunnable configurations (`measured_steps > steps`, non-positive
+    /// `dt`, ...) before any simulation work starts; overrides should chain
+    /// `cfg.validate()?` before their own checks.
     fn supports(&self, cfg: &SimConfig) -> Result<(), String> {
-        let _ = cfg;
-        Ok(())
+        cfg.validate()
     }
 
     /// Runs the simulation over the given initial conditions.
@@ -128,8 +132,14 @@ mod tests {
     }
 
     #[test]
-    fn default_supports_accepts_everything() {
+    fn default_supports_validates_the_config() {
         let cfg = SimConfig::test(16, 1, OptLevel::Baseline);
         assert!(Dummy("x").supports(&cfg).is_ok());
+        // An unrunnable measurement window is rejected by every backend
+        // through the default `supports`, not silently mis-measured.
+        let mut bad = cfg;
+        bad.measured_steps = bad.steps + 1;
+        let err = Dummy("x").supports(&bad).unwrap_err();
+        assert!(err.contains("measured_steps"), "{err}");
     }
 }

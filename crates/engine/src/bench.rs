@@ -55,6 +55,13 @@ pub struct RunSpec {
     /// UPC optimization level name (meaningful for the `upc` backend; the
     /// other backends record the level they were configured with).
     pub opt: String,
+    /// Tree-lifecycle policy label, parameters included
+    /// ([`crate::TreePolicy::spec_label`], e.g. `reuse[e8,d0.25]`).  The
+    /// cadence/drift parameters change the measurement protocol, so they
+    /// are part of the sweep point's identity: a parameter change retires
+    /// the old key (flagged by the baseline diff) instead of silently
+    /// comparing incomparable numbers under it.
+    pub policy: String,
     /// Number of bodies.
     pub nbodies: usize,
     /// Emulated nodes.
@@ -76,6 +83,7 @@ impl RunSpec {
             scenario: scenario.to_string(),
             backend: backend.to_string(),
             opt: cfg.opt.name().to_string(),
+            policy: cfg.tree_policy.spec_label(),
             nbodies: cfg.nbodies,
             nodes: cfg.machine.nodes,
             threads_per_node: cfg.machine.threads_per_node,
@@ -89,8 +97,14 @@ impl RunSpec {
     /// committed baseline.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}/n{}/m{}x{}",
-            self.scenario, self.backend, self.opt, self.nbodies, self.nodes, self.threads_per_node
+            "{}/{}/{}/{}/n{}/m{}x{}",
+            self.scenario,
+            self.backend,
+            self.opt,
+            self.policy,
+            self.nbodies,
+            self.nodes,
+            self.threads_per_node
         )
     }
 }
@@ -360,6 +374,12 @@ fn decode_spec(v: &Value, ctx: &str) -> Result<RunSpec, String> {
         scenario: str_field(v, "scenario", ctx)?,
         backend: str_field(v, "backend", ctx)?,
         opt: str_field(v, "opt", ctx)?,
+        // Records predating the tree-lifecycle subsystem ran the paper's
+        // per-step rebuild.
+        policy: match v.get("policy") {
+            Some(_) => str_field(v, "policy", ctx)?,
+            None => "rebuild".to_string(),
+        },
         nbodies: usize_field(v, "nbodies", ctx)?,
         nodes: usize_field(v, "nodes", ctx)?,
         threads_per_node: usize_field(v, "threads_per_node", ctx)?,
@@ -462,8 +482,18 @@ pub struct BaselineDiff {
     pub compared: usize,
     /// Deterministic metrics that regressed past the threshold.
     pub regressions: Vec<MetricDiff>,
-    /// Current sweep points with no baseline counterpart (informational).
+    /// Current sweep points with no baseline counterpart (informational —
+    /// new points are how the grid grows).
     pub unmatched: Vec<String>,
+    /// Baseline sweep points and kernel engines the current record should
+    /// have reproduced but did not.  A run or kernel silently *vanishing*
+    /// from the grid is a gate violation, not a pass: historically the diff
+    /// only iterated the current record's keys, so deleting a scenario from
+    /// the grid (or one engine of a kernel A-B pair) made its regressions
+    /// unobservable.  When a quick record is diffed against a full
+    /// baseline, the baseline's full-grid points (a measurement protocol no
+    /// current point uses) are exempt.
+    pub missing: Vec<String>,
     /// Sweep points whose [`RunSpec::key`] matched but whose measurement
     /// protocol (seed, steps, measured steps) differs — the baseline is
     /// stale and the numbers are not comparable; callers must treat these
@@ -479,9 +509,20 @@ impl BaselineDiff {
 }
 
 /// Phases below this many simulated seconds are exempt from relative
-/// comparison: they are dominated by discrete cost-model quanta where a
-/// single extra barrier flips the ratio wildly without meaning anything.
-const PHASE_FLOOR_SIM_SECONDS: f64 = 1e-4;
+/// comparison: they are dominated by discrete cost-model quanta — a single
+/// extra barrier, lock retry or done-flag wait (whose count depends on real
+/// thread scheduling) flips the ratio wildly without meaning anything.  At
+/// the quick-grid sizes the centre-of-mass phase routinely swings 2x around
+/// half a millisecond per measured step from retry noise alone, so the
+/// floor sits above that band; makespans aggregate many quanta and stay
+/// gated by the tighter [`TOTAL_FLOOR_SIM_SECONDS`], and the deterministic
+/// traffic counters gate small-phase regressions regardless.
+const PHASE_FLOOR_SIM_SECONDS: f64 = 3e-3;
+
+/// Simulated makespans below this are exempt from relative comparison (see
+/// [`PHASE_FLOOR_SIM_SECONDS`]; totals are far less quantized, so the floor
+/// is only a guard against division nonsense).
+const TOTAL_FLOOR_SIM_SECONDS: f64 = 1e-4;
 
 /// Counters below this magnitude are exempt from relative comparison.
 const COUNTER_FLOOR: f64 = 64.0;
@@ -492,6 +533,11 @@ const COUNTER_FLOOR: f64 = 64.0;
 /// exceeds the baseline by more than `threshold` (a fraction, e.g. `0.25`
 /// for the CI gate's 25 %).  Wall-clock times are never compared — they are
 /// host-dependent (see the module docs).
+///
+/// The diff is **symmetric**: baseline runs and kernel engines the current
+/// record should have reproduced but lacks are reported in
+/// [`BaselineDiff::missing`] and must be treated as gate violations (see
+/// the field docs for the quick-vs-full scoping).
 pub fn diff_against_baseline(current: &Record, baseline: &Record, threshold: f64) -> BaselineDiff {
     let mut diff = BaselineDiff::default();
     for run in &current.runs {
@@ -533,7 +579,7 @@ pub fn diff_against_baseline(current: &Record, baseline: &Record, threshold: f64
                 });
             }
         };
-        check("total_sim", base.total_sim_median, run.total_sim_median, PHASE_FLOOR_SIM_SECONDS);
+        check("total_sim", base.total_sim_median, run.total_sim_median, TOTAL_FLOOR_SIM_SECONDS);
         for phase in Phase::ALL {
             check(
                 phase.key(),
@@ -552,6 +598,45 @@ pub fn diff_against_baseline(current: &Record, baseline: &Record, threshold: f64
         check("messages", base.messages as f64, run.messages as f64, COUNTER_FLOOR);
         check("bytes_out", base.bytes_out as f64, run.bytes_out as f64, COUNTER_FLOOR);
         check("lock_acquires", base.lock_acquires as f64, run.lock_acquires as f64, COUNTER_FLOOR);
+    }
+
+    // The symmetric direction: baseline points the current record failed to
+    // reproduce.  A quick record only re-runs the baseline's quick-sized
+    // points (the quick and full grids use disjoint problem sizes), so when
+    // a quick record is diffed against a full baseline the full-grid points
+    // — recognizable by a problem size no current point attempts — are
+    // exempt.
+    let quick_vs_full = current.quick && !baseline.quick;
+    let size_attempted = |n: usize| -> bool { current.runs.iter().any(|r| r.spec.nbodies == n) };
+    for base in &baseline.runs {
+        let key = base.spec.key();
+        if current.runs.iter().any(|r| r.spec.key() == key) {
+            continue;
+        }
+        if quick_vs_full && !size_attempted(base.spec.nbodies) {
+            continue;
+        }
+        diff.missing.push(format!("run {key}"));
+    }
+    for base in &baseline.kernels {
+        let pair_in_current = current
+            .kernels
+            .iter()
+            .any(|k| k.scenario == base.scenario && k.nbodies == base.nbodies);
+        let engine_in_current = current.kernels.iter().any(|k| {
+            k.scenario == base.scenario && k.nbodies == base.nbodies && k.engine == base.engine
+        });
+        if engine_in_current {
+            continue;
+        }
+        // One engine of a measured pair vanishing is always a violation (the
+        // within-record kernel gate would silently stop comparing); a whole
+        // pair vanishing is a violation only when the two records ran the
+        // same kernel plan (quick-vs-full exempts the full-plan pairs).
+        if pair_in_current || !quick_vs_full {
+            diff.missing
+                .push(format!("kernel {}/n{}/{}", base.scenario, base.nbodies, base.engine));
+        }
     }
     diff
 }
@@ -627,10 +712,25 @@ mod tests {
     #[test]
     fn spec_key_is_stable_and_discriminating() {
         let a = spec();
-        assert_eq!(a.key(), "plummer/upc/subspace/n256/m2x1");
+        assert_eq!(a.key(), "plummer/upc/subspace/rebuild/n256/m2x1");
         let mut b = a.clone();
         b.nbodies = 512;
         assert_ne!(a.key(), b.key());
+        let mut c = a.clone();
+        c.policy = "reuse".to_string();
+        assert_ne!(a.key(), c.key(), "the tree policy is part of the sweep-point identity");
+    }
+
+    #[test]
+    fn specs_without_a_policy_field_decode_as_rebuild() {
+        // Records committed before the tree-lifecycle subsystem carry no
+        // policy; they ran the paper's per-step rebuild.
+        let record = record_with(2.0, 10_000);
+        let mut text = record.to_json();
+        text = text.replace("\"policy\": \"rebuild\",", "");
+        let parsed = Record::from_json(&text).expect("legacy record must parse");
+        assert_eq!(parsed.runs[0].spec.policy, "rebuild");
+        assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
     }
 
     #[test]
@@ -709,6 +809,70 @@ mod tests {
         assert_eq!(diff.compared, 0);
         assert_eq!(diff.unmatched, vec![current.runs[0].spec.key()]);
         assert!(diff.regressions.is_empty());
+    }
+
+    #[test]
+    fn runs_vanishing_from_the_current_record_are_violations() {
+        // Baseline has a point the current record lacks at a size the
+        // current record does attempt: that point silently disappeared from
+        // the grid and must be flagged, not skipped.
+        let mut baseline = record_with(2.0, 100_000);
+        let mut extra = record_with(2.0, 100_000);
+        extra.runs[0].spec.scenario = "king".to_string();
+        baseline.runs.push(extra.runs[0].clone());
+        let current = record_with(2.0, 100_000);
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert_eq!(diff.compared, 1);
+        assert_eq!(diff.missing.len(), 1, "{:?}", diff.missing);
+        assert!(diff.missing[0].contains("king"), "{:?}", diff.missing);
+
+        // Same shape but the baseline point is a full-grid size and the
+        // current record is a quick run: exempt (the quick run never
+        // attempts that size).
+        let mut current_quick = record_with(2.0, 100_000);
+        current_quick.quick = true;
+        let mut full_baseline = record_with(2.0, 100_000);
+        let mut big = record_with(2.0, 100_000);
+        big.runs[0].spec.nbodies = 4096;
+        full_baseline.runs.push(big.runs[0].clone());
+        let diff = diff_against_baseline(&current_quick, &full_baseline, 0.25);
+        assert!(diff.missing.is_empty(), "{:?}", diff.missing);
+    }
+
+    #[test]
+    fn kernel_engines_vanishing_from_the_current_record_are_violations() {
+        let kernel = |engine: &str| KernelRecord {
+            scenario: "plummer".to_string(),
+            nbodies: 2048,
+            engine: engine.to_string(),
+            reps: 5,
+            force_wall_ms: Stat { median: 5.0, p90: 6.0 },
+            interactions: 1_000_000,
+        };
+        let mut baseline = record_with(2.0, 100_000);
+        baseline.kernels.push(kernel(KERNEL_PER_BODY));
+        baseline.kernels.push(kernel(KERNEL_COALESCED));
+
+        // The per-body reference engine vanished while the pair's scenario
+        // and size are still measured: the within-record gate would silently
+        // stop comparing, so the diff must flag it — even quick-vs-full.
+        let mut current = record_with(2.0, 100_000);
+        current.quick = true;
+        current.kernels.push(kernel(KERNEL_COALESCED));
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert_eq!(diff.missing.len(), 1, "{:?}", diff.missing);
+        assert!(diff.missing[0].contains(KERNEL_PER_BODY), "{:?}", diff.missing);
+
+        // A full-plan pair absent from a quick record is exempt; the same
+        // absence between records of the same mode is a violation.
+        let mut full_only = record_with(2.0, 100_000);
+        full_only.kernels.push(KernelRecord { nbodies: 8192, ..kernel(KERNEL_PER_BODY) });
+        let mut current_quick = record_with(2.0, 100_000);
+        current_quick.quick = true;
+        assert!(diff_against_baseline(&current_quick, &full_only, 0.25).missing.is_empty());
+        let current_full = record_with(2.0, 100_000);
+        let diff = diff_against_baseline(&current_full, &full_only, 0.25);
+        assert_eq!(diff.missing.len(), 1, "{:?}", diff.missing);
     }
 
     #[test]

@@ -106,6 +106,121 @@ impl OptLevel {
     }
 }
 
+/// When (and whether) the global octree is torn down between time steps.
+///
+/// The paper's measurement protocol rebuilds the tree from scratch every
+/// step, which is fine for its 4-step window but lets tree construction
+/// dominate long-horizon runs.  The tree-lifecycle subsystem
+/// (`bh::lifecycle`) can instead keep the tree alive across steps: leaf
+/// positions are refreshed in place, only bodies that left their leaf's
+/// cell bounds are re-inserted, and every cell's centre of mass is re-folded
+/// bottom-up — falling back to a full rebuild when the tree has drifted too
+/// far from the body distribution.
+///
+/// The persistent tree pays off on the global-insertion levels
+/// ([`OptLevel::Baseline`] through [`OptLevel::CacheLocalTree`]), where a
+/// per-step rebuild descends the shared tree under locks for every body;
+/// the merged (§5.4/§5.5) and subspace (§6) builds rebuild cheaply from
+/// local trees every step and keep doing so regardless of policy.
+/// Backends without an incremental path (the MPI comparator rebuilds its
+/// local trees by construction) reject non-[`TreePolicy::Rebuild`] configs
+/// through [`crate::Backend::supports`]; the direct-summation reference has
+/// no tree and ignores the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TreePolicy {
+    /// Rebuild the global tree from scratch every step (the paper's
+    /// protocol, and the default — results are bit-for-bit identical to the
+    /// pre-lifecycle solver).
+    Rebuild,
+    /// Keep the tree across steps with an explicit rebuild cadence.
+    Reuse {
+        /// Force a full rebuild every this many steps (1 = rebuild every
+        /// step, behaviourally identical to [`TreePolicy::Rebuild`]).
+        rebuild_every: usize,
+        /// Force a full rebuild when the fraction of bodies that left their
+        /// leaf's cell bounds since the last build exceeds this value, or
+        /// when the bounding box outgrows the persistent root cell.
+        ///
+        /// `0` is the strict mode: even within-cell movement (a body
+        /// changing octant inside its leaf's cell — the first point where
+        /// the persistent tree and a fresh rebuild could diverge
+        /// structurally) counts as drift, so the trajectory is bit-for-bit
+        /// identical to [`TreePolicy::Rebuild`].
+        drift_threshold: f64,
+    },
+    /// Keep the tree across steps with the cadence chosen by the solver
+    /// (rebuild on [`TreePolicy::ADAPTIVE_DRIFT`] drift,
+    /// [`TreePolicy::ADAPTIVE_REBUILD_EVERY`] steps at the latest).
+    Adaptive,
+}
+
+impl TreePolicy {
+    /// Default rebuild cadence of `--tree-policy reuse`.
+    pub const DEFAULT_REBUILD_EVERY: usize = 8;
+    /// Default drift threshold of `--tree-policy reuse`.
+    pub const DEFAULT_DRIFT_THRESHOLD: f64 = 0.25;
+    /// Drift fraction at which [`TreePolicy::Adaptive`] rebuilds.  A Plummer
+    /// sphere at the paper's `dt` drifts ~10-15 % of its leaves per step
+    /// under the cell-cube bound, so the threshold sits well above the
+    /// steady-state drift (probing and then rebuilding anyway would make
+    /// the policy strictly worse than per-step rebuild) while still
+    /// catching violent reconfigurations (mergers, collapse).
+    pub const ADAPTIVE_DRIFT: f64 = 0.35;
+    /// Step cadence at which [`TreePolicy::Adaptive`] rebuilds at the
+    /// latest, bounding the structural degradation of the reused tree.
+    pub const ADAPTIVE_REBUILD_EVERY: usize = 8;
+
+    /// Short name used by reports and the bench harness (the reuse
+    /// parameters are part of the measurement protocol, not the name).
+    pub fn name(self) -> &'static str {
+        match self {
+            TreePolicy::Rebuild => "rebuild",
+            TreePolicy::Reuse { .. } => "reuse",
+            TreePolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses a policy from its [`TreePolicy::name`]; `reuse` carries the
+    /// default cadence and drift threshold.
+    pub fn from_name(name: &str) -> Option<TreePolicy> {
+        match name {
+            "rebuild" => Some(TreePolicy::Rebuild),
+            "reuse" => Some(TreePolicy::Reuse {
+                rebuild_every: TreePolicy::DEFAULT_REBUILD_EVERY,
+                drift_threshold: TreePolicy::DEFAULT_DRIFT_THRESHOLD,
+            }),
+            "adaptive" => Some(TreePolicy::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// `true` when the policy may carry the tree across steps.
+    pub fn reuses_tree(self) -> bool {
+        !matches!(self, TreePolicy::Rebuild)
+    }
+
+    /// Full encoding of the policy *including its parameters*, used as the
+    /// `policy` component of a bench sweep point's identity
+    /// (`engine::bench::RunSpec`).  Changing a reuse cadence or drift
+    /// threshold changes the measurement protocol, so the label must change
+    /// with it — a regenerated grid then fails the baseline diff loudly
+    /// (missing/unmatched points) instead of comparing incomparable
+    /// numbers under the same key.
+    pub fn spec_label(self) -> String {
+        match self {
+            TreePolicy::Rebuild => "rebuild".to_string(),
+            TreePolicy::Reuse { rebuild_every, drift_threshold } => {
+                format!("reuse[e{rebuild_every},d{drift_threshold}]")
+            }
+            TreePolicy::Adaptive => format!(
+                "adaptive[e{},d{}]",
+                TreePolicy::ADAPTIVE_REBUILD_EVERY,
+                TreePolicy::ADAPTIVE_DRIFT
+            ),
+        }
+    }
+}
+
 /// The default workload RNG seed used by [`SimConfig::new`] (and therefore
 /// by every driver that doesn't override `--seed`).
 pub const DEFAULT_SEED: u64 = 1_234_567;
@@ -127,6 +242,9 @@ pub struct SimConfig {
     pub steps: usize,
     /// Number of trailing steps whose phase times are reported (paper: 2).
     pub measured_steps: usize,
+    /// Tree lifecycle across steps (see [`TreePolicy`]; default
+    /// [`TreePolicy::Rebuild`], the paper's per-step rebuild).
+    pub tree_policy: TreePolicy,
     /// Optimization level (UPC ladder only; other backends ignore it).
     pub opt: OptLevel,
     /// Emulated machine.
@@ -178,6 +296,7 @@ impl SimConfig {
             dt: nbody::DEFAULT_DT,
             steps: 4,
             measured_steps: 2,
+            tree_policy: TreePolicy::Rebuild,
             opt,
             machine,
             n1: 4,
@@ -204,6 +323,55 @@ impl SimConfig {
     /// Number of ranks implied by the machine.
     pub fn ranks(&self) -> usize {
         self.machine.ranks()
+    }
+
+    /// Checks that the configuration describes a runnable, measurable
+    /// simulation.
+    ///
+    /// Every solver entry point (`run_simulation*` in each backend crate)
+    /// and the default [`crate::Backend::supports`] call this, so invalid
+    /// configurations fail with a clear error instead of producing garbage:
+    /// `measured_steps > steps` makes [`crate::report::measurement_begins`]
+    /// never fire (the phase tables silently report the warm-up window that
+    /// was never reset), a non-positive or non-finite `dt`/`theta`/`eps`
+    /// turns positions into NaNs, and zero bodies or steps produce
+    /// meaningless reports.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nbodies < 1 {
+            return Err("nbodies must be at least 1".to_string());
+        }
+        if self.steps < 1 {
+            return Err("steps must be at least 1".to_string());
+        }
+        if self.measured_steps < 1 || self.measured_steps > self.steps {
+            return Err(format!(
+                "measured_steps must lie in 1..=steps: got measured_steps = {} with steps = {} \
+                 (the measurement window would never start and every phase table would report \
+                 the un-reset warm-up accumulators)",
+                self.measured_steps, self.steps
+            ));
+        }
+        let positive_finite = |name: &str, v: f64| -> Result<(), String> {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be positive and finite, got {v}"));
+            }
+            Ok(())
+        };
+        positive_finite("dt", self.dt)?;
+        positive_finite("theta", self.theta)?;
+        positive_finite("eps", self.eps)?;
+        if let TreePolicy::Reuse { rebuild_every, drift_threshold } = self.tree_policy {
+            if rebuild_every < 1 {
+                return Err("tree_policy reuse: rebuild_every must be at least 1".to_string());
+            }
+            if !drift_threshold.is_finite() || drift_threshold < 0.0 {
+                return Err(format!(
+                    "tree_policy reuse: drift_threshold must be finite and non-negative, got \
+                     {drift_threshold}"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -235,6 +403,75 @@ mod tests {
             assert_eq!(OptLevel::from_name(l.name()), Some(l));
         }
         assert_eq!(OptLevel::from_name("nope"), None);
+    }
+
+    #[test]
+    fn tree_policy_names_roundtrip() {
+        for name in ["rebuild", "reuse", "adaptive"] {
+            let policy = TreePolicy::from_name(name).unwrap();
+            assert_eq!(policy.name(), name);
+        }
+        assert_eq!(TreePolicy::from_name("nope"), None);
+        assert!(!TreePolicy::Rebuild.reuses_tree());
+        assert!(TreePolicy::Adaptive.reuses_tree());
+        assert!(TreePolicy::from_name("reuse").unwrap().reuses_tree());
+    }
+
+    #[test]
+    fn spec_labels_encode_the_reuse_parameters() {
+        assert_eq!(TreePolicy::Rebuild.spec_label(), "rebuild");
+        assert_eq!(
+            TreePolicy::Reuse { rebuild_every: 8, drift_threshold: 0.25 }.spec_label(),
+            "reuse[e8,d0.25]"
+        );
+        let a = TreePolicy::Reuse { rebuild_every: 4, drift_threshold: 0.25 }.spec_label();
+        let b = TreePolicy::Reuse { rebuild_every: 8, drift_threshold: 0.25 }.spec_label();
+        assert_ne!(a, b, "a cadence change must change the sweep-point identity");
+        assert!(TreePolicy::Adaptive.spec_label().starts_with("adaptive["));
+    }
+
+    #[test]
+    fn validate_accepts_the_defaults_and_rejects_garbage() {
+        let good = SimConfig::test(64, 2, OptLevel::Subspace);
+        assert!(good.validate().is_ok());
+
+        let mut cfg = good.clone();
+        cfg.measured_steps = cfg.steps + 1;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("measured_steps"), "{err}");
+
+        let mut cfg = good.clone();
+        cfg.measured_steps = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = good.clone();
+        cfg.steps = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = good.clone();
+        cfg.nbodies = 0;
+        assert!(cfg.validate().is_err());
+
+        for (field, value) in
+            [("dt", 0.0), ("dt", -0.1), ("theta", f64::NAN), ("eps", f64::INFINITY)]
+        {
+            let mut cfg = good.clone();
+            match field {
+                "dt" => cfg.dt = value,
+                "theta" => cfg.theta = value,
+                _ => cfg.eps = value,
+            }
+            let err = cfg.validate().unwrap_err();
+            assert!(err.contains(field), "{field}: {err}");
+        }
+
+        let mut cfg = good.clone();
+        cfg.tree_policy = TreePolicy::Reuse { rebuild_every: 0, drift_threshold: 0.1 };
+        assert!(cfg.validate().is_err());
+        cfg.tree_policy = TreePolicy::Reuse { rebuild_every: 4, drift_threshold: -1.0 };
+        assert!(cfg.validate().is_err());
+        cfg.tree_policy = TreePolicy::Reuse { rebuild_every: 4, drift_threshold: 0.0 };
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

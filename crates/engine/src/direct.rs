@@ -39,10 +39,18 @@ impl Backend for DirectBackend {
 /// Runs the distributed direct-summation simulation described by `cfg` over
 /// caller-provided initial conditions.
 ///
-/// `cfg.opt` and the ladder tunables are ignored (there is no tree); θ is
-/// likewise meaningless here.  ε, dt, the step counts and the machine are
-/// honoured, so runs are directly comparable to the tree backends'.
+/// `cfg.opt`, `cfg.tree_policy` and the ladder tunables are ignored (there
+/// is no tree); θ is likewise meaningless here.  ε, dt, the step counts and
+/// the machine are honoured, so runs are directly comparable to the tree
+/// backends'.
+///
+/// # Panics
+/// Panics when [`SimConfig::validate`] rejects `cfg` or when the bodies do
+/// not match `cfg.nbodies`.
 pub fn run_simulation_on(cfg: &SimConfig, bodies: Vec<Body>) -> SimResult {
+    if let Err(e) = cfg.validate() {
+        panic!("engine::direct::run_simulation_on: invalid config: {e}");
+    }
     crate::backend::validate_bodies(cfg, &bodies);
     let runtime = Runtime::new(cfg.machine.clone());
     let ranks = runtime.ranks();

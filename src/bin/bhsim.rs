@@ -32,6 +32,9 @@ struct Options {
     seed: u64,
     steps: usize,
     measured: usize,
+    tree_policy: TreePolicy,
+    rebuild_every: Option<usize>,
+    drift_threshold: Option<f64>,
     theta: Option<f64>,
     eps: Option<f64>,
     dt: Option<f64>,
@@ -53,6 +56,9 @@ impl Default for Options {
             seed: 1_234_567,
             steps: 4,
             measured: 2,
+            tree_policy: TreePolicy::Rebuild,
+            rebuild_every: None,
+            drift_threshold: None,
             theta: None,
             eps: None,
             dt: None,
@@ -79,6 +85,11 @@ fn usage() -> ! {
                                 levels: {}\n\
            --steps N            time steps to run         (default 4)\n\
            --measured N         trailing steps measured   (default 2)\n\
+           --tree-policy P      tree lifecycle across steps (default rebuild)\n\
+                                policies: rebuild, reuse, adaptive\n\
+           --rebuild-every N    reuse policy: full rebuild cadence (default {})\n\
+           --drift-threshold F  reuse policy: drifted-leaf fraction forcing a\n\
+                                rebuild                   (default {})\n\
            --theta T            opening criterion         (default: scenario's)\n\
            --eps E              softening                 (default: scenario's)\n\
            --dt DT              time step                 (default: scenario's)\n\
@@ -91,16 +102,31 @@ fn usage() -> ! {
          output:\n\
            --list               list the registered scenarios and backends, then exit\n\
            --json               print the report as JSON instead of a table\n",
-        OptLevel::ALL.map(|l| l.name()).join(", ")
+        OptLevel::ALL.map(|l| l.name()).join(", "),
+        TreePolicy::DEFAULT_REBUILD_EVERY,
+        TreePolicy::DEFAULT_DRIFT_THRESHOLD,
     );
     std::process::exit(2)
 }
 
-fn num<T: std::str::FromStr>(s: &str) -> T {
+/// Parses the value of `flag`, naming the flag and the offending value on
+/// failure instead of a bare exit.
+fn num<T: std::str::FromStr>(flag: &str, s: &str) -> T {
     s.parse().unwrap_or_else(|_| {
-        eprintln!("invalid number: {s}");
+        eprintln!("bhsim: invalid value for {flag}: {s:?} is not a valid number");
         usage()
     })
+}
+
+/// Parses a physics parameter that must be finite and positive (a zero `dt`
+/// freezes the integrator, a negative θ or ε turns positions into NaNs).
+fn positive(flag: &str, s: &str) -> f64 {
+    let v: f64 = num(flag, s);
+    if !v.is_finite() || v <= 0.0 {
+        eprintln!("bhsim: invalid value for {flag}: {s} (must be positive and finite)");
+        usage()
+    }
+    v
 }
 
 fn parse_args() -> Options {
@@ -133,17 +159,46 @@ fn parse_args() -> Options {
                 }
                 opts.compare = Some(names);
             }
-            "--n" => opts.nbodies = num(&value(args.next(), "--n")),
-            "--seed" => opts.seed = num(&value(args.next(), "--seed")),
-            "--nodes" => opts.nodes = num(&value(args.next(), "--nodes")),
+            "--n" => opts.nbodies = num("--n", &value(args.next(), "--n")),
+            "--seed" => opts.seed = num("--seed", &value(args.next(), "--seed")),
+            "--nodes" => opts.nodes = num("--nodes", &value(args.next(), "--nodes")),
             "--threads-per-node" => {
-                opts.threads_per_node = num(&value(args.next(), "--threads-per-node"))
+                opts.threads_per_node =
+                    num("--threads-per-node", &value(args.next(), "--threads-per-node"))
             }
-            "--steps" => opts.steps = num(&value(args.next(), "--steps")),
-            "--measured" => opts.measured = num(&value(args.next(), "--measured")),
-            "--theta" => opts.theta = Some(num(&value(args.next(), "--theta"))),
-            "--eps" => opts.eps = Some(num(&value(args.next(), "--eps"))),
-            "--dt" => opts.dt = Some(num(&value(args.next(), "--dt"))),
+            "--steps" => opts.steps = num("--steps", &value(args.next(), "--steps")),
+            "--measured" => opts.measured = num("--measured", &value(args.next(), "--measured")),
+            "--tree-policy" => {
+                let name = value(args.next(), "--tree-policy");
+                opts.tree_policy = TreePolicy::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("bhsim: unknown tree policy: {name} (rebuild, reuse, adaptive)");
+                    usage()
+                });
+            }
+            "--rebuild-every" => {
+                let v = value(args.next(), "--rebuild-every");
+                let every: usize = num("--rebuild-every", &v);
+                if every == 0 {
+                    eprintln!("bhsim: invalid value for --rebuild-every: must be at least 1");
+                    usage()
+                }
+                opts.rebuild_every = Some(every);
+            }
+            "--drift-threshold" => {
+                let v = value(args.next(), "--drift-threshold");
+                let drift: f64 = num("--drift-threshold", &v);
+                if !drift.is_finite() || drift < 0.0 {
+                    eprintln!(
+                        "bhsim: invalid value for --drift-threshold: {v} (must be finite and \
+                         non-negative)"
+                    );
+                    usage()
+                }
+                opts.drift_threshold = Some(drift);
+            }
+            "--theta" => opts.theta = Some(positive("--theta", &value(args.next(), "--theta"))),
+            "--eps" => opts.eps = Some(positive("--eps", &value(args.next(), "--eps"))),
+            "--dt" => opts.dt = Some(positive("--dt", &value(args.next(), "--dt"))),
             "--opt" => {
                 let name = value(args.next(), "--opt");
                 opts.opt = OptLevel::from_name(&name).unwrap_or_else(|| {
@@ -163,6 +218,20 @@ fn parse_args() -> Options {
     }
     if opts.measured == 0 || opts.measured > opts.steps {
         eprintln!("--measured must lie in 1..=steps");
+        usage()
+    }
+    // Fold the cadence/drift overrides into the policy; without
+    // --tree-policy reuse they have nothing to configure and are rejected.
+    if let TreePolicy::Reuse { mut rebuild_every, mut drift_threshold } = opts.tree_policy {
+        if let Some(every) = opts.rebuild_every {
+            rebuild_every = every;
+        }
+        if let Some(drift) = opts.drift_threshold {
+            drift_threshold = drift;
+        }
+        opts.tree_policy = TreePolicy::Reuse { rebuild_every, drift_threshold };
+    } else if opts.rebuild_every.is_some() || opts.drift_threshold.is_some() {
+        eprintln!("bhsim: --rebuild-every / --drift-threshold require --tree-policy reuse");
         usage()
     }
     opts
@@ -219,14 +288,30 @@ fn main() {
     cfg.seed = opts.seed;
     cfg.steps = opts.steps;
     cfg.measured_steps = opts.measured;
+    cfg.tree_policy = opts.tree_policy;
     cfg.theta = opts.theta.unwrap_or(tuning.theta);
     cfg.eps = opts.eps.unwrap_or(tuning.eps);
     cfg.dt = opts.dt.unwrap_or(tuning.dt);
+    if let Err(e) = cfg.validate() {
+        eprintln!("bhsim: invalid configuration: {e}");
+        std::process::exit(2)
+    }
+    if cfg.tree_policy.reuses_tree()
+        && (cfg.opt.merged_tree_build() || cfg.opt.subspace_tree_build())
+    {
+        eprintln!(
+            "bhsim: note: --tree-policy {} has no effect at --opt {} — the merged/subspace \
+             builds rebuild cheaply from local trees every step (persistent-tree stepping \
+             applies to baseline..cache-local-tree)",
+            cfg.tree_policy.name(),
+            cfg.opt.name(),
+        );
+    }
 
     let backend_names = opts.compare.clone().unwrap_or_else(|| vec![opts.backend.clone()]);
 
     eprintln!(
-        "bhsim: scenario {} | n {} | backend(s) {} | opt {} | {} node(s) x {} thread(s){} | {} step(s), {} measured",
+        "bhsim: scenario {} | n {} | backend(s) {} | opt {} | {} node(s) x {} thread(s){} | {} step(s), {} measured | tree {}",
         scenario.name(),
         opts.nbodies,
         backend_names.join(","),
@@ -236,6 +321,7 @@ fn main() {
         if opts.pthreads { " (pthreads)" } else { "" },
         opts.steps,
         opts.measured,
+        opts.tree_policy.name(),
     );
 
     let bodies = scenario.generate(opts.nbodies, opts.seed);

@@ -1,12 +1,16 @@
-//! Guards on the committed benchmark baseline (`BENCH_0003.json`): the CI
+//! Guards on the committed benchmark baseline (`BENCH_0004.json`): the CI
 //! perf gate diffs against this file, so it must stay schema-valid and keep
-//! demonstrating the claims it was committed for.
+//! demonstrating the claims it was committed for — including the
+//! tree-lifecycle claim that persistent-tree stepping beats per-step
+//! rebuild on long trajectories.
 
-use engine::bench::{kernel_regressions, Record, KERNEL_COALESCED, KERNEL_PER_BODY};
+use engine::bench::{
+    diff_against_baseline, kernel_regressions, Record, KERNEL_COALESCED, KERNEL_PER_BODY,
+};
 use std::collections::BTreeSet;
 
 fn committed_record() -> Record {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0003.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0004.json");
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
     Record::from_json(&text).expect("committed baseline must be schema-valid")
@@ -56,4 +60,92 @@ fn committed_baseline_shows_the_coalesced_kernel_winning_at_4096() {
     // regeneration is not failed by sub-percent timer noise on one pair;
     // the flagship pair above stays strict.
     assert!(kernel_regressions(&record, 0.05).is_empty(), "a kernel pair regressed");
+}
+
+/// The tree-lifecycle acceptance evidence: on the steps-ladder slice
+/// (steps >= 8), the reuse and adaptive policies must beat per-step rebuild
+/// on total simulated tree-building time (tree + centre-of-mass phases) for
+/// at least two scenario families.
+#[test]
+fn committed_baseline_shows_persistent_tree_beating_rebuild_on_long_runs() {
+    let record = committed_record();
+    let tree_time = |scenario: &str, policy: &str, nbodies: usize| -> f64 {
+        let run = record
+            .runs
+            .iter()
+            .find(|r| {
+                r.spec.scenario == scenario
+                    && r.spec.policy.starts_with(policy)
+                    && r.spec.steps >= 8
+                    && r.spec.nbodies == nbodies
+            })
+            .unwrap_or_else(|| {
+                panic!("baseline must carry the {scenario}/{policy}/n{nbodies} steps-ladder point")
+            });
+        run.phases_median.tree + run.phases_median.cofm
+    };
+    let mut winning_families = 0;
+    for scenario in ["plummer", "king"] {
+        // The full-suite slice runs at n = 2048 (the quick slice at n = 512
+        // exists for the CI regeneration, where the margins are thinner).
+        let rebuild = tree_time(scenario, "rebuild", 2048);
+        let reuse = tree_time(scenario, "reuse", 2048);
+        let adaptive = tree_time(scenario, "adaptive", 2048);
+        assert!(rebuild > 0.0, "{scenario}: empty rebuild tree time");
+        if reuse < rebuild && adaptive < rebuild {
+            winning_families += 1;
+        }
+        assert!(
+            reuse < rebuild,
+            "{scenario}: reuse ({reuse:.4}s) must beat per-step rebuild ({rebuild:.4}s) on \
+             simulated tree-building time at steps >= 8"
+        );
+    }
+    assert!(
+        winning_families >= 2,
+        "reuse AND adaptive must beat rebuild for at least two scenario families"
+    );
+}
+
+/// The baseline-diff direction fixed by this PR, exercised against the
+/// committed record itself: a run vanishing from a regenerated record is a
+/// violation, while a brand-new point is informational.
+#[test]
+fn baseline_diff_is_symmetric_over_the_committed_record() {
+    let baseline = committed_record();
+
+    // Identical records diff clean in both directions.
+    let diff = diff_against_baseline(&baseline, &baseline, 0.25);
+    assert!(diff.regressions.is_empty());
+    assert!(diff.missing.is_empty());
+    assert!(diff.unmatched.is_empty());
+
+    // Direction 1 (current ⊃ baseline): a new sweep point is informational.
+    let mut grown = baseline.clone();
+    let mut extra = grown.runs[0].clone();
+    extra.spec.nodes += 11;
+    grown.runs.push(extra);
+    let diff = diff_against_baseline(&grown, &baseline, 0.25);
+    assert_eq!(diff.unmatched.len(), 1);
+    assert!(diff.missing.is_empty());
+
+    // Direction 2 (current ⊂ baseline): a vanished run and a vanished
+    // kernel engine are violations.
+    let mut shrunk = baseline.clone();
+    let dropped_run = shrunk.runs.remove(0);
+    let dropped_kernel = shrunk.kernels.remove(0);
+    let diff = diff_against_baseline(&shrunk, &baseline, 0.25);
+    assert!(
+        diff.missing.iter().any(|m| m.contains(&dropped_run.spec.key())),
+        "dropped run {} must be reported missing: {:?}",
+        dropped_run.spec.key(),
+        diff.missing
+    );
+    assert!(
+        diff.missing
+            .iter()
+            .any(|m| m.contains(&dropped_kernel.engine) && m.contains(&dropped_kernel.scenario)),
+        "dropped kernel engine must be reported missing: {:?}",
+        diff.missing
+    );
 }
