@@ -6,8 +6,8 @@
 //!
 //! ```text
 //! benchsuite                          # full suite, table to stdout
-//! benchsuite --out BENCH_0003.json    # full suite, record written to disk
-//! benchsuite --quick --baseline BENCH_0003.json --threshold 25
+//! benchsuite --out BENCH_0005.json    # full suite, record written to disk
+//! benchsuite --quick --baseline BENCH_0005.json --threshold 25
 //!                                     # the CI perf gate: quick grid only,
 //!                                     # diffed against the committed record
 //! ```
@@ -184,6 +184,20 @@ fn main() {
         // should have reproduced but did not means a run or kernel engine
         // silently vanished from the grid — its regressions would be
         // unobservable, so the gate fails rather than passing by omission.
+        // The one exception is an axis addition the record schema declares
+        // (`new_axes`): the grid legitimately restructured around a new key
+        // dimension, so those absences are reported without failing and the
+        // baseline should be regenerated to re-arm the strict gate.
+        if !diff.new_axes.is_empty() {
+            eprintln!(
+                "benchsuite: baseline predates the {} key axis(es); grid restructuring allowed \
+                 — regenerate the baseline to re-arm the symmetric gate",
+                diff.new_axes.join(", ")
+            );
+        }
+        for m in &diff.missing_allowed {
+            eprintln!("benchsuite: missing {m} (allowed: axis addition)");
+        }
         for m in &diff.missing {
             eprintln!("benchsuite: MISSING {m} (present in baseline, absent from this run)");
             failed = true;

@@ -45,6 +45,8 @@ pub struct SweepPoint {
     pub opt: OptLevel,
     /// Tree lifecycle across steps.
     pub policy: TreePolicy,
+    /// Force-walk traversal mode.
+    pub walk: WalkMode,
     /// Number of bodies.
     pub nbodies: usize,
     /// Emulated nodes (one UPC thread each).
@@ -68,6 +70,7 @@ impl SweepPoint {
             backend,
             opt,
             policy: TreePolicy::Rebuild,
+            walk: WalkMode::PerBody,
             nbodies,
             nodes,
             steps: 4,
@@ -85,6 +88,7 @@ impl SweepPoint {
         cfg.steps = self.steps;
         cfg.measured_steps = self.measured_steps;
         cfg.tree_policy = self.policy;
+        cfg.walk = self.walk;
         cfg.theta = tuning.theta;
         cfg.eps = tuning.eps;
         cfg.dt = tuning.dt;
@@ -132,11 +136,38 @@ fn steps_ladder_slice(nbodies: usize) -> Vec<SweepPoint> {
     slice
 }
 
+/// The walk-mode slice: the group walk's gated comparison rows.  Only the
+/// `group` rows are emitted — their per-body comparators (same scenario,
+/// policy, size, nodes and steps protocol) already exist in the
+/// steps-ladder slice, so emitting per-body rows here would duplicate
+/// sweep-point keys.  Group rows run with and without tree reuse: the walk
+/// amortization must win in both regimes.
+fn walk_slice(nbodies: usize) -> Vec<SweepPoint> {
+    let mut slice = Vec::new();
+    for scenario in POLICY_SCENARIOS {
+        for policy in [
+            TreePolicy::Rebuild,
+            TreePolicy::Reuse {
+                rebuild_every: TreePolicy::DEFAULT_REBUILD_EVERY,
+                drift_threshold: TreePolicy::DEFAULT_DRIFT_THRESHOLD,
+            },
+        ] {
+            let mut p = SweepPoint::new(scenario, "upc", OptLevel::CacheLocalTree, nbodies, 2);
+            p.policy = policy;
+            p.walk = WalkMode::Group;
+            p.steps = 8;
+            p.measured_steps = 4;
+            slice.push(p);
+        }
+    }
+    slice
+}
+
 /// The quick grid: every scenario × backend at a small size on 2 nodes,
-/// 2 steps with 1 measured, plus the steps-ladder tree-policy slice — what
-/// CI regenerates on every pull request.  (The quick and full grids use
-/// disjoint problem sizes; the baseline diff's missing-point scoping relies
-/// on that.)
+/// 2 steps with 1 measured, plus the steps-ladder tree-policy slice and the
+/// walk-mode slice — what CI regenerates on every pull request.  (The quick
+/// and full grids use disjoint problem sizes; the baseline diff's
+/// missing-point scoping relies on that.)
 pub fn quick_grid() -> Vec<SweepPoint> {
     let mut grid = Vec::new();
     for scenario in GRID_SCENARIOS {
@@ -148,6 +179,7 @@ pub fn quick_grid() -> Vec<SweepPoint> {
         }
     }
     grid.extend(steps_ladder_slice(512));
+    grid.extend(walk_slice(512));
     grid
 }
 
@@ -173,6 +205,10 @@ pub fn full_grid() -> Vec<SweepPoint> {
     // acceptance evidence that reuse/adaptive beat per-step rebuild on
     // long trajectories).
     grid.extend(steps_ladder_slice(2048));
+    // The walk-mode slice at the same size: group rows pairing the slice
+    // above's per-body rows (the acceptance evidence that group walks beat
+    // per-body on force time and traversal volume, with and without reuse).
+    grid.extend(walk_slice(2048));
     grid
 }
 
@@ -384,18 +420,26 @@ pub fn human_table(record: &Record) -> String {
         record.kernels.len()
     ));
     out.push_str(&format!(
-        "  {:<42} {:>4} {:>11} {:>11} {:>11} {:>12} {:>11}\n",
-        "run", "reps", "wall med ms", "sim total s", "force med s", "interactions", "remote ops"
+        "  {:<58} {:>4} {:>11} {:>11} {:>11} {:>12} {:>10} {:>11}\n",
+        "run",
+        "reps",
+        "wall med ms",
+        "sim total s",
+        "force med s",
+        "interactions",
+        "macs",
+        "remote ops"
     ));
     for run in &record.runs {
         out.push_str(&format!(
-            "  {:<42} {:>4} {:>11.1} {:>11.4} {:>11.4} {:>12} {:>11}\n",
+            "  {:<58} {:>4} {:>11.1} {:>11.4} {:>11.4} {:>12} {:>10} {:>11}\n",
             run.spec.key(),
             run.reps,
             run.wall_ms.median,
             run.total_sim_median,
             run.phases_median.force,
             run.interactions,
+            run.macs,
             run.remote_gets + run.remote_puts,
         ));
     }
@@ -431,6 +475,7 @@ mod tests {
             grid.len(),
             GRID_SCENARIOS.len() * GRID_BACKENDS.len()
                 + POLICY_SCENARIOS.len() * policy_slice().len()
+                + POLICY_SCENARIOS.len() * 2 // walk slice: group × {rebuild, reuse}
         );
         for scenario in GRID_SCENARIOS {
             for backend in GRID_BACKENDS {
@@ -476,6 +521,45 @@ mod tests {
         let full_sizes: std::collections::BTreeSet<usize> =
             full_grid().iter().map(|p| p.nbodies).collect();
         assert!(quick_sizes.is_disjoint(&full_sizes), "{quick_sizes:?} vs {full_sizes:?}");
+    }
+
+    #[test]
+    fn walk_slice_pairs_group_rows_with_existing_per_body_rows() {
+        for (grid, label) in [(quick_grid(), "quick"), (full_grid(), "full")] {
+            let groups: Vec<&SweepPoint> =
+                grid.iter().filter(|p| p.walk == WalkMode::Group).collect();
+            assert_eq!(groups.len(), POLICY_SCENARIOS.len() * 2, "{label}");
+            for g in groups {
+                // Every group row must have a per-body comparator differing
+                // only in the walk mode (same measurement protocol), so the
+                // committed record always carries the A-B pair — and no two
+                // rows may collide on a sweep-point key.
+                assert!(
+                    grid.iter().any(|p| {
+                        p.walk == WalkMode::PerBody
+                            && p.scenario == g.scenario
+                            && p.backend == g.backend
+                            && p.opt == g.opt
+                            && p.policy.spec_label() == g.policy.spec_label()
+                            && p.nbodies == g.nbodies
+                            && p.nodes == g.nodes
+                            && p.steps == g.steps
+                            && p.measured_steps == g.measured_steps
+                    }),
+                    "{label}: no per-body comparator for {}/{}",
+                    g.scenario,
+                    g.policy.spec_label()
+                );
+            }
+            let mut keys: Vec<String> = grid
+                .iter()
+                .map(|p| engine::bench::RunSpec::new(p.scenario, p.backend, &p.config()).key())
+                .collect();
+            let total = keys.len();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), total, "{label}: duplicate sweep-point keys");
+        }
     }
 
     #[test]

@@ -10,7 +10,10 @@ use nbody::Body;
 /// Honours `cfg.opt`, so a single backend covers all seven ladder levels —
 /// `bhsim --backend upc --opt baseline` and `--opt subspace` run the §4
 /// literal translation and the §6 subspace algorithm through the same entry
-/// point.
+/// point.  [`Backend::supports`] additionally rejects the group walk below
+/// the caching levels ([`crate::sim::check_walk_mode`]): the per-group
+/// interaction lists are built over the §5.3 cell cache, and silently
+/// substituting the per-body walk would make walk-mode comparisons lie.
 pub struct UpcBackend;
 
 impl Backend for UpcBackend {
@@ -20,6 +23,11 @@ impl Backend for UpcBackend {
 
     fn description(&self) -> &'static str {
         "UPC-emulated ladder solver (one-sided PGAS; honours --opt, all seven levels)"
+    }
+
+    fn supports(&self, cfg: &SimConfig) -> Result<(), String> {
+        cfg.validate()?;
+        crate::sim::check_walk_mode(cfg)
     }
 
     fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult {

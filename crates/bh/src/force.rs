@@ -115,6 +115,7 @@ fn walk_shared(
     let mut acc = Vec3::ZERO;
     let mut phi = 0.0;
     let mut interactions = 0u32;
+    let mut macs = 0u64;
     let fields = cfg.fine_grained_fields.max(1);
 
     let mut stack = vec![root];
@@ -141,6 +142,7 @@ fn walk_shared(
                 if node.nbodies == 0 {
                     continue;
                 }
+                macs += 1;
                 let theta = read_theta(ctx, shared, st, cfg.opt);
                 let dist_sq = body.pos.dist_sq(node.cofm);
                 if cell_is_far(node.side(), dist_sq, theta) {
@@ -159,6 +161,7 @@ fn walk_shared(
             }
         }
     }
+    ctx.charge_macs(macs);
     ctx.charge_interactions_shared_ptr(interactions as u64);
     BodyForce { id, acc, phi, cost: interactions }
 }
@@ -177,12 +180,22 @@ fn walk_shared(
 /// unchanged it is refreshed in place (payload re-reads, arenas
 /// re-coalesced, allocations kept); a full rebuild bumps the generation and
 /// invalidates it.
+///
+/// Under [`crate::config::WalkMode::Group`] the per-group engine
+/// ([`crate::groupwalk::force_phase_group`]) replaces the per-body loops
+/// below: one traversal per body group, the resulting interaction list
+/// applied to every member with the same SoA leaf-coalesced kernel.  The
+/// per-body path here stays bit-for-bit what it was before the walk-mode
+/// knob existed.
 pub fn force_phase_cached(
     ctx: &Ctx,
     shared: &BhShared,
     st: &mut RankState,
     cfg: &SimConfig,
 ) -> Vec<BodyForce> {
+    if cfg.walk == crate::config::WalkMode::Group {
+        return crate::groupwalk::force_phase_group(ctx, shared, st, cfg);
+    }
     let theta = read_theta(ctx, shared, st, cfg.opt);
     let eps = read_eps(ctx, shared, st, cfg.opt);
     let persistent = crate::lifecycle::persistent_tree(cfg);

@@ -107,6 +107,7 @@ pub fn force_phase_async(
 
         // Compute for every working body until it can't make progress.
         let mut round_interactions = 0u64;
+        let mut round_macs = 0u64;
         for w in working.iter_mut() {
             while let Some(idx) = w.frontier.pop() {
                 let node = cache.nodes[idx].node;
@@ -125,6 +126,7 @@ pub fn force_phase_async(
                         if node.nbodies == 0 {
                             continue;
                         }
+                        round_macs += 1;
                         let dist_sq = w.pos.dist_sq(node.cofm);
                         if cell_is_far(node.side(), dist_sq, theta) {
                             let (a, p) = pairwise_acceleration(w.pos, node.cofm, node.mass, eps);
@@ -150,6 +152,9 @@ pub fn force_phase_async(
                     }
                 }
             }
+        }
+        if round_macs > 0 {
+            ctx.charge_macs(round_macs);
         }
         if round_interactions > 0 {
             ctx.charge_interactions(round_interactions);
@@ -202,6 +207,195 @@ pub fn force_phase_async(
     // Any gathers still in flight are complete by construction of the cost
     // model; dropping them is equivalent to never having needed them.
     out
+}
+
+/// A working *group* (the [`crate::config::WalkMode::Group`] counterpart of
+/// [`Work`]): the §5.5 machinery is unchanged — frontier, stalled list,
+/// aggregated gathers — but the traversal runs once per body group under
+/// the conservative box criterion.  The frontier pass is pure *discovery*:
+/// it drives the non-blocking localization of every cell the group's
+/// interaction list will need; once the group can make no more misses, the
+/// list is built (and billed) in one local pass and applied to every
+/// member.
+struct GroupWork {
+    ids: Vec<u32>,
+    positions: Vec<Vec3>,
+    lo: Vec3,
+    hi: Vec3,
+    frontier: Vec<usize>,
+    stalled: Vec<usize>,
+}
+
+impl GroupWork {
+    fn new(g: crate::groupwalk::Group) -> Self {
+        GroupWork {
+            ids: g.ids,
+            positions: g.positions,
+            lo: g.lo,
+            hi: g.hi,
+            frontier: vec![0],
+            stalled: Vec::new(),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.frontier.is_empty() && self.stalled.is_empty()
+    }
+}
+
+/// The §5.5 engine under [`crate::config::WalkMode::Group`]: working units
+/// are body groups instead of bodies, so one traversal (and one set of
+/// cache misses) serves every member of a group.  `n1` bounds the number of
+/// concurrently processed *groups*; `n2`/`n3` keep their meaning.
+///
+/// The discovery pass repeats the group acceptance decisions the final
+/// [`crate::groupwalk::build_list`] makes, but only the latter is billed —
+/// the group's MAC work happens once per group, which is the point of the
+/// mode; the frontier pass exists to overlap the cache misses with other
+/// groups' work, exactly like the per-body §5.5 engine.
+pub fn force_phase_async_group(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &RankState,
+    cfg: &SimConfig,
+) -> Vec<BodyForce> {
+    use crate::groupwalk::{apply_list, build_list, group_descends, partition_groups, WalkCache};
+
+    let theta = read_theta(ctx, shared, st, cfg.opt);
+    let eps = read_eps(ctx, shared, st, cfg.opt);
+    let n1 = cfg.n1.max(1);
+    let n2 = cfg.n2.max(1);
+    let n3 = cfg.n3.max(1);
+
+    let mut cache = CacheTree::new(ctx, shared);
+    let mut members: Vec<(u32, Vec3)> = Vec::with_capacity(st.my_ids.len());
+    for &id in &st.my_ids {
+        let body = read_body(ctx, shared, st, cfg, id);
+        members.push((id, body.pos));
+    }
+    let center = (st.bbox_lo + st.bbox_hi) * 0.5;
+    let extent = st.bbox_hi - st.bbox_lo;
+    let rsize = extent.x.max(extent.y).max(extent.z);
+    let mut pending: VecDeque<crate::groupwalk::Group> =
+        partition_groups(&members, center, rsize).into_iter().collect();
+
+    let mut out = Vec::with_capacity(st.my_ids.len());
+    let mut working: Vec<GroupWork> = Vec::with_capacity(n1);
+    let mut request_list: Vec<usize> = Vec::new();
+    let mut outstanding: VecDeque<InFlight> = VecDeque::new();
+
+    loop {
+        while working.len() < n1 {
+            match pending.pop_front() {
+                Some(g) => working.push(GroupWork::new(g)),
+                None => break,
+            }
+        }
+        if working.is_empty() {
+            break;
+        }
+
+        // Discovery: traverse for every working group until it can't make
+        // progress, parking unlocalized cells the group must open.
+        for w in working.iter_mut() {
+            while let Some(idx) = w.frontier.pop() {
+                let node = cache.nodes[idx].node;
+                match node.kind {
+                    NodeKind::Body => {}
+                    NodeKind::Cell => {
+                        if node.nbodies == 0
+                            || !group_descends(
+                                node.side(),
+                                w.lo,
+                                w.hi,
+                                node.cofm,
+                                &w.positions,
+                                theta,
+                            )
+                        {
+                            continue;
+                        }
+                        if cache.nodes[idx].localized {
+                            for &k in cache.kids(idx) {
+                                w.frontier.push(k as usize);
+                            }
+                        } else {
+                            // Park the node and request its children (once).
+                            w.stalled.push(idx);
+                            if !cache.nodes[idx].requested {
+                                cache.nodes[idx].requested = true;
+                                request_list.push(idx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Retire finished groups: every cell their list opens is localized
+        // now, so the list build is one local (billed) pass, and applying
+        // it to the members is pure compute.
+        let mut i = 0;
+        while i < working.len() {
+            if working[i].finished() {
+                let w = working.swap_remove(i);
+                let list = build_list(ctx, shared, &mut cache, w.lo, w.hi, &w.positions, theta);
+                let mut interactions = 0u64;
+                for (k, &id) in w.ids.iter().enumerate() {
+                    let pos = w.positions[k];
+                    let (acc, phi, n) = apply_list(&cache, &list, k, pos, id, eps);
+                    interactions += n as u64;
+                    out.push(BodyForce { id, acc, phi, cost: n });
+                }
+                ctx.charge_interactions(interactions);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Issue aggregated gathers when enough cells have been requested.
+        while request_list.len() >= n3 && outstanding.len() < n2 {
+            issue_request(ctx, shared, &cache, &mut request_list, &mut outstanding, n3);
+        }
+
+        // If nothing can progress, complete (or force-issue) communication.
+        let all_stalled = working.iter().all(|w| w.frontier.is_empty());
+        let no_new_work = pending.is_empty() || working.len() >= n1;
+        if all_stalled && no_new_work && !working.is_empty() {
+            if let Some(flight) = outstanding.pop_front() {
+                complete_request(ctx, &mut cache, flight);
+                revive_groups(&mut working, &cache);
+            } else if !request_list.is_empty() && outstanding.len() < n2 {
+                issue_request(ctx, shared, &cache, &mut request_list, &mut outstanding, n3);
+            } else if !working.is_empty() {
+                let idx = working
+                    .iter()
+                    .flat_map(|w| w.stalled.iter().copied())
+                    .next()
+                    .expect("stalled node");
+                cache.localize_children(ctx, shared, idx);
+                revive_groups(&mut working, &cache);
+            }
+        }
+    }
+
+    out
+}
+
+/// Moves stalled nodes whose parents are now localized back onto the
+/// frontier of their working groups (the [`GroupWork`] twin of [`revive`]).
+fn revive_groups(working: &mut [GroupWork], cache: &CacheTree) {
+    for w in working.iter_mut() {
+        let mut still_stalled = Vec::new();
+        for idx in w.stalled.drain(..) {
+            if cache.nodes[idx].localized {
+                w.frontier.push(idx);
+            } else {
+                still_stalled.push(idx);
+            }
+        }
+        w.stalled = still_stalled;
+    }
 }
 
 /// Issues one aggregated gather for the oldest requested cells.

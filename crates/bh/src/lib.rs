@@ -41,6 +41,7 @@ pub mod cellnode;
 pub mod config;
 pub mod force;
 pub mod frontier;
+pub mod groupwalk;
 pub mod lifecycle;
 pub mod mergetree;
 pub mod partition;
@@ -53,7 +54,7 @@ pub mod treebuild;
 
 pub use backend::UpcBackend;
 pub use cellnode::{CellNode, NodeKind};
-pub use config::{OptLevel, SimConfig, TreePolicy};
+pub use config::{OptLevel, SimConfig, TreePolicy, WalkMode};
 pub use report::{Phase, PhaseTimes, RankOutcome, SimResult};
 pub use shared::{BhShared, RankState};
 pub use sim::{run_simulation, run_simulation_on, run_simulation_with};

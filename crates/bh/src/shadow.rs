@@ -246,6 +246,7 @@ impl ShadowCacheTree {
         eps: f64,
     ) -> crate::cache::CachedWalkResult {
         let mut result = crate::cache::CachedWalkResult::default();
+        let mut macs = 0u64;
         let mut stack = vec![0usize];
         while let Some(idx) = stack.pop() {
             self.ensure_fresh(ctx, shared, idx);
@@ -265,6 +266,7 @@ impl ShadowCacheTree {
                     if node.nbodies == 0 {
                         continue;
                     }
+                    macs += 1;
                     let dist_sq = pos.dist_sq(node.cofm);
                     if cell_is_far(node.side(), dist_sq, theta) {
                         let (a, p) = pairwise_acceleration(pos, node.cofm, node.mass, eps);
@@ -293,8 +295,48 @@ impl ShadowCacheTree {
                 }
             }
         }
+        ctx.charge_macs(macs);
         ctx.charge_interactions(result.interactions as u64);
         result
+    }
+}
+
+impl crate::groupwalk::WalkCache for ShadowCacheTree {
+    fn payload(&mut self, ctx: &Ctx, shared: &BhShared, idx: usize) -> CellNode {
+        self.ensure_fresh(ctx, shared, idx);
+        self.nodes[idx].node
+    }
+
+    fn node(&self, idx: usize) -> CellNode {
+        self.nodes[idx].node
+    }
+
+    fn is_localized(&self, idx: usize) -> bool {
+        self.nodes[idx].localized
+    }
+
+    fn open(&mut self, ctx: &Ctx, shared: &BhShared, idx: usize) {
+        if !self.nodes[idx].localized {
+            self.localize_children(ctx, shared, idx);
+        } else {
+            self.ensure_children_current(ctx, shared, idx);
+        }
+    }
+
+    fn kids(&self, idx: usize) -> &[u32] {
+        self.arena.kids(self.nodes[idx].ranges)
+    }
+
+    fn accumulate(
+        &self,
+        idx: usize,
+        pos: Vec3,
+        self_id: u32,
+        eps: f64,
+        acc: &mut Vec3,
+        phi: &mut f64,
+    ) -> u32 {
+        self.arena.accumulate(self.nodes[idx].ranges, pos, self_id, eps, acc, phi)
     }
 }
 

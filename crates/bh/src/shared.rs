@@ -5,6 +5,7 @@
 use crate::cache::CacheTree;
 use crate::cellnode::CellNode;
 use crate::config::{OptLevel, SimConfig};
+use crate::groupwalk::GroupLists;
 use crate::lifecycle::{LeafSite, TreeLifecycle};
 use crate::shadow::ShadowCacheTree;
 use nbody::plummer::{generate, PlummerConfig};
@@ -145,6 +146,10 @@ pub struct RankState {
     pub cache_slot: Option<CacheTree>,
     /// Shadow-variant counterpart of [`RankState::cache_slot`].
     pub shadow_slot: Option<ShadowCacheTree>,
+    /// Group-walk interaction lists carried across steps alongside the
+    /// force cache (see [`crate::groupwalk`]; `None` under per-step rebuild,
+    /// per-body walks, or the strict `drift_threshold: 0` reuse mode).
+    pub group_slot: Option<GroupLists>,
 }
 
 impl RankState {
@@ -181,6 +186,7 @@ impl RankState {
             lifecycle: TreeLifecycle::default(),
             cache_slot: None,
             shadow_slot: None,
+            group_slot: None,
         }
     }
 

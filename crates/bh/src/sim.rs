@@ -9,9 +9,9 @@
 //! persistent global tree, incrementally updated, with drift-triggered
 //! rebuilds.
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, WalkMode};
 use crate::force::{advance_phase, force_phase_cached, force_phase_uncached, write_back};
-use crate::frontier::force_phase_async;
+use crate::frontier::{force_phase_async, force_phase_async_group};
 use crate::lifecycle;
 use crate::mergetree::{allocate_merge_root, build_local_tree, merge_into_global};
 use crate::partition::{partition_phase, redistribute_phase};
@@ -46,6 +46,9 @@ pub fn run_simulation_on(cfg: &SimConfig, bodies: Vec<nbody::Body>) -> SimResult
 /// measurement window, non-positive physics parameters, ...).
 pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
     if let Err(e) = cfg.validate() {
+        panic!("bh::run_simulation: invalid config: {e}");
+    }
+    if let Err(e) = check_walk_mode(cfg) {
         panic!("bh::run_simulation: invalid config: {e}");
     }
     let runtime = Runtime::new(cfg.machine.clone());
@@ -83,6 +86,25 @@ pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
     SimResult::aggregate(cfg, ranks, shared.bodytab.snapshot())
 }
 
+/// Checks that `cfg.walk` is runnable on this solver: the group walk builds
+/// its interaction lists over the §5.3 cell cache, so it requires a caching
+/// optimization level.  Shared by [`run_simulation_with`] and
+/// [`crate::backend::UpcBackend::supports`] so library callers and the
+/// registry fail identically, with a clear error instead of a silent
+/// per-body fallback that would make walk-mode comparisons lie.
+pub fn check_walk_mode(cfg: &SimConfig) -> Result<(), String> {
+    if cfg.walk == WalkMode::Group && !cfg.opt.caches_cells() {
+        return Err(format!(
+            "walk mode {} requires a caching optimization level (cache-local-tree and above): \
+             the group walk builds per-group interaction lists over the force cache, which \
+             --opt {} does not have",
+            cfg.walk.name(),
+            cfg.opt.name()
+        ));
+    }
+    Ok(())
+}
+
 /// Converts a rank's phase timer into the table row structure.
 fn phase_times(st: &RankState) -> PhaseTimes {
     PhaseTimes::from_timer(&st.timer)
@@ -97,11 +119,19 @@ fn run_step(ctx: &Ctx, shared: &BhShared, st: &mut RankState, cfg: &SimConfig, s
         run_step_classic(ctx, shared, st, cfg, step);
     }
 
-    // Force computation.
+    // Force computation.  The walk mode selects between one traversal per
+    // body (the paper's walk) and one per body group ([`crate::groupwalk`]);
+    // the group walk requires a cell cache to build its lists over, which
+    // `run_simulation_with`/`UpcBackend::supports` enforce.
     st.timer.begin(ctx, Phase::Force.key());
     let forces = if cfg.opt.async_aggregation() {
-        force_phase_async(ctx, shared, st, cfg)
+        if cfg.walk == WalkMode::Group {
+            force_phase_async_group(ctx, shared, st, cfg)
+        } else {
+            force_phase_async(ctx, shared, st, cfg)
+        }
     } else if cfg.opt.caches_cells() {
+        // Dispatches on `cfg.walk` internally.
         force_phase_cached(ctx, shared, st, cfg)
     } else {
         force_phase_uncached(ctx, shared, st, cfg)

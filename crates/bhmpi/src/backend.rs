@@ -36,6 +36,12 @@ impl Backend for MpiBackend {
                 cfg.tree_policy.name()
             ));
         }
+        if cfg.walk == engine::WalkMode::Group {
+            return Err("walk mode group is not supported: the message-passing solver walks its \
+                 locally essential tree per body (use the default per-body walk, or the upc \
+                 backend for group walks)"
+                .to_string());
+        }
         Ok(())
     }
 

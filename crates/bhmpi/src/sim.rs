@@ -196,6 +196,7 @@ fn run_step(ctx: &Ctx, st: &mut MpiRankState, cfg: &SimConfig) {
     // Force computation: purely local walk over the locally essential tree.
     st.timer.begin(ctx, Phase::Force.key());
     let mut interactions = 0u64;
+    let mut macs = 0u64;
     for i in 0..st.owned.len() {
         let body = st.owned[i];
         let r = accel_on(&tree, &walk_bodies, body.pos, Some(body.id), cfg.theta, cfg.eps);
@@ -203,7 +204,9 @@ fn run_step(ctx: &Ctx, st: &mut MpiRankState, cfg: &SimConfig) {
         st.owned[i].phi = r.phi;
         st.owned[i].cost = r.interactions.max(1);
         interactions += r.interactions as u64;
+        macs += r.macs as u64;
     }
+    ctx.charge_macs(macs);
     ctx.charge_interactions(interactions);
     ctx.barrier();
     st.timer.end(ctx, Phase::Force.key());

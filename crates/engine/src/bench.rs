@@ -62,6 +62,12 @@ pub struct RunSpec {
     /// the old key (flagged by the baseline diff) instead of silently
     /// comparing incomparable numbers under it.
     pub policy: String,
+    /// Force-walk mode name ([`crate::WalkMode::name`]).  Like `policy`,
+    /// part of the sweep point's identity: a group-walk row and a per-body
+    /// row of the same grid point are different measurement protocols.
+    /// Records predating the walk axis decode as `per-body` (the only walk
+    /// that existed), so their keys keep matching.
+    pub walk: String,
     /// Number of bodies.
     pub nbodies: usize,
     /// Emulated nodes.
@@ -84,6 +90,7 @@ impl RunSpec {
             backend: backend.to_string(),
             opt: cfg.opt.name().to_string(),
             policy: cfg.tree_policy.spec_label(),
+            walk: cfg.walk.name().to_string(),
             nbodies: cfg.nbodies,
             nodes: cfg.machine.nodes,
             threads_per_node: cfg.machine.threads_per_node,
@@ -97,11 +104,12 @@ impl RunSpec {
     /// committed baseline.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/n{}/m{}x{}",
+            "{}/{}/{}/{}/{}/n{}/m{}x{}",
             self.scenario,
             self.backend,
             self.opt,
             self.policy,
+            self.walk,
             self.nbodies,
             self.nodes,
             self.threads_per_node
@@ -184,6 +192,13 @@ pub struct RunRecord {
     pub total_sim_median: f64,
     /// Median interaction count (deterministic up to tree-build races).
     pub interactions: u64,
+    /// Median multipole-acceptance test count (the traversal-volume counter
+    /// the group walk amortizes).  Records predating the walk axis decode
+    /// as 0 ("not recorded") and the metric is then exempt from diffing.
+    pub macs: u64,
+    /// Median elementary tree-operation count.  Like `macs`, 0 in records
+    /// that predate the counter.
+    pub tree_ops: u64,
     /// Median fine-grained remote gets.
     pub remote_gets: u64,
     /// Median fine-grained remote puts.
@@ -220,6 +235,8 @@ impl RunRecord {
             phases_p90,
             total_sim_median: Stat::of(&totals).median,
             interactions: median_u64(samples.iter().map(|s| s.stats.interactions)),
+            macs: median_u64(samples.iter().map(|s| s.stats.macs)),
+            tree_ops: median_u64(samples.iter().map(|s| s.stats.tree_ops)),
             remote_gets: median_u64(samples.iter().map(|s| s.stats.remote_gets)),
             remote_puts: median_u64(samples.iter().map(|s| s.stats.remote_puts)),
             messages: median_u64(samples.iter().map(|s| s.stats.messages)),
@@ -249,6 +266,13 @@ pub struct KernelRecord {
     pub interactions: u64,
 }
 
+/// The sweep axes every record produced by the current code encodes in its
+/// [`RunSpec::key`]s, beyond the original scenario/backend/opt/size/machine
+/// vocabulary.  Written into [`Record::axes`] so the baseline diff can tell
+/// an *axis addition* (the grid legitimately grew a dimension the baseline
+/// predates) from a point silently vanishing.
+pub const KEY_AXES: [&str; 2] = ["policy", "walk"];
+
 /// The schema-versioned document committed as `BENCH_*.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Record {
@@ -258,6 +282,12 @@ pub struct Record {
     pub commit: String,
     /// `true` when only the quick grid was run.
     pub quick: bool,
+    /// The optional key axes this record's grid encodes (see [`KEY_AXES`]).
+    /// Legacy records decode the axes they historically carried, so a
+    /// current run diffing against an older baseline can recognize the
+    /// axis addition and allow the grid restructuring it implies
+    /// ([`BaselineDiff::missing_allowed`]).
+    pub axes: Vec<String>,
     /// Aggregated sweep points.
     pub runs: Vec<RunRecord>,
     /// Aggregated force-kernel measurements.
@@ -267,7 +297,14 @@ pub struct Record {
 impl Record {
     /// An empty record for the given provenance.
     pub fn new(commit: String, quick: bool) -> Record {
-        Record { schema: SCHEMA.to_string(), commit, quick, runs: Vec::new(), kernels: Vec::new() }
+        Record {
+            schema: SCHEMA.to_string(),
+            commit,
+            quick,
+            axes: KEY_AXES.iter().map(|a| a.to_string()).collect(),
+            runs: Vec::new(),
+            kernels: Vec::new(),
+        }
     }
 
     /// Checks the structural invariants every well-formed record satisfies.
@@ -380,6 +417,11 @@ fn decode_spec(v: &Value, ctx: &str) -> Result<RunSpec, String> {
             Some(_) => str_field(v, "policy", ctx)?,
             None => "rebuild".to_string(),
         },
+        // Records predating the walk axis ran the only walk that existed.
+        walk: match v.get("walk") {
+            Some(_) => str_field(v, "walk", ctx)?,
+            None => "per-body".to_string(),
+        },
         nbodies: usize_field(v, "nbodies", ctx)?,
         nodes: usize_field(v, "nodes", ctx)?,
         threads_per_node: usize_field(v, "threads_per_node", ctx)?,
@@ -399,6 +441,16 @@ fn decode_run(v: &Value) -> Result<RunRecord, String> {
         phases_p90: decode_phases(field(v, "phases_p90", &ctx)?, &ctx)?,
         total_sim_median: f64_field(v, "total_sim_median", &ctx)?,
         interactions: u64_field(v, "interactions", &ctx)?,
+        // Counters added after bhbench/v1 records were first committed
+        // decode as 0 ("not recorded"); the diff exempts them then.
+        macs: match v.get("macs") {
+            Some(_) => u64_field(v, "macs", &ctx)?,
+            None => 0,
+        },
+        tree_ops: match v.get("tree_ops") {
+            Some(_) => u64_field(v, "tree_ops", &ctx)?,
+            None => 0,
+        },
         remote_gets: u64_field(v, "remote_gets", &ctx)?,
         remote_puts: u64_field(v, "remote_puts", &ctx)?,
         messages: u64_field(v, "messages", &ctx)?,
@@ -434,10 +486,39 @@ fn decode_record(v: &Value) -> Result<Record, String> {
         .iter()
         .map(decode_kernel)
         .collect::<Result<Vec<_>, _>>()?;
+    // Records written before the axes field infer the axes their key
+    // vocabulary historically carried: the policy axis shipped together
+    // with the `policy` spec field, the walk axis with the axes field
+    // itself.
+    let axes = match v.get("axes") {
+        // Present but malformed is a schema violation like any other field
+        // — a mis-shaped axes list must not silently activate the
+        // allow-new-keys leniency through the legacy-inference fallback.
+        Some(val) => val
+            .as_array()
+            .ok_or("record: axes is not an array")?
+            .iter()
+            .map(|a| a.as_str().map(str::to_string).ok_or("record: axes entry is not a string"))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => {
+            let has_policy = field(v, "runs", "record")?
+                .as_array()
+                .and_then(|runs| runs.first())
+                .and_then(|r| r.get("spec"))
+                .map(|s| s.get("policy").is_some())
+                .unwrap_or(false);
+            if has_policy {
+                vec!["policy".to_string()]
+            } else {
+                Vec::new()
+            }
+        }
+    };
     Ok(Record {
         schema: str_field(v, "schema", "record")?,
         commit: str_field(v, "commit", "record")?,
         quick: field(v, "quick", "record")?.as_bool().ok_or("record: quick is not a bool")?,
+        axes,
         runs,
         kernels,
     })
@@ -494,6 +575,18 @@ pub struct BaselineDiff {
     /// baseline, the baseline's full-grid points (a measurement protocol no
     /// current point uses) are exempt.
     pub missing: Vec<String>,
+    /// Baseline points absent from the current record *while the current
+    /// record declares a key axis the baseline predates*
+    /// ([`BaselineDiff::new_axes`] non-empty).  An axis addition
+    /// legitimately restructures the grid — old points move under new keys
+    /// or retire — so these are reported but are **not** gate violations;
+    /// once the baseline is regenerated with the new schema the axes match
+    /// again and every absence goes back to [`BaselineDiff::missing`].
+    pub missing_allowed: Vec<String>,
+    /// Key axes the current record encodes that the baseline predates
+    /// (current [`Record::axes`] minus baseline axes).  Non-empty exactly
+    /// when the allow-new-keys pathway is active.
+    pub new_axes: Vec<String>,
     /// Sweep points whose [`RunSpec::key`] matched but whose measurement
     /// protocol (seed, steps, measured steps) differs — the baseline is
     /// stale and the numbers are not comparable; callers must treat these
@@ -589,6 +682,14 @@ pub fn diff_against_baseline(current: &Record, baseline: &Record, threshold: f64
             );
         }
         check("interactions", base.interactions as f64, run.interactions as f64, COUNTER_FLOOR);
+        // Counters the baseline may predate (decoded as 0 = "not
+        // recorded") are only compared when the baseline recorded them.
+        if base.macs > 0 {
+            check("macs", base.macs as f64, run.macs as f64, COUNTER_FLOOR);
+        }
+        if base.tree_ops > 0 {
+            check("tree_ops", base.tree_ops as f64, run.tree_ops as f64, COUNTER_FLOOR);
+        }
         check(
             "remote_ops",
             (base.remote_gets + base.remote_puts) as f64,
@@ -599,6 +700,17 @@ pub fn diff_against_baseline(current: &Record, baseline: &Record, threshold: f64
         check("bytes_out", base.bytes_out as f64, run.bytes_out as f64, COUNTER_FLOOR);
         check("lock_acquires", base.lock_acquires as f64, run.lock_acquires as f64, COUNTER_FLOOR);
     }
+
+    // The allow-new-keys pathway: when the current record's schema declares
+    // a key axis the baseline predates, the grid has legitimately been
+    // restructured around the new dimension — baseline points may have
+    // moved under new keys or been retired, and demanding their literal
+    // keys back would force regenerating history just to add an axis.
+    // Absences are then reported (`missing_allowed`) but are not gate
+    // violations.  Axes the *baseline* has and the current record lacks are
+    // not an addition and get no leniency.
+    diff.new_axes = current.axes.iter().filter(|a| !baseline.axes.contains(a)).cloned().collect();
+    let axis_added = !diff.new_axes.is_empty();
 
     // The symmetric direction: baseline points the current record failed to
     // reproduce.  A quick record only re-runs the baseline's quick-sized
@@ -616,7 +728,11 @@ pub fn diff_against_baseline(current: &Record, baseline: &Record, threshold: f64
         if quick_vs_full && !size_attempted(base.spec.nbodies) {
             continue;
         }
-        diff.missing.push(format!("run {key}"));
+        if axis_added {
+            diff.missing_allowed.push(format!("run {key}"));
+        } else {
+            diff.missing.push(format!("run {key}"));
+        }
     }
     for base in &baseline.kernels {
         let pair_in_current = current
@@ -634,8 +750,16 @@ pub fn diff_against_baseline(current: &Record, baseline: &Record, threshold: f64
         // pair vanishing is a violation only when the two records ran the
         // same kernel plan (quick-vs-full exempts the full-plan pairs).
         if pair_in_current || !quick_vs_full {
-            diff.missing
-                .push(format!("kernel {}/n{}/{}", base.scenario, base.nbodies, base.engine));
+            let entry = format!("kernel {}/n{}/{}", base.scenario, base.nbodies, base.engine);
+            // Kernel pairs are keyed by scenario/size only — no axis ever
+            // restructures them — so a vanished *engine* of a pair still
+            // measured stays fatal even across an axis addition; only a
+            // wholly retired pair rides the allowance.
+            if axis_added && !pair_in_current {
+                diff.missing_allowed.push(entry);
+            } else {
+                diff.missing.push(entry);
+            }
         }
     }
     diff
@@ -712,13 +836,16 @@ mod tests {
     #[test]
     fn spec_key_is_stable_and_discriminating() {
         let a = spec();
-        assert_eq!(a.key(), "plummer/upc/subspace/rebuild/n256/m2x1");
+        assert_eq!(a.key(), "plummer/upc/subspace/rebuild/per-body/n256/m2x1");
         let mut b = a.clone();
         b.nbodies = 512;
         assert_ne!(a.key(), b.key());
         let mut c = a.clone();
         c.policy = "reuse".to_string();
         assert_ne!(a.key(), c.key(), "the tree policy is part of the sweep-point identity");
+        let mut d = a.clone();
+        d.walk = "group".to_string();
+        assert_ne!(a.key(), d.key(), "the walk mode is part of the sweep-point identity");
     }
 
     #[test]
@@ -731,6 +858,46 @@ mod tests {
         let parsed = Record::from_json(&text).expect("legacy record must parse");
         assert_eq!(parsed.runs[0].spec.policy, "rebuild");
         assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
+    }
+
+    #[test]
+    fn specs_without_a_walk_field_decode_as_per_body() {
+        // Records committed before the walk axis ran the only walk that
+        // existed, and counters added later decode as "not recorded".
+        let record = record_with(2.0, 10_000);
+        let mut text = record.to_json();
+        text = text.replace("\"walk\": \"per-body\",", "");
+        text = text.replace("\"macs\": 0,", "");
+        text = text.replace("\"tree_ops\": 0,", "");
+        let parsed = Record::from_json(&text).expect("legacy record must parse");
+        assert_eq!(parsed.runs[0].spec.walk, "per-body");
+        assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
+        assert_eq!(parsed.runs[0].macs, 0);
+        assert_eq!(parsed.runs[0].tree_ops, 0);
+    }
+
+    #[test]
+    fn legacy_records_infer_their_axes() {
+        // No axes field, specs carry a policy → the policy-axis era.
+        let record = record_with(2.0, 10_000);
+        let mut text = record.to_json();
+        text = text.replace("\"walk\": \"per-body\",", "");
+        // Renaming the key (robust against pretty-printing details) makes
+        // the decoder see a record with no axes field at all.
+        let no_axes = text.replacen("\"axes\"", "\"axes-ignored\"", 1);
+        assert_ne!(no_axes, text, "the axes field must have been present");
+        let parsed = Record::from_json(&no_axes).expect("legacy record must parse");
+        assert_eq!(parsed.axes, vec!["policy".to_string()]);
+        // Current records declare the full axis vocabulary.
+        assert_eq!(record.axes, KEY_AXES.map(str::to_string).to_vec());
+        // A *present but malformed* axes field is a schema violation, not a
+        // silent fall-through to legacy inference (which would quietly arm
+        // the allow-new-keys leniency).  Shadow the array under a key the
+        // decoder ignores and plant a non-array in its place.
+        let malformed = text.replacen("\"axes\": [", "\"axes\": 42, \"axes-shadow\": [", 1);
+        assert_ne!(malformed, text);
+        let err = Record::from_json(&malformed).expect_err("malformed axes must fail decode");
+        assert!(err.contains("axes"), "{err}");
     }
 
     #[test]
@@ -809,6 +976,82 @@ mod tests {
         assert_eq!(diff.compared, 0);
         assert_eq!(diff.unmatched, vec![current.runs[0].spec.key()]);
         assert!(diff.regressions.is_empty());
+    }
+
+    #[test]
+    fn macs_and_tree_ops_gate_only_when_the_baseline_recorded_them() {
+        let mut baseline = record_with(2.0, 100_000);
+        let mut current = record_with(2.0, 100_000);
+        // Baseline predates the counters (decoded 0): a large current value
+        // is growth of the vocabulary, not a regression.
+        current.runs[0].macs = 50_000;
+        current.runs[0].tree_ops = 9_000;
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert!(diff.regressions.is_empty(), "{:?}", diff.describe_regressions());
+        // Once the baseline records them, they gate like any counter.
+        baseline.runs[0].macs = 10_000;
+        baseline.runs[0].tree_ops = 8_000;
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        let metrics: Vec<&str> = diff.regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"macs"), "{metrics:?}");
+        assert!(!metrics.contains(&"tree_ops"), "+12.5% is under the gate: {metrics:?}");
+    }
+
+    #[test]
+    fn axis_additions_allow_missing_baseline_points() {
+        // The baseline predates the walk axis; the current grid was
+        // restructured around it, retiring a baseline point.
+        let mut baseline = record_with(2.0, 100_000);
+        baseline.axes = vec!["policy".to_string()];
+        let mut retired = record_with(2.0, 100_000);
+        retired.runs[0].spec.scenario = "king".to_string();
+        baseline.runs.push(retired.runs[0].clone());
+        let current = record_with(2.0, 100_000);
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert_eq!(diff.new_axes, vec!["walk".to_string()]);
+        assert!(diff.missing.is_empty(), "{:?}", diff.missing);
+        assert_eq!(diff.missing_allowed.len(), 1, "{:?}", diff.missing_allowed);
+        assert!(diff.missing_allowed[0].contains("king"));
+        // Matched points still gate normally across the axis addition.
+        assert_eq!(diff.compared, 1);
+
+        // Once the baseline is regenerated with the same axes, the strict
+        // symmetric gate is re-armed.
+        baseline.axes = current.axes.clone();
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert!(diff.new_axes.is_empty());
+        assert_eq!(diff.missing.len(), 1, "{:?}", diff.missing);
+        assert!(diff.missing_allowed.is_empty());
+    }
+
+    #[test]
+    fn axis_additions_do_not_excuse_a_vanished_kernel_engine() {
+        let kernel = |engine: &str| KernelRecord {
+            scenario: "plummer".to_string(),
+            nbodies: 2048,
+            engine: engine.to_string(),
+            reps: 5,
+            force_wall_ms: Stat { median: 5.0, p90: 6.0 },
+            interactions: 1_000_000,
+        };
+        let mut baseline = record_with(2.0, 100_000);
+        baseline.axes = vec!["policy".to_string()];
+        baseline.kernels.push(kernel(KERNEL_PER_BODY));
+        baseline.kernels.push(kernel(KERNEL_COALESCED));
+        // The pair is still measured but one engine vanished: fatal even
+        // across an axis addition (no axis restructures kernel pairs).
+        let mut current = record_with(2.0, 100_000);
+        current.kernels.push(kernel(KERNEL_COALESCED));
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert!(!diff.new_axes.is_empty());
+        assert_eq!(diff.missing.len(), 1, "{:?}", diff.missing);
+        assert!(diff.missing[0].contains(KERNEL_PER_BODY));
+        // A wholly retired pair rides the allowance.
+        let mut current = record_with(2.0, 100_000);
+        current.kernels.clear();
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert_eq!(diff.missing_allowed.len(), 2, "{:?}", diff.missing_allowed);
+        assert!(diff.missing.is_empty(), "{:?}", diff.missing);
     }
 
     #[test]

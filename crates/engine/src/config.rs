@@ -221,6 +221,67 @@ impl TreePolicy {
     }
 }
 
+/// How the force phase traverses the octree.
+///
+/// The per-body walk — the paper's protocol — runs one full traversal per
+/// body, so the number of multipole-acceptance tests (and, below the §5.3
+/// cache, the number of remote cell touches) scales with `n · depth`.  The
+/// group walk (Barnes' "modified tree code" refinement) walks the tree
+/// **once per body group** instead: spatially adjacent owned bodies are
+/// grouped, each group's traversal produces an *interaction list* (accepted
+/// cells plus opened cells' leaf batches) under a conservative opening
+/// criterion — a cell is opened if **any** point of the group's bounding box
+/// could open it under θ — and the list is then applied to every member with
+/// the SoA leaf-coalesced kernel.  Because the group criterion only ever
+/// opens *more* cells than any member's own criterion would, per-body
+/// accuracy is never worse; the traversal volume (the `macs` counter) drops
+/// by the mean group occupancy.
+///
+/// The group walk applies to the caching levels ([`OptLevel::CacheLocalTree`]
+/// and above — the list is built over the force cache); the `upc` backend
+/// rejects it below §5.3, and the `mpi` comparator has no group walk at all.
+/// Under a reuse-capable [`TreePolicy`], interaction lists are carried
+/// across steps while the tree generation is unchanged and re-validated per
+/// group (payloads epoch-refreshed; a relocated member leaf or a subdivided
+/// list cell rebuilds that group's list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WalkMode {
+    /// One tree traversal per body (the paper's walk, bit-for-bit the
+    /// pre-group-walk force phase).
+    PerBody,
+    /// One tree traversal per body group, evaluated through per-group
+    /// interaction lists.
+    Group,
+}
+
+impl WalkMode {
+    /// All walk modes.
+    pub const ALL: [WalkMode; 2] = [WalkMode::PerBody, WalkMode::Group];
+
+    /// Short name used by reports, the CLI and the bench harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            WalkMode::PerBody => "per-body",
+            WalkMode::Group => "group",
+        }
+    }
+
+    /// One-line description for `bhsim --list`.
+    pub fn description(self) -> &'static str {
+        match self {
+            WalkMode::PerBody => "one tree traversal per body (the paper's walk)",
+            WalkMode::Group => {
+                "one traversal per body group; conservative opening, lists applied via SoA kernel"
+            }
+        }
+    }
+
+    /// Parses a mode from its [`WalkMode::name`].
+    pub fn from_name(name: &str) -> Option<WalkMode> {
+        WalkMode::ALL.iter().copied().find(|m| m.name() == name)
+    }
+}
+
 /// The default workload RNG seed used by [`SimConfig::new`] (and therefore
 /// by every driver that doesn't override `--seed`).
 pub const DEFAULT_SEED: u64 = 1_234_567;
@@ -245,6 +306,9 @@ pub struct SimConfig {
     /// Tree lifecycle across steps (see [`TreePolicy`]; default
     /// [`TreePolicy::Rebuild`], the paper's per-step rebuild).
     pub tree_policy: TreePolicy,
+    /// Force-phase traversal mode (see [`WalkMode`]; default
+    /// [`WalkMode::PerBody`], the paper's walk).
+    pub walk: WalkMode,
     /// Optimization level (UPC ladder only; other backends ignore it).
     pub opt: OptLevel,
     /// Emulated machine.
@@ -297,6 +361,7 @@ impl SimConfig {
             steps: 4,
             measured_steps: 2,
             tree_policy: TreePolicy::Rebuild,
+            walk: WalkMode::PerBody,
             opt,
             machine,
             n1: 4,
@@ -415,6 +480,18 @@ mod tests {
         assert!(!TreePolicy::Rebuild.reuses_tree());
         assert!(TreePolicy::Adaptive.reuses_tree());
         assert!(TreePolicy::from_name("reuse").unwrap().reuses_tree());
+    }
+
+    #[test]
+    fn walk_mode_names_roundtrip_and_default_is_per_body() {
+        for m in WalkMode::ALL {
+            assert_eq!(WalkMode::from_name(m.name()), Some(m));
+            assert!(!m.description().is_empty());
+        }
+        assert_eq!(WalkMode::from_name("nope"), None);
+        let cfg = SimConfig::test(64, 2, OptLevel::CacheLocalTree);
+        assert_eq!(cfg.walk, WalkMode::PerBody, "the paper's walk must stay the default");
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

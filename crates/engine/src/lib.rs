@@ -41,6 +41,6 @@ pub mod report;
 
 pub use backend::{validate_bodies, Backend, BackendRegistry};
 pub use compare::{comparison_table, run_backends, BackendRun};
-pub use config::{OptLevel, SimConfig, TreePolicy, DEFAULT_SEED};
+pub use config::{OptLevel, SimConfig, TreePolicy, WalkMode, DEFAULT_SEED};
 pub use direct::DirectBackend;
 pub use report::{Phase, PhaseTimes, RankOutcome, SimResult};

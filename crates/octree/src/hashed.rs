@@ -344,6 +344,7 @@ impl HashedOctree {
             phi: 0.0,
             interactions: 0,
             nodes_visited: 0,
+            macs: 0,
         };
         if self.is_empty() {
             return result;
@@ -382,6 +383,7 @@ impl HashedOctree {
             }
             return;
         }
+        result.macs += 1;
         if cell_is_far(cell.side(), dist_sq, theta) {
             let (a, p) = pairwise_acceleration(target, cell.cofm, cell.mass, eps);
             result.acc += a;

@@ -18,6 +18,9 @@ pub struct WalkResult {
     pub interactions: u32,
     /// Number of tree nodes visited (opened or accepted).
     pub nodes_visited: u32,
+    /// Number of multipole-acceptance tests evaluated (one per visited
+    /// non-empty internal cell).
+    pub macs: u32,
 }
 
 /// Decides whether the cell (side `l`, centre of mass at distance `d` from
@@ -41,7 +44,8 @@ pub fn accel_on(
     theta: f64,
     eps: f64,
 ) -> WalkResult {
-    let mut result = WalkResult { acc: Vec3::ZERO, phi: 0.0, interactions: 0, nodes_visited: 0 };
+    let mut result =
+        WalkResult { acc: Vec3::ZERO, phi: 0.0, interactions: 0, nodes_visited: 0, macs: 0 };
     if tree.is_empty() {
         return result;
     }
@@ -83,6 +87,7 @@ fn walk_node(
         return;
     }
 
+    result.macs += 1;
     if cell_is_far(n.side(), dist_sq, theta) {
         // Far enough: use the cell's centre of mass.
         let (a, p) = pairwise_acceleration(target, n.cofm, n.mass, eps);

@@ -162,6 +162,17 @@ impl<'w> Ctx<'w> {
         });
     }
 
+    /// Charges `n` multipole-acceptance tests (the `l/d < θ` opening
+    /// decisions a force walk evaluates, one per visited cell).
+    pub fn charge_macs(&self, n: u64) {
+        let t = n as f64 * self.machine().mac_cost * self.machine().compute_factor();
+        self.advance(t);
+        self.with_stats(|s| {
+            s.macs += n;
+            s.compute_seconds += t;
+        });
+    }
+
     /// Charges `n` elementary tree operations (insertion descents, merge
     /// steps, subspace splits, …).
     pub fn charge_tree_ops(&self, n: u64) {

@@ -52,6 +52,9 @@ pub struct Machine {
     /// Seconds per elementary tree operation (descending one level during
     /// insertion, examining one child during a merge, …).
     pub treeop_cost: f64,
+    /// Seconds per multipole-acceptance test (the `l/d < θ` opening decision
+    /// a force walk evaluates at every cell it visits).
+    pub mac_cost: f64,
     /// Seconds per elementary local memory access performed by the PGAS
     /// layer on behalf of the application (reading a local body, …).
     pub local_access_cost: f64,
@@ -188,6 +191,13 @@ impl Machine {
             // local pointers: ~20-30 % surcharge per interaction.
             global_ptr_overhead: 2.5e-8,
             treeop_cost: 6.0e-8,
+            // One multipole-acceptance test, billed per cell a force walk
+            // visits: dragging the ~120-byte node record through the cache
+            // plus the squared-distance/compare arithmetic — the same scale
+            // as examining one child during a merge (`treeop_cost`), and
+            // well under a full softened interaction (no sqrt, no
+            // accumulate).
+            mac_cost: 6.0e-8,
             local_access_cost: 4.0e-9,
             // LAPI one-sided latency on Power5 era hardware: ~10 us.
             remote_latency: 1.0e-5,

@@ -34,6 +34,12 @@ pub struct RankStats {
     pub interactions: u64,
     /// Elementary tree operations charged to this rank.
     pub tree_ops: u64,
+    /// Multipole-acceptance tests (the `l/d < θ` opening decisions) charged
+    /// to this rank.  This is the traversal-volume counter: a per-body walk
+    /// pays one MAC per cell it visits, so the counter scales with
+    /// `n · depth`; a group walk amortizes one traversal over a whole body
+    /// group and cuts it by the mean group occupancy.
+    pub macs: u64,
     /// Simulated seconds spent in compute charges.
     pub compute_seconds: f64,
     /// Simulated seconds spent in communication charges.
@@ -57,6 +63,7 @@ impl RankStats {
         self.vlist_single_source += other.vlist_single_source;
         self.interactions += other.interactions;
         self.tree_ops += other.tree_ops;
+        self.macs += other.macs;
         self.compute_seconds += other.compute_seconds;
         self.comm_seconds += other.comm_seconds;
         self.sync_seconds += other.sync_seconds;
@@ -81,6 +88,7 @@ impl RankStats {
                 .saturating_sub(earlier.vlist_single_source),
             interactions: self.interactions.saturating_sub(earlier.interactions),
             tree_ops: self.tree_ops.saturating_sub(earlier.tree_ops),
+            macs: self.macs.saturating_sub(earlier.macs),
             compute_seconds: (self.compute_seconds - earlier.compute_seconds).max(0.0),
             comm_seconds: (self.comm_seconds - earlier.comm_seconds).max(0.0),
             sync_seconds: (self.sync_seconds - earlier.sync_seconds).max(0.0),

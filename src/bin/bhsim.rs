@@ -33,6 +33,7 @@ struct Options {
     steps: usize,
     measured: usize,
     tree_policy: TreePolicy,
+    walk: WalkMode,
     rebuild_every: Option<usize>,
     drift_threshold: Option<f64>,
     theta: Option<f64>,
@@ -57,6 +58,7 @@ impl Default for Options {
             steps: 4,
             measured: 2,
             tree_policy: TreePolicy::Rebuild,
+            walk: WalkMode::PerBody,
             rebuild_every: None,
             drift_threshold: None,
             theta: None,
@@ -90,6 +92,9 @@ fn usage() -> ! {
            --rebuild-every N    reuse policy: full rebuild cadence (default {})\n\
            --drift-threshold F  reuse policy: drifted-leaf fraction forcing a\n\
                                 rebuild                   (default {})\n\
+           --walk MODE          force-walk traversal mode (default per-body)\n\
+                                modes: per-body, group (group needs a caching\n\
+                                --opt level: cache-local-tree and above)\n\
            --theta T            opening criterion         (default: scenario's)\n\
            --eps E              softening                 (default: scenario's)\n\
            --dt DT              time step                 (default: scenario's)\n\
@@ -175,6 +180,13 @@ fn parse_args() -> Options {
                     usage()
                 });
             }
+            "--walk" => {
+                let name = value(args.next(), "--walk");
+                opts.walk = WalkMode::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("bhsim: unknown walk mode: {name} (per-body, group)");
+                    usage()
+                });
+            }
             "--rebuild-every" => {
                 let v = value(args.next(), "--rebuild-every");
                 let every: usize = num("--rebuild-every", &v);
@@ -255,6 +267,32 @@ fn list_registries() {
     for backend in backend_registry().iter() {
         println!("  {:<10} {}", backend.name(), backend.description());
     }
+    // The remaining sweepable axes are enums, not registries, but a sweep
+    // script should be able to discover every axis from one command.
+    println!();
+    println!("optimization levels (--opt, upc backend):");
+    for opt in OptLevel::ALL {
+        println!("  {}", opt.name());
+    }
+    println!();
+    println!("tree-stepping policies (--tree-policy):");
+    println!("  rebuild    rebuild the octree from scratch every step (the paper's protocol)");
+    println!(
+        "  reuse      persistent tree; full rebuild every --rebuild-every steps (default {}) \
+         or at --drift-threshold drift (default {})",
+        TreePolicy::DEFAULT_REBUILD_EVERY,
+        TreePolicy::DEFAULT_DRIFT_THRESHOLD
+    );
+    println!(
+        "  adaptive   persistent tree, solver-chosen cadence (drift {}, every {} steps at most)",
+        TreePolicy::ADAPTIVE_DRIFT,
+        TreePolicy::ADAPTIVE_REBUILD_EVERY
+    );
+    println!();
+    println!("force-walk modes (--walk):");
+    for walk in WalkMode::ALL {
+        println!("  {:<10} {}", walk.name(), walk.description());
+    }
 }
 
 fn main() {
@@ -289,6 +327,7 @@ fn main() {
     cfg.steps = opts.steps;
     cfg.measured_steps = opts.measured;
     cfg.tree_policy = opts.tree_policy;
+    cfg.walk = opts.walk;
     cfg.theta = opts.theta.unwrap_or(tuning.theta);
     cfg.eps = opts.eps.unwrap_or(tuning.eps);
     cfg.dt = opts.dt.unwrap_or(tuning.dt);
@@ -311,7 +350,7 @@ fn main() {
     let backend_names = opts.compare.clone().unwrap_or_else(|| vec![opts.backend.clone()]);
 
     eprintln!(
-        "bhsim: scenario {} | n {} | backend(s) {} | opt {} | {} node(s) x {} thread(s){} | {} step(s), {} measured | tree {}",
+        "bhsim: scenario {} | n {} | backend(s) {} | opt {} | {} node(s) x {} thread(s){} | {} step(s), {} measured | tree {} | walk {}",
         scenario.name(),
         opts.nbodies,
         backend_names.join(","),
@@ -322,6 +361,7 @@ fn main() {
         opts.steps,
         opts.measured,
         opts.tree_policy.name(),
+        opts.walk.name(),
     );
 
     let bodies = scenario.generate(opts.nbodies, opts.seed);
@@ -384,6 +424,7 @@ fn print_report(cfg: &SimConfig, result: &SimResult) {
     println!("  lock acquisitions       : {:>12}", stats.lock_acquires);
     println!("  interactions            : {:>12}", stats.interactions);
     println!("  tree operations         : {:>12}", stats.tree_ops);
+    println!("  multipole tests (macs)  : {:>12}", stats.macs);
     if let Some(fraction) = result.vlist_single_source_fraction() {
         println!("  vlist single-source     : {:>11.1}%", 100.0 * fraction);
     }

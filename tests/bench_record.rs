@@ -1,8 +1,9 @@
-//! Guards on the committed benchmark baseline (`BENCH_0004.json`): the CI
+//! Guards on the committed benchmark baseline (`BENCH_0005.json`): the CI
 //! perf gate diffs against this file, so it must stay schema-valid and keep
-//! demonstrating the claims it was committed for — including the
-//! tree-lifecycle claim that persistent-tree stepping beats per-step
-//! rebuild on long trajectories.
+//! demonstrating the claims it was committed for — the tree-lifecycle claim
+//! that persistent-tree stepping beats per-step rebuild on long
+//! trajectories, and the group-walk claim that one traversal per body group
+//! beats one per body on simulated force time and traversal volume.
 
 use engine::bench::{
     diff_against_baseline, kernel_regressions, Record, KERNEL_COALESCED, KERNEL_PER_BODY,
@@ -10,7 +11,7 @@ use engine::bench::{
 use std::collections::BTreeSet;
 
 fn committed_record() -> Record {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0004.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0005.json");
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
     Record::from_json(&text).expect("committed baseline must be schema-valid")
@@ -105,6 +106,60 @@ fn committed_baseline_shows_persistent_tree_beating_rebuild_on_long_runs() {
         winning_families >= 2,
         "reuse AND adaptive must beat rebuild for at least two scenario families"
     );
+}
+
+/// The group-walk acceptance evidence: on the walk slice (steps >= 8,
+/// n = 2048, CacheLocalTree), the group rows must beat their per-body
+/// comparators on simulated force-phase time *and* on the deterministic
+/// traversal counter (`macs`), both with per-step rebuild and with tree
+/// reuse — while evaluating the same physics (identical interaction counts
+/// under rebuild, where fresh lists reproduce the per-body criterion
+/// exactly).
+#[test]
+fn committed_baseline_shows_group_walks_beating_per_body() {
+    let record = committed_record();
+    let walk_row = |scenario: &str, policy: &str, walk: &str| {
+        record
+            .runs
+            .iter()
+            .find(|r| {
+                r.spec.scenario == scenario
+                    && r.spec.policy.starts_with(policy)
+                    && r.spec.walk == walk
+                    && r.spec.opt == "cache-local-tree"
+                    && r.spec.steps >= 8
+                    && r.spec.nbodies == 2048
+            })
+            .unwrap_or_else(|| {
+                panic!("baseline must carry the {scenario}/{policy}/{walk} walk-slice point")
+            })
+    };
+    for scenario in ["plummer", "king"] {
+        for policy in ["rebuild", "reuse"] {
+            let per_body = walk_row(scenario, policy, "per-body");
+            let group = walk_row(scenario, policy, "group");
+            assert!(
+                group.phases_median.force < per_body.phases_median.force,
+                "{scenario}/{policy}: group force median {:.4}s must beat per-body {:.4}s",
+                group.phases_median.force,
+                per_body.phases_median.force
+            );
+            assert!(per_body.macs > 0, "{scenario}/{policy}: baseline must record macs");
+            assert!(
+                (group.macs as f64) < 0.75 * per_body.macs as f64,
+                "{scenario}/{policy}: group macs {} must amortize per-body macs {}",
+                group.macs,
+                per_body.macs
+            );
+            if policy == "rebuild" {
+                assert_eq!(
+                    group.interactions, per_body.interactions,
+                    "{scenario}: fresh group lists must evaluate exactly the per-body \
+                     interactions"
+                );
+            }
+        }
+    }
 }
 
 /// The baseline-diff direction fixed by this PR, exercised against the
