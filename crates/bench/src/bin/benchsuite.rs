@@ -91,7 +91,12 @@ fn parse_args() -> Options {
                     })
             }
             other => {
-                eprintln!("unknown option: {other}");
+                const FLAGS: [&str; 7] =
+                    ["--help", "--quick", "--json", "--reps", "--out", "--baseline", "--threshold"];
+                match engine::suggest::suggest(other, FLAGS) {
+                    Some(near) => eprintln!("unknown option: {other} (did you mean {near}?)"),
+                    None => eprintln!("unknown option: {other}"),
+                }
                 usage()
             }
         }

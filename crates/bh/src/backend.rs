@@ -26,8 +26,17 @@ impl Backend for UpcBackend {
     }
 
     fn supports(&self, cfg: &SimConfig) -> Result<(), String> {
-        cfg.validate()?;
+        cfg.validate().map_err(|e| e.to_string())?;
         crate::sim::check_walk_mode(cfg)
+    }
+
+    fn supports_sessions(&self) -> bool {
+        // The advance phase is the stateless `vel += acc·dt; pos += vel·dt`
+        // update and every per-run table (ownership, caches, interaction
+        // lists) is derived from the current body positions, so chunked
+        // stepping is bit-identical to one long run under per-step rebuild —
+        // pinned by the session-equivalence integration test.
+        true
     }
 
     fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult {

@@ -275,7 +275,14 @@ pub fn subspace_redistribute(
         outgoing[owner].push((id, leaf));
     }
     let received = ctx.exchange(outgoing);
-    let assignment: LeafAssignment = received.into_iter().flatten().collect();
+    // Canonicalize to (leaf, id) order: the raw arrival order depends on how
+    // the *senders* happened to own bodies before the exchange, which would
+    // leak into subforest insertion order (and thus center-of-mass rounding)
+    // and break the chunked-stepping bit-equivalence that sessions rely on.
+    // The classic path gets the same property from its Morton-order sort in
+    // `redistribute_phase`.
+    let mut assignment: LeafAssignment = received.into_iter().flatten().collect();
+    assignment.sort_unstable_by_key(|&(id, leaf)| (leaf, id));
 
     let migrated: Vec<usize> =
         assignment.iter().filter(|&&(id, _)| !st.owns(id)).map(|&(id, _)| id as usize).collect();

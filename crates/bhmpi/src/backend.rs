@@ -26,7 +26,7 @@ impl Backend for MpiBackend {
     }
 
     fn supports(&self, cfg: &SimConfig) -> Result<(), String> {
-        cfg.validate()?;
+        cfg.validate().map_err(|e| e.to_string())?;
         check_config(cfg)?;
         if cfg.tree_policy.reuses_tree() {
             return Err(format!(
@@ -43,6 +43,15 @@ impl Backend for MpiBackend {
                 .to_string());
         }
         Ok(())
+    }
+
+    fn supports_sessions(&self) -> bool {
+        // The solver rebuilds its Morton decomposition, local trees and
+        // locally-essential imports from the current positions every step
+        // and advances with the stateless update, so chunked stepping is
+        // bit-identical to one long run — pinned by the session-equivalence
+        // integration test.
+        true
     }
 
     fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult {

@@ -1,0 +1,215 @@
+//! Single-flight job coalescing: identical small jobs share one engine run.
+//!
+//! The engine is deterministic — a job's [`crate::proto::Job::identity`]
+//! (scenario, backend, every config axis, physics parameters by bit
+//! pattern) fully determines its output — so when many tenants submit the
+//! *same* job concurrently (the common case under a benchmark mix, and a
+//! realistic one for popular demo workloads), running it once and sharing
+//! the result is observably identical to running it N times.  The first
+//! requester becomes the *leader* and computes; concurrent duplicates
+//! become *followers* and wait on the leader's flight.  Followers never
+//! hold an engine-run permit while waiting, so coalescing can only reduce
+//! pressure on the run gate, never deadlock it.
+//!
+//! Billing is unaffected: every requester is charged the full deterministic
+//! cost of the job ([`crate::quota`]), so coalescing is a throughput
+//! optimization, not a discount.
+//!
+//! A leader that dies without completing (a panic in the engine) abandons
+//! its flight; followers detect this and fall back to computing the job
+//! themselves rather than waiting forever.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The outcome of one engine run, shared between coalesced requesters.
+pub struct RunOutput {
+    /// The simulation result (bodies, phases, counters).
+    pub result: engine::SimResult,
+    /// Leader's wall-clock for the run, in milliseconds.
+    pub wall_ms: f64,
+}
+
+enum FlightState {
+    Pending,
+    Done(Arc<RunOutput>),
+    Abandoned,
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+/// Removes the flight from the table and marks it abandoned if the leader
+/// never completed it — the path taken when the engine panics out of the
+/// leader's stack frame.
+struct LeaderGuard<'a> {
+    runner: &'a BatchRunner,
+    key: String,
+    flight: Arc<Flight>,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        self.runner.flights.lock().unwrap().remove(&self.key);
+        let mut state = self.flight.state.lock().unwrap();
+        if matches!(*state, FlightState::Pending) {
+            *state = FlightState::Abandoned;
+        }
+        self.flight.cv.notify_all();
+    }
+}
+
+/// The shared coalescing table.
+#[derive(Default)]
+pub struct BatchRunner {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl BatchRunner {
+    /// An empty table.
+    pub fn new() -> BatchRunner {
+        BatchRunner::default()
+    }
+
+    /// Runs the job identified by `key`, coalescing with any identical job
+    /// already in flight.  Returns the (possibly shared) output and whether
+    /// this caller was a follower (`true` — the response's `batched` flag).
+    ///
+    /// `compute` must be the caller's own closure for the job: the leader
+    /// consumes it; a follower keeps it untouched unless the leader
+    /// abandoned the flight, in which case the follower computes alone.
+    pub fn run(&self, key: String, compute: impl FnOnce() -> RunOutput) -> (Arc<RunOutput>, bool) {
+        let (flight, leader) = {
+            let mut flights = self.flights.lock().unwrap();
+            match flights.get(&key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    flights.insert(key.clone(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+
+        if leader {
+            let guard = LeaderGuard { runner: self, key, flight: Arc::clone(&flight) };
+            let output = Arc::new(compute());
+            *flight.state.lock().unwrap() = FlightState::Done(Arc::clone(&output));
+            drop(guard); // removes the flight and wakes the followers
+            return (output, false);
+        }
+
+        let mut state = flight.state.lock().unwrap();
+        loop {
+            match &*state {
+                FlightState::Done(output) => return (Arc::clone(output), true),
+                FlightState::Abandoned => {
+                    drop(state);
+                    // The leader died; compute alone rather than re-enter the
+                    // table (re-entering could chain onto another doomed
+                    // flight under a persistent failure).
+                    return (Arc::new(compute()), false);
+                }
+                FlightState::Pending => state = flight.cv.wait(state).unwrap(),
+            }
+        }
+    }
+
+    /// Number of flights currently pending (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn output(tag: f64) -> RunOutput {
+        let cfg = engine::SimConfig::test(1, 1, engine::OptLevel::Baseline);
+        let mut result = engine::SimResult::aggregate(&cfg, Vec::new(), Vec::new());
+        result.total = tag;
+        RunOutput { result, wall_ms: tag }
+    }
+
+    #[test]
+    fn concurrent_identical_jobs_share_one_computation() {
+        let runner = Arc::new(BatchRunner::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (runner, computes, gate) = (runner.clone(), computes.clone(), gate.clone());
+                std::thread::spawn(move || {
+                    gate.wait();
+                    runner.run("same-job".to_string(), || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open long enough for the other
+                        // threads (released by the same barrier) to join it
+                        // as followers.
+                        std::thread::sleep(std::time::Duration::from_millis(200));
+                        output(42.0)
+                    })
+                })
+            })
+            .collect();
+        let outcomes: Vec<(Arc<RunOutput>, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(computes.load(Ordering::SeqCst) < 8, "coalescing must deduplicate work");
+        assert!(
+            outcomes.iter().any(|(_, batched)| *batched),
+            "at least one request must have been served from the shared flight"
+        );
+        for (out, _) in &outcomes {
+            assert_eq!(out.wall_ms, 42.0);
+        }
+        assert_eq!(runner.in_flight(), 0, "flights must not leak");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let runner = BatchRunner::new();
+        let (a, batched_a) = runner.run("a".to_string(), || output(1.0));
+        let (b, batched_b) = runner.run("b".to_string(), || output(2.0));
+        assert!(!batched_a && !batched_b);
+        assert_eq!(a.wall_ms, 1.0);
+        assert_eq!(b.wall_ms, 2.0);
+        // Sequential reuse of a key recomputes: the flight is gone.
+        let (a2, batched) = runner.run("a".to_string(), || output(3.0));
+        assert!(!batched);
+        assert_eq!(a2.wall_ms, 3.0);
+    }
+
+    #[test]
+    fn abandoned_flights_fall_back_to_solo_computation() {
+        let runner = Arc::new(BatchRunner::new());
+        let entered = Arc::new(Barrier::new(2));
+        let leader = {
+            let (runner, entered) = (runner.clone(), entered.clone());
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    runner.run("doomed".to_string(), || {
+                        entered.wait();
+                        // Give the follower time to park on the flight.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        panic!("engine blew up");
+                    })
+                }));
+                assert!(result.is_err());
+            })
+        };
+        entered.wait();
+        let (out, batched) = runner.run("doomed".to_string(), || output(7.0));
+        assert!(!batched, "fallback computation is not a coalesced result");
+        assert_eq!(out.wall_ms, 7.0);
+        leader.join().unwrap();
+        assert_eq!(runner.in_flight(), 0);
+    }
+}

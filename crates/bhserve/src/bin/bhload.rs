@@ -1,0 +1,224 @@
+//! The `bhload` stress driver: point it at a live `bhserve`, drive the
+//! mix, report an `engine::bench` record, optionally merge it into a
+//! committed `BENCH_*.json` and gate against a baseline.
+//!
+//! Exit codes follow `benchsuite`: 0 success, 1 perf regression (or a
+//! failed load run), 2 usage, 3 schema or I/O problems.
+
+use bhserve::load::{self, LoadOptions, Mix};
+use engine::bench::{diff_against_baseline, Record};
+
+fn usage() -> ! {
+    eprintln!(
+        "bhload — stress harness for the bhserve simulation service
+
+USAGE:
+    bhload --addr HOST:PORT [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT     the live bhserve to drive (required)
+    --clients N          concurrent simulated clients (default 1000)
+    --threads N          worker threads multiplexing the clients (default 32)
+    --mix quick|full     cell grid to drive (default quick)
+    --session-every N    every Nth client runs a session flow (default 16; 0 disables)
+    --abuse              mix in an over-quota tenant and a mid-session disconnect
+    --json               print the serving record as JSON on stdout
+    --out PATH           write the serving record to PATH
+    --merge PATH         replace the serving rows of an existing record at PATH
+    --baseline PATH      diff the serving record against a committed baseline
+    --threshold PCT      regression threshold percent for --baseline (default 25)
+    --help               show this help"
+    );
+    std::process::exit(2)
+}
+
+fn fail_schema(msg: &str) -> ! {
+    eprintln!("bhload: {msg}");
+    std::process::exit(3)
+}
+
+struct Options {
+    load: LoadOptions,
+    json: bool,
+    out: Option<String>,
+    merge: Option<String>,
+    baseline: Option<String>,
+    threshold: f64,
+}
+
+fn parse_args() -> Options {
+    let mut load = LoadOptions::default();
+    let mut addr: Option<String> = None;
+    let mut opts = Options {
+        load: load.clone(),
+        json: false,
+        out: None,
+        merge: None,
+        baseline: None,
+        threshold: 25.0,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("bhload: {flag} requires a value");
+            std::process::exit(2)
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(value(&mut args, "--addr")),
+            "--clients" => load.clients = parse_number(&value(&mut args, "--clients")),
+            "--threads" => load.threads = parse_number(&value(&mut args, "--threads")),
+            "--mix" => {
+                load.mix = match value(&mut args, "--mix").as_str() {
+                    "quick" => Mix::Quick,
+                    "full" => Mix::Full,
+                    other => {
+                        eprintln!("bhload: --mix must be quick or full, got {other:?}");
+                        std::process::exit(2)
+                    }
+                }
+            }
+            "--session-every" => {
+                load.session_every = parse_number(&value(&mut args, "--session-every"))
+            }
+            "--abuse" => load.abuse = true,
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(value(&mut args, "--out")),
+            "--merge" => opts.merge = Some(value(&mut args, "--merge")),
+            "--baseline" => opts.baseline = Some(value(&mut args, "--baseline")),
+            "--threshold" => opts.threshold = parse_number(&value(&mut args, "--threshold")),
+            "--help" | "-h" => usage(),
+            other => {
+                const FLAGS: [&str; 12] = [
+                    "--addr",
+                    "--clients",
+                    "--threads",
+                    "--mix",
+                    "--session-every",
+                    "--abuse",
+                    "--json",
+                    "--out",
+                    "--merge",
+                    "--baseline",
+                    "--threshold",
+                    "--help",
+                ];
+                match engine::suggest::suggest(other, FLAGS) {
+                    Some(near) => {
+                        eprintln!("bhload: unknown option: {other} (did you mean {near}?)")
+                    }
+                    None => eprintln!("bhload: unknown option: {other}"),
+                }
+                usage()
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("bhload: --addr is required");
+        usage()
+    };
+    load.addr = addr.parse().unwrap_or_else(|e| {
+        eprintln!("bhload: invalid --addr {addr:?}: {e}");
+        std::process::exit(2)
+    });
+    opts.load = load;
+    opts
+}
+
+fn parse_number<T: std::str::FromStr>(text: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("bhload: not a valid number: {text:?}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let opts = parse_args();
+    let registry = scenarios::builtin();
+    let report = match load::run(&opts.load, &registry) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bhload: load run failed: {e}");
+            std::process::exit(1)
+        }
+    };
+
+    eprintln!(
+        "bhload: {} clients over {} worker threads, {:.2}s elapsed",
+        opts.load.clients, opts.load.threads, report.elapsed_seconds
+    );
+    eprintln!(
+        "bhload: {} measured requests, {} session flows, {} quota rejections, {} disconnects",
+        report.measured_requests, report.sessions, report.quota_rejections, report.disconnects
+    );
+    for run in &report.record.runs {
+        eprintln!(
+            "bhload: {:<42} reqs {:>4}  p50 {:>8.2}ms  p99 {:>8.2}ms  {:>7.1} req/s",
+            run.spec.key(),
+            run.reps,
+            run.latency_ms.median,
+            run.latency_ms.p99,
+            run.throughput_rps
+        );
+    }
+
+    if opts.json {
+        println!("{}", report.record.to_json());
+    }
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, report.record.to_json() + "\n") {
+            fail_schema(&format!("writing {path}: {e}"));
+        }
+        eprintln!("bhload: wrote serving record to {path}");
+    }
+    if let Some(path) = &opts.merge {
+        let existing = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail_schema(&format!("reading {path}: {e}")));
+        let merged = load::merge_into_record(&existing, &report.record)
+            .unwrap_or_else(|e| fail_schema(&format!("merging into {path}: {e}")));
+        if let Err(e) = std::fs::write(path, merged.to_json() + "\n") {
+            fail_schema(&format!("writing {path}: {e}"));
+        }
+        eprintln!("bhload: merged {} serving rows into {path}", report.record.runs.len());
+    }
+
+    if let Some(path) = &opts.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail_schema(&format!("reading {path}: {e}")));
+        let mut baseline = Record::from_json(&text)
+            .unwrap_or_else(|e| fail_schema(&format!("baseline {path}: {e}")));
+        // This gate owns the serving rows only; the standalone rows and
+        // kernels of a merged record belong to the benchsuite gate.
+        baseline.runs.retain(|r| r.spec.service == engine::bench::SERVICE_BHSERVE);
+        baseline.kernels.clear();
+        let diff = diff_against_baseline(&report.record, &baseline, opts.threshold / 100.0);
+        if !diff.protocol_mismatches.is_empty() {
+            for m in &diff.protocol_mismatches {
+                eprintln!("bhload: PROTOCOL MISMATCH {m}");
+            }
+            fail_schema("the serving mix changed without regenerating the baseline");
+        }
+        if diff.compared == 0 {
+            fail_schema(&format!("baseline {path} shares no serving sweep points with this run"));
+        }
+        for m in &diff.missing_allowed {
+            eprintln!("bhload: missing (allowed, new axes): {m}");
+        }
+        for m in &diff.missing {
+            eprintln!("bhload: MISSING {m} (present in baseline, absent from this run)");
+        }
+        for line in diff.describe_regressions() {
+            eprintln!("bhload: REGRESSION {line}");
+        }
+        eprintln!(
+            "bhload: baseline gate: {} point(s) compared, {} regression(s), {} missing",
+            diff.compared,
+            diff.regressions.len(),
+            diff.missing.len()
+        );
+        if !diff.regressions.is_empty() || !diff.missing.is_empty() {
+            std::process::exit(1);
+        }
+    }
+}

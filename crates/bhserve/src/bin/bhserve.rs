@@ -1,0 +1,107 @@
+//! The `bhserve` daemon binary: parse options, start the server, park.
+//!
+//! Prints `bhserve: listening on <addr>` on stdout once the socket is
+//! bound (scripts — the CI smoke job, `bhload` wrappers — parse this line
+//! to learn the port when started with `--listen 127.0.0.1:0`).
+
+use bhserve::{Server, ServerOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "bhserve — multi-tenant Barnes-Hut simulation service
+
+USAGE:
+    bhserve [OPTIONS]
+
+OPTIONS:
+    --listen ADDR             listen address (default 127.0.0.1:0; port 0 picks a free port)
+    --max-concurrent-runs N   engine runs allowed at once (default 2)
+    --quota-interactions N    default per-tenant quota, in interactions (default: unmetered)
+    --tenant-quota NAME=N     per-tenant quota override (repeatable)
+    --max-sessions N          live sessions allowed per connection (default 16)
+    --batch-max-bodies N      jobs up to N bodies may be coalesced (default 4096)
+    --help                    show this help"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServerOptions {
+    let mut opts = ServerOptions::default();
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("bhserve: {flag} requires a value");
+            std::process::exit(2)
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => opts.addr = value(&mut args, "--listen"),
+            "--max-concurrent-runs" => {
+                opts.max_concurrent_runs = parse_number(&value(&mut args, "--max-concurrent-runs"))
+            }
+            "--quota-interactions" => {
+                opts.default_quota = Some(parse_number(&value(&mut args, "--quota-interactions")))
+            }
+            "--tenant-quota" => {
+                let spec = value(&mut args, "--tenant-quota");
+                let Some((name, limit)) = spec.split_once('=') else {
+                    eprintln!("bhserve: --tenant-quota expects NAME=N, got {spec:?}");
+                    std::process::exit(2)
+                };
+                opts.tenant_quotas.push((name.to_string(), parse_number(limit)));
+            }
+            "--max-sessions" => {
+                opts.max_sessions_per_conn = parse_number(&value(&mut args, "--max-sessions"))
+            }
+            "--batch-max-bodies" => {
+                opts.batch_max_bodies = parse_number(&value(&mut args, "--batch-max-bodies"))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                const FLAGS: [&str; 7] = [
+                    "--listen",
+                    "--max-concurrent-runs",
+                    "--quota-interactions",
+                    "--tenant-quota",
+                    "--max-sessions",
+                    "--batch-max-bodies",
+                    "--help",
+                ];
+                match engine::suggest::suggest(other, FLAGS) {
+                    Some(near) => {
+                        eprintln!("bhserve: unknown option: {other} (did you mean {near}?)")
+                    }
+                    None => eprintln!("bhserve: unknown option: {other}"),
+                }
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn parse_number<T: std::str::FromStr>(text: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("bhserve: not a valid number: {text:?}");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let opts = parse_args();
+    let server = match Server::start(opts, scenarios::builtin(), barnes_hut_upc::backends()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bhserve: failed to start: {e}");
+            std::process::exit(1)
+        }
+    };
+    println!("bhserve: listening on {}", server.addr());
+    // The accept loop runs on its own thread; park the main thread until
+    // the process is killed.  `server` must stay alive — dropping it stops
+    // the accept loop.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,135 @@
+//! Length-prefixed message framing for the `bhserve` wire protocol.
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! little-endian payload length followed by exactly that many payload bytes
+//! (UTF-8 JSON at the protocol layer; the framing itself is
+//! content-agnostic).  The format is deliberately minimal so both sides can
+//! be implemented over a blocking byte stream with no external
+//! dependencies, and so a fuzzer can exhaustively describe the failure
+//! modes: a frame is either delivered whole, rejected for its declared
+//! length, or the stream ends.
+//!
+//! Failure taxonomy of [`read_frame`]:
+//!
+//! * clean EOF *between* frames → `Ok(None)` — the peer closed the
+//!   connection in an orderly way (how a client ends its session);
+//! * a declared length beyond [`MAX_FRAME`] → [`std::io::ErrorKind::InvalidData`]
+//!   — the peer is broken or malicious, the connection must be dropped
+//!   (after this the stream position is unsynchronized by construction);
+//! * EOF *inside* a frame (header or payload) →
+//!   [`std::io::ErrorKind::UnexpectedEof`] — a mid-message disconnect.
+//!
+//! Nothing in this module panics on wire input; the proptest suite pins
+//! that (truncations, oversized declarations, garbage bytes).
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload, in bytes.  Large enough for a full
+/// `snapshot` of the biggest serving-mix workload (hex-encoded body state
+/// is ~500 bytes per body), small enough that a corrupt or hostile length
+/// header cannot make the server allocate gigabytes.
+pub const MAX_FRAME: usize = 8 * 1024 * 1024;
+
+/// Writes one frame (length header + payload) and flushes the stream.
+///
+/// Fails with [`std::io::ErrorKind::InvalidInput`] when the payload exceeds
+/// [`MAX_FRAME`] — the peer would be required to reject it, so it must
+/// never be sent.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds MAX_FRAME ({MAX_FRAME})", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, distinguishing an orderly close from a broken one.
+///
+/// Returns `Ok(None)` on clean EOF at a frame boundary (no header byte
+/// read); see the module docs for the error taxonomy.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream ended inside a frame header",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared frame length {len} exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "stream ended inside a frame payload")
+        } else {
+            e
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0u8, 255, 1]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&[0u8, 255, 1][..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF between frames");
+    }
+
+    #[test]
+    fn oversized_declared_length_is_invalid_data() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncations_are_unexpected_eof() {
+        // Inside the header.
+        let err = read_frame(&mut Cursor::new(vec![3u8, 0])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Inside the payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(b"shor");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_payload_is_never_sent() {
+        let huge = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &huge).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing may reach the wire");
+    }
+}

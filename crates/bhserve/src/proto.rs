@@ -1,0 +1,422 @@
+//! The `bhserve` request/response vocabulary.
+//!
+//! Every frame payload is one JSON object.  Requests carry an `op` field;
+//! responses carry `ok` — `true` with op-specific fields, or `false` with a
+//! stable machine-readable `code` and a human-readable `error`.  The
+//! configuration codes (`E_NBODIES`, `E_DT`, ...) are relayed verbatim from
+//! [`engine::ConfigError`], so a remote client sees exactly the vocabulary
+//! a local `SimConfig::validate()` caller does; the service adds its own
+//! codes (see the `E_*` consts here) for protocol, dispatch, session and
+//! quota failures.
+//!
+//! The vendored serde stack serializes but does not deserialize, so
+//! requests are decoded by hand over the [`Value`] tree — the same pattern
+//! `engine::bench` uses for committed records.
+//!
+//! Body state in `snapshot` responses is **bit-exact**: every `f64` is
+//! encoded as the 16-hex-digit big-endian rendering of its IEEE-754 bits
+//! ([`hex_f64`]), never as a JSON float, so a snapshot round-trips with no
+//! precision loss and session-equivalence can be pinned bit-for-bit.
+
+use engine::{BackendRegistry, SimConfig, TreePolicy, WalkMode};
+use pgas::Machine;
+use scenarios::Registry as ScenarioRegistry;
+use serde::Value;
+
+/// Malformed request: not a JSON object, missing/ill-typed fields.
+pub const E_PROTO: &str = "E_PROTO";
+/// The `op` field names no operation this server understands.
+pub const E_UNKNOWN_OP: &str = "E_UNKNOWN_OP";
+/// The `scenario` field names no registered scenario.
+pub const E_UNKNOWN_SCENARIO: &str = "E_UNKNOWN_SCENARIO";
+/// The `backend` field names no registered backend.
+pub const E_UNKNOWN_BACKEND: &str = "E_UNKNOWN_BACKEND";
+/// The backend rejected the configuration ([`engine::Backend::supports`])
+/// for a reason that is not a [`engine::ConfigError`] (those relay their
+/// own code).
+pub const E_UNSUPPORTED: &str = "E_UNSUPPORTED";
+/// The `session` field names no live session on this connection.
+pub const E_NO_SESSION: &str = "E_NO_SESSION";
+/// The backend does not support sessions
+/// ([`engine::Backend::supports_sessions`]).
+pub const E_SESSION_UNSUPPORTED: &str = "E_SESSION_UNSUPPORTED";
+/// Sessions require the per-step rebuild tree policy (the policy under
+/// which chunked stepping is bit-identical to one long run).
+pub const E_SESSION_POLICY: &str = "E_SESSION_POLICY";
+/// The connection reached its live-session cap.
+pub const E_SESSION_LIMIT: &str = "E_SESSION_LIMIT";
+/// The tenant's deterministic cost ledger reached its quota.
+pub const E_QUOTA_EXCEEDED: &str = "E_QUOTA_EXCEEDED";
+
+/// A rejected request: the stable code, the human-readable message, and any
+/// op-specific extra fields (quota rejections attach the counter, usage and
+/// limit).
+#[derive(Debug, Clone)]
+pub struct Reject {
+    /// Stable machine-readable code.
+    pub code: String,
+    /// Human-readable description.
+    pub error: String,
+    /// Extra response fields appended after `code`/`error`.
+    pub extra: Vec<(String, Value)>,
+}
+
+impl Reject {
+    /// A rejection with no extra fields.
+    pub fn new(code: &str, error: impl Into<String>) -> Reject {
+        Reject { code: code.to_string(), error: error.into(), extra: Vec::new() }
+    }
+
+    /// Renders the rejection as its wire object.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("ok".to_string(), Value::Bool(false)),
+            ("code".to_string(), Value::String(self.code.clone())),
+            ("error".to_string(), Value::String(self.error.clone())),
+        ];
+        fields.extend(self.extra.iter().cloned());
+        Value::Object(fields)
+    }
+}
+
+/// Builds an `ok: true` response object from op-specific fields.
+pub fn ok_response(fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("ok".to_string(), Value::Bool(true))];
+    all.extend(fields);
+    Value::Object(all)
+}
+
+/// The 16-hex-digit big-endian IEEE-754 bit pattern of an `f64` — the
+/// bit-exact wire encoding of body state.
+pub fn hex_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Decodes a [`hex_f64`] rendering back into the identical `f64`.
+pub fn unhex_f64(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// One fully-decoded job: a scenario, a backend and the complete
+/// [`SimConfig`] the engine will run.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Scenario registry key.
+    pub scenario: String,
+    /// Backend registry key.
+    pub backend: String,
+    /// The full solver configuration (validated by the caller via
+    /// [`engine::Backend::supports`]).
+    pub cfg: SimConfig,
+}
+
+impl Job {
+    /// Canonical identity of the job: every axis that affects the engine's
+    /// output or cost.  Two requests with equal identities are the *same
+    /// computation* and may be coalesced into one engine run
+    /// ([`crate::batch`]); physics parameters are keyed by their exact bit
+    /// patterns, not their decimal renderings.
+    pub fn identity(&self) -> String {
+        let c = &self.cfg;
+        format!(
+            "{}/{}/{}/{}/{}/n{}/s{}/t{}+{}/m{}x{}/θ{}/ε{}/δ{}",
+            self.scenario,
+            self.backend,
+            c.opt.name(),
+            c.tree_policy.spec_label(),
+            c.walk.name(),
+            c.nbodies,
+            c.seed,
+            c.steps,
+            c.measured_steps,
+            c.machine.nodes,
+            c.machine.threads_per_node,
+            hex_f64(c.theta),
+            hex_f64(c.eps),
+            hex_f64(c.dt),
+        )
+    }
+}
+
+pub(crate) fn str_of(v: &Value, key: &str) -> Result<Option<String>, Reject> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(Reject::new(E_PROTO, format!("field {key:?} must be a string"))),
+    }
+}
+
+pub(crate) fn u64_of(v: &Value, key: &str) -> Result<Option<u64>, Reject> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(val) => val.as_u64().map(Some).ok_or_else(|| {
+            Reject::new(E_PROTO, format!("field {key:?} must be a non-negative integer"))
+        }),
+    }
+}
+
+pub(crate) fn f64_of(v: &Value, key: &str) -> Result<Option<f64>, Reject> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(val) => val
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| Reject::new(E_PROTO, format!("field {key:?} must be a number"))),
+    }
+}
+
+/// The required string field every accounted request carries.
+pub fn tenant_of(v: &Value) -> Result<String, Reject> {
+    str_of(v, "tenant")?.ok_or_else(|| Reject::new(E_PROTO, "field \"tenant\" is required"))
+}
+
+/// Decodes the job description shared by the `run` and `open` operations.
+///
+/// Required: `n` (bodies).  Everything else defaults: scenario `plummer`,
+/// backend `upc`, the scenario's recommended θ/ε/dt tuning, the paper's
+/// 4-steps/2-measured protocol, opt level `subspace`, per-step rebuild,
+/// per-body walk, a 2-node × 1-thread emulated machine.  Unknown scenario
+/// and backend keys fail with the shared did-you-mean error
+/// ([`engine::suggest::unknown_key`]).
+pub fn decode_job(
+    v: &Value,
+    scenarios: &ScenarioRegistry,
+    backends: &BackendRegistry,
+) -> Result<Job, Reject> {
+    let scenario_name = str_of(v, "scenario")?.unwrap_or_else(|| "plummer".to_string());
+    let backend_name = str_of(v, "backend")?.unwrap_or_else(|| "upc".to_string());
+
+    let scenario = scenarios.get(&scenario_name).ok_or_else(|| {
+        Reject::new(
+            E_UNKNOWN_SCENARIO,
+            engine::suggest::unknown_key("scenario", &scenario_name, &scenarios.names()),
+        )
+    })?;
+    if backends.get(&backend_name).is_none() {
+        return Err(Reject::new(
+            E_UNKNOWN_BACKEND,
+            engine::suggest::unknown_key("backend", &backend_name, &backends.names()),
+        ));
+    }
+
+    let nbodies = u64_of(v, "n")?
+        .ok_or_else(|| Reject::new(E_PROTO, "field \"n\" (number of bodies) is required"))?
+        as usize;
+    let nodes = u64_of(v, "nodes")?.unwrap_or(2) as usize;
+    let tpn = u64_of(v, "threads_per_node")?.unwrap_or(1) as usize;
+    if nodes == 0 || tpn == 0 {
+        return Err(Reject::new(E_PROTO, "\"nodes\" and \"threads_per_node\" must be positive"));
+    }
+
+    let opt = match str_of(v, "opt")? {
+        Some(name) => engine::OptLevel::from_name(&name).ok_or_else(|| {
+            let names: Vec<&str> = engine::OptLevel::ALL.iter().map(|l| l.name()).collect();
+            Reject::new(E_PROTO, engine::suggest::unknown_key("opt level", &name, &names))
+        })?,
+        None => engine::OptLevel::Subspace,
+    };
+
+    let policy = match str_of(v, "policy")? {
+        Some(name) => {
+            let mut policy = TreePolicy::from_name(&name).ok_or_else(|| {
+                Reject::new(
+                    E_PROTO,
+                    engine::suggest::unknown_key(
+                        "tree policy",
+                        &name,
+                        &["rebuild", "reuse", "adaptive"],
+                    ),
+                )
+            })?;
+            if let TreePolicy::Reuse { mut rebuild_every, mut drift_threshold } = policy {
+                if let Some(every) = u64_of(v, "rebuild_every")? {
+                    rebuild_every = every as usize;
+                }
+                if let Some(drift) = f64_of(v, "drift_threshold")? {
+                    drift_threshold = drift;
+                }
+                policy = TreePolicy::Reuse { rebuild_every, drift_threshold };
+            }
+            policy
+        }
+        None => TreePolicy::Rebuild,
+    };
+
+    let walk = match str_of(v, "walk")? {
+        Some(name) => WalkMode::from_name(&name).ok_or_else(|| {
+            Reject::new(
+                E_PROTO,
+                engine::suggest::unknown_key("walk mode", &name, &["per-body", "group"]),
+            )
+        })?,
+        None => WalkMode::PerBody,
+    };
+
+    let tuning = scenario.recommended_config();
+    let machine = Machine::power5(nodes, tpn, false);
+    let mut cfg = SimConfig::new(nbodies, machine, opt);
+    cfg.seed = u64_of(v, "seed")?.unwrap_or(engine::config::DEFAULT_SEED);
+    cfg.steps = u64_of(v, "steps")?.unwrap_or(4) as usize;
+    cfg.measured_steps = u64_of(v, "measured")?.unwrap_or_else(|| 2.min(cfg.steps as u64)) as usize;
+    cfg.tree_policy = policy;
+    cfg.walk = walk;
+    cfg.theta = f64_of(v, "theta")?.unwrap_or(tuning.theta);
+    cfg.eps = f64_of(v, "eps")?.unwrap_or(tuning.eps);
+    cfg.dt = f64_of(v, "dt")?.unwrap_or(tuning.dt);
+
+    Ok(Job { scenario: scenario_name, backend: backend_name, cfg })
+}
+
+/// Renders the measured outcome of one engine run (or one session step
+/// chunk) as the response fields every dispatch path shares.
+pub fn run_fields(result: &engine::SimResult, wall_ms: f64) -> Vec<(String, Value)> {
+    let stats = result.total_stats();
+    let phases = Value::Object(
+        engine::Phase::ALL
+            .iter()
+            .map(|&p| (p.key().to_string(), Value::Float(result.phases.get(p))))
+            .collect(),
+    );
+    vec![
+        ("wall_ms".to_string(), Value::Float(wall_ms)),
+        ("phases".to_string(), phases),
+        ("total_sim".to_string(), Value::Float(result.total)),
+        ("migration_fraction".to_string(), Value::Float(result.migration_fraction)),
+        ("interactions".to_string(), Value::UInt(stats.interactions)),
+        ("macs".to_string(), Value::UInt(stats.macs)),
+        ("tree_ops".to_string(), Value::UInt(stats.tree_ops)),
+        ("remote_gets".to_string(), Value::UInt(stats.remote_gets)),
+        ("remote_puts".to_string(), Value::UInt(stats.remote_puts)),
+        ("messages".to_string(), Value::UInt(stats.messages)),
+        ("bytes_in".to_string(), Value::UInt(stats.bytes_in)),
+        ("bytes_out".to_string(), Value::UInt(stats.bytes_out)),
+        ("lock_acquires".to_string(), Value::UInt(stats.lock_acquires)),
+    ]
+}
+
+/// Renders a body list as the bit-exact snapshot encoding.
+pub fn snapshot_bodies(bodies: &[nbody::Body]) -> Value {
+    Value::Array(
+        bodies
+            .iter()
+            .map(|b| {
+                let vec3 = |v: nbody::Vec3| {
+                    Value::Array(vec![
+                        Value::String(hex_f64(v.x)),
+                        Value::String(hex_f64(v.y)),
+                        Value::String(hex_f64(v.z)),
+                    ])
+                };
+                Value::Object(vec![
+                    ("id".to_string(), Value::UInt(b.id as u64)),
+                    ("mass".to_string(), Value::String(hex_f64(b.mass))),
+                    ("pos".to_string(), vec3(b.pos)),
+                    ("vel".to_string(), vec3(b.vel)),
+                    ("acc".to_string(), vec3(b.acc)),
+                    ("phi".to_string(), Value::String(hex_f64(b.phi))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use barnes_hut_upc::backends;
+    use scenarios::builtin;
+
+    fn parse(text: &str) -> Value {
+        serde_json::from_str(text).unwrap()
+    }
+
+    #[test]
+    fn hex_encoding_is_bit_exact() {
+        for v in [0.0, -0.0, 1.0, -1.5, f64::MIN_POSITIVE, 1.0 / 3.0, 6.02214076e23] {
+            let bits = v.to_bits();
+            assert_eq!(unhex_f64(&hex_f64(v)).unwrap().to_bits(), bits);
+        }
+        assert_eq!(unhex_f64("zz"), None);
+        assert_eq!(unhex_f64("0123"), None, "length must be exactly 16");
+    }
+
+    #[test]
+    fn jobs_decode_with_defaults_and_full_axes() {
+        let scenarios = builtin();
+        let registry = backends();
+        let job = decode_job(&parse(r#"{"n": 64}"#), &scenarios, &registry).unwrap();
+        assert_eq!(job.scenario, "plummer");
+        assert_eq!(job.backend, "upc");
+        assert_eq!(job.cfg.nbodies, 64);
+        assert_eq!(job.cfg.steps, 4);
+        assert_eq!(job.cfg.measured_steps, 2);
+        assert_eq!(job.cfg.opt, engine::OptLevel::Subspace);
+        assert!(job.cfg.validate().is_ok());
+
+        let full = parse(
+            r#"{"n": 128, "scenario": "king", "backend": "upc", "opt": "cache-local-tree",
+                "policy": "reuse", "rebuild_every": 4, "drift_threshold": 0.5,
+                "walk": "group", "steps": 8, "measured": 4, "seed": 9,
+                "nodes": 4, "threads_per_node": 2, "theta": 0.8, "eps": 0.1, "dt": 0.01}"#,
+        );
+        let job = decode_job(&full, &scenarios, &registry).unwrap();
+        assert_eq!(job.scenario, "king");
+        assert_eq!(job.cfg.opt, engine::OptLevel::CacheLocalTree);
+        assert_eq!(job.cfg.tree_policy.spec_label(), "reuse[e4,d0.5]");
+        assert_eq!(job.cfg.walk, engine::WalkMode::Group);
+        assert_eq!(job.cfg.seed, 9);
+        assert_eq!(job.cfg.machine.nodes, 4);
+        assert_eq!(job.cfg.machine.threads_per_node, 2);
+        assert_eq!(job.cfg.theta, 0.8);
+    }
+
+    #[test]
+    fn unknown_keys_reject_with_did_you_mean() {
+        let scenarios = builtin();
+        let registry = backends();
+        let err = decode_job(&parse(r#"{"n": 64, "scenario": "plumer"}"#), &scenarios, &registry)
+            .unwrap_err();
+        assert_eq!(err.code, E_UNKNOWN_SCENARIO);
+        assert!(err.error.contains("did you mean \"plummer\"?"), "{}", err.error);
+        let err = decode_job(&parse(r#"{"n": 64, "backend": "driect"}"#), &scenarios, &registry)
+            .unwrap_err();
+        assert_eq!(err.code, E_UNKNOWN_BACKEND);
+        assert!(err.error.contains("did you mean \"direct\"?"), "{}", err.error);
+    }
+
+    #[test]
+    fn job_identity_keys_every_axis() {
+        let scenarios = builtin();
+        let registry = backends();
+        let base = decode_job(&parse(r#"{"n": 64}"#), &scenarios, &registry).unwrap();
+        for variant in [
+            r#"{"n": 65}"#,
+            r#"{"n": 64, "seed": 2}"#,
+            r#"{"n": 64, "backend": "direct"}"#,
+            r#"{"n": 64, "steps": 5}"#,
+            r#"{"n": 64, "theta": 0.9}"#,
+            r#"{"n": 64, "nodes": 3}"#,
+            r#"{"n": 64, "walk": "group"}"#,
+        ] {
+            let job = decode_job(&parse(variant), &scenarios, &registry).unwrap();
+            assert_ne!(job.identity(), base.identity(), "{variant}");
+        }
+        let same = decode_job(&parse(r#"{"n": 64}"#), &scenarios, &registry).unwrap();
+        assert_eq!(same.identity(), base.identity());
+    }
+
+    #[test]
+    fn rejects_render_their_code_and_extras() {
+        let mut reject = Reject::new(E_QUOTA_EXCEEDED, "over quota");
+        reject.extra.push(("used".to_string(), Value::UInt(101)));
+        let v = reject.to_value();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_str(), Some(E_QUOTA_EXCEEDED));
+        assert_eq!(v.get("used").unwrap().as_u64(), Some(101));
+        let ok = ok_response(vec![("pong".to_string(), Value::Bool(true))]);
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+    }
+}

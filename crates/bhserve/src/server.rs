@@ -1,0 +1,680 @@
+//! The `bhserve` daemon: accept loop, connection handling and dispatch.
+//!
+//! One OS thread per connection over blocking sockets — boring on purpose.
+//! The expensive resource here is never connection handling (a request is
+//! one small JSON object) but the engine runs behind it, so concurrency is
+//! governed where it matters: a counting *run gate* caps simultaneous
+//! engine runs at [`ServerOptions::max_concurrent_runs`], and everything
+//! else (thousands of parked connections, session tables, quota ledgers)
+//! is cheap shared state.  Connection threads get small stacks; the engine
+//! itself spawns its own worker threads per run and is unaffected.
+//!
+//! Error discipline per connection:
+//!
+//! * malformed JSON in a well-formed frame → an [`crate::proto::E_PROTO`]
+//!   *response* — the framing is still synchronized, the connection lives;
+//! * a framing error (oversized declaration, mid-frame EOF) → the
+//!   connection is dropped, because the byte stream is unsynchronized by
+//!   construction;
+//! * any drop of the connection — clean or not — tears down its sessions
+//!   ([`crate::session`]) while the tenant's quota ledger survives.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::batch::{BatchRunner, RunOutput};
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{
+    self, decode_job, ok_response, run_fields, snapshot_bodies, tenant_of, Job, Reject, E_PROTO,
+    E_UNKNOWN_OP, E_UNSUPPORTED,
+};
+use crate::quota::QuotaBook;
+use crate::session::{check_session_preconditions, Session, SessionTable};
+use engine::BackendRegistry;
+use scenarios::Registry as ScenarioRegistry;
+use serde::Value;
+
+/// Everything tunable about a server instance.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Listen address; port 0 picks a free port (reported by
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Maximum simultaneous engine runs (the run gate's permit count).
+    pub max_concurrent_runs: usize,
+    /// Interaction quota applied to tenants without an override
+    /// (`None` = unmetered).
+    pub default_quota: Option<u64>,
+    /// Per-tenant quota overrides.
+    pub tenant_quotas: Vec<(String, u64)>,
+    /// Live-session cap per connection.
+    pub max_sessions_per_conn: usize,
+    /// Jobs up to this many bodies are eligible for single-flight
+    /// coalescing ([`crate::batch`]); bigger jobs always run alone.
+    pub batch_max_bodies: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            max_concurrent_runs: 2,
+            default_quota: None,
+            tenant_quotas: Vec::new(),
+            max_sessions_per_conn: 16,
+            batch_max_bodies: 4096,
+        }
+    }
+}
+
+/// Counting semaphore over the engine: at most `max_concurrent_runs`
+/// simulations execute at once; everyone else parks here (without holding
+/// any other lock — see [`crate::batch`] for why followers never deadlock
+/// the gate).
+struct RunGate {
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl RunGate {
+    fn new(permits: usize) -> RunGate {
+        RunGate { free: Mutex::new(permits.max(1)), cv: Condvar::new() }
+    }
+
+    fn acquire(&self) -> RunPermit<'_> {
+        let mut free = self.free.lock().unwrap();
+        while *free == 0 {
+            free = self.cv.wait(free).unwrap();
+        }
+        *free -= 1;
+        RunPermit { gate: self }
+    }
+}
+
+struct RunPermit<'a> {
+    gate: &'a RunGate,
+}
+
+impl Drop for RunPermit<'_> {
+    fn drop(&mut self) {
+        *self.gate.free.lock().unwrap() += 1;
+        self.gate.cv.notify_one();
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    opts: ServerOptions,
+    scenarios: ScenarioRegistry,
+    backends: BackendRegistry,
+    quotas: QuotaBook,
+    batch: BatchRunner,
+    gate: RunGate,
+    session_ids: Arc<AtomicU64>,
+    connections: AtomicUsize,
+}
+
+/// A running `bhserve` instance.
+///
+/// Dropping the handle (or calling [`Server::stop`]) stops the accept loop;
+/// already-connected clients are served until they disconnect.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds, starts the accept loop and returns immediately.
+    pub fn start(
+        opts: ServerOptions,
+        scenarios: ScenarioRegistry,
+        backends: BackendRegistry,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            quotas: QuotaBook::new(opts.default_quota, opts.tenant_quotas.clone()),
+            batch: BatchRunner::new(),
+            gate: RunGate::new(opts.max_concurrent_runs),
+            session_ids: Arc::new(AtomicU64::new(1)),
+            connections: AtomicUsize::new(0),
+            opts,
+            scenarios,
+            backends,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let (shared, stop) = (Arc::clone(&shared), Arc::clone(&stop));
+            std::thread::Builder::new()
+                .name("bhserve-accept".to_string())
+                .spawn(move || accept_loop(listener, shared, stop))?
+        };
+        Ok(Server { addr, stop, accept_thread: Some(accept_thread), shared })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The quota ledger — exposed so operators (and the integration tests)
+    /// can audit per-tenant spend against standalone runs.
+    pub fn quotas(&self) -> &QuotaBook {
+        &self.shared.quotas
+    }
+
+    /// Number of currently-connected clients.
+    pub fn connections(&self) -> usize {
+        self.shared.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting new connections and joins the accept loop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                // Connection threads mostly park in `read_frame`; the engine
+                // runs on its own per-run worker threads, so a small stack
+                // keeps thousands of idle clients cheap.
+                let spawned = std::thread::Builder::new()
+                    .name("bhserve-conn".to_string())
+                    .stack_size(256 * 1024)
+                    .spawn(move || {
+                        shared.connections.fetch_add(1, Ordering::Relaxed);
+                        let _ = serve_connection(stream, &shared);
+                        shared.connections.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if spawned.is_err() {
+                    // Thread exhaustion: drop the connection rather than die.
+                    continue;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // Sessions live exactly as long as this stack frame: any return —
+    // clean close, frame error, write failure — drops the table.
+    let mut sessions =
+        SessionTable::new(Arc::clone(&shared.session_ids), shared.opts.max_sessions_per_conn);
+    loop {
+        let payload = match read_frame(&mut reader)? {
+            Some(payload) => payload,
+            None => return Ok(()), // orderly close
+        };
+        let response = match parse_request(&payload) {
+            Ok(request) => {
+                dispatch(shared, &mut sessions, &request).unwrap_or_else(|r| r.to_value())
+            }
+            Err(reject) => reject.to_value(),
+        };
+        let text = serde_json::to_string(&response)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        write_frame(&mut writer, text.as_bytes())?;
+    }
+}
+
+fn parse_request(payload: &[u8]) -> Result<Value, Reject> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| Reject::new(E_PROTO, "request payload is not UTF-8"))?;
+    let value: Value = serde_json::from_str(text)
+        .map_err(|e| Reject::new(E_PROTO, format!("request is not valid JSON: {e}")))?;
+    if !matches!(value, Value::Object(_)) {
+        return Err(Reject::new(E_PROTO, "request must be a JSON object"));
+    }
+    Ok(value)
+}
+
+/// Runs `job` through the engine, coalescing with identical in-flight jobs
+/// when it is small enough to be eligible.
+fn execute(shared: &Shared, job: &Job) -> (Arc<RunOutput>, bool) {
+    let compute = || {
+        // The permit is held only while computing — never while waiting on
+        // another flight — so the gate cannot be deadlocked by coalescing.
+        let _permit = shared.gate.acquire();
+        let scenario = shared.scenarios.get(&job.scenario).expect("validated at decode");
+        let backend = shared.backends.get(&job.backend).expect("validated at decode");
+        let bodies = scenario.generate(job.cfg.nbodies, job.cfg.seed);
+        let start = Instant::now();
+        let result = backend.run(&job.cfg, bodies);
+        RunOutput { result, wall_ms: start.elapsed().as_secs_f64() * 1e3 }
+    };
+    if job.cfg.nbodies <= shared.opts.batch_max_bodies {
+        shared.batch.run(job.identity(), compute)
+    } else {
+        (Arc::new(compute()), false)
+    }
+}
+
+/// Relays a backend `supports` rejection: a stringified
+/// [`engine::ConfigError`] keeps its machine code in the rendered message,
+/// so validation is re-run to recover the structured code; anything else is
+/// a backend-specific [`E_UNSUPPORTED`].
+fn check_supported(backend: &dyn engine::Backend, job: &Job) -> Result<(), Reject> {
+    if let Err(e) = job.cfg.validate() {
+        return Err(Reject::new(e.code, e.to_string()));
+    }
+    backend.supports(&job.cfg).map_err(|msg| Reject::new(E_UNSUPPORTED, msg))
+}
+
+fn dispatch(
+    shared: &Shared,
+    sessions: &mut SessionTable,
+    request: &Value,
+) -> Result<Value, Reject> {
+    let op = proto::str_of(request, "op")?
+        .ok_or_else(|| Reject::new(E_PROTO, "field \"op\" is required"))?;
+    match op.as_str() {
+        "ping" => Ok(ok_response(vec![("pong".to_string(), Value::Bool(true))])),
+        "list" => Ok(op_list(shared)),
+        "usage" => op_usage(shared, request),
+        "run" => op_run(shared, request),
+        "open" => op_open(shared, sessions, request),
+        "step" => op_step(shared, sessions, request),
+        "query" => op_query(sessions, request),
+        "snapshot" => op_snapshot(sessions, request),
+        "close" => op_close(sessions, request),
+        other => {
+            const OPS: [&str; 9] =
+                ["ping", "list", "usage", "run", "open", "step", "query", "snapshot", "close"];
+            Err(Reject::new(E_UNKNOWN_OP, engine::suggest::unknown_key("op", other, &OPS)))
+        }
+    }
+}
+
+fn op_list(shared: &Shared) -> Value {
+    let scenarios = Value::Array(
+        shared
+            .scenarios
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::String(s.name().to_string())),
+                    ("description".to_string(), Value::String(s.description().to_string())),
+                ])
+            })
+            .collect(),
+    );
+    let backends = Value::Array(
+        shared
+            .backends
+            .iter()
+            .map(|b| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::String(b.name().to_string())),
+                    ("description".to_string(), Value::String(b.description().to_string())),
+                    ("sessions".to_string(), Value::Bool(b.supports_sessions())),
+                ])
+            })
+            .collect(),
+    );
+    ok_response(vec![("scenarios".to_string(), scenarios), ("backends".to_string(), backends)])
+}
+
+fn op_usage(shared: &Shared, request: &Value) -> Result<Value, Reject> {
+    let tenant = tenant_of(request)?;
+    let usage = shared.quotas.usage(&tenant);
+    let limit = match shared.quotas.limit(&tenant) {
+        Some(limit) => Value::UInt(limit),
+        None => Value::Null,
+    };
+    Ok(ok_response(vec![
+        ("tenant".to_string(), Value::String(tenant)),
+        ("interactions".to_string(), Value::UInt(usage.interactions)),
+        ("tree_ops".to_string(), Value::UInt(usage.tree_ops)),
+        ("runs".to_string(), Value::UInt(usage.runs)),
+        ("limit".to_string(), limit),
+    ]))
+}
+
+fn op_run(shared: &Shared, request: &Value) -> Result<Value, Reject> {
+    let tenant = tenant_of(request)?;
+    shared.quotas.admit(&tenant)?;
+    let job = decode_job(request, &shared.scenarios, &shared.backends)?;
+    let backend = shared.backends.get(&job.backend).expect("validated at decode");
+    check_supported(backend, &job)?;
+    let (output, batched) = execute(shared, &job);
+    // Followers are charged the full deterministic cost of the job they
+    // requested; see the billing contract in `crate::quota`.
+    shared.quotas.charge(&tenant, &output.result.total_stats());
+    let mut fields = run_fields(&output.result, output.wall_ms);
+    fields.push(("batched".to_string(), Value::Bool(batched)));
+    Ok(ok_response(fields))
+}
+
+fn op_open(shared: &Shared, sessions: &mut SessionTable, request: &Value) -> Result<Value, Reject> {
+    let tenant = tenant_of(request)?;
+    shared.quotas.admit(&tenant)?;
+    let job = decode_job(request, &shared.scenarios, &shared.backends)?;
+    let backend = shared.backends.get(&job.backend).expect("validated at decode");
+    check_session_preconditions(backend, &job)?;
+    check_supported(backend, &job)?;
+    let scenario = shared.scenarios.get(&job.scenario).expect("validated at decode");
+    let bodies = scenario.generate(job.cfg.nbodies, job.cfg.seed);
+    let id = sessions.open(Session { tenant, job, bodies, steps_done: 0 })?;
+    Ok(ok_response(vec![("session".to_string(), Value::UInt(id))]))
+}
+
+fn op_step(shared: &Shared, sessions: &mut SessionTable, request: &Value) -> Result<Value, Reject> {
+    let id = session_id(request)?;
+    let k = proto::u64_of(request, "steps")?.unwrap_or(1) as usize;
+    if k == 0 {
+        return Err(Reject::new(E_PROTO, "field \"steps\" must be at least 1"));
+    }
+    // Admission is checked against the *session's* tenant — the one the
+    // work is charged to — before any engine time is spent.
+    let tenant = sessions.get_mut(id)?.tenant.clone();
+    shared.quotas.admit(&tenant)?;
+    let session = sessions.get_mut(id)?;
+    let cfg = session.chunk_config(k);
+    let backend = shared.backends.get(&session.job.backend).expect("validated at open");
+    let (result, wall_ms) = {
+        let _permit = shared.gate.acquire();
+        let start = Instant::now();
+        let result = backend.run(&cfg, session.bodies.clone());
+        (result, start.elapsed().as_secs_f64() * 1e3)
+    };
+    session.advance(k, &result);
+    let steps_done = session.steps_done;
+    shared.quotas.charge(&tenant, &result.total_stats());
+    let mut fields = vec![
+        ("session".to_string(), Value::UInt(id)),
+        ("steps_done".to_string(), Value::UInt(steps_done as u64)),
+    ];
+    fields.extend(run_fields(&result, wall_ms));
+    Ok(ok_response(fields))
+}
+
+fn op_query(sessions: &mut SessionTable, request: &Value) -> Result<Value, Reject> {
+    let id = session_id(request)?;
+    let session = sessions.get_mut(id)?;
+    Ok(ok_response(vec![
+        ("session".to_string(), Value::UInt(id)),
+        ("tenant".to_string(), Value::String(session.tenant.clone())),
+        ("scenario".to_string(), Value::String(session.job.scenario.clone())),
+        ("backend".to_string(), Value::String(session.job.backend.clone())),
+        ("n".to_string(), Value::UInt(session.job.cfg.nbodies as u64)),
+        ("steps_done".to_string(), Value::UInt(session.steps_done as u64)),
+    ]))
+}
+
+fn op_snapshot(sessions: &mut SessionTable, request: &Value) -> Result<Value, Reject> {
+    let id = session_id(request)?;
+    let session = sessions.get_mut(id)?;
+    Ok(ok_response(vec![
+        ("session".to_string(), Value::UInt(id)),
+        ("steps_done".to_string(), Value::UInt(session.steps_done as u64)),
+        ("bodies".to_string(), snapshot_bodies(&session.bodies)),
+    ]))
+}
+
+fn op_close(sessions: &mut SessionTable, request: &Value) -> Result<Value, Reject> {
+    let id = session_id(request)?;
+    let session = sessions.close(id)?;
+    Ok(ok_response(vec![
+        ("closed".to_string(), Value::UInt(id)),
+        ("steps_done".to_string(), Value::UInt(session.steps_done as u64)),
+    ]))
+}
+
+fn session_id(request: &Value) -> Result<u64, Reject> {
+    proto::u64_of(request, "session")?
+        .ok_or_else(|| Reject::new(E_PROTO, "field \"session\" is required"))
+}
+
+/// A minimal blocking client for the framed protocol — what `bhload`, the
+/// integration tests and the CI smoke job use to talk to a live server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: &SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one request object and waits for its response.
+    pub fn call(&mut self, request: &Value) -> io::Result<Value> {
+        let text = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        write_frame(&mut self.writer, text.as_bytes())?;
+        let payload = read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        serde_json::from_str(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends raw bytes as one frame without waiting for a response, then
+    /// drops the connection — the abuse path the CI smoke job exercises
+    /// (mid-session disconnects must not wedge the server).
+    pub fn send_raw_and_hang_up(mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, payload)
+    }
+}
+
+/// Builds a request object from `(key, value)` pairs plus the `op`.
+pub fn request(op: &str, fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("op".to_string(), Value::String(op.to_string()))];
+    all.extend(fields);
+    Value::Object(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use barnes_hut_upc::backends;
+    use scenarios::builtin;
+
+    fn start_default(opts: ServerOptions) -> Server {
+        Server::start(opts, builtin(), backends()).unwrap()
+    }
+
+    fn field_u64(v: &Value, key: &str) -> u64 {
+        v.get(key).and_then(|x| x.as_u64()).unwrap_or_else(|| panic!("missing {key}: {v:?}"))
+    }
+
+    #[test]
+    fn ping_list_and_unknown_ops() {
+        let server = start_default(ServerOptions::default());
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let pong = client.call(&request("ping", Vec::new())).unwrap();
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+        let list = client.call(&request("list", Vec::new())).unwrap();
+        let backends = list.get("backends").unwrap().as_array().unwrap();
+        assert!(backends.iter().any(|b| b.get("name").unwrap().as_str() == Some("upc")));
+        let err = client.call(&request("pnig", Vec::new())).unwrap();
+        assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(err.get("code").unwrap().as_str(), Some(proto::E_UNKNOWN_OP));
+        assert!(err.get("error").unwrap().as_str().unwrap().contains("did you mean \"ping\"?"));
+    }
+
+    #[test]
+    fn malformed_json_keeps_the_connection_alive() {
+        let server = start_default(ServerOptions::default());
+        let mut client = Client::connect(&server.addr()).unwrap();
+        // Raw garbage in a well-formed frame: an E_PROTO response, then the
+        // same connection keeps working.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut stream, b"{not json").unwrap();
+        let reply = read_frame(&mut BufReader::new(stream.try_clone().unwrap()))
+            .unwrap()
+            .expect("server must reply to garbage");
+        let v: Value = serde_json::from_str(std::str::from_utf8(&reply).unwrap()).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str(), Some(proto::E_PROTO));
+        drop(stream);
+        // And an independent healthy client is unaffected.
+        let pong = client.call(&request("ping", Vec::new())).unwrap();
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn run_executes_and_charges_the_tenant() {
+        let server = start_default(ServerOptions::default());
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let reply = client
+            .call(&request(
+                "run",
+                vec![
+                    ("tenant".to_string(), Value::String("acme".to_string())),
+                    ("n".to_string(), Value::UInt(32)),
+                    ("backend".to_string(), Value::String("direct".to_string())),
+                    ("steps".to_string(), Value::UInt(2)),
+                    ("measured".to_string(), Value::UInt(1)),
+                ],
+            ))
+            .unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true), "{reply:?}");
+        let interactions = field_u64(&reply, "interactions");
+        assert!(interactions > 0);
+        let usage = client
+            .call(&request(
+                "usage",
+                vec![("tenant".to_string(), Value::String("acme".to_string()))],
+            ))
+            .unwrap();
+        assert_eq!(field_u64(&usage, "interactions"), interactions);
+        assert_eq!(field_u64(&usage, "runs"), 1);
+        assert_eq!(server.quotas().usage("acme").interactions, interactions);
+    }
+
+    #[test]
+    fn config_error_codes_are_relayed() {
+        let server = start_default(ServerOptions::default());
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let reply = client
+            .call(&request(
+                "run",
+                vec![
+                    ("tenant".to_string(), Value::String("t".to_string())),
+                    ("n".to_string(), Value::UInt(32)),
+                    ("steps".to_string(), Value::UInt(1)),
+                    ("measured".to_string(), Value::UInt(5)),
+                ],
+            ))
+            .unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+        // The machine-readable code travels as its own field, exactly as
+        // SimConfig::validate reports it locally.
+        assert_eq!(reply.get("code").unwrap().as_str(), Some("E_MEASURED_WINDOW"));
+        let unknown = client
+            .call(&request(
+                "run",
+                vec![
+                    ("tenant".to_string(), Value::String("t".to_string())),
+                    ("n".to_string(), Value::UInt(32)),
+                    ("scenario".to_string(), Value::String("plumer".to_string())),
+                ],
+            ))
+            .unwrap();
+        assert_eq!(unknown.get("code").unwrap().as_str(), Some(proto::E_UNKNOWN_SCENARIO));
+        assert!(unknown
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("did you mean \"plummer\"?"));
+    }
+
+    #[test]
+    fn sessions_step_snapshot_and_close() {
+        let server = start_default(ServerOptions::default());
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let opened = client
+            .call(&request(
+                "open",
+                vec![
+                    ("tenant".to_string(), Value::String("t".to_string())),
+                    ("n".to_string(), Value::UInt(24)),
+                    ("backend".to_string(), Value::String("direct".to_string())),
+                ],
+            ))
+            .unwrap();
+        assert_eq!(opened.get("ok").unwrap().as_bool(), Some(true), "{opened:?}");
+        let id = field_u64(&opened, "session");
+        let sid = ("session".to_string(), Value::UInt(id));
+        let stepped = client
+            .call(&request("step", vec![sid.clone(), ("steps".to_string(), Value::UInt(2))]))
+            .unwrap();
+        assert_eq!(field_u64(&stepped, "steps_done"), 2);
+        let queried = client.call(&request("query", vec![sid.clone()])).unwrap();
+        assert_eq!(queried.get("backend").unwrap().as_str(), Some("direct"));
+        assert_eq!(field_u64(&queried, "steps_done"), 2);
+        let snap = client.call(&request("snapshot", vec![sid.clone()])).unwrap();
+        assert_eq!(snap.get("bodies").unwrap().as_array().unwrap().len(), 24);
+        let closed = client.call(&request("close", vec![sid.clone()])).unwrap();
+        assert_eq!(field_u64(&closed, "closed"), id);
+        let gone = client.call(&request("query", vec![sid])).unwrap();
+        assert_eq!(gone.get("code").unwrap().as_str(), Some(proto::E_NO_SESSION));
+    }
+
+    #[test]
+    fn quota_rejections_are_structured_and_ledgers_survive_disconnects() {
+        let opts = ServerOptions {
+            tenant_quotas: vec![("freeloader".to_string(), 1)],
+            ..ServerOptions::default()
+        };
+        let server = start_default(opts);
+        let tenant = ("tenant".to_string(), Value::String("freeloader".to_string()));
+        let job = |t: (String, Value)| {
+            request(
+                "run",
+                vec![
+                    t,
+                    ("n".to_string(), Value::UInt(24)),
+                    ("backend".to_string(), Value::String("direct".to_string())),
+                    ("steps".to_string(), Value::UInt(1)),
+                    ("measured".to_string(), Value::UInt(1)),
+                ],
+            )
+        };
+        {
+            let mut client = Client::connect(&server.addr()).unwrap();
+            let first = client.call(&job(tenant.clone())).unwrap();
+            assert_eq!(first.get("ok").unwrap().as_bool(), Some(true), "{first:?}");
+            let second = client.call(&job(tenant.clone())).unwrap();
+            assert_eq!(second.get("code").unwrap().as_str(), Some(proto::E_QUOTA_EXCEEDED));
+            assert!(field_u64(&second, "used") >= 1);
+            assert_eq!(field_u64(&second, "limit"), 1);
+        }
+        // Reconnecting does not launder the ledger.
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let again = client.call(&job(tenant)).unwrap();
+        assert_eq!(again.get("code").unwrap().as_str(), Some(proto::E_QUOTA_EXCEEDED));
+    }
+}

@@ -1,0 +1,209 @@
+//! Persistent simulation sessions: a live body state stepped across
+//! requests.
+//!
+//! A `run` job is fire-and-forget; a *session* keeps the simulation alive
+//! on the server so a client can `step` it incrementally, `query` its
+//! progress and `snapshot` the exact body state at any point.  The
+//! contract that makes this safe to offer is
+//! [`engine::Backend::supports_sessions`]: chunked stepping must be
+//! **bit-for-bit** identical to one long run, which holds for the built-in
+//! solvers under the per-step rebuild tree policy (the advance update is
+//! stateless and tree construction is a pure function of body positions).
+//! Both preconditions are enforced at `open`; the session-equivalence
+//! integration test pins the bit-for-bit claim for every backend that makes
+//! it.
+//!
+//! Sessions are owned by their connection — a disconnect (clean or
+//! mid-message) tears down every session the connection holds, while the
+//! tenant's quota ledger survives, so abandoning a session never refunds
+//! spent cost.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::proto::{Job, Reject, E_NO_SESSION, E_SESSION_LIMIT};
+use engine::{SimConfig, TreePolicy};
+use nbody::Body;
+
+/// One live simulation: the job it was opened with and the evolving state.
+pub struct Session {
+    /// Tenant the session's work is charged to.
+    pub tenant: String,
+    /// The job template (scenario, backend, full config) from `open`.
+    pub job: Job,
+    /// Current body state, sorted by id (the backend convention).
+    pub bodies: Vec<Body>,
+    /// Steps advanced so far across all `step` requests.
+    pub steps_done: usize,
+}
+
+impl Session {
+    /// The configuration for one `k`-step chunk from the current state.
+    ///
+    /// The chunk measures all of its steps — measurement affects only
+    /// timing and counter attribution, never the physics — so each `step`
+    /// request reports the full deterministic cost it is charged for.
+    pub fn chunk_config(&self, k: usize) -> SimConfig {
+        let mut cfg = self.job.cfg.clone();
+        cfg.steps = k;
+        cfg.measured_steps = k;
+        cfg
+    }
+
+    /// Adopts the outcome of one `k`-step chunk run.
+    pub fn advance(&mut self, k: usize, result: &engine::SimResult) {
+        self.bodies = result.bodies.clone();
+        self.steps_done += k;
+    }
+}
+
+/// The sessions owned by one connection.
+///
+/// Ids come from a server-global counter so log lines and error messages
+/// are unambiguous across connections; the table itself is connection-local
+/// (no cross-connection session access, and teardown is simply dropping the
+/// table).
+pub struct SessionTable {
+    next_id: Arc<AtomicU64>,
+    cap: usize,
+    sessions: HashMap<u64, Session>,
+}
+
+impl SessionTable {
+    /// An empty table drawing ids from `next_id`, holding at most `cap`
+    /// concurrent sessions.
+    pub fn new(next_id: Arc<AtomicU64>, cap: usize) -> SessionTable {
+        SessionTable { next_id, cap, sessions: HashMap::new() }
+    }
+
+    /// Admits a new session, enforcing the per-connection cap.
+    pub fn open(&mut self, session: Session) -> Result<u64, Reject> {
+        if self.sessions.len() >= self.cap {
+            return Err(Reject::new(
+                E_SESSION_LIMIT,
+                format!(
+                    "connection already holds {} live sessions (cap {}); close one first",
+                    self.sessions.len(),
+                    self.cap
+                ),
+            ));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions.insert(id, session);
+        Ok(id)
+    }
+
+    /// The live session with this id, or the standard [`E_NO_SESSION`]
+    /// rejection.
+    pub fn get_mut(&mut self, id: u64) -> Result<&mut Session, Reject> {
+        self.sessions.get_mut(&id).ok_or_else(|| {
+            Reject::new(E_NO_SESSION, format!("no live session {id} on this connection"))
+        })
+    }
+
+    /// Closes and returns the session, or rejects if it does not exist.
+    pub fn close(&mut self, id: u64) -> Result<Session, Reject> {
+        self.sessions.remove(&id).ok_or_else(|| {
+            Reject::new(E_NO_SESSION, format!("no live session {id} on this connection"))
+        })
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+/// The `open`-time preconditions for sessions, shared by the server and the
+/// tests: the backend must claim chunked-stepping fidelity and the job must
+/// use the per-step rebuild tree policy (any tree state carried across
+/// steps would make chunk boundaries observable).
+pub fn check_session_preconditions(backend: &dyn engine::Backend, job: &Job) -> Result<(), Reject> {
+    if !backend.supports_sessions() {
+        return Err(Reject::new(
+            crate::proto::E_SESSION_UNSUPPORTED,
+            format!(
+                "backend {:?} does not support sessions (chunked stepping is not \
+                 guaranteed bit-for-bit identical to one run)",
+                backend.name()
+            ),
+        ));
+    }
+    if !matches!(job.cfg.tree_policy, TreePolicy::Rebuild) {
+        return Err(Reject::new(
+            crate::proto::E_SESSION_POLICY,
+            format!(
+                "sessions require the per-step rebuild tree policy; policy {:?} carries \
+                 tree state across steps, which would make chunk boundaries observable",
+                job.cfg.tree_policy.spec_label()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use barnes_hut_upc::backends;
+    use scenarios::builtin;
+    use serde::Value;
+
+    fn job(text: &str) -> Job {
+        let v: Value = serde_json::from_str(text).unwrap();
+        crate::proto::decode_job(&v, &builtin(), &backends()).unwrap()
+    }
+
+    fn session(j: Job) -> Session {
+        Session { tenant: "t".to_string(), job: j, bodies: Vec::new(), steps_done: 0 }
+    }
+
+    #[test]
+    fn table_enforces_cap_and_id_uniqueness() {
+        let counter = Arc::new(AtomicU64::new(1));
+        let mut table = SessionTable::new(counter.clone(), 2);
+        let a = table.open(session(job(r#"{"n": 16}"#))).unwrap();
+        let b = table.open(session(job(r#"{"n": 16}"#))).unwrap();
+        assert_ne!(a, b);
+        let err = table.open(session(job(r#"{"n": 16}"#))).unwrap_err();
+        assert_eq!(err.code, E_SESSION_LIMIT);
+        table.close(a).unwrap();
+        assert_eq!(table.len(), 1);
+        // Ids never recycle, even after a close.
+        let c = table.open(session(job(r#"{"n": 16}"#))).unwrap();
+        assert!(c > b);
+        assert_eq!(table.get_mut(a).map(|_| ()).unwrap_err().code, E_NO_SESSION);
+        assert_eq!(table.close(a).map(|_| ()).unwrap_err().code, E_NO_SESSION);
+    }
+
+    #[test]
+    fn preconditions_gate_backend_and_policy() {
+        let registry = backends();
+        let j = job(r#"{"n": 16}"#);
+        for backend in registry.iter() {
+            // Every built-in backend opts into sessions.
+            assert!(check_session_preconditions(backend, &j).is_ok(), "{}", backend.name());
+        }
+        let reuse = job(r#"{"n": 16, "policy": "reuse"}"#);
+        let err = check_session_preconditions(registry.get("upc").unwrap(), &reuse).unwrap_err();
+        assert_eq!(err.code, crate::proto::E_SESSION_POLICY);
+    }
+
+    #[test]
+    fn chunk_configs_measure_every_step() {
+        let j = job(r#"{"n": 16, "steps": 9, "measured": 1}"#);
+        let s = session(j);
+        let chunk = s.chunk_config(3);
+        assert_eq!(chunk.steps, 3);
+        assert_eq!(chunk.measured_steps, 3);
+        assert!(chunk.validate().is_ok());
+        // The template itself is untouched.
+        assert_eq!(s.job.cfg.steps, 9);
+    }
+}

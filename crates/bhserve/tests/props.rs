@@ -1,0 +1,93 @@
+//! Property-based tests for the `bhserve` wire layer: the frame codec
+//! round-trips, and no wire input — truncated, oversized or garbage —
+//! ever panics or over-allocates.
+
+use std::io::{self, Cursor};
+
+use bhserve::frame::{read_frame, write_frame, MAX_FRAME};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frame_sequences_round_trip(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..2048), 1..8)
+    ) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for p in &payloads {
+            let frame = read_frame(&mut r).unwrap();
+            prop_assert_eq!(frame.as_deref(), Some(&p[..]));
+        }
+        prop_assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after the last frame");
+    }
+
+    #[test]
+    fn truncated_frames_fail_cleanly(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        cut in 0usize..600,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let cut = cut.min(buf.len());
+        let mut r = Cursor::new(buf[..cut].to_vec());
+        match read_frame(&mut r) {
+            // No bytes at all is an orderly close...
+            Ok(None) => prop_assert_eq!(cut, 0),
+            // ...a whole frame only survives an uncut stream...
+            Ok(Some(got)) => {
+                prop_assert_eq!(cut, buf.len());
+                prop_assert_eq!(got, payload);
+            }
+            // ...and everything in between is a mid-frame disconnect.
+            Err(e) => prop_assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+        }
+    }
+
+    #[test]
+    fn arbitrary_streams_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        // Read frames until the stream is exhausted or rejected; every
+        // outcome must be an enumerated one — never a panic, never an
+        // allocation beyond MAX_FRAME (a 128-byte stream cannot satisfy a
+        // large declared length, so a huge declaration either errors as
+        // InvalidData or dies as UnexpectedEof while filling the payload).
+        let mut r = Cursor::new(bytes);
+        for _ in 0..64 {
+            match read_frame(&mut r) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    prop_assert!(matches!(
+                        e.kind(),
+                        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_declarations_are_invalid_data(extra in 1u32..100_000) {
+        let declared = (MAX_FRAME as u32).saturating_add(extra);
+        let mut buf = declared.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 32]);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn garbage_json_is_rejected_without_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // The protocol layer above the framing: arbitrary payload bytes
+        // either parse as JSON or are rejected with an error — never a
+        // panic (the connection handler turns both failure modes into an
+        // E_PROTO response).
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = serde_json::from_str(text);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end tests of the serving stack over real sockets: the
+//! session-equivalence guarantee, deterministic tenant accounting, and the
+//! `bhload` harness driving a live in-process server.
+
+use barnes_hut_upc::backends;
+use bhserve::load::{self, LoadOptions, Mix};
+use bhserve::proto::{decode_job, hex_f64};
+use bhserve::server::request;
+use bhserve::{Client, Server, ServerOptions};
+use scenarios::builtin;
+use serde::Value;
+
+fn start(opts: ServerOptions) -> Server {
+    Server::start(opts, builtin(), backends()).unwrap()
+}
+
+fn str_field(v: &Value, key: &str) -> String {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .unwrap_or_else(|| panic!("missing {key}: {v:?}"))
+        .to_string()
+}
+
+fn u64_field(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(|x| x.as_u64()).unwrap_or_else(|| panic!("missing {key}: {v:?}"))
+}
+
+/// The job every equivalence check uses, as raw request fields.
+fn job_fields(backend: &str, n: u64) -> Vec<(String, Value)> {
+    vec![
+        ("tenant".to_string(), Value::String("equiv".to_string())),
+        ("scenario".to_string(), Value::String("plummer".to_string())),
+        ("backend".to_string(), Value::String(backend.to_string())),
+        ("n".to_string(), Value::UInt(n)),
+        ("steps".to_string(), Value::UInt(4)),
+        ("measured".to_string(), Value::UInt(2)),
+        ("nodes".to_string(), Value::UInt(2)),
+    ]
+}
+
+/// N `step` requests against a live session must produce the body state of
+/// one standalone N-step run **bit for bit** — the
+/// [`engine::Backend::supports_sessions`] contract, checked for every
+/// backend that makes the claim, through the real socket path (framing,
+/// JSON, hex encoding included).
+#[test]
+fn chunked_session_stepping_is_bit_identical_to_one_run() {
+    let registry = backends();
+    let scenarios = builtin();
+    let server = start(ServerOptions::default());
+    let session_capable: Vec<&str> =
+        registry.iter().filter(|b| b.supports_sessions()).map(|b| b.name()).collect();
+    assert!(!session_capable.is_empty(), "at least one backend must support sessions");
+
+    for backend_name in session_capable {
+        // The standalone reference: decode the *same* request fields the
+        // server will decode, so the configs are identical by construction.
+        let req = request("open", job_fields(backend_name, 48));
+        let job = decode_job(&req, &scenarios, &registry).unwrap();
+        let backend = registry.get(backend_name).unwrap();
+        let initial = scenarios.get("plummer").unwrap().generate(48, job.cfg.seed);
+        let expected = backend.run(&job.cfg, initial).bodies;
+        assert_eq!(expected.len(), 48);
+
+        // The served path: open, 2 + 2 steps, snapshot.
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let opened = client.call(&req).unwrap();
+        assert_eq!(
+            opened.get("ok").and_then(|v| v.as_bool()),
+            Some(true),
+            "{backend_name}: {opened:?}"
+        );
+        let sid = ("session".to_string(), Value::UInt(u64_field(&opened, "session")));
+        for _ in 0..2 {
+            let stepped = client
+                .call(&request("step", vec![sid.clone(), ("steps".to_string(), Value::UInt(2))]))
+                .unwrap();
+            assert_eq!(
+                stepped.get("ok").and_then(|v| v.as_bool()),
+                Some(true),
+                "{backend_name}: {stepped:?}"
+            );
+        }
+        let snap = client.call(&request("snapshot", vec![sid])).unwrap();
+        assert_eq!(u64_field(&snap, "steps_done"), 4);
+        let bodies = snap.get("bodies").unwrap().as_array().unwrap();
+        assert_eq!(bodies.len(), expected.len());
+
+        for (body, exp) in bodies.iter().zip(&expected) {
+            assert_eq!(u64_field(body, "id"), exp.id as u64, "{backend_name}");
+            let ctx = format!("{backend_name}/body {}", exp.id);
+            assert_eq!(str_field(body, "mass"), hex_f64(exp.mass), "{ctx}: mass");
+            assert_eq!(str_field(body, "phi"), hex_f64(exp.phi), "{ctx}: phi");
+            for (key, vec) in [("pos", exp.pos), ("vel", exp.vel), ("acc", exp.acc)] {
+                let got = body.get(key).unwrap().as_array().unwrap();
+                let want = [hex_f64(vec.x), hex_f64(vec.y), hex_f64(vec.z)];
+                for (axis, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.as_str().unwrap(),
+                        w,
+                        "{ctx}: {key}[{axis}] diverged — chunked stepping is not bit-identical"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The quota ledger is denominated in deterministic counters, so the total
+/// charged to a tenant for a set of served jobs must equal the sum of the
+/// same jobs' counters measured standalone — exactly, not approximately.
+#[test]
+fn tenant_ledger_equals_sum_of_standalone_runs() {
+    let registry = backends();
+    let scenarios = builtin();
+    let server = start(ServerOptions::default());
+    let jobs = [("upc", 32u64), ("direct", 48), ("mpi", 64), ("upc", 32)]; // a repeat: charged twice
+
+    let mut expected_interactions = 0u64;
+    let mut expected_tree_ops = 0u64;
+    for (backend_name, n) in &jobs {
+        let req = request("run", job_fields(backend_name, *n));
+        let job = decode_job(&req, &scenarios, &registry).unwrap();
+        let initial = scenarios.get("plummer").unwrap().generate(*n as usize, job.cfg.seed);
+        let stats = registry.get(backend_name).unwrap().run(&job.cfg, initial).total_stats();
+        expected_interactions += stats.interactions;
+        expected_tree_ops += stats.tree_ops;
+    }
+
+    let mut client = Client::connect(&server.addr()).unwrap();
+    for (backend_name, n) in &jobs {
+        let reply = client.call(&request("run", job_fields(backend_name, *n))).unwrap();
+        assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true), "{reply:?}");
+    }
+
+    let ledger = server.quotas().usage("equiv");
+    assert_eq!(ledger.runs, jobs.len() as u64);
+    assert_eq!(
+        ledger.interactions, expected_interactions,
+        "served interaction charges must equal standalone totals exactly"
+    );
+    assert_eq!(ledger.tree_ops, expected_tree_ops);
+}
+
+/// The `bhload` harness against a live server: mixed one-shot, session,
+/// over-quota and mid-session-disconnect clients, producing a valid
+/// serving record with every cell populated.
+#[test]
+fn load_harness_drives_a_mixed_fleet() {
+    let opts = ServerOptions {
+        tenant_quotas: vec![("freeloader".to_string(), 1)],
+        ..ServerOptions::default()
+    };
+    let server = start(opts);
+    let load_opts = LoadOptions {
+        addr: server.addr(),
+        clients: 48,
+        threads: 8,
+        mix: Mix::Quick,
+        session_every: 8,
+        abuse: true,
+    };
+    let scenarios = builtin();
+    let report = load::run(&load_opts, &scenarios).unwrap();
+
+    assert!(report.quota_rejections >= 1, "the freeloader tenant must be refused");
+    assert_eq!(report.disconnects, 1, "the mid-session disconnect must complete");
+    assert!(report.sessions >= 1, "session flows must run");
+    assert!(report.measured_requests >= 40, "most clients are measured one-shots");
+    assert_eq!(report.failures, 0);
+
+    let record = &report.record;
+    record.validate().unwrap();
+    assert_eq!(record.runs.len(), 3, "one row per quick cell");
+    for run in &record.runs {
+        assert_eq!(run.spec.service, engine::bench::SERVICE_BHSERVE);
+        assert!(run.latency_ms.median > 0.0, "{}: latency must be measured", run.spec.key());
+        assert!(run.latency_ms.p99 >= run.latency_ms.p90);
+        assert!(run.throughput_rps > 0.0);
+        assert!(run.interactions > 0);
+    }
+
+    // The server survived the abuse: it still answers.
+    let mut client = Client::connect(&server.addr()).unwrap();
+    let pong = client.call(&request("ping", Vec::new())).unwrap();
+    assert_eq!(pong.get("ok").and_then(|v| v.as_bool()), Some(true));
+}

@@ -33,9 +33,29 @@ pub trait Backend: Send + Sync {
     /// The default checks [`SimConfig::validate`], so every backend rejects
     /// unrunnable configurations (`measured_steps > steps`, non-positive
     /// `dt`, ...) before any simulation work starts; overrides should chain
-    /// `cfg.validate()?` before their own checks.
+    /// `cfg.validate().map_err(|e| e.to_string())?` before their own checks
+    /// (the stringified [`crate::ConfigError`] keeps its machine-readable
+    /// code in the rendered message).
     fn supports(&self, cfg: &SimConfig) -> Result<(), String> {
-        cfg.validate()
+        cfg.validate().map_err(|e| e.to_string())
+    }
+
+    /// `true` when the backend can be *stepped in chunks* with bit-for-bit
+    /// fidelity: running `k` steps, then `n − k` more steps from the
+    /// returned body snapshot, produces exactly the bodies of one `n`-step
+    /// run (under [`crate::TreePolicy::Rebuild`], where the tree carries no
+    /// cross-step state).  The `bhserve` session layer relies on this to
+    /// offer incremental `step` requests that are indistinguishable from a
+    /// single standalone run; the session-equivalence integration test pins
+    /// the property for every backend that claims it.
+    ///
+    /// The built-in solvers all qualify — their advance phase is the
+    /// stateless `vel += acc·dt; pos += vel·dt` update with no half-step
+    /// bootstrap carried between steps, and partitioning/tree construction
+    /// are pure functions of the current body positions — but the default is
+    /// conservative for external backends.
+    fn supports_sessions(&self) -> bool {
+        false
     }
 
     /// Runs the simulation over the given initial conditions.
@@ -81,6 +101,14 @@ impl BackendRegistry {
     /// Looks a backend up by its [`Backend::name`].
     pub fn get(&self, name: &str) -> Option<&dyn Backend> {
         self.entries.iter().rev().find(|b| b.name() == name).map(|b| b.as_ref())
+    }
+
+    /// Like [`BackendRegistry::get`], but an unknown name fails with the
+    /// standard did-you-mean error ([`crate::suggest::unknown_key`]) instead
+    /// of a bare `None` — the lookup every user-facing surface (bhsim
+    /// `--backend`, bhserve jobs, the comparison driver) should use.
+    pub fn lookup(&self, name: &str) -> Result<&dyn Backend, String> {
+        self.get(name).ok_or_else(|| crate::suggest::unknown_key("backend", name, &self.names()))
     }
 
     /// The names currently registered, in registration order, deduplicated.
@@ -129,6 +157,23 @@ mod tests {
         registry.register(Box::new(Dummy("a")));
         assert_eq!(registry.names().len(), 2, "shadowing must not duplicate names");
         assert_eq!(registry.iter().count(), 2);
+    }
+
+    #[test]
+    fn lookup_suggests_on_typos() {
+        let mut registry = BackendRegistry::new();
+        registry.register(Box::new(Dummy("direct")));
+        registry.register(Box::new(Dummy("upc")));
+        assert!(registry.lookup("upc").is_ok());
+        let err = registry.lookup("dierct").map(|b| b.name()).unwrap_err();
+        assert!(err.contains("unknown backend: dierct"), "{err}");
+        assert!(err.contains("did you mean \"direct\"?"), "{err}");
+        assert!(err.contains("registered: direct, upc"), "{err}");
+    }
+
+    #[test]
+    fn sessions_are_opt_in() {
+        assert!(!Dummy("x").supports_sessions(), "the default must stay conservative");
     }
 
     #[test]

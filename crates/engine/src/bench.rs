@@ -39,6 +39,15 @@ use serde::{Deserialize, Serialize, Value};
 /// Schema identifier written into (and required of) every record.
 pub const SCHEMA: &str = "bhbench/v1";
 
+/// [`RunSpec::service`] value for standalone simulation runs (`benchsuite`,
+/// `bhsim --compare`) — the only service that existed before the serving
+/// path, and the decode default for records that predate the axis.
+pub const SERVICE_SIM: &str = "sim";
+/// [`RunSpec::service`] value for rows measured through the `bhserve`
+/// daemon by the `bhload` stress driver (request latency percentiles and
+/// throughput are meaningful only for these rows).
+pub const SERVICE_BHSERVE: &str = "bhserve";
+
 /// Kernel-record engine name for the batched (SoA) cached walk.
 pub const KERNEL_COALESCED: &str = "leaf-coalesced";
 /// Kernel-record engine name for the per-body reference walk (one node
@@ -68,6 +77,15 @@ pub struct RunSpec {
     /// Records predating the walk axis decode as `per-body` (the only walk
     /// that existed), so their keys keep matching.
     pub walk: String,
+    /// Measurement pathway: [`SERVICE_SIM`] for standalone runs,
+    /// [`SERVICE_BHSERVE`] for rows driven through the serving daemon by
+    /// `bhload`.  Part of the sweep-point identity — the same job measured
+    /// through the service carries framing, dispatch and queueing that a
+    /// standalone run does not — and a key axis ([`KEY_AXES`]), so serving
+    /// rows diff cleanly against pre-serving baselines through the
+    /// allow-new-axes pathway.  Records predating the axis decode as
+    /// [`SERVICE_SIM`].
+    pub service: String,
     /// Number of bodies.
     pub nbodies: usize,
     /// Emulated nodes.
@@ -91,6 +109,7 @@ impl RunSpec {
             opt: cfg.opt.name().to_string(),
             policy: cfg.tree_policy.spec_label(),
             walk: cfg.walk.name().to_string(),
+            service: SERVICE_SIM.to_string(),
             nbodies: cfg.nbodies,
             nodes: cfg.machine.nodes,
             threads_per_node: cfg.machine.threads_per_node,
@@ -104,12 +123,13 @@ impl RunSpec {
     /// committed baseline.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/n{}/m{}x{}",
+            "{}/{}/{}/{}/{}/{}/n{}/m{}x{}",
             self.scenario,
             self.backend,
             self.opt,
             self.policy,
             self.walk,
+            self.service,
             self.nbodies,
             self.nodes,
             self.threads_per_node
@@ -122,6 +142,12 @@ impl RunSpec {
 pub struct Sample {
     /// Real (host) wall time of the whole run, milliseconds.
     pub wall_ms: f64,
+    /// Client-observed request latency, milliseconds — the time from
+    /// sending the job request to receiving its response, including
+    /// framing, dispatch and server-side queueing.  Only meaningful for
+    /// serving rows ([`SERVICE_BHSERVE`]); standalone runs record `0.0`
+    /// ("not a service measurement").
+    pub latency_ms: f64,
     /// Simulated per-phase seconds (max over ranks, measured window).
     pub phases: PhaseTimes,
     /// Simulated makespan of the measured window.
@@ -137,6 +163,7 @@ impl Sample {
     pub fn from_run(run: &BackendRun) -> Sample {
         Sample {
             wall_ms: run.wall_ms,
+            latency_ms: 0.0,
             phases: run.result.phases,
             total_sim: run.result.total,
             migration_fraction: run.result.migration_fraction,
@@ -145,13 +172,19 @@ impl Sample {
     }
 }
 
-/// Median and 90th percentile of a set of repetitions (nearest-rank).
+/// Median (p50), 90th and 99th percentile of a set of repetitions
+/// (nearest-rank).  The p99 exists for the serving path, where tail latency
+/// over thousands of requests is the headline number; records written before
+/// the field decode it as `0.0` ("not recorded").
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Stat {
-    /// Median (nearest-rank) over the repetitions.
+    /// Median (nearest-rank) over the repetitions — the p50.
     pub median: f64,
     /// 90th percentile (nearest-rank) over the repetitions.
     pub p90: f64,
+    /// 99th percentile (nearest-rank) over the repetitions; `0.0` in records
+    /// that predate the field.
+    pub p99: f64,
 }
 
 impl Stat {
@@ -160,7 +193,18 @@ impl Stat {
         assert!(!values.is_empty(), "Stat::of needs at least one value");
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
-        Stat { median: nearest_rank(&sorted, 0.50), p90: nearest_rank(&sorted, 0.90) }
+        Stat {
+            median: nearest_rank(&sorted, 0.50),
+            p90: nearest_rank(&sorted, 0.90),
+            p99: nearest_rank(&sorted, 0.99),
+        }
+    }
+
+    /// The all-zero statistic ("not recorded"), used for fields that only
+    /// some measurement pathways populate (request latency on standalone
+    /// runs).
+    pub fn zero() -> Stat {
+        Stat { median: 0.0, p90: 0.0, p99: 0.0 }
     }
 }
 
@@ -184,6 +228,14 @@ pub struct RunRecord {
     pub reps: usize,
     /// Wall time of the whole run (informational; host-dependent).
     pub wall_ms: Stat,
+    /// Client-observed request latency over the repetitions (p50/p90/p99,
+    /// milliseconds).  Populated for serving rows ([`SERVICE_BHSERVE`]);
+    /// all-zero for standalone runs and for records predating the field.
+    /// Host-dependent like `wall_ms`, so never gated against a baseline.
+    pub latency_ms: Stat,
+    /// Completed requests per second over the measurement window.  `0.0`
+    /// for standalone runs and legacy records; host-dependent, never gated.
+    pub throughput_rps: f64,
     /// Per-phase simulated medians over the repetitions.
     pub phases_median: PhaseTimes,
     /// Per-phase simulated p90s over the repetitions.
@@ -227,10 +279,17 @@ impl RunRecord {
             phases_p90.set(phase, stat.p90);
         }
         let totals: Vec<f64> = samples.iter().map(|s| s.total_sim).collect();
+        let latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
         RunRecord {
             spec,
             reps: samples.len(),
             wall_ms: Stat::of(&walls),
+            latency_ms: if latencies.iter().any(|&l| l > 0.0) {
+                Stat::of(&latencies)
+            } else {
+                Stat::zero()
+            },
+            throughput_rps: 0.0,
             phases_median,
             phases_p90,
             total_sim_median: Stat::of(&totals).median,
@@ -271,7 +330,7 @@ pub struct KernelRecord {
 /// vocabulary.  Written into [`Record::axes`] so the baseline diff can tell
 /// an *axis addition* (the grid legitimately grew a dimension the baseline
 /// predates) from a point silently vanishing.
-pub const KEY_AXES: [&str; 2] = ["policy", "walk"];
+pub const KEY_AXES: [&str; 3] = ["policy", "walk", "service"];
 
 /// The schema-versioned document committed as `BENCH_*.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -322,6 +381,18 @@ impl Record {
             }
             if run.wall_ms.median < 0.0 || run.wall_ms.p90 < run.wall_ms.median {
                 return Err(format!("{key}: ill-formed wall_ms stat"));
+            }
+            // The p99 may be 0 ("not recorded", legacy records); when
+            // recorded it must sit at or above the p90.
+            if run.wall_ms.p99 > 0.0 && run.wall_ms.p99 < run.wall_ms.p90 {
+                return Err(format!("{key}: ill-formed wall_ms stat (p99 < p90)"));
+            }
+            let lat = &run.latency_ms;
+            if lat.median < 0.0 || lat.p90 < lat.median || (lat.p99 > 0.0 && lat.p99 < lat.p90) {
+                return Err(format!("{key}: ill-formed latency_ms stat"));
+            }
+            if !run.throughput_rps.is_finite() || run.throughput_rps < 0.0 {
+                return Err(format!("{key}: ill-formed throughput_rps"));
             }
             for phase in Phase::ALL {
                 let (m, p) = (run.phases_median.get(phase), run.phases_p90.get(phase));
@@ -392,7 +463,15 @@ fn str_field(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
 }
 
 fn decode_stat(v: &Value, ctx: &str) -> Result<Stat, String> {
-    Ok(Stat { median: f64_field(v, "median", ctx)?, p90: f64_field(v, "p90", ctx)? })
+    Ok(Stat {
+        median: f64_field(v, "median", ctx)?,
+        p90: f64_field(v, "p90", ctx)?,
+        // Records written before the p99 field decode as 0 ("not recorded").
+        p99: match v.get("p99") {
+            Some(_) => f64_field(v, "p99", ctx)?,
+            None => 0.0,
+        },
+    })
 }
 
 fn decode_phases(v: &Value, ctx: &str) -> Result<PhaseTimes, String> {
@@ -422,6 +501,11 @@ fn decode_spec(v: &Value, ctx: &str) -> Result<RunSpec, String> {
             Some(_) => str_field(v, "walk", ctx)?,
             None => "per-body".to_string(),
         },
+        // Records predating the serving path are all standalone runs.
+        service: match v.get("service") {
+            Some(_) => str_field(v, "service", ctx)?,
+            None => SERVICE_SIM.to_string(),
+        },
         nbodies: usize_field(v, "nbodies", ctx)?,
         nodes: usize_field(v, "nodes", ctx)?,
         threads_per_node: usize_field(v, "threads_per_node", ctx)?,
@@ -437,6 +521,15 @@ fn decode_run(v: &Value) -> Result<RunRecord, String> {
     Ok(RunRecord {
         reps: usize_field(v, "reps", &ctx)?,
         wall_ms: decode_stat(field(v, "wall_ms", &ctx)?, &ctx)?,
+        // Serving-path fields; standalone and legacy records carry zeros.
+        latency_ms: match v.get("latency_ms") {
+            Some(stat) => decode_stat(stat, &ctx)?,
+            None => Stat::zero(),
+        },
+        throughput_rps: match v.get("throughput_rps") {
+            Some(_) => f64_field(v, "throughput_rps", &ctx)?,
+            None => 0.0,
+        },
         phases_median: decode_phases(field(v, "phases_median", &ctx)?, &ctx)?,
         phases_p90: decode_phases(field(v, "phases_p90", &ctx)?, &ctx)?,
         total_sim_median: f64_field(v, "total_sim_median", &ctx)?,
@@ -800,6 +893,7 @@ mod tests {
     fn sample(wall: f64, force: f64, interactions: u64) -> Sample {
         Sample {
             wall_ms: wall,
+            latency_ms: 0.0,
             phases: PhaseTimes { force, tree: 0.5, ..Default::default() },
             total_sim: force + 0.5,
             migration_fraction: 0.01,
@@ -828,15 +922,24 @@ mod tests {
         let s = Stat::of(&[3.0, 1.0, 2.0, 5.0, 4.0]);
         assert_eq!(s.median, 3.0);
         assert_eq!(s.p90, 5.0);
+        assert_eq!(s.p99, 5.0);
         let one = Stat::of(&[7.0]);
         assert_eq!(one.median, 7.0);
         assert_eq!(one.p90, 7.0);
+        assert_eq!(one.p99, 7.0);
+        // With enough samples the tail percentiles separate: over 1..=1000
+        // the nearest-rank p99 lands on 990, the p90 on 900.
+        let many: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = Stat::of(&many);
+        assert_eq!(s.median, 500.0);
+        assert_eq!(s.p90, 900.0);
+        assert_eq!(s.p99, 990.0);
     }
 
     #[test]
     fn spec_key_is_stable_and_discriminating() {
         let a = spec();
-        assert_eq!(a.key(), "plummer/upc/subspace/rebuild/per-body/n256/m2x1");
+        assert_eq!(a.key(), "plummer/upc/subspace/rebuild/per-body/sim/n256/m2x1");
         let mut b = a.clone();
         b.nbodies = 512;
         assert_ne!(a.key(), b.key());
@@ -846,6 +949,9 @@ mod tests {
         let mut d = a.clone();
         d.walk = "group".to_string();
         assert_ne!(a.key(), d.key(), "the walk mode is part of the sweep-point identity");
+        let mut e = a.clone();
+        e.service = SERVICE_BHSERVE.to_string();
+        assert_ne!(a.key(), e.key(), "the service pathway is part of the sweep-point identity");
     }
 
     #[test]
@@ -874,6 +980,57 @@ mod tests {
         assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
         assert_eq!(parsed.runs[0].macs, 0);
         assert_eq!(parsed.runs[0].tree_ops, 0);
+    }
+
+    #[test]
+    fn specs_without_serving_fields_decode_as_standalone() {
+        // Records committed before the serving path carry no service axis,
+        // no p99, no latency stat and no throughput; they decode as
+        // standalone runs with those metrics "not recorded".  Build the
+        // legacy text by stripping those fields from a current record,
+        // line-by-line with comma repair (pretty-printed JSON).
+        let record = record_with(2.0, 10_000);
+        let mut out: Vec<String> = Vec::new();
+        let mut in_latency = false;
+        for line in record.to_json().lines() {
+            let t = line.trim_start();
+            if in_latency {
+                if t.starts_with('}') {
+                    in_latency = false;
+                }
+                continue;
+            }
+            if t.starts_with("\"latency_ms\"") {
+                in_latency = true;
+                continue;
+            }
+            if t.starts_with("\"p99\"")
+                || t.starts_with("\"service\"")
+                || t.starts_with("\"throughput_rps\"")
+            {
+                // Removing an object's *last* field leaves the previous
+                // line with a dangling comma; drop it.
+                if !t.ends_with(',') {
+                    if let Some(prev) = out.last_mut() {
+                        if prev.ends_with(',') {
+                            prev.pop();
+                        }
+                    }
+                }
+                continue;
+            }
+            out.push(line.to_string());
+        }
+        let text = out.join("\n");
+        assert!(!text.contains("p99"), "the stripped record must predate the p99 field");
+        assert!(!text.contains("latency_ms"), "the stripped record must predate latency stats");
+        assert!(!text.contains("service"), "the stripped record must predate the service axis");
+        let parsed = Record::from_json(&text).expect("legacy record must parse");
+        assert_eq!(parsed.runs[0].spec.service, SERVICE_SIM);
+        assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
+        assert_eq!(parsed.runs[0].wall_ms.p99, 0.0, "missing p99 decodes as not-recorded");
+        assert_eq!(parsed.runs[0].latency_ms, Stat::zero());
+        assert_eq!(parsed.runs[0].throughput_rps, 0.0);
     }
 
     #[test]
@@ -908,7 +1065,7 @@ mod tests {
             nbodies: 4096,
             engine: KERNEL_COALESCED.to_string(),
             reps: 5,
-            force_wall_ms: Stat { median: 3.0, p90: 3.5 },
+            force_wall_ms: Stat { median: 3.0, p90: 3.5, p99: 3.6 },
             interactions: 1_000_000,
         });
         let text = record.to_json();
@@ -971,7 +1128,7 @@ mod tests {
         let baseline = record_with(2.0, 100_000);
         let mut current = record_with(2.0, 100_000);
         current.runs[0].spec.nbodies = 999; // different key
-        current.runs[0].wall_ms = Stat { median: 1e9, p90: 1e9 }; // never gated
+        current.runs[0].wall_ms = Stat { median: 1e9, p90: 1e9, p99: 1e9 }; // never gated
         let diff = diff_against_baseline(&current, &baseline, 0.25);
         assert_eq!(diff.compared, 0);
         assert_eq!(diff.unmatched, vec![current.runs[0].spec.key()]);
@@ -1008,7 +1165,7 @@ mod tests {
         baseline.runs.push(retired.runs[0].clone());
         let current = record_with(2.0, 100_000);
         let diff = diff_against_baseline(&current, &baseline, 0.25);
-        assert_eq!(diff.new_axes, vec!["walk".to_string()]);
+        assert_eq!(diff.new_axes, vec!["walk".to_string(), "service".to_string()]);
         assert!(diff.missing.is_empty(), "{:?}", diff.missing);
         assert_eq!(diff.missing_allowed.len(), 1, "{:?}", diff.missing_allowed);
         assert!(diff.missing_allowed[0].contains("king"));
@@ -1031,7 +1188,7 @@ mod tests {
             nbodies: 2048,
             engine: engine.to_string(),
             reps: 5,
-            force_wall_ms: Stat { median: 5.0, p90: 6.0 },
+            force_wall_ms: Stat { median: 5.0, p90: 6.0, p99: 6.5 },
             interactions: 1_000_000,
         };
         let mut baseline = record_with(2.0, 100_000);
@@ -1089,7 +1246,7 @@ mod tests {
             nbodies: 2048,
             engine: engine.to_string(),
             reps: 5,
-            force_wall_ms: Stat { median: 5.0, p90: 6.0 },
+            force_wall_ms: Stat { median: 5.0, p90: 6.0, p99: 6.5 },
             interactions: 1_000_000,
         };
         let mut baseline = record_with(2.0, 100_000);
@@ -1126,7 +1283,7 @@ mod tests {
             nbodies: 4096,
             engine: engine.to_string(),
             reps: 5,
-            force_wall_ms: Stat { median, p90: median * 1.1 },
+            force_wall_ms: Stat { median, p90: median * 1.1, p99: median * 1.2 },
             interactions: 1_000_000,
         };
         record.kernels.push(kernel(KERNEL_PER_BODY, 10.0));

@@ -45,9 +45,7 @@ pub fn run_backends(
     }
     let mut backends = Vec::with_capacity(names.len());
     for name in names {
-        let backend = registry.get(name).ok_or_else(|| {
-            format!("unknown backend: {name} (registered: {})", registry.names().join(", "))
-        })?;
+        let backend = registry.lookup(name)?;
         backend.supports(cfg).map_err(|e| format!("backend {name} cannot run this config: {e}"))?;
         backends.push(backend);
     }
@@ -127,6 +125,9 @@ mod tests {
         let err = run_backends(&registry(), &["nope".to_string()], &cfg, &bodies).unwrap_err();
         assert!(err.contains("unknown backend"), "{err}");
         assert!(err.contains("direct"), "error must list the registered names: {err}");
+        // A near-miss gets the shared did-you-mean treatment.
+        let err = run_backends(&registry(), &["driect".to_string()], &cfg, &bodies).unwrap_err();
+        assert!(err.contains("did you mean \"direct\"?"), "{err}");
         assert!(run_backends(&registry(), &[], &cfg, &bodies).is_err());
     }
 

@@ -286,6 +286,55 @@ impl WalkMode {
 /// by every driver that doesn't override `--seed`).
 pub const DEFAULT_SEED: u64 = 1_234_567;
 
+/// A configuration-validation failure.
+///
+/// Besides the human-readable message, every failure carries a **stable,
+/// machine-readable code** (`ConfigError::code`), so programmatic callers —
+/// the `bhserve` daemon relaying a rejection to a remote client, scripts
+/// parsing `bhsim` stderr — can classify the failure without string-matching
+/// the prose.  The codes are part of the public vocabulary: existing codes
+/// never change meaning, new checks add new codes.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConfigError {
+    /// Stable machine-readable code (one of the `ConfigError::E_*` consts).
+    pub code: &'static str,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// `nbodies` is zero.
+    pub const E_NBODIES: &'static str = "E_NBODIES";
+    /// `steps` is zero.
+    pub const E_STEPS: &'static str = "E_STEPS";
+    /// `measured_steps` lies outside `1..=steps`.
+    pub const E_MEASURED_WINDOW: &'static str = "E_MEASURED_WINDOW";
+    /// `dt` is non-positive or non-finite.
+    pub const E_DT: &'static str = "E_DT";
+    /// `theta` is non-positive or non-finite.
+    pub const E_THETA: &'static str = "E_THETA";
+    /// `eps` is non-positive or non-finite.
+    pub const E_EPS: &'static str = "E_EPS";
+    /// Reuse policy: `rebuild_every` is zero.
+    pub const E_REUSE_EVERY: &'static str = "E_REUSE_EVERY";
+    /// Reuse policy: `drift_threshold` is negative or non-finite.
+    pub const E_REUSE_DRIFT: &'static str = "E_REUSE_DRIFT";
+
+    fn new(code: &'static str, message: impl Into<String>) -> ConfigError {
+        ConfigError { code, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    /// Renders as `message [code]`, so every existing caller that prints the
+    /// error surfaces the code too.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.message, self.code)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -401,38 +450,53 @@ impl SimConfig {
     /// was never reset), a non-positive or non-finite `dt`/`theta`/`eps`
     /// turns positions into NaNs, and zero bodies or steps produce
     /// meaningless reports.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// Failures carry a stable machine-readable code ([`ConfigError::code`])
+    /// alongside the message.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.nbodies < 1 {
-            return Err("nbodies must be at least 1".to_string());
+            return Err(ConfigError::new(ConfigError::E_NBODIES, "nbodies must be at least 1"));
         }
         if self.steps < 1 {
-            return Err("steps must be at least 1".to_string());
+            return Err(ConfigError::new(ConfigError::E_STEPS, "steps must be at least 1"));
         }
         if self.measured_steps < 1 || self.measured_steps > self.steps {
-            return Err(format!(
-                "measured_steps must lie in 1..=steps: got measured_steps = {} with steps = {} \
-                 (the measurement window would never start and every phase table would report \
-                 the un-reset warm-up accumulators)",
-                self.measured_steps, self.steps
+            return Err(ConfigError::new(
+                ConfigError::E_MEASURED_WINDOW,
+                format!(
+                    "measured_steps must lie in 1..=steps: got measured_steps = {} with steps = \
+                     {} (the measurement window would never start and every phase table would \
+                     report the un-reset warm-up accumulators)",
+                    self.measured_steps, self.steps
+                ),
             ));
         }
-        let positive_finite = |name: &str, v: f64| -> Result<(), String> {
+        let positive_finite = |code: &'static str, name: &str, v: f64| -> Result<(), ConfigError> {
             if !v.is_finite() || v <= 0.0 {
-                return Err(format!("{name} must be positive and finite, got {v}"));
+                return Err(ConfigError::new(
+                    code,
+                    format!("{name} must be positive and finite, got {v}"),
+                ));
             }
             Ok(())
         };
-        positive_finite("dt", self.dt)?;
-        positive_finite("theta", self.theta)?;
-        positive_finite("eps", self.eps)?;
+        positive_finite(ConfigError::E_DT, "dt", self.dt)?;
+        positive_finite(ConfigError::E_THETA, "theta", self.theta)?;
+        positive_finite(ConfigError::E_EPS, "eps", self.eps)?;
         if let TreePolicy::Reuse { rebuild_every, drift_threshold } = self.tree_policy {
             if rebuild_every < 1 {
-                return Err("tree_policy reuse: rebuild_every must be at least 1".to_string());
+                return Err(ConfigError::new(
+                    ConfigError::E_REUSE_EVERY,
+                    "tree_policy reuse: rebuild_every must be at least 1",
+                ));
             }
             if !drift_threshold.is_finite() || drift_threshold < 0.0 {
-                return Err(format!(
-                    "tree_policy reuse: drift_threshold must be finite and non-negative, got \
-                     {drift_threshold}"
+                return Err(ConfigError::new(
+                    ConfigError::E_REUSE_DRIFT,
+                    format!(
+                        "tree_policy reuse: drift_threshold must be finite and non-negative, got \
+                         {drift_threshold}"
+                    ),
                 ));
             }
         }
@@ -515,7 +579,13 @@ mod tests {
         let mut cfg = good.clone();
         cfg.measured_steps = cfg.steps + 1;
         let err = cfg.validate().unwrap_err();
-        assert!(err.contains("measured_steps"), "{err}");
+        assert!(err.message.contains("measured_steps"), "{err}");
+        assert_eq!(err.code, ConfigError::E_MEASURED_WINDOW);
+        let shown = err.to_string();
+        assert!(
+            shown.contains("measured_steps") && shown.contains("E_MEASURED_WINDOW"),
+            "Display must carry both the message and the code: {shown}"
+        );
 
         let mut cfg = good.clone();
         cfg.measured_steps = 0;
@@ -529,9 +599,12 @@ mod tests {
         cfg.nbodies = 0;
         assert!(cfg.validate().is_err());
 
-        for (field, value) in
-            [("dt", 0.0), ("dt", -0.1), ("theta", f64::NAN), ("eps", f64::INFINITY)]
-        {
+        for (field, value, code) in [
+            ("dt", 0.0, ConfigError::E_DT),
+            ("dt", -0.1, ConfigError::E_DT),
+            ("theta", f64::NAN, ConfigError::E_THETA),
+            ("eps", f64::INFINITY, ConfigError::E_EPS),
+        ] {
             let mut cfg = good.clone();
             match field {
                 "dt" => cfg.dt = value,
@@ -539,16 +612,37 @@ mod tests {
                 _ => cfg.eps = value,
             }
             let err = cfg.validate().unwrap_err();
-            assert!(err.contains(field), "{field}: {err}");
+            assert!(err.message.contains(field), "{field}: {err}");
+            assert_eq!(err.code, code, "{field}: {err}");
         }
 
         let mut cfg = good.clone();
         cfg.tree_policy = TreePolicy::Reuse { rebuild_every: 0, drift_threshold: 0.1 };
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate().unwrap_err().code, ConfigError::E_REUSE_EVERY);
         cfg.tree_policy = TreePolicy::Reuse { rebuild_every: 4, drift_threshold: -1.0 };
-        assert!(cfg.validate().is_err());
+        assert_eq!(cfg.validate().unwrap_err().code, ConfigError::E_REUSE_DRIFT);
         cfg.tree_policy = TreePolicy::Reuse { rebuild_every: 4, drift_threshold: 0.0 };
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        // The codes are a public vocabulary (bhserve relays them to remote
+        // clients); renaming one is a protocol break and must fail here.
+        assert_eq!(ConfigError::E_NBODIES, "E_NBODIES");
+        assert_eq!(ConfigError::E_STEPS, "E_STEPS");
+        assert_eq!(ConfigError::E_MEASURED_WINDOW, "E_MEASURED_WINDOW");
+        assert_eq!(ConfigError::E_DT, "E_DT");
+        assert_eq!(ConfigError::E_THETA, "E_THETA");
+        assert_eq!(ConfigError::E_EPS, "E_EPS");
+        assert_eq!(ConfigError::E_REUSE_EVERY, "E_REUSE_EVERY");
+        assert_eq!(ConfigError::E_REUSE_DRIFT, "E_REUSE_DRIFT");
+        let mut cfg = SimConfig::test(64, 1, OptLevel::Baseline);
+        cfg.nbodies = 0;
+        assert_eq!(cfg.validate().unwrap_err().code, ConfigError::E_NBODIES);
+        cfg.nbodies = 64;
+        cfg.steps = 0;
+        assert_eq!(cfg.validate().unwrap_err().code, ConfigError::E_STEPS);
     }
 
     #[test]

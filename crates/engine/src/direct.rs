@@ -31,6 +31,13 @@ impl Backend for DirectBackend {
         "exact O(n^2) direct summation (replicated data), the ground-truth reference"
     }
 
+    fn supports_sessions(&self) -> bool {
+        // No cross-step state at all: each step replicates, sums exactly and
+        // advances with the stateless update, so chunked stepping is
+        // trivially bit-identical to one long run.
+        true
+    }
+
     fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult {
         run_simulation_on(cfg, bodies)
     }

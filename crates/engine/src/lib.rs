@@ -27,6 +27,9 @@
 //! * [`compare`] — the one shared comparison driver: run the same
 //!   configuration and bodies through a list of registered backends and
 //!   render a side-by-side per-phase timing + traffic table.
+//! * [`suggest`] — did-you-mean suggestions for string-keyed lookups, shared
+//!   by every surface that resolves user-supplied registry keys (`bhsim`,
+//!   `bhserve`, `benchsuite`).
 //!
 //! The dependency arrows all point *into* this crate: `bh` and `bhmpi` each
 //! depend on `engine` (never on each other), and the umbrella crate
@@ -38,9 +41,10 @@ pub mod compare;
 pub mod config;
 pub mod direct;
 pub mod report;
+pub mod suggest;
 
 pub use backend::{validate_bodies, Backend, BackendRegistry};
 pub use compare::{comparison_table, run_backends, BackendRun};
-pub use config::{OptLevel, SimConfig, TreePolicy, WalkMode, DEFAULT_SEED};
+pub use config::{ConfigError, OptLevel, SimConfig, TreePolicy, WalkMode, DEFAULT_SEED};
 pub use direct::DirectBackend;
 pub use report::{Phase, PhaseTimes, RankOutcome, SimResult};

@@ -305,9 +305,8 @@ fn main() {
     let registry = scenario_registry();
     let scenario = registry.get(&opts.scenario).unwrap_or_else(|| {
         eprintln!(
-            "unknown scenario: {} (registered: {})",
-            opts.scenario,
-            registry.names().join(", ")
+            "{}",
+            engine::suggest::unknown_key("scenario", &opts.scenario, &registry.names())
         );
         std::process::exit(2)
     });

@@ -1,9 +1,11 @@
-//! Guards on the committed benchmark baseline (`BENCH_0005.json`): the CI
+//! Guards on the committed benchmark baseline (`BENCH_0006.json`): the CI
 //! perf gate diffs against this file, so it must stay schema-valid and keep
 //! demonstrating the claims it was committed for — the tree-lifecycle claim
 //! that persistent-tree stepping beats per-step rebuild on long
-//! trajectories, and the group-walk claim that one traversal per body group
-//! beats one per body on simulated force time and traversal volume.
+//! trajectories, the group-walk claim that one traversal per body group
+//! beats one per body on simulated force time and traversal volume, and the
+//! serving slice (`service = "bhserve"`) recorded by `bhload` against a live
+//! `bhserve` for the CI serving gate.
 
 use engine::bench::{
     diff_against_baseline, kernel_regressions, Record, KERNEL_COALESCED, KERNEL_PER_BODY,
@@ -11,7 +13,7 @@ use engine::bench::{
 use std::collections::BTreeSet;
 
 fn committed_record() -> Record {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0005.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0006.json");
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
     Record::from_json(&text).expect("committed baseline must be schema-valid")
@@ -159,6 +161,45 @@ fn committed_baseline_shows_group_walks_beating_per_body() {
                 );
             }
         }
+    }
+}
+
+/// The serving acceptance evidence: the committed baseline carries the
+/// `bhload` serving slice — every quick *and* full mix cell, measured under
+/// ≥ 1000 concurrent clients, with real latency distributions, and at cell
+/// sizes disjoint from the standalone grid so the benchsuite gate and the
+/// serving gate never contest the same rows.
+#[test]
+fn committed_baseline_carries_the_serving_slice() {
+    let record = committed_record();
+    let serving: Vec<_> =
+        record.runs.iter().filter(|r| r.spec.service == engine::bench::SERVICE_BHSERVE).collect();
+    let standalone_sizes: BTreeSet<usize> = record
+        .runs
+        .iter()
+        .filter(|r| r.spec.service != engine::bench::SERVICE_BHSERVE)
+        .map(|r| r.spec.nbodies)
+        .collect();
+    let expected: BTreeSet<(String, String, usize)> =
+        bhserve::load::cells(bhserve::load::Mix::Full)
+            .iter()
+            .map(|c| (c.scenario.to_string(), c.backend.to_string(), c.nbodies))
+            .collect();
+    let got: BTreeSet<(String, String, usize)> = serving
+        .iter()
+        .map(|r| (r.spec.scenario.clone(), r.spec.backend.clone(), r.spec.nbodies))
+        .collect();
+    assert_eq!(got, expected, "baseline must carry exactly the full serving mix");
+    for run in &serving {
+        let key = run.spec.key();
+        assert!(run.latency_ms.median > 0.0, "{key}: serving rows must measure latency");
+        assert!(run.latency_ms.p99 >= run.latency_ms.p90, "{key}: latency quantiles inverted");
+        assert!(run.throughput_rps > 0.0, "{key}: serving rows must record throughput");
+        assert!(run.interactions > 0, "{key}: serving rows carry deterministic counters");
+        assert!(
+            !standalone_sizes.contains(&run.spec.nbodies),
+            "{key}: serving cell sizes must stay disjoint from the standalone grid"
+        );
     }
 }
 

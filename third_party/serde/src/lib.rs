@@ -210,6 +210,15 @@ impl<T: Serialize> Serialize for Box<T> {
     }
 }
 
+/// A [`Value`] is its own serialization, so hand-built value trees (wire
+/// protocols, ad-hoc JSON documents) can be passed to the `serde_json`
+/// emitters directly.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
