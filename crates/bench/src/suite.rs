@@ -47,6 +47,8 @@ pub struct SweepPoint {
     pub policy: TreePolicy,
     /// Force-walk traversal mode.
     pub walk: WalkMode,
+    /// Tree-construction algorithm.
+    pub build: TreeBuild,
     /// Number of bodies.
     pub nbodies: usize,
     /// Emulated nodes (one UPC thread each).
@@ -55,6 +57,11 @@ pub struct SweepPoint {
     pub steps: usize,
     /// Trailing measured steps.
     pub measured_steps: usize,
+    /// Fixed repetition count for this point, overriding the suite-wide
+    /// default — the big build-axis and scale rows run once: their builds
+    /// are deterministic in the counters the gate compares, and repeating
+    /// a million-body sweep would dominate the whole suite's wall time.
+    pub reps_override: Option<usize>,
 }
 
 impl SweepPoint {
@@ -71,10 +78,12 @@ impl SweepPoint {
             opt,
             policy: TreePolicy::Rebuild,
             walk: WalkMode::PerBody,
+            build: TreeBuild::Insertion,
             nbodies,
             nodes,
             steps: 4,
             measured_steps: 2,
+            reps_override: None,
         }
     }
 
@@ -89,6 +98,7 @@ impl SweepPoint {
         cfg.measured_steps = self.measured_steps;
         cfg.tree_policy = self.policy;
         cfg.walk = self.walk;
+        cfg.build = self.build;
         cfg.theta = tuning.theta;
         cfg.eps = tuning.eps;
         cfg.dt = tuning.dt;
@@ -163,6 +173,39 @@ fn walk_slice(nbodies: usize) -> Vec<SweepPoint> {
     slice
 }
 
+/// The tree-build slice: insertion vs sorted on every scenario family at
+/// one size, holding everything else (§5.3.1 cache level, per-step rebuild,
+/// per-body walk) fixed — the A-B evidence that the Morton sample-sort
+/// build beats lock-based insertion on tree time with a smaller node arena.
+fn build_slice(nbodies: usize, reps_override: Option<usize>) -> Vec<SweepPoint> {
+    let mut slice = Vec::new();
+    for scenario in scenarios::BUILTIN_NAMES {
+        for build in TreeBuild::ALL {
+            let mut p = SweepPoint::new(scenario, "upc", OptLevel::CacheLocalTree, nbodies, 2);
+            p.build = build;
+            p.steps = 2;
+            p.measured_steps = 1;
+            p.reps_override = reps_override;
+            slice.push(p);
+        }
+    }
+    slice
+}
+
+/// The million-body scale row: the sorted build's headline capability.
+/// Sorted-only — the lock-based insertion build at this size spends its
+/// whole budget contending on the top of the tree, which the full grid
+/// already demonstrates at 65536 — one step, one repetition, group walk.
+fn scale_row() -> SweepPoint {
+    let mut p = SweepPoint::new("plummer", "upc", OptLevel::CacheLocalTree, 1_000_000, 4);
+    p.build = TreeBuild::Sorted;
+    p.walk = WalkMode::Group;
+    p.steps = 1;
+    p.measured_steps = 1;
+    p.reps_override = Some(1);
+    p
+}
+
 /// The quick grid: every scenario × backend at a small size on 2 nodes,
 /// 2 steps with 1 measured, plus the steps-ladder tree-policy slice and the
 /// walk-mode slice — what CI regenerates on every pull request.  (The quick
@@ -180,6 +223,7 @@ pub fn quick_grid() -> Vec<SweepPoint> {
     }
     grid.extend(steps_ladder_slice(512));
     grid.extend(walk_slice(512));
+    grid.extend(build_slice(2048, None));
     grid
 }
 
@@ -203,12 +247,19 @@ pub fn full_grid() -> Vec<SweepPoint> {
     }
     // The steps-ladder tree-policy slice at a paper-adjacent size (the
     // acceptance evidence that reuse/adaptive beat per-step rebuild on
-    // long trajectories).
-    grid.extend(steps_ladder_slice(2048));
+    // long trajectories).  At 4096 rather than 2048 since the quick grid's
+    // build slice took 2048 (grid sizes must stay disjoint); the slice's
+    // machine shape (2 nodes) keeps its rows distinct from the matrix's.
+    grid.extend(steps_ladder_slice(4096));
     // The walk-mode slice at the same size: group rows pairing the slice
     // above's per-body rows (the acceptance evidence that group walks beat
     // per-body on force time and traversal volume, with and without reuse).
-    grid.extend(walk_slice(2048));
+    grid.extend(walk_slice(4096));
+    // The tree-build A-B slice at a size where lock contention on the top
+    // of the shared tree dominates the insertion build, plus the
+    // million-body sorted-only scale row.
+    grid.extend(build_slice(65536, Some(1)));
+    grid.push(scale_row());
     grid
 }
 
@@ -232,6 +283,7 @@ pub fn run_point(point: &SweepPoint, reps: usize) -> Result<RunRecord, String> {
     let bodies = scenario.generate(cfg.nbodies, cfg.seed);
     let backends = backend_registry();
     let names = vec![point.backend.to_string()];
+    let reps = point.reps_override.unwrap_or(reps);
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps.max(1) {
         let runs = engine::run_backends(&backends, &names, &cfg, &bodies)?;
@@ -476,6 +528,7 @@ mod tests {
             GRID_SCENARIOS.len() * GRID_BACKENDS.len()
                 + POLICY_SCENARIOS.len() * policy_slice().len()
                 + POLICY_SCENARIOS.len() * 2 // walk slice: group × {rebuild, reuse}
+                + scenarios::BUILTIN_NAMES.len() * TreeBuild::ALL.len() // build slice
         );
         for scenario in GRID_SCENARIOS {
             for backend in GRID_BACKENDS {
@@ -495,6 +548,44 @@ mod tests {
         // The opt-ladder slice and the machine-shape sweep are present.
         assert!(grid.iter().any(|p| p.opt == OptLevel::CacheLocalTree));
         assert!(grid.iter().any(|p| p.nodes == 8));
+    }
+
+    #[test]
+    fn both_grids_carry_the_build_slice_and_full_carries_the_scale_row() {
+        for (grid, label) in [(quick_grid(), "quick"), (full_grid(), "full")] {
+            for scenario in scenarios::BUILTIN_NAMES {
+                let sorted: Vec<&SweepPoint> = grid
+                    .iter()
+                    .filter(|p| p.scenario == scenario && p.build == TreeBuild::Sorted)
+                    .collect();
+                assert!(!sorted.is_empty(), "{label} grid misses sorted build on {scenario}");
+                // Every sorted row at a build-slice size has an insertion
+                // comparator differing only in the build axis.
+                for s in sorted.iter().filter(|p| p.nbodies < 1_000_000) {
+                    assert!(
+                        grid.iter().any(|p| {
+                            p.build == TreeBuild::Insertion
+                                && p.scenario == s.scenario
+                                && p.nbodies == s.nbodies
+                                && p.nodes == s.nodes
+                                && p.steps == s.steps
+                                && p.walk == s.walk
+                        }),
+                        "{label}: no insertion comparator for {scenario}"
+                    );
+                }
+            }
+        }
+        // The scale row: a million bodies, sorted-only, one rep.
+        let full = full_grid();
+        let scale: Vec<&SweepPoint> = full.iter().filter(|p| p.nbodies == 1_000_000).collect();
+        assert_eq!(scale.len(), 1);
+        assert_eq!(scale[0].build, TreeBuild::Sorted);
+        assert_eq!(scale[0].reps_override, Some(1));
+        assert!(
+            !quick_grid().iter().any(|p| p.nbodies >= 65536),
+            "million-body rows must never reach the CI quick grid"
+        );
     }
 
     #[test]
@@ -526,8 +617,12 @@ mod tests {
     #[test]
     fn walk_slice_pairs_group_rows_with_existing_per_body_rows() {
         for (grid, label) in [(quick_grid(), "quick"), (full_grid(), "full")] {
-            let groups: Vec<&SweepPoint> =
-                grid.iter().filter(|p| p.walk == WalkMode::Group).collect();
+            // The sorted-only scale row also group-walks; the A-B pairing
+            // contract is about the walk slice, which is insertion-build.
+            let groups: Vec<&SweepPoint> = grid
+                .iter()
+                .filter(|p| p.walk == WalkMode::Group && p.build == TreeBuild::Insertion)
+                .collect();
             assert_eq!(groups.len(), POLICY_SCENARIOS.len() * 2, "{label}");
             for g in groups {
                 // Every group row must have a per-body comparator differing

@@ -13,7 +13,9 @@ use nbody::Body;
 /// point.  [`Backend::supports`] additionally rejects the group walk below
 /// the caching levels ([`crate::sim::check_walk_mode`]): the per-group
 /// interaction lists are built over the §5.3 cell cache, and silently
-/// substituting the per-body walk would make walk-mode comparisons lie.
+/// substituting the per-body walk would make walk-mode comparisons lie —
+/// and the sorted tree build outside its owner-computes levels
+/// ([`crate::sim::check_tree_build`]).
 pub struct UpcBackend;
 
 impl Backend for UpcBackend {
@@ -27,7 +29,8 @@ impl Backend for UpcBackend {
 
     fn supports(&self, cfg: &SimConfig) -> Result<(), String> {
         cfg.validate().map_err(|e| e.to_string())?;
-        crate::sim::check_walk_mode(cfg)
+        crate::sim::check_walk_mode(cfg)?;
+        crate::sim::check_tree_build(cfg)
     }
 
     fn supports_sessions(&self) -> bool {

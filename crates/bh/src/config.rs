@@ -7,4 +7,4 @@
 //! This module keeps the historical `bh::config::*` and `bh::SimConfig`
 //! paths working.
 
-pub use engine::config::{OptLevel, SimConfig, TreePolicy, WalkMode};
+pub use engine::config::{OptLevel, SimConfig, TreeBuild, TreePolicy, WalkMode};

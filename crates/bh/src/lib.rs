@@ -38,6 +38,7 @@
 pub mod backend;
 pub mod cache;
 pub mod cellnode;
+pub mod cellstore;
 pub mod config;
 pub mod force;
 pub mod frontier;
@@ -49,12 +50,13 @@ pub mod report;
 pub mod shadow;
 pub mod shared;
 pub mod sim;
+pub mod sortbuild;
 pub mod subspace;
 pub mod treebuild;
 
 pub use backend::UpcBackend;
 pub use cellnode::{CellNode, NodeKind};
-pub use config::{OptLevel, SimConfig, TreePolicy, WalkMode};
+pub use config::{OptLevel, SimConfig, TreeBuild, TreePolicy, WalkMode};
 pub use report::{Phase, PhaseTimes, RankOutcome, SimResult};
 pub use shared::{BhShared, RankState};
 pub use sim::{run_simulation, run_simulation_on, run_simulation_with};

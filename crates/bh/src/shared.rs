@@ -3,7 +3,7 @@
 //! each optimization level's access/billing discipline.
 
 use crate::cache::CacheTree;
-use crate::cellnode::CellNode;
+use crate::cellstore::CellStore;
 use crate::config::{OptLevel, SimConfig};
 use crate::groupwalk::GroupLists;
 use crate::lifecycle::{LeafSite, TreeLifecycle};
@@ -12,7 +12,7 @@ use nbody::plummer::{generate, PlummerConfig};
 use nbody::{Body, Vec3};
 use pgas::shared::SharedScalar;
 use pgas::swcache::CachedScalar;
-use pgas::{Ctx, GlobalPtr, PhaseTimer, SharedArena, SharedVec};
+use pgas::{Ctx, GlobalPtr, PhaseTimer, SharedVec};
 
 /// Number of locks in the global lock table protecting cell modifications
 /// (SPLASH-2 hashes cells onto a fixed pool of locks).
@@ -25,8 +25,10 @@ pub struct BhShared {
     /// over ranks, allocated by thread 0 with `upc_global_alloc`.
     pub bodytab: SharedVec<Body>,
     /// The cell heap: cells are allocated by the inserting thread with
-    /// `upc_alloc` and linked through pointers-to-shared.
-    pub cells: SharedArena<CellNode>,
+    /// `upc_alloc` and linked through pointers-to-shared.  Fat arena or
+    /// compact SoA layout according to the configured tree build (see
+    /// [`crate::cellstore`]).
+    pub cells: CellStore,
     /// Pointer to the root cell of the current step's tree (a shared scalar
     /// on thread 0).
     pub root: SharedScalar<GlobalPtr>,
@@ -69,7 +71,7 @@ impl BhShared {
         BhShared {
             bodytab: SharedVec::from_vec(ranks, bodies),
             sites: SharedVec::new(ranks, nbodies, LeafSite::INVALID),
-            cells: SharedArena::new(ranks),
+            cells: CellStore::new(ranks, cfg.build),
             root: SharedScalar::new(GlobalPtr::NULL),
             rsize: SharedScalar::new(0.0),
             center: SharedScalar::new(Vec3::ZERO),
@@ -139,6 +141,11 @@ pub struct RankState {
     pub bbox_lo: Vec3,
     /// Upper corner of this step's global bounding box.
     pub bbox_hi: Vec3,
+    /// `true` when the bounding-box phase handed back the persistent root
+    /// cube instead of deriving a fresh one this step.  A rebuild must then
+    /// re-derive the cube from the stashed box ([`crate::treebuild::derive_root_cube`])
+    /// so rebuilt trees stay bit-identical under every tree policy.
+    pub bbox_kept_cube: bool,
     /// Persistent-tree bookkeeping (see [`crate::lifecycle`]).
     pub lifecycle: TreeLifecycle,
     /// The force-phase cache carried across steps while the tree generation
@@ -183,6 +190,7 @@ impl RankState {
             },
             bbox_lo: Vec3::ZERO,
             bbox_hi: Vec3::ZERO,
+            bbox_kept_cube: false,
             lifecycle: TreeLifecycle::default(),
             cache_slot: None,
             shadow_slot: None,

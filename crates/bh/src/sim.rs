@@ -9,7 +9,7 @@
 //! persistent global tree, incrementally updated, with drift-triggered
 //! rebuilds.
 
-use crate::config::{SimConfig, WalkMode};
+use crate::config::{SimConfig, TreeBuild, WalkMode};
 use crate::force::{advance_phase, force_phase_cached, force_phase_uncached, write_back};
 use crate::frontier::{force_phase_async, force_phase_async_group};
 use crate::lifecycle;
@@ -17,9 +17,11 @@ use crate::mergetree::{allocate_merge_root, build_local_tree, merge_into_global}
 use crate::partition::{partition_phase, redistribute_phase};
 use crate::report::{measurement_begins, Phase, PhaseTimes, RankOutcome, SimResult};
 use crate::shared::{BhShared, RankState};
+use crate::sortbuild::sorted_build;
 use crate::subspace::{subspace_partition, subspace_redistribute, subspace_treebuild};
 use crate::treebuild::{
-    allocate_root, bounding_box_phase, center_of_mass_phase, insert_owned_bodies,
+    allocate_root, bounding_box_phase, center_of_mass_phase, derive_root_cube, insert_owned_bodies,
+    publish_root_cube,
 };
 use pgas::{Ctx, GlobalPtr, Runtime};
 
@@ -49,6 +51,9 @@ pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
         panic!("bh::run_simulation: invalid config: {e}");
     }
     if let Err(e) = check_walk_mode(cfg) {
+        panic!("bh::run_simulation: invalid config: {e}");
+    }
+    if let Err(e) = check_tree_build(cfg) {
         panic!("bh::run_simulation: invalid config: {e}");
     }
     let runtime = Runtime::new(cfg.machine.clone());
@@ -83,7 +88,9 @@ pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
         outcome.stats = r.stats.clone();
         ranks.push(outcome);
     }
-    SimResult::aggregate(cfg, ranks, shared.bodytab.snapshot())
+    let mut result = SimResult::aggregate(cfg, ranks, shared.bodytab.snapshot());
+    result.tree_bytes = shared.cells.peak_bytes();
+    result
 }
 
 /// Checks that `cfg.walk` is runnable on this solver: the group walk builds
@@ -99,6 +106,28 @@ pub fn check_walk_mode(cfg: &SimConfig) -> Result<(), String> {
              the group walk builds per-group interaction lists over the force cache, which \
              --opt {} does not have",
             cfg.walk.name(),
+            cfg.opt.name()
+        ));
+    }
+    Ok(())
+}
+
+/// Checks that `cfg.build` is runnable on this solver: the sorted build
+/// routes each body (with its leaf payload) to its Morton-bucket owner, an
+/// owner-computes protocol that needs redistributed bodies (§5.2 and above),
+/// and it replaces the classic build phase, which the §6 subspace algorithm
+/// does not have.  Shared by [`run_simulation_with`] and
+/// [`crate::backend::UpcBackend::supports`] so library callers and the
+/// registry fail identically (like [`check_walk_mode`]).
+pub fn check_tree_build(cfg: &SimConfig) -> Result<(), String> {
+    if cfg.build == TreeBuild::Sorted
+        && (!cfg.opt.redistributes_bodies() || cfg.opt.subspace_tree_build())
+    {
+        return Err(format!(
+            "tree build {} requires an owner-computes optimization level (redistribute \
+             through async-aggregation): the sorted build routes bodies to Morton-bucket \
+             owners over the redistribution machinery, which --opt {} does not support",
+            cfg.build.name(),
             cfg.opt.name()
         ));
     }
@@ -174,7 +203,7 @@ fn run_step_classic(
     // `TreePolicy::Rebuild` the decision short-circuits (no collectives, no
     // charges) and the phase below is exactly the paper's.
     st.timer.begin(ctx, Phase::TreeBuild.key());
-    let (center, rsize) = bounding_box_phase(ctx, shared, st, cfg);
+    let (mut center, mut rsize) = bounding_box_phase(ctx, shared, st, cfg);
     let decision = lifecycle::decide(ctx, shared, st, cfg, step);
     let rebuilt = matches!(decision, lifecycle::StepBuild::Rebuild);
     match decision {
@@ -182,8 +211,23 @@ fn run_step_classic(
             lifecycle::incremental_update(ctx, shared, st, cfg, probes);
         }
         lifecycle::StepBuild::Rebuild => {
+            if st.bbox_kept_cube {
+                // The bounding-box fast path handed back the persistent
+                // cube on the bet that this step would reuse the tree; a
+                // rebuild must derive its cube from this step's box alone,
+                // so rebuilt trees are bit-identical under every policy.
+                (center, rsize) = derive_root_cube(st.bbox_lo, st.bbox_hi);
+                publish_root_cube(ctx, shared, st, cfg, center, rsize);
+            }
             lifecycle::clear_stale_tree(ctx, shared, st);
-            if cfg.opt.merged_tree_build() {
+            if cfg.build == TreeBuild::Sorted {
+                // Lock-free sort-based construction ([`crate::sortbuild`]):
+                // cells come out fully summarized, so the centre-of-mass
+                // phase below has nothing to do.
+                let (local_t, hook_t) = sorted_build(ctx, shared, st, cfg, center, rsize);
+                st.tree_local_time += local_t;
+                st.tree_merge_time += hook_t;
+            } else if cfg.opt.merged_tree_build() {
                 allocate_merge_root(ctx, shared, center, rsize);
                 ctx.barrier();
                 let local_start = ctx.now();
@@ -209,7 +253,7 @@ fn run_step_classic(
     // Centre-of-mass computation (folded into tree building by §5.4+; a
     // reuse step re-folded the summaries during the incremental update).
     st.timer.begin(ctx, Phase::CenterOfMass.key());
-    if rebuilt && !cfg.opt.merged_tree_build() {
+    if rebuilt && !cfg.opt.merged_tree_build() && cfg.build != TreeBuild::Sorted {
         center_of_mass_phase(ctx, shared, st, cfg);
     }
     ctx.barrier();

@@ -46,25 +46,65 @@ pub fn bounding_box_phase(
         glo = glo.min(l);
         ghi = ghi.max(h);
     }
-    let center = (glo + ghi) * 0.5;
     // Stash the raw box for the tree-lifecycle fit test (does the new box
     // still sit inside the persistent root cell?).
     st.bbox_lo = glo;
     st.bbox_hi = ghi;
+
+    // Persistent-tree fast path (the lifecycle fit test, hoisted): while the
+    // box still fits inside the live root cell, a reuse step keeps that
+    // cube's geometry, so the fresh derivation below is dead work — and the
+    // private root geometry must match the tree the forces actually walk.
+    // If the lifecycle later orders a rebuild anyway (cadence, drift, lost
+    // leaf), the rebuild arm re-derives the cube from the stashed box
+    // (`bbox_kept_cube` tells it to), so rebuilt trees stay bit-identical
+    // under every tree policy.
+    st.bbox_kept_cube = false;
+    if st.lifecycle.valid {
+        let c = st.lifecycle.root_center;
+        let h = st.lifecycle.root_half;
+        let inside =
+            |p: Vec3| (p.x - c.x).abs() <= h && (p.y - c.y).abs() <= h && (p.z - c.z).abs() <= h;
+        if inside(glo) && inside(ghi) {
+            st.bbox_kept_cube = true;
+            st.center = c;
+            st.rsize = 2.0 * h;
+            return (c, 2.0 * h);
+        }
+    }
+
+    let (center, rsize) = derive_root_cube(glo, ghi);
+    publish_root_cube(ctx, shared, st, cfg, center, rsize);
+    (center, rsize)
+}
+
+/// Derives the fresh root cube for a global bounding box: centred on the
+/// box, sides the smallest power of two covering its largest extent.
+pub fn derive_root_cube(glo: Vec3, ghi: Vec3) -> (Vec3, f64) {
+    let center = (glo + ghi) * 0.5;
     let half_extent = (ghi - glo).max_abs_component() * 0.5;
     let mut rsize = 1.0f64;
     while rsize < 2.0 * half_extent + 1e-12 {
         rsize *= 2.0;
     }
+    (center, rsize)
+}
 
-    if cfg.opt.replicates_scalars() {
-        // §5.1: every thread performs the (cheap) redundant computation and
-        // keeps a private copy.
-        st.center = center;
-        st.rsize = rsize;
-    } else if ctx.rank() == 0 {
+/// Publishes a freshly derived root cube: private copies always, the shared
+/// scalars when the optimization level doesn't replicate them.
+pub fn publish_root_cube(
+    ctx: &Ctx,
+    shared: &BhShared,
+    st: &mut RankState,
+    cfg: &SimConfig,
+    center: Vec3,
+    rsize: f64,
+) {
+    if !cfg.opt.replicates_scalars() && ctx.rank() == 0 {
         // Baseline: thread 0 updates the shared scalars; everyone else will
-        // re-read them remotely whenever they are needed.
+        // re-read them remotely whenever they are needed.  §5.1 and above
+        // instead perform the (cheap) derivation redundantly on every
+        // thread and keep private copies.
         shared.center.write(ctx, center);
         shared.rsize.write(ctx, rsize);
     }
@@ -72,7 +112,6 @@ pub fn bounding_box_phase(
     // know the value, e.g. the partitioner's key computation on level >= 1).
     st.center = center;
     st.rsize = rsize;
-    (center, rsize)
 }
 
 /// Allocates the root cell for this step (rank 0) and publishes it through
@@ -370,6 +409,42 @@ mod tests {
         assert!((ra.cofm - rb.cofm).norm() < 1e-9);
         assert!((ra.mass - rb.mass).abs() < 1e-12);
         assert_eq!(ra.nbodies, rb.nbodies);
+    }
+
+    #[test]
+    fn persistent_fit_skips_the_rsize_derivation() {
+        let cfg = SimConfig::test(96, 2, OptLevel::CacheLocalTree);
+        let shared = BhShared::new(&cfg);
+        let rt = Runtime::new(Machine::test_cluster(2));
+        rt.run(|ctx| {
+            let mut st = RankState::new(ctx, &shared, &cfg);
+            // A live persistent tree whose (deliberately off-centre) cube
+            // contains every Plummer body: the phase must hand back that
+            // cube untouched instead of deriving a fresh one.
+            st.lifecycle.valid = true;
+            st.lifecycle.root_center = nbody::Vec3::new(0.25, -0.125, 0.5);
+            st.lifecycle.root_half = 64.0;
+            let (center, rsize) = bounding_box_phase(ctx, &shared, &mut st, &cfg);
+            assert_eq!(center, st.lifecycle.root_center);
+            assert_eq!(rsize, 128.0);
+            assert_eq!(st.rsize, 128.0, "the private copy must match the returned cube");
+            assert!(st.bbox_kept_cube, "the fast path must flag the kept cube for rebuilds");
+            // A rebuild ordered after the fast path re-derives from the
+            // stashed box — the same cube the no-tree derivation produces.
+            let rederived = derive_root_cube(st.bbox_lo, st.bbox_hi);
+
+            // Box outgrew the cube (or no tree is alive): the derivation
+            // runs and returns a fresh power-of-two cube.
+            st.lifecycle.root_half = 1e-6;
+            let (_, misfit) = bounding_box_phase(ctx, &shared, &mut st, &cfg);
+            assert_ne!(misfit, 2e-6, "a misfit box must not reuse the stale cube");
+            assert!(!st.bbox_kept_cube, "a misfit must clear the kept-cube flag");
+            st.lifecycle.valid = false;
+            let (_, fresh) = bounding_box_phase(ctx, &shared, &mut st, &cfg);
+            assert_eq!(misfit, fresh, "the misfit path matches the no-tree derivation");
+            assert_eq!(rederived, (st.center, st.rsize), "re-derivation matches the fresh cube");
+            ctx.barrier();
+        });
     }
 
     #[test]

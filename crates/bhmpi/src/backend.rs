@@ -42,6 +42,12 @@ impl Backend for MpiBackend {
                  backend for group walks)"
                 .to_string());
         }
+        if cfg.build == engine::TreeBuild::Sorted {
+            return Err("tree build sorted is not supported: the message-passing solver already \
+                 builds lock-free local trees over its Morton decomposition (use the default \
+                 insertion build, or the upc backend for the sorted shared-tree build)"
+                .to_string());
+        }
         Ok(())
     }
 

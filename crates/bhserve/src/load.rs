@@ -414,6 +414,8 @@ fn sample_of(reply: &Value, latency_ms: f64) -> Result<Sample, String> {
         phases,
         total_sim: f("total_sim")?,
         migration_fraction: f("migration_fraction")?,
+        // Absent on replies from servers predating the node-arena metric.
+        tree_bytes: reply.get("tree_bytes").and_then(|v| v.as_u64()).unwrap_or(0),
         stats,
     })
 }
@@ -582,6 +584,7 @@ mod tests {
                     phases: PhaseTimes::default(),
                     total_sim: 1.0,
                     migration_fraction: 0.0,
+                    tree_bytes: 0,
                     stats: RankStats { interactions: 10, ..Default::default() },
                 };
                 let mut run = RunRecord::from_samples(cell.spec(&registry), &[sample]);
@@ -599,6 +602,7 @@ mod tests {
             phases: PhaseTimes::default(),
             total_sim: 2.0,
             migration_fraction: 0.0,
+            tree_bytes: 0,
             stats: RankStats { interactions: 99, ..Default::default() },
         };
         existing

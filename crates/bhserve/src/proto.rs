@@ -285,6 +285,7 @@ pub fn run_fields(result: &engine::SimResult, wall_ms: f64) -> Vec<(String, Valu
         ("phases".to_string(), phases),
         ("total_sim".to_string(), Value::Float(result.total)),
         ("migration_fraction".to_string(), Value::Float(result.migration_fraction)),
+        ("tree_bytes".to_string(), Value::UInt(result.tree_bytes)),
         ("interactions".to_string(), Value::UInt(stats.interactions)),
         ("macs".to_string(), Value::UInt(stats.macs)),
         ("tree_ops".to_string(), Value::UInt(stats.tree_ops)),

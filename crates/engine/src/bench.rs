@@ -77,6 +77,12 @@ pub struct RunSpec {
     /// Records predating the walk axis decode as `per-body` (the only walk
     /// that existed), so their keys keep matching.
     pub walk: String,
+    /// Tree-construction algorithm name ([`crate::TreeBuild::name`]).  Like
+    /// `walk`, part of the sweep point's identity: the sorted build and
+    /// global insertion are different measurement protocols for the tree
+    /// phase.  Records predating the build axis decode as `insertion` (the
+    /// only build that existed), so their keys keep matching.
+    pub build: String,
     /// Measurement pathway: [`SERVICE_SIM`] for standalone runs,
     /// [`SERVICE_BHSERVE`] for rows driven through the serving daemon by
     /// `bhload`.  Part of the sweep-point identity — the same job measured
@@ -109,6 +115,7 @@ impl RunSpec {
             opt: cfg.opt.name().to_string(),
             policy: cfg.tree_policy.spec_label(),
             walk: cfg.walk.name().to_string(),
+            build: cfg.build.name().to_string(),
             service: SERVICE_SIM.to_string(),
             nbodies: cfg.nbodies,
             nodes: cfg.machine.nodes,
@@ -123,12 +130,13 @@ impl RunSpec {
     /// committed baseline.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/{}/n{}/m{}x{}",
+            "{}/{}/{}/{}/{}/{}/{}/n{}/m{}x{}",
             self.scenario,
             self.backend,
             self.opt,
             self.policy,
             self.walk,
+            self.build,
             self.service,
             self.nbodies,
             self.nodes,
@@ -154,6 +162,9 @@ pub struct Sample {
     pub total_sim: f64,
     /// Body migration per measured step.
     pub migration_fraction: f64,
+    /// Peak node-arena bytes across ranks and steps (deterministic; `0`
+    /// when the backend has no node arena).
+    pub tree_bytes: u64,
     /// Communication counters summed over ranks, whole run.
     pub stats: RankStats,
 }
@@ -167,6 +178,7 @@ impl Sample {
             phases: run.result.phases,
             total_sim: run.result.total,
             migration_fraction: run.result.migration_fraction,
+            tree_bytes: run.result.tree_bytes,
             stats: run.result.total_stats(),
         }
     }
@@ -251,6 +263,10 @@ pub struct RunRecord {
     /// Median elementary tree-operation count.  Like `macs`, 0 in records
     /// that predate the counter.
     pub tree_ops: u64,
+    /// Median peak node-arena bytes (the compact-layout memory metric).
+    /// Like `macs`, 0 in records that predate the counter, and the metric
+    /// is then exempt from diffing.
+    pub tree_bytes: u64,
     /// Median fine-grained remote gets.
     pub remote_gets: u64,
     /// Median fine-grained remote puts.
@@ -296,6 +312,7 @@ impl RunRecord {
             interactions: median_u64(samples.iter().map(|s| s.stats.interactions)),
             macs: median_u64(samples.iter().map(|s| s.stats.macs)),
             tree_ops: median_u64(samples.iter().map(|s| s.stats.tree_ops)),
+            tree_bytes: median_u64(samples.iter().map(|s| s.tree_bytes)),
             remote_gets: median_u64(samples.iter().map(|s| s.stats.remote_gets)),
             remote_puts: median_u64(samples.iter().map(|s| s.stats.remote_puts)),
             messages: median_u64(samples.iter().map(|s| s.stats.messages)),
@@ -330,7 +347,7 @@ pub struct KernelRecord {
 /// vocabulary.  Written into [`Record::axes`] so the baseline diff can tell
 /// an *axis addition* (the grid legitimately grew a dimension the baseline
 /// predates) from a point silently vanishing.
-pub const KEY_AXES: [&str; 3] = ["policy", "walk", "service"];
+pub const KEY_AXES: [&str; 4] = ["policy", "walk", "build", "service"];
 
 /// The schema-versioned document committed as `BENCH_*.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -501,6 +518,11 @@ fn decode_spec(v: &Value, ctx: &str) -> Result<RunSpec, String> {
             Some(_) => str_field(v, "walk", ctx)?,
             None => "per-body".to_string(),
         },
+        // Records predating the build axis ran the only build that existed.
+        build: match v.get("build") {
+            Some(_) => str_field(v, "build", ctx)?,
+            None => "insertion".to_string(),
+        },
         // Records predating the serving path are all standalone runs.
         service: match v.get("service") {
             Some(_) => str_field(v, "service", ctx)?,
@@ -542,6 +564,10 @@ fn decode_run(v: &Value) -> Result<RunRecord, String> {
         },
         tree_ops: match v.get("tree_ops") {
             Some(_) => u64_field(v, "tree_ops", &ctx)?,
+            None => 0,
+        },
+        tree_bytes: match v.get("tree_bytes") {
+            Some(_) => u64_field(v, "tree_bytes", &ctx)?,
             None => 0,
         },
         remote_gets: u64_field(v, "remote_gets", &ctx)?,
@@ -783,6 +809,9 @@ pub fn diff_against_baseline(current: &Record, baseline: &Record, threshold: f64
         if base.tree_ops > 0 {
             check("tree_ops", base.tree_ops as f64, run.tree_ops as f64, COUNTER_FLOOR);
         }
+        if base.tree_bytes > 0 {
+            check("tree_bytes", base.tree_bytes as f64, run.tree_bytes as f64, COUNTER_FLOOR);
+        }
         check(
             "remote_ops",
             (base.remote_gets + base.remote_puts) as f64,
@@ -897,6 +926,7 @@ mod tests {
             phases: PhaseTimes { force, tree: 0.5, ..Default::default() },
             total_sim: force + 0.5,
             migration_fraction: 0.01,
+            tree_bytes: 0,
             stats: RankStats { interactions, remote_gets: 1000, ..Default::default() },
         }
     }
@@ -939,7 +969,7 @@ mod tests {
     #[test]
     fn spec_key_is_stable_and_discriminating() {
         let a = spec();
-        assert_eq!(a.key(), "plummer/upc/subspace/rebuild/per-body/sim/n256/m2x1");
+        assert_eq!(a.key(), "plummer/upc/subspace/rebuild/per-body/insertion/sim/n256/m2x1");
         let mut b = a.clone();
         b.nbodies = 512;
         assert_ne!(a.key(), b.key());
@@ -952,6 +982,9 @@ mod tests {
         let mut e = a.clone();
         e.service = SERVICE_BHSERVE.to_string();
         assert_ne!(a.key(), e.key(), "the service pathway is part of the sweep-point identity");
+        let mut f = a.clone();
+        f.build = "sorted".to_string();
+        assert_ne!(a.key(), f.key(), "the build algorithm is part of the sweep-point identity");
     }
 
     #[test]
@@ -980,6 +1013,20 @@ mod tests {
         assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
         assert_eq!(parsed.runs[0].macs, 0);
         assert_eq!(parsed.runs[0].tree_ops, 0);
+    }
+
+    #[test]
+    fn specs_without_a_build_field_decode_as_insertion() {
+        // Records committed before the build axis ran the only build that
+        // existed, and the tree_bytes metric decodes as "not recorded".
+        let record = record_with(2.0, 10_000);
+        let mut text = record.to_json();
+        text = text.replace("\"build\": \"insertion\",", "");
+        text = text.replace("\"tree_bytes\": 0,", "");
+        let parsed = Record::from_json(&text).expect("legacy record must parse");
+        assert_eq!(parsed.runs[0].spec.build, "insertion");
+        assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
+        assert_eq!(parsed.runs[0].tree_bytes, 0);
     }
 
     #[test]
@@ -1155,6 +1202,22 @@ mod tests {
     }
 
     #[test]
+    fn tree_bytes_gates_only_when_the_baseline_recorded_it() {
+        let mut baseline = record_with(2.0, 100_000);
+        let mut current = record_with(2.0, 100_000);
+        // Baseline predates the metric (decoded 0): any current value is
+        // vocabulary growth, not a memory regression.
+        current.runs[0].tree_bytes = 1_000_000;
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        assert!(diff.regressions.is_empty(), "{:?}", diff.describe_regressions());
+        // Once recorded, arena growth past the threshold gates.
+        baseline.runs[0].tree_bytes = 500_000;
+        let diff = diff_against_baseline(&current, &baseline, 0.25);
+        let metrics: Vec<&str> = diff.regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"tree_bytes"), "{metrics:?}");
+    }
+
+    #[test]
     fn axis_additions_allow_missing_baseline_points() {
         // The baseline predates the walk axis; the current grid was
         // restructured around it, retiring a baseline point.
@@ -1165,7 +1228,10 @@ mod tests {
         baseline.runs.push(retired.runs[0].clone());
         let current = record_with(2.0, 100_000);
         let diff = diff_against_baseline(&current, &baseline, 0.25);
-        assert_eq!(diff.new_axes, vec!["walk".to_string(), "service".to_string()]);
+        assert_eq!(
+            diff.new_axes,
+            vec!["walk".to_string(), "build".to_string(), "service".to_string()]
+        );
         assert!(diff.missing.is_empty(), "{:?}", diff.missing);
         assert_eq!(diff.missing_allowed.len(), 1, "{:?}", diff.missing_allowed);
         assert!(diff.missing_allowed[0].contains("king"));

@@ -282,6 +282,65 @@ impl WalkMode {
     }
 }
 
+/// How the global octree is constructed on a rebuild step.
+///
+/// The paper's build — and the default — is global insertion: every body
+/// descends the shared tree and claims or subdivides its slot under a
+/// per-cell lock.  That is exactly the pattern the paper measures in
+/// "hundreds of seconds" at scale, and the one hot phase the persistent
+/// tree and group walks only sidestep.  The sorted build (`bh::sortbuild`)
+/// removes it: bodies are Morton-encoded with the same geometric-descent
+/// keys the group walk uses, sorted cooperatively across ranks, and the
+/// canonical octree is derived bottom-up from key-prefix boundaries with
+/// **zero lock acquisitions** — summaries fold in one deterministic upward
+/// pass with fixed (octant-order) reduction order, so forces are
+/// bit-for-bit identical to the insertion build under
+/// [`TreePolicy::Rebuild`].
+///
+/// The sorted build applies to the redistributed global-insertion levels
+/// ([`OptLevel::Redistribute`] through [`OptLevel::AsyncAggregation`]):
+/// below §5.2 body ownership is not aligned with the partition the sort
+/// distributes against, and the §6 subspace algorithm is itself a
+/// replacement build.  The `upc` backend rejects unsupported combinations;
+/// the `mpi` comparator builds local trees with no shared insertion phase,
+/// so the axis does not apply there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TreeBuild {
+    /// Global insertion under per-cell locks (the paper's build).
+    Insertion,
+    /// Lock-free bottom-up construction from the globally sorted Morton-key
+    /// array.
+    Sorted,
+}
+
+impl TreeBuild {
+    /// All build algorithms.
+    pub const ALL: [TreeBuild; 2] = [TreeBuild::Insertion, TreeBuild::Sorted];
+
+    /// Short name used by reports, the CLI and the bench harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeBuild::Insertion => "insertion",
+            TreeBuild::Sorted => "sorted",
+        }
+    }
+
+    /// One-line description for `bhsim --list`.
+    pub fn description(self) -> &'static str {
+        match self {
+            TreeBuild::Insertion => "global insertion under per-cell locks (the paper's build)",
+            TreeBuild::Sorted => {
+                "lock-free bottom-up build from the globally sorted Morton-key array"
+            }
+        }
+    }
+
+    /// Parses a build algorithm from its [`TreeBuild::name`].
+    pub fn from_name(name: &str) -> Option<TreeBuild> {
+        TreeBuild::ALL.iter().copied().find(|b| b.name() == name)
+    }
+}
+
 /// The default workload RNG seed used by [`SimConfig::new`] (and therefore
 /// by every driver that doesn't override `--seed`).
 pub const DEFAULT_SEED: u64 = 1_234_567;
@@ -358,6 +417,9 @@ pub struct SimConfig {
     /// Force-phase traversal mode (see [`WalkMode`]; default
     /// [`WalkMode::PerBody`], the paper's walk).
     pub walk: WalkMode,
+    /// Tree-construction algorithm on rebuild steps (see [`TreeBuild`];
+    /// default [`TreeBuild::Insertion`], the paper's build).
+    pub build: TreeBuild,
     /// Optimization level (UPC ladder only; other backends ignore it).
     pub opt: OptLevel,
     /// Emulated machine.
@@ -411,6 +473,7 @@ impl SimConfig {
             measured_steps: 2,
             tree_policy: TreePolicy::Rebuild,
             walk: WalkMode::PerBody,
+            build: TreeBuild::Insertion,
             opt,
             machine,
             n1: 4,
@@ -555,6 +618,18 @@ mod tests {
         assert_eq!(WalkMode::from_name("nope"), None);
         let cfg = SimConfig::test(64, 2, OptLevel::CacheLocalTree);
         assert_eq!(cfg.walk, WalkMode::PerBody, "the paper's walk must stay the default");
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn tree_build_names_roundtrip_and_default_is_insertion() {
+        for b in TreeBuild::ALL {
+            assert_eq!(TreeBuild::from_name(b.name()), Some(b));
+            assert!(!b.description().is_empty());
+        }
+        assert_eq!(TreeBuild::from_name("nope"), None);
+        let cfg = SimConfig::test(64, 2, OptLevel::Redistribute);
+        assert_eq!(cfg.build, TreeBuild::Insertion, "the paper's build must stay the default");
         assert!(cfg.validate().is_ok());
     }
 

@@ -45,6 +45,6 @@ pub mod suggest;
 
 pub use backend::{validate_bodies, Backend, BackendRegistry};
 pub use compare::{comparison_table, run_backends, BackendRun};
-pub use config::{ConfigError, OptLevel, SimConfig, TreePolicy, WalkMode, DEFAULT_SEED};
+pub use config::{ConfigError, OptLevel, SimConfig, TreeBuild, TreePolicy, WalkMode, DEFAULT_SEED};
 pub use direct::DirectBackend;
 pub use report::{Phase, PhaseTimes, RankOutcome, SimResult};

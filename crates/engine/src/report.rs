@@ -180,6 +180,11 @@ pub struct SimResult {
     /// Fraction of owned bodies that migrated between ranks per measured
     /// step (the §5.2 ≈2 % statistic).
     pub migration_fraction: f64,
+    /// Peak node-arena bytes across ranks and steps (deterministic — a
+    /// count of allocated node records times their stored size).  `0` when
+    /// the backend has no shared node arena (direct summation, MPI
+    /// comparator).
+    pub tree_bytes: u64,
     /// Final body states (indexed by body id), for correctness checks.
     pub bodies: Vec<nbody::Body>,
 }
@@ -210,6 +215,7 @@ impl SimResult {
             total: phases.total(),
             ranks,
             migration_fraction: migrated as f64 / ownership_slots as f64,
+            tree_bytes: 0,
             bodies,
         }
     }

@@ -110,8 +110,15 @@ pub struct Diagnostics {
     pub concentration: f64,
 }
 
+/// Size up to which [`Diagnostics::measure`] computes the virial ratio's
+/// potential sum exactly; beyond it the sum runs over a strided subsample
+/// ([`energy::potential_energy_sampled`]) so diagnostics stay interactive
+/// at the million-body sizes the sorted tree build targets.
+pub const VIRIAL_EXACT_LIMIT: usize = 8192;
+
 impl Diagnostics {
-    /// Measures `bodies`, using `eps` to soften the O(n²) potential sum.
+    /// Measures `bodies`, using `eps` to soften the potential sum (exact up
+    /// to [`VIRIAL_EXACT_LIMIT`] bodies, subsampled beyond).
     pub fn measure(bodies: &[Body], eps: f64) -> Diagnostics {
         let radii = stats::lagrangian_radii(bodies, &[0.1, 0.5, 0.9]);
         let (r10, r50, r90) = (radii[0], radii[1], radii[2]);
@@ -124,7 +131,15 @@ impl Diagnostics {
             r50,
             r90,
             velocity_dispersion: stats::velocity_dispersion(bodies),
-            virial_ratio: energy::virial_ratio(bodies, eps),
+            virial_ratio: {
+                let t = energy::kinetic_energy(bodies);
+                let w = energy::potential_energy_sampled(bodies, eps, VIRIAL_EXACT_LIMIT);
+                if w == 0.0 {
+                    f64::INFINITY
+                } else {
+                    2.0 * t / w.abs()
+                }
+            },
             angular_momentum: energy::total_angular_momentum(bodies).norm(),
             concentration: if r10 > 0.0 { r90 / r10 } else { f64::INFINITY },
         }

@@ -34,6 +34,7 @@ struct Options {
     measured: usize,
     tree_policy: TreePolicy,
     walk: WalkMode,
+    build: TreeBuild,
     rebuild_every: Option<usize>,
     drift_threshold: Option<f64>,
     theta: Option<f64>,
@@ -59,6 +60,7 @@ impl Default for Options {
             measured: 2,
             tree_policy: TreePolicy::Rebuild,
             walk: WalkMode::PerBody,
+            build: TreeBuild::Insertion,
             rebuild_every: None,
             drift_threshold: None,
             theta: None,
@@ -95,6 +97,10 @@ fn usage() -> ! {
            --walk MODE          force-walk traversal mode (default per-body)\n\
                                 modes: per-body, group (group needs a caching\n\
                                 --opt level: cache-local-tree and above)\n\
+           --build ALGO         tree-construction algorithm (default insertion)\n\
+                                algorithms: insertion, sorted (sorted needs an\n\
+                                owner-computes --opt level: redistribute\n\
+                                through async-aggregation)\n\
            --theta T            opening criterion         (default: scenario's)\n\
            --eps E              softening                 (default: scenario's)\n\
            --dt DT              time step                 (default: scenario's)\n\
@@ -184,6 +190,13 @@ fn parse_args() -> Options {
                 let name = value(args.next(), "--walk");
                 opts.walk = WalkMode::from_name(&name).unwrap_or_else(|| {
                     eprintln!("bhsim: unknown walk mode: {name} (per-body, group)");
+                    usage()
+                });
+            }
+            "--build" => {
+                let name = value(args.next(), "--build");
+                opts.build = TreeBuild::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("bhsim: unknown tree build: {name} (insertion, sorted)");
                     usage()
                 });
             }
@@ -293,6 +306,11 @@ fn list_registries() {
     for walk in WalkMode::ALL {
         println!("  {:<10} {}", walk.name(), walk.description());
     }
+    println!();
+    println!("tree-construction algorithms (--build, upc backend):");
+    for build in TreeBuild::ALL {
+        println!("  {:<10} {}", build.name(), build.description());
+    }
 }
 
 fn main() {
@@ -327,6 +345,7 @@ fn main() {
     cfg.measured_steps = opts.measured;
     cfg.tree_policy = opts.tree_policy;
     cfg.walk = opts.walk;
+    cfg.build = opts.build;
     cfg.theta = opts.theta.unwrap_or(tuning.theta);
     cfg.eps = opts.eps.unwrap_or(tuning.eps);
     cfg.dt = opts.dt.unwrap_or(tuning.dt);
@@ -349,7 +368,7 @@ fn main() {
     let backend_names = opts.compare.clone().unwrap_or_else(|| vec![opts.backend.clone()]);
 
     eprintln!(
-        "bhsim: scenario {} | n {} | backend(s) {} | opt {} | {} node(s) x {} thread(s){} | {} step(s), {} measured | tree {} | walk {}",
+        "bhsim: scenario {} | n {} | backend(s) {} | opt {} | {} node(s) x {} thread(s){} | {} step(s), {} measured | tree {} | walk {} | build {}",
         scenario.name(),
         opts.nbodies,
         backend_names.join(","),
@@ -361,6 +380,7 @@ fn main() {
         opts.measured,
         opts.tree_policy.name(),
         opts.walk.name(),
+        opts.build.name(),
     );
 
     let bodies = scenario.generate(opts.nbodies, opts.seed);

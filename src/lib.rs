@@ -110,7 +110,7 @@ pub mod prelude {
     pub use crate::backends as backend_registry;
     pub use bh::{
         run_simulation, run_simulation_on, OptLevel, Phase, PhaseTimes, SimConfig, SimResult,
-        TreePolicy, WalkMode,
+        TreeBuild, TreePolicy, WalkMode,
     };
     pub use engine::{Backend, BackendRegistry, BackendRun};
     pub use nbody::plummer::{generate, PlummerConfig};

@@ -1,9 +1,11 @@
-//! Guards on the committed benchmark baseline (`BENCH_0006.json`): the CI
+//! Guards on the committed benchmark baseline (`BENCH_0007.json`): the CI
 //! perf gate diffs against this file, so it must stay schema-valid and keep
 //! demonstrating the claims it was committed for — the tree-lifecycle claim
 //! that persistent-tree stepping beats per-step rebuild on long
 //! trajectories, the group-walk claim that one traversal per body group
-//! beats one per body on simulated force time and traversal volume, and the
+//! beats one per body on simulated force time and traversal volume, the
+//! tree-build claim that the sorted (Morton sample-sort) build beats
+//! lock-based insertion on tree time with a smaller node arena, and the
 //! serving slice (`service = "bhserve"`) recorded by `bhload` against a live
 //! `bhserve` for the CI serving gate.
 
@@ -13,7 +15,7 @@ use engine::bench::{
 use std::collections::BTreeSet;
 
 fn committed_record() -> Record {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0006.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0007.json");
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
     Record::from_json(&text).expect("committed baseline must be schema-valid")
@@ -89,11 +91,11 @@ fn committed_baseline_shows_persistent_tree_beating_rebuild_on_long_runs() {
     };
     let mut winning_families = 0;
     for scenario in ["plummer", "king"] {
-        // The full-suite slice runs at n = 2048 (the quick slice at n = 512
+        // The full-suite slice runs at n = 4096 (the quick slice at n = 512
         // exists for the CI regeneration, where the margins are thinner).
-        let rebuild = tree_time(scenario, "rebuild", 2048);
-        let reuse = tree_time(scenario, "reuse", 2048);
-        let adaptive = tree_time(scenario, "adaptive", 2048);
+        let rebuild = tree_time(scenario, "rebuild", 4096);
+        let reuse = tree_time(scenario, "reuse", 4096);
+        let adaptive = tree_time(scenario, "adaptive", 4096);
         assert!(rebuild > 0.0, "{scenario}: empty rebuild tree time");
         if reuse < rebuild && adaptive < rebuild {
             winning_families += 1;
@@ -111,7 +113,7 @@ fn committed_baseline_shows_persistent_tree_beating_rebuild_on_long_runs() {
 }
 
 /// The group-walk acceptance evidence: on the walk slice (steps >= 8,
-/// n = 2048, CacheLocalTree), the group rows must beat their per-body
+/// n = 4096, CacheLocalTree), the group rows must beat their per-body
 /// comparators on simulated force-phase time *and* on the deterministic
 /// traversal counter (`macs`), both with per-step rebuild and with tree
 /// reuse — while evaluating the same physics (identical interaction counts
@@ -130,7 +132,7 @@ fn committed_baseline_shows_group_walks_beating_per_body() {
                     && r.spec.walk == walk
                     && r.spec.opt == "cache-local-tree"
                     && r.spec.steps >= 8
-                    && r.spec.nbodies == 2048
+                    && r.spec.nbodies == 4096
             })
             .unwrap_or_else(|| {
                 panic!("baseline must carry the {scenario}/{policy}/{walk} walk-slice point")
@@ -162,6 +164,61 @@ fn committed_baseline_shows_group_walks_beating_per_body() {
             }
         }
     }
+}
+
+/// The tree-build acceptance evidence: on the full build slice (n = 65536,
+/// CacheLocalTree), the sorted build must beat lock-based insertion on
+/// simulated tree-building time for every scenario family, with zero lock
+/// acquisitions and a strictly smaller peak node arena — and the
+/// million-body sorted-only scale row must have completed.
+#[test]
+fn committed_baseline_shows_sorted_build_beating_insertion() {
+    let record = committed_record();
+    let build_row = |scenario: &str, build: &str, nbodies: usize| {
+        record
+            .runs
+            .iter()
+            .find(|r| {
+                r.spec.scenario == scenario
+                    && r.spec.build == build
+                    && r.spec.nbodies == nbodies
+                    && r.spec.opt == "cache-local-tree"
+            })
+            .unwrap_or_else(|| {
+                panic!("baseline must carry the {scenario}/{build}/n{nbodies} build-slice point")
+            })
+    };
+    for scenario in ["plummer", "king", "hernquist", "exp-disk", "cold-cube", "merger"] {
+        // The quick slice (n = 2048) must exist for the CI regeneration.
+        build_row(scenario, "sorted", 2048);
+        build_row(scenario, "insertion", 2048);
+
+        let insertion = build_row(scenario, "insertion", 65536);
+        let sorted = build_row(scenario, "sorted", 65536);
+        assert!(
+            sorted.phases_median.tree < insertion.phases_median.tree,
+            "{scenario}: sorted tree time {:.4}s must beat insertion {:.4}s at n = 65536",
+            sorted.phases_median.tree,
+            insertion.phases_median.tree
+        );
+        assert!(sorted.tree_bytes > 0, "{scenario}: sorted rows must record tree_bytes");
+        assert!(
+            sorted.tree_bytes < insertion.tree_bytes,
+            "{scenario}: compact arena ({} B) must undercut the fat arena ({} B)",
+            sorted.tree_bytes,
+            insertion.tree_bytes
+        );
+        // The sorted build links the tree without touching a single lock.
+        assert_eq!(sorted.lock_acquires, 0, "{scenario}: sorted rows must be lock-free");
+    }
+    let scale = record
+        .runs
+        .iter()
+        .find(|r| r.spec.nbodies == 1_000_000)
+        .expect("baseline must carry the million-body scale row");
+    assert_eq!(scale.spec.build, "sorted");
+    assert!(scale.phases_median.force > 0.0, "scale row must have completed its step");
+    assert!(scale.interactions > 0);
 }
 
 /// The serving acceptance evidence: the committed baseline carries the
