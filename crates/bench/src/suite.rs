@@ -62,6 +62,12 @@ pub struct SweepPoint {
     /// are deterministic in the counters the gate compares, and repeating
     /// a million-body sweep would dominate the whole suite's wall time.
     pub reps_override: Option<usize>,
+    /// Warm-start pathway: `Some(k)` runs a `k`-step equilibration prefix
+    /// once (untimed), checkpoints it into a shared snapstore store, and
+    /// measures each repetition as a *resume* from that snapshot — the
+    /// sweep-side evidence that warm starts beat re-integrating from t = 0.
+    /// The point's key carries `warm[p<k>]` instead of `cold`.
+    pub warm_prefix: Option<usize>,
 }
 
 impl SweepPoint {
@@ -84,6 +90,7 @@ impl SweepPoint {
             steps: 4,
             measured_steps: 2,
             reps_override: None,
+            warm_prefix: None,
         }
     }
 
@@ -103,6 +110,15 @@ impl SweepPoint {
         cfg.eps = tuning.eps;
         cfg.dt = tuning.dt;
         cfg
+    }
+
+    /// The bench-record spec for this point, with the warm axis applied.
+    pub fn spec(&self) -> RunSpec {
+        let mut spec = RunSpec::new(self.scenario, self.backend, &self.config());
+        if let Some(prefix) = self.warm_prefix {
+            spec.warm = engine::bench::warm_label(prefix);
+        }
+        spec
     }
 }
 
@@ -192,6 +208,34 @@ fn build_slice(nbodies: usize, reps_override: Option<usize>) -> Vec<SweepPoint> 
     slice
 }
 
+/// The warm-start slice: one cold 8-step trajectory plus two warm rows —
+/// the same trajectory resumed from a 4-step equilibration checkpoint,
+/// under per-step rebuild and under a 2-step reuse cadence (whose resume
+/// replays from the mid-cadence anchor, exercising the phase-preserving
+/// path).  All three measure every step they integrate, so the committed
+/// record is itself the acceptance evidence that resuming beats
+/// re-integrating from t = 0 on total simulated seconds.  King on 4 nodes:
+/// the scenario/shape keeps the cold row's key disjoint from the
+/// steps-ladder and opt-ladder rows (the sweep key does not carry `steps`).
+fn warm_slice(nbodies: usize) -> Vec<SweepPoint> {
+    let reuse = TreePolicy::Reuse {
+        rebuild_every: 2,
+        drift_threshold: TreePolicy::DEFAULT_DRIFT_THRESHOLD,
+    };
+    let mut slice = Vec::new();
+    for (policy, warm_prefix) in
+        [(TreePolicy::Rebuild, None), (TreePolicy::Rebuild, Some(4)), (reuse, Some(4))]
+    {
+        let mut p = SweepPoint::new("king", "upc", OptLevel::CacheLocalTree, nbodies, 4);
+        p.policy = policy;
+        p.steps = 8;
+        p.measured_steps = 8;
+        p.warm_prefix = warm_prefix;
+        slice.push(p);
+    }
+    slice
+}
+
 /// The million-body scale row: the sorted build's headline capability.
 /// Sorted-only — the lock-based insertion build at this size spends its
 /// whole budget contending on the top of the tree, which the full grid
@@ -224,6 +268,7 @@ pub fn quick_grid() -> Vec<SweepPoint> {
     grid.extend(steps_ladder_slice(512));
     grid.extend(walk_slice(512));
     grid.extend(build_slice(2048, None));
+    grid.extend(warm_slice(512));
     grid
 }
 
@@ -260,6 +305,8 @@ pub fn full_grid() -> Vec<SweepPoint> {
     // million-body sorted-only scale row.
     grid.extend(build_slice(65536, Some(1)));
     grid.push(scale_row());
+    // The warm-start slice at the full tier's size.
+    grid.extend(warm_slice(4096));
     grid
 }
 
@@ -281,15 +328,75 @@ pub fn run_point(point: &SweepPoint, reps: usize) -> Result<RunRecord, String> {
     let registry = scenario_registry();
     let scenario = registry.get(point.scenario).expect("grid scenario is registered");
     let bodies = scenario.generate(cfg.nbodies, cfg.seed);
+    let reps = point.reps_override.unwrap_or(reps).max(1);
+    if let Some(prefix) = point.warm_prefix {
+        return run_warm_point(point, &cfg, bodies, prefix, reps);
+    }
     let backends = backend_registry();
     let names = vec![point.backend.to_string()];
-    let reps = point.reps_override.unwrap_or(reps);
     let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps.max(1) {
+    for _ in 0..reps {
         let runs = engine::run_backends(&backends, &names, &cfg, &bodies)?;
         samples.push(Sample::from_run(&runs[0]));
     }
-    Ok(RunRecord::from_samples(RunSpec::new(point.scenario, point.backend, &cfg), &samples))
+    Ok(RunRecord::from_samples(point.spec(), &samples))
+}
+
+/// The suite-shared warm-start snapshot store: one directory per process,
+/// so every warm point's equilibration snapshot lands in the same
+/// content-addressed store and chunks unchanged across points (body
+/// identities, masses, shared prefixes) are stored once.
+fn warm_store_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bh-bench-warmstore-{}", std::process::id()))
+}
+
+/// Runs a warm-start sweep point: integrate a `prefix`-step equilibration
+/// once (untimed), checkpoint it through the suite's snapstore store, and
+/// measure each repetition as a resume from the *reloaded* snapshot — the
+/// measured pathway is resume-from-disk, exactly what `bhsim --resume` and
+/// the bhserve `resume` op run.
+fn run_warm_point(
+    point: &SweepPoint,
+    cfg: &SimConfig,
+    bodies: Vec<Body>,
+    prefix: usize,
+    reps: usize,
+) -> Result<RunRecord, String> {
+    if prefix == 0 || prefix >= cfg.steps {
+        return Err(format!(
+            "warm prefix ({prefix}) must be inside the run's step count ({})",
+            cfg.steps
+        ));
+    }
+    let backends = backend_registry();
+    let backend =
+        backends.get(point.backend).ok_or_else(|| format!("unknown backend: {}", point.backend))?;
+    // The untimed equilibration: the recorder carries the *full* config so
+    // the checkpoint knows the total the run is heading for.
+    let mut cfg_prefix = cfg.clone();
+    cfg_prefix.steps = prefix;
+    cfg_prefix.measured_steps = cfg.measured_steps.min(prefix);
+    let mut recorder =
+        snapstore::Recorder::new(point.scenario, point.backend, cfg, bodies.clone(), 0);
+    let mut checkpoint: Option<snapstore::SimState> = None;
+    backend.run_tracked(&cfg_prefix, bodies, &mut |record| {
+        checkpoint = Some(recorder.observe(&record));
+    })?;
+    let state = checkpoint.ok_or_else(|| "equilibration emitted no step records".to_string())?;
+
+    let store = snapstore::Store::open(warm_store_dir()).map_err(|e| e.to_string())?;
+    let saved = store.save_token(&state).map_err(|e| e.to_string())?;
+    let state = store.load(&saved.manifest_hash).map_err(|e| e.to_string())?;
+
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = snapstore::resume(&state, backend, |_| {})?;
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let run = BackendRun { name: point.backend.to_string(), result, wall_ms };
+        samples.push(Sample::from_run(&run));
+    }
+    Ok(RunRecord::from_samples(point.spec(), &samples))
 }
 
 /// Runs the force-kernel A-B benchmark for one scenario and size: builds the
@@ -529,6 +636,7 @@ mod tests {
                 + POLICY_SCENARIOS.len() * policy_slice().len()
                 + POLICY_SCENARIOS.len() * 2 // walk slice: group × {rebuild, reuse}
                 + scenarios::BUILTIN_NAMES.len() * TreeBuild::ALL.len() // build slice
+                + 3 // warm slice: cold + warm rebuild + warm reuse
         );
         for scenario in GRID_SCENARIOS {
             for backend in GRID_BACKENDS {
@@ -646,15 +754,60 @@ mod tests {
                     g.policy.spec_label()
                 );
             }
-            let mut keys: Vec<String> = grid
-                .iter()
-                .map(|p| engine::bench::RunSpec::new(p.scenario, p.backend, &p.config()).key())
-                .collect();
+            let mut keys: Vec<String> = grid.iter().map(|p| p.spec().key()).collect();
             let total = keys.len();
             keys.sort();
             keys.dedup();
             assert_eq!(keys.len(), total, "{label}: duplicate sweep-point keys");
         }
+    }
+
+    #[test]
+    fn both_grids_carry_the_warm_slice_with_its_cold_comparator() {
+        for (grid, label) in [(quick_grid(), "quick"), (full_grid(), "full")] {
+            let warm: Vec<&SweepPoint> = grid.iter().filter(|p| p.warm_prefix.is_some()).collect();
+            assert_eq!(warm.len(), 2, "{label}: warm rebuild + warm reuse");
+            for w in &warm {
+                assert_eq!(w.warm_prefix, Some(4));
+                assert!(w.spec().key().contains("/warm[p4]/"), "{label}: {}", w.spec().key());
+                // Every warm row has a cold comparator with the same
+                // scenario, size, shape and step protocol — the row the
+                // committed record compares total simulated seconds against.
+                assert!(
+                    grid.iter().any(|p| {
+                        p.warm_prefix.is_none()
+                            && p.scenario == w.scenario
+                            && p.opt == w.opt
+                            && p.nbodies == w.nbodies
+                            && p.nodes == w.nodes
+                            && p.steps == w.steps
+                            && p.measured_steps == w.measured_steps
+                    }),
+                    "{label}: no cold comparator for {}",
+                    w.spec().key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_points_resume_and_beat_cold_on_simulated_seconds() {
+        let slice = warm_slice(256);
+        let cold = run_point(&slice[0], 1).expect("cold");
+        assert!(cold.spec.key().contains("/cold/"));
+        for warm_point in &slice[1..] {
+            let warm = run_point(warm_point, 1).expect("warm");
+            assert!(warm.spec.key().contains("/warm[p4]/"), "{}", warm.spec.key());
+            assert!(
+                warm.total_sim_median < cold.total_sim_median,
+                "{}: resumed run must integrate less than the cold run \
+                 ({} vs {} simulated seconds)",
+                warm.spec.key(),
+                warm.total_sim_median,
+                cold.total_sim_median
+            );
+        }
+        let _ = std::fs::remove_dir_all(warm_store_dir());
     }
 
     #[test]

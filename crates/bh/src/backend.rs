@@ -45,6 +45,16 @@ impl Backend for UpcBackend {
     fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult {
         run_simulation_on(cfg, bodies)
     }
+
+    fn run_tracked(
+        &self,
+        cfg: &SimConfig,
+        bodies: Vec<Body>,
+        observer: &mut (dyn FnMut(engine::snap::StepRecord) + Send),
+    ) -> Result<SimResult, String> {
+        self.supports(cfg)?;
+        Ok(crate::sim::run_simulation_tracked(cfg, bodies, observer))
+    }
 }
 
 #[cfg(test)]

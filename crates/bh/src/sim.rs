@@ -40,6 +40,24 @@ pub fn run_simulation_on(cfg: &SimConfig, bodies: Vec<nbody::Body>) -> SimResult
     run_simulation_with(cfg, &shared)
 }
 
+/// Like [`run_simulation_on`] but emits an [`engine::snap::StepRecord`]
+/// after every completed time step, so callers (the checkpoint layer) can
+/// capture resumable state mid-run.
+///
+/// Observation is physics-neutral: the record is taken at a point where
+/// every rank has passed the advance-phase barrier — the body table is the
+/// exact between-steps state — and the only addition to the schedule is one
+/// extra barrier per step, outside every phase timer, so tracked runs
+/// produce bit-for-bit the bodies of untracked runs.
+pub fn run_simulation_tracked(
+    cfg: &SimConfig,
+    bodies: Vec<nbody::Body>,
+    observer: &mut (dyn FnMut(engine::snap::StepRecord) + Send),
+) -> SimResult {
+    let shared = BhShared::with_bodies(cfg, bodies);
+    run_simulation_observed(cfg, &shared, Some(observer))
+}
+
 /// Like [`run_simulation`] but over an existing shared state (used by tests
 /// and benches that want to inspect or pre-seed the body table).
 ///
@@ -47,6 +65,16 @@ pub fn run_simulation_on(cfg: &SimConfig, bodies: Vec<nbody::Body>) -> SimResult
 /// Panics when [`SimConfig::validate`] rejects `cfg` (unrunnable
 /// measurement window, non-positive physics parameters, ...).
 pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
+    run_simulation_observed(cfg, shared, None)
+}
+
+/// The shared driver behind [`run_simulation_with`] (no observer) and
+/// [`run_simulation_tracked`] (per-step observer).
+fn run_simulation_observed(
+    cfg: &SimConfig,
+    shared: &BhShared,
+    observer: Option<&mut (dyn FnMut(engine::snap::StepRecord) + Send)>,
+) -> SimResult {
     if let Err(e) = cfg.validate() {
         panic!("bh::run_simulation: invalid config: {e}");
     }
@@ -56,6 +84,7 @@ pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
     if let Err(e) = check_tree_build(cfg) {
         panic!("bh::run_simulation: invalid config: {e}");
     }
+    let observer = observer.map(std::sync::Mutex::new);
     let runtime = Runtime::new(cfg.machine.clone());
     let report = runtime.run(|ctx| {
         let mut st = RankState::new(ctx, shared, cfg);
@@ -70,6 +99,35 @@ pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
                 st.owned_accum = 0;
             }
             run_step(ctx, shared, &mut st, cfg, step);
+            if let Some(obs) = &observer {
+                // Every rank has passed the advance-phase barrier inside
+                // `run_step`, so the body table holds the exact
+                // between-steps state and nothing writes it until the next
+                // step begins.  Rank 0 copies it out, then one barrier
+                // releases the other ranks into the next step.  The barrier
+                // sits outside every phase timer, so tracked runs report
+                // the same phase times and identical physics.
+                if ctx.rank() == 0 {
+                    let anchor_step = if lifecycle::persistent_tree(cfg) && st.lifecycle.valid {
+                        // The reused tree's structure depends on the body
+                        // history since the last full rebuild: resume must
+                        // replay from there.
+                        st.lifecycle.last_rebuild_step
+                    } else {
+                        // Stateless per-step construction: resume continues
+                        // directly from the current bodies.
+                        step + 1
+                    };
+                    let record = engine::snap::StepRecord {
+                        step,
+                        anchor_step,
+                        tree_generation: st.lifecycle.generation,
+                        bodies: shared.bodytab.snapshot(),
+                    };
+                    (obs.lock().expect("snapshot observer poisoned"))(record);
+                }
+                ctx.barrier();
+            }
         }
         let phases = phase_times(&st);
         RankOutcome {
@@ -331,6 +389,41 @@ mod tests {
             );
             assert!(result.phases.total() > 0.0, "{}", scenario.name());
         }
+    }
+
+    #[test]
+    fn tracked_run_is_physics_neutral_and_emits_every_step() {
+        use crate::config::TreePolicy;
+        let mut cfg = SimConfig::test(96, 2, OptLevel::CacheLocalTree);
+        cfg.steps = 4;
+        cfg.measured_steps = 2;
+        cfg.tree_policy = TreePolicy::Reuse { rebuild_every: 2, drift_threshold: 0.5 };
+        let bodies =
+            nbody::plummer::generate(&nbody::plummer::PlummerConfig::new(cfg.nbodies, cfg.seed));
+        let plain = run_simulation_on(&cfg, bodies.clone());
+        let mut records: Vec<engine::snap::StepRecord> = Vec::new();
+        let tracked = run_simulation_tracked(&cfg, bodies, &mut |r| records.push(r));
+        assert_eq!(records.len(), cfg.steps, "one record per completed step");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.step, i);
+            assert!(r.anchor_step <= i + 1, "anchor may never lie in the future");
+            assert_eq!(r.bodies.len(), cfg.nbodies);
+            assert!(r.bodies.iter().enumerate().all(|(j, b)| b.id as usize == j), "sorted by id");
+        }
+        // A rebuild happened at step 0 (no valid tree) and at step 2 (the
+        // e2 cadence), so the final record's anchor is step 2.
+        assert_eq!(records.last().expect("records").anchor_step, 2);
+        assert!(
+            engine::snap::bodies_bits_equal(&tracked.bodies, &plain.bodies),
+            "observation must not perturb the physics"
+        );
+        assert!(
+            engine::snap::bodies_bits_equal(
+                &records.last().expect("records").bodies,
+                &plain.bodies
+            ),
+            "the last record is the final state"
+        );
     }
 
     #[test]

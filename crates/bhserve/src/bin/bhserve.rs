@@ -20,6 +20,9 @@ OPTIONS:
     --tenant-quota NAME=N     per-tenant quota override (repeatable)
     --max-sessions N          live sessions allowed per connection (default 16)
     --batch-max-bodies N      jobs up to N bodies may be coalesced (default 4096)
+    --snap-dir DIR            snapshot store for suspend/resume (default: disabled);
+                              suspended sessions survive daemon restarts pointed
+                              at the same directory
     --help                    show this help"
     );
     std::process::exit(2)
@@ -57,15 +60,17 @@ fn parse_args() -> ServerOptions {
             "--batch-max-bodies" => {
                 opts.batch_max_bodies = parse_number(&value(&mut args, "--batch-max-bodies"))
             }
+            "--snap-dir" => opts.snap_dir = Some(value(&mut args, "--snap-dir")),
             "--help" | "-h" => usage(),
             other => {
-                const FLAGS: [&str; 7] = [
+                const FLAGS: [&str; 8] = [
                     "--listen",
                     "--max-concurrent-runs",
                     "--quota-interactions",
                     "--tenant-quota",
                     "--max-sessions",
                     "--batch-max-bodies",
+                    "--snap-dir",
                     "--help",
                 ];
                 match engine::suggest::suggest(other, FLAGS) {

@@ -45,6 +45,13 @@ pub const E_SESSION_UNSUPPORTED: &str = "E_SESSION_UNSUPPORTED";
 pub const E_SESSION_POLICY: &str = "E_SESSION_POLICY";
 /// The connection reached its live-session cap.
 pub const E_SESSION_LIMIT: &str = "E_SESSION_LIMIT";
+/// The server was started without a snapshot store (`--snap-dir`), so
+/// `suspend`/`resume` are not offered.
+pub const E_SNAP_UNAVAILABLE: &str = "E_SNAP_UNAVAILABLE";
+/// The `token` field names no snapshot in the server's store.
+pub const E_NO_SNAPSHOT: &str = "E_NO_SNAPSHOT";
+/// The token's snapshot exists but failed integrity or schema checks.
+pub const E_SNAP_CORRUPT: &str = "E_SNAP_CORRUPT";
 /// The tenant's deterministic cost ledger reached its quota.
 pub const E_QUOTA_EXCEEDED: &str = "E_QUOTA_EXCEEDED";
 

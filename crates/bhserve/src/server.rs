@@ -55,6 +55,10 @@ pub struct ServerOptions {
     /// Jobs up to this many bodies are eligible for single-flight
     /// coalescing ([`crate::batch`]); bigger jobs always run alone.
     pub batch_max_bodies: usize,
+    /// Snapshot store directory for `suspend`/`resume` (`None` disables
+    /// both ops).  The store is plain files, so suspended sessions survive
+    /// daemon restarts pointed at the same directory.
+    pub snap_dir: Option<String>,
 }
 
 impl Default for ServerOptions {
@@ -66,6 +70,7 @@ impl Default for ServerOptions {
             tenant_quotas: Vec::new(),
             max_sessions_per_conn: 16,
             batch_max_bodies: 4096,
+            snap_dir: None,
         }
     }
 }
@@ -302,10 +307,14 @@ fn dispatch(
         "step" => op_step(shared, sessions, request),
         "query" => op_query(sessions, request),
         "snapshot" => op_snapshot(sessions, request),
+        "suspend" => op_suspend(shared, sessions, request),
+        "resume" => op_resume(shared, sessions, request),
         "close" => op_close(sessions, request),
         other => {
-            const OPS: [&str; 9] =
-                ["ping", "list", "usage", "run", "open", "step", "query", "snapshot", "close"];
+            const OPS: [&str; 11] = [
+                "ping", "list", "usage", "run", "open", "step", "query", "snapshot", "suspend",
+                "resume", "close",
+            ];
             Err(Reject::new(E_UNKNOWN_OP, engine::suggest::unknown_key("op", other, &OPS)))
         }
     }
@@ -434,6 +443,107 @@ fn op_snapshot(sessions: &mut SessionTable, request: &Value) -> Result<Value, Re
         ("session".to_string(), Value::UInt(id)),
         ("steps_done".to_string(), Value::UInt(session.steps_done as u64)),
         ("bodies".to_string(), snapshot_bodies(&session.bodies)),
+    ]))
+}
+
+/// The server's snapshot store, or the standard "not offered" rejection.
+fn snap_store(shared: &Shared) -> Result<snapstore::Store, Reject> {
+    let dir = shared.opts.snap_dir.as_deref().ok_or_else(|| {
+        Reject::new(
+            proto::E_SNAP_UNAVAILABLE,
+            "this server was started without --snap-dir; suspend/resume are not offered",
+        )
+    })?;
+    snapstore::Store::open(dir)
+        .map_err(|e| Reject::new(proto::E_SNAP_UNAVAILABLE, format!("snapshot store: {e}")))
+}
+
+/// `suspend`: persist a live session to the snapshot store and close it.
+///
+/// The response's `token` (the manifest's content hash) is the handle a
+/// later `resume` — on this connection, another connection, or a freshly
+/// restarted daemon pointed at the same `--snap-dir` — uses to pick the
+/// session back up.
+fn op_suspend(
+    shared: &Shared,
+    sessions: &mut SessionTable,
+    request: &Value,
+) -> Result<Value, Reject> {
+    let id = session_id(request)?;
+    let store = snap_store(shared)?;
+    let session = sessions.get_mut(id)?;
+    // Sessions run under the per-step rebuild policy (enforced at `open`),
+    // so the state is stateless across steps: the anchor *is* the current
+    // bodies and a resume continues from them directly.
+    let state = snapstore::SimState {
+        scenario: session.job.scenario.clone(),
+        backend: session.job.backend.clone(),
+        cfg: session.job.cfg.clone(),
+        step: session.steps_done,
+        anchor_step: session.steps_done,
+        tree_generation: 0,
+        bodies: session.bodies.clone(),
+        anchor: session.bodies.clone(),
+    };
+    let saved = store
+        .save_token(&state)
+        .map_err(|e| Reject::new(proto::E_SNAP_CORRUPT, format!("saving snapshot: {e}")))?;
+    let session = sessions.close(id).expect("session existed above");
+    Ok(ok_response(vec![
+        ("suspended".to_string(), Value::UInt(id)),
+        ("token".to_string(), Value::String(saved.manifest_hash)),
+        ("steps_done".to_string(), Value::UInt(session.steps_done as u64)),
+        ("chunks_total".to_string(), Value::UInt(saved.chunks_total as u64)),
+        ("chunks_new".to_string(), Value::UInt(saved.chunks_new as u64)),
+    ]))
+}
+
+/// `resume`: reopen a suspended session from its token.
+///
+/// The resumed session is owned by *this* connection and charged to the
+/// requesting tenant; the snapshot stays in the store (resume is
+/// non-destructive, so a token can seed many sessions).
+fn op_resume(
+    shared: &Shared,
+    sessions: &mut SessionTable,
+    request: &Value,
+) -> Result<Value, Reject> {
+    let tenant = tenant_of(request)?;
+    shared.quotas.admit(&tenant)?;
+    let token = proto::str_of(request, "token")?
+        .ok_or_else(|| Reject::new(E_PROTO, "field \"token\" is required"))?;
+    // Tokens are manifest hashes; anything else (separators, dots) would let
+    // a client address arbitrary files relative to the store.
+    if token.len() != 64 || !token.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(Reject::new(E_PROTO, "field \"token\" must be a 64-hex-digit snapshot token"));
+    }
+    let store = snap_store(shared)?;
+    let state = store.load(&token).map_err(|e| match e {
+        snapstore::SnapError::Io { ref source, .. } if source.kind() == io::ErrorKind::NotFound => {
+            Reject::new(proto::E_NO_SNAPSHOT, format!("token {token} names no snapshot here"))
+        }
+        snapstore::SnapError::MissingChunk { .. } | snapstore::SnapError::Corrupt { .. } => {
+            Reject::new(proto::E_SNAP_CORRUPT, format!("snapshot {token} is damaged: {e}"))
+        }
+        other => Reject::new(proto::E_SNAP_CORRUPT, format!("loading snapshot {token}: {other}")),
+    })?;
+    // Re-validate what `open` would have: the snapshot travels through disk,
+    // not through this server's decode path.
+    let backend = shared.backends.get(&state.backend).ok_or_else(|| {
+        Reject::new(
+            proto::E_UNKNOWN_BACKEND,
+            engine::suggest::unknown_key("backend", &state.backend, &shared.backends.names()),
+        )
+    })?;
+    let job =
+        Job { scenario: state.scenario.clone(), backend: state.backend.clone(), cfg: state.cfg };
+    check_session_preconditions(backend, &job)?;
+    check_supported(backend, &job)?;
+    let steps_done = state.step;
+    let id = sessions.open(Session { tenant, job, bodies: state.bodies, steps_done })?;
+    Ok(ok_response(vec![
+        ("session".to_string(), Value::UInt(id)),
+        ("steps_done".to_string(), Value::UInt(steps_done as u64)),
     ]))
 }
 

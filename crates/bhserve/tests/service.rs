@@ -185,3 +185,102 @@ fn load_harness_drives_a_mixed_fleet() {
     let pong = client.call(&request("ping", Vec::new())).unwrap();
     assert_eq!(pong.get("ok").and_then(|v| v.as_bool()), Some(true));
 }
+
+/// A suspended session survives a full daemon restart: `suspend` on one
+/// server instance, `resume` on a *fresh* instance pointed at the same
+/// `--snap-dir`, and the continued trajectory is bit-identical to an
+/// uninterrupted session — plus the structured error codes for a missing
+/// store, a malformed token and an unknown token.
+#[test]
+fn suspended_sessions_survive_daemon_restarts() {
+    let snap_dir = std::env::temp_dir().join(format!("bhserve-snap-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let with_store = || ServerOptions {
+        snap_dir: Some(snap_dir.to_string_lossy().into_owned()),
+        ..ServerOptions::default()
+    };
+    let fields = job_fields("direct", 32);
+
+    // First daemon: open, advance 2 steps, suspend.
+    let token = {
+        let server = start(with_store());
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let opened = client.call(&request("open", fields.clone())).unwrap();
+        let sid = ("session".to_string(), Value::UInt(u64_field(&opened, "session")));
+        client
+            .call(&request("step", vec![sid.clone(), ("steps".to_string(), Value::UInt(2))]))
+            .unwrap();
+        let suspended = client.call(&request("suspend", vec![sid.clone()])).unwrap();
+        assert_eq!(suspended.get("ok").and_then(|v| v.as_bool()), Some(true), "{suspended:?}");
+        assert_eq!(u64_field(&suspended, "steps_done"), 2);
+        // The session is gone from this connection once suspended.
+        let gone = client.call(&request("query", vec![sid])).unwrap();
+        assert_eq!(gone.get("code").unwrap().as_str(), Some(bhserve::proto::E_NO_SESSION));
+        str_field(&suspended, "token")
+    };
+    assert_eq!(token.len(), 64, "tokens are manifest hashes");
+
+    // Second daemon, same store directory: resume, finish, snapshot.
+    let server = start(with_store());
+    let mut client = Client::connect(&server.addr()).unwrap();
+    let resumed = client
+        .call(&request(
+            "resume",
+            vec![
+                ("tenant".to_string(), Value::String("equiv".to_string())),
+                ("token".to_string(), Value::String(token.clone())),
+            ],
+        ))
+        .unwrap();
+    assert_eq!(resumed.get("ok").and_then(|v| v.as_bool()), Some(true), "{resumed:?}");
+    assert_eq!(u64_field(&resumed, "steps_done"), 2);
+    let sid = ("session".to_string(), Value::UInt(u64_field(&resumed, "session")));
+    client
+        .call(&request("step", vec![sid.clone(), ("steps".to_string(), Value::UInt(2))]))
+        .unwrap();
+    let snap_resumed = client.call(&request("snapshot", vec![sid])).unwrap();
+    assert_eq!(u64_field(&snap_resumed, "steps_done"), 4);
+
+    // Reference: one uninterrupted 4-step session on the same server.
+    let opened = client.call(&request("open", fields)).unwrap();
+    let sid = ("session".to_string(), Value::UInt(u64_field(&opened, "session")));
+    client
+        .call(&request("step", vec![sid.clone(), ("steps".to_string(), Value::UInt(4))]))
+        .unwrap();
+    let snap_straight = client.call(&request("snapshot", vec![sid])).unwrap();
+    // The snapshot wire encoding is bit-exact hex, so textual equality of
+    // the body arrays *is* bit-for-bit state equality.
+    assert_eq!(
+        serde_json::to_string(snap_resumed.get("bodies").unwrap()).unwrap(),
+        serde_json::to_string(snap_straight.get("bodies").unwrap()).unwrap(),
+        "resumed trajectory must be bit-identical to the uninterrupted one"
+    );
+
+    // Error vocabulary: unknown token, malformed token, storeless server.
+    let resume_req = |token: &str| {
+        request(
+            "resume",
+            vec![
+                ("tenant".to_string(), Value::String("equiv".to_string())),
+                ("token".to_string(), Value::String(token.to_string())),
+            ],
+        )
+    };
+    let missing = client.call(&resume_req(&token.replace(&token[..4], "0000"))).unwrap();
+    assert!(
+        matches!(
+            missing.get("code").unwrap().as_str(),
+            Some(bhserve::proto::E_NO_SNAPSHOT) | Some(bhserve::proto::E_SNAP_CORRUPT)
+        ),
+        "{missing:?}"
+    );
+    let malformed = client.call(&resume_req("../../etc/passwd")).unwrap();
+    assert_eq!(malformed.get("code").unwrap().as_str(), Some(bhserve::proto::E_PROTO));
+
+    let storeless = start(ServerOptions::default());
+    let mut client = Client::connect(&storeless.addr()).unwrap();
+    let refused = client.call(&resume_req(&token)).unwrap();
+    assert_eq!(refused.get("code").unwrap().as_str(), Some(bhserve::proto::E_SNAP_UNAVAILABLE));
+
+    let _ = std::fs::remove_dir_all(&snap_dir);
+}

@@ -63,6 +63,27 @@ pub trait Backend: Send + Sync {
     /// Callers should check [`Backend::supports`] first; implementations may
     /// panic on configurations they reported as unsupported.
     fn run(&self, cfg: &SimConfig, bodies: Vec<Body>) -> SimResult;
+
+    /// Like [`Backend::run`], but emits a [`crate::snap::StepRecord`] after
+    /// every completed time step (all ranks quiesced, bodies sorted by id)
+    /// so callers can checkpoint mid-run.  Tracking must not perturb the
+    /// physics: the tracked run's bodies are bit-for-bit those of
+    /// [`Backend::run`] under the same configuration.
+    ///
+    /// The default refuses — observation points require solver cooperation
+    /// (a safe barrier between steps and access to the tree-lifecycle
+    /// phase), so backends opt in explicitly.  Checkpoint-driving surfaces
+    /// (`bhsim --checkpoint-every`, the snapstore resume path) report the
+    /// error to the user instead of silently running untracked.
+    fn run_tracked(
+        &self,
+        cfg: &SimConfig,
+        bodies: Vec<Body>,
+        observer: &mut (dyn FnMut(crate::snap::StepRecord) + Send),
+    ) -> Result<SimResult, String> {
+        let _ = (cfg, bodies, observer);
+        Err(format!("backend {} does not support step-tracked (checkpointed) runs", self.name()))
+    }
 }
 
 /// Asserts the shared body conventions every backend relies on: the bodies
@@ -174,6 +195,15 @@ mod tests {
     #[test]
     fn sessions_are_opt_in() {
         assert!(!Dummy("x").supports_sessions(), "the default must stay conservative");
+    }
+
+    #[test]
+    fn tracked_runs_are_opt_in() {
+        // A backend that has not wired up safe observation points must
+        // refuse loudly rather than run untracked.
+        let cfg = SimConfig::test(8, 1, OptLevel::Baseline);
+        let err = Dummy("x").run_tracked(&cfg, Vec::new(), &mut |_| {}).unwrap_err();
+        assert!(err.contains("step-tracked"), "{err}");
     }
 
     #[test]

@@ -48,6 +48,17 @@ pub const SERVICE_SIM: &str = "sim";
 /// throughput are meaningful only for these rows).
 pub const SERVICE_BHSERVE: &str = "bhserve";
 
+/// [`RunSpec::warm`] value for runs integrated from `t = 0` (every run
+/// before the warm-start pathway, and the decode default for records that
+/// predate the axis).
+pub const WARM_COLD: &str = "cold";
+
+/// [`RunSpec::warm`] value for a run resumed from a snapshot taken after a
+/// `prefix`-step equilibration prefix.
+pub fn warm_label(prefix: usize) -> String {
+    format!("warm[p{prefix}]")
+}
+
 /// Kernel-record engine name for the batched (SoA) cached walk.
 pub const KERNEL_COALESCED: &str = "leaf-coalesced";
 /// Kernel-record engine name for the per-body reference walk (one node
@@ -92,6 +103,15 @@ pub struct RunSpec {
     /// allow-new-axes pathway.  Records predating the axis decode as
     /// [`SERVICE_SIM`].
     pub service: String,
+    /// Warm-start pathway: [`WARM_COLD`] for runs integrated from `t = 0`;
+    /// `warm[p<K>]` for runs resumed from a shared snapstore snapshot taken
+    /// after a `K`-step equilibration prefix.  Part of the sweep-point
+    /// identity — a resumed run measures only the post-prefix tail, so its
+    /// numbers are incomparable with a cold run of the same grid point —
+    /// and a key axis ([`KEY_AXES`]), so warm rows diff cleanly against
+    /// pre-warm baselines through the allow-new-axes pathway.  Records
+    /// predating the axis decode as [`WARM_COLD`].
+    pub warm: String,
     /// Number of bodies.
     pub nbodies: usize,
     /// Emulated nodes.
@@ -117,6 +137,7 @@ impl RunSpec {
             walk: cfg.walk.name().to_string(),
             build: cfg.build.name().to_string(),
             service: SERVICE_SIM.to_string(),
+            warm: WARM_COLD.to_string(),
             nbodies: cfg.nbodies,
             nodes: cfg.machine.nodes,
             threads_per_node: cfg.machine.threads_per_node,
@@ -130,7 +151,7 @@ impl RunSpec {
     /// committed baseline.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}/{}/{}/n{}/m{}x{}",
+            "{}/{}/{}/{}/{}/{}/{}/{}/n{}/m{}x{}",
             self.scenario,
             self.backend,
             self.opt,
@@ -138,6 +159,7 @@ impl RunSpec {
             self.walk,
             self.build,
             self.service,
+            self.warm,
             self.nbodies,
             self.nodes,
             self.threads_per_node
@@ -347,7 +369,7 @@ pub struct KernelRecord {
 /// vocabulary.  Written into [`Record::axes`] so the baseline diff can tell
 /// an *axis addition* (the grid legitimately grew a dimension the baseline
 /// predates) from a point silently vanishing.
-pub const KEY_AXES: [&str; 4] = ["policy", "walk", "build", "service"];
+pub const KEY_AXES: [&str; 5] = ["policy", "walk", "build", "service", "warm"];
 
 /// The schema-versioned document committed as `BENCH_*.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -527,6 +549,11 @@ fn decode_spec(v: &Value, ctx: &str) -> Result<RunSpec, String> {
         service: match v.get("service") {
             Some(_) => str_field(v, "service", ctx)?,
             None => SERVICE_SIM.to_string(),
+        },
+        // Records predating the warm-start pathway all integrated from t=0.
+        warm: match v.get("warm") {
+            Some(_) => str_field(v, "warm", ctx)?,
+            None => WARM_COLD.to_string(),
         },
         nbodies: usize_field(v, "nbodies", ctx)?,
         nodes: usize_field(v, "nodes", ctx)?,
@@ -969,7 +996,7 @@ mod tests {
     #[test]
     fn spec_key_is_stable_and_discriminating() {
         let a = spec();
-        assert_eq!(a.key(), "plummer/upc/subspace/rebuild/per-body/insertion/sim/n256/m2x1");
+        assert_eq!(a.key(), "plummer/upc/subspace/rebuild/per-body/insertion/sim/cold/n256/m2x1");
         let mut b = a.clone();
         b.nbodies = 512;
         assert_ne!(a.key(), b.key());
@@ -1027,6 +1054,18 @@ mod tests {
         assert_eq!(parsed.runs[0].spec.build, "insertion");
         assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
         assert_eq!(parsed.runs[0].tree_bytes, 0);
+    }
+
+    #[test]
+    fn specs_without_a_warm_field_decode_as_cold() {
+        // Records committed before the warm-start pathway all integrated
+        // from t = 0.
+        let record = record_with(2.0, 10_000);
+        let mut text = record.to_json();
+        text = text.replace("\"warm\": \"cold\",", "");
+        let parsed = Record::from_json(&text).expect("legacy record must parse");
+        assert_eq!(parsed.runs[0].spec.warm, WARM_COLD);
+        assert_eq!(parsed.runs[0].spec.key(), record.runs[0].spec.key());
     }
 
     #[test]
@@ -1230,7 +1269,12 @@ mod tests {
         let diff = diff_against_baseline(&current, &baseline, 0.25);
         assert_eq!(
             diff.new_axes,
-            vec!["walk".to_string(), "build".to_string(), "service".to_string()]
+            vec![
+                "walk".to_string(),
+                "build".to_string(),
+                "service".to_string(),
+                "warm".to_string()
+            ]
         );
         assert!(diff.missing.is_empty(), "{:?}", diff.missing);
         assert_eq!(diff.missing_allowed.len(), 1, "{:?}", diff.missing_allowed);

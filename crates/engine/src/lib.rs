@@ -27,6 +27,11 @@
 //! * [`compare`] — the one shared comparison driver: run the same
 //!   configuration and bodies through a list of registered backends and
 //!   render a side-by-side per-phase timing + traffic table.
+//! * [`snap`] — the solver-neutral checkpoint vocabulary: the per-step
+//!   [`snap::StepRecord`] a tracked run emits and the bit-exact body
+//!   comparison the resume contract is pinned against (the storage layer —
+//!   chunking, content addressing, manifests — lives in the `snapstore`
+//!   crate).
 //! * [`suggest`] — did-you-mean suggestions for string-keyed lookups, shared
 //!   by every surface that resolves user-supplied registry keys (`bhsim`,
 //!   `bhserve`, `benchsuite`).
@@ -41,6 +46,7 @@ pub mod compare;
 pub mod config;
 pub mod direct;
 pub mod report;
+pub mod snap;
 pub mod suggest;
 
 pub use backend::{validate_bodies, Backend, BackendRegistry};
@@ -48,3 +54,4 @@ pub use compare::{comparison_table, run_backends, BackendRun};
 pub use config::{ConfigError, OptLevel, SimConfig, TreeBuild, TreePolicy, WalkMode, DEFAULT_SEED};
 pub use direct::DirectBackend;
 pub use report::{Phase, PhaseTimes, RankOutcome, SimResult};
+pub use snap::StepRecord;

@@ -1,0 +1,87 @@
+//! Solver-neutral checkpoint vocabulary: the per-step observation a
+//! tracked run emits ([`StepRecord`]) and the bit-exact body comparison
+//! every resume contract is pinned against.
+//!
+//! The actual snapshot store — chunking, content addressing, manifests,
+//! structural diffing — lives in the `snapstore` crate; this module holds
+//! only what the [`crate::Backend`] trait needs so that solvers can emit
+//! observations without depending on the storage layer.
+
+use nbody::Body;
+
+/// One observation from a step-tracked run ([`crate::Backend::run_tracked`]),
+/// emitted after every completed time step with all ranks quiesced.
+///
+/// `anchor_step` is the earliest step a bit-exact resume must restart from:
+/// for stateless-per-step configurations (per-step rebuild, merged/subspace
+/// builds) it is `step + 1` — resume simply continues from `bodies` — while
+/// under a persistent tree it is the step of the last full rebuild, because
+/// the incrementally updated tree's structure is a function of the body
+/// history since that rebuild.  Resuming replays `anchor_step..` from the
+/// bodies that *entered* the anchor step; the first replayed step rebuilds
+/// from scratch exactly as the uninterrupted run's anchor step did, so the
+/// replay reproduces the interrupted trajectory bit for bit.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// 0-based index of the time step that just completed.
+    pub step: usize,
+    /// Absolute step a bit-exact resume must replay from (see above).
+    pub anchor_step: usize,
+    /// Tree generation after this step (0 when the solver keeps no
+    /// persistent tree); bumps exactly on full rebuilds.
+    pub tree_generation: u64,
+    /// Every body's state after this step, sorted by id.
+    pub bodies: Vec<Body>,
+}
+
+/// `true` when the two body sets are bit-for-bit identical: same length and
+/// every field of every body — position, velocity, acceleration, potential,
+/// mass (by `f64::to_bits`), cost and id — equal.  This is the resume
+/// contract's equality, strictly stronger than any epsilon comparison.
+pub fn bodies_bits_equal(a: &[Body], b: &[Body]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| body_bits_equal(x, y))
+}
+
+fn body_bits_equal(a: &Body, b: &Body) -> bool {
+    let v3 = |p: &nbody::Vec3, q: &nbody::Vec3| {
+        p.x.to_bits() == q.x.to_bits()
+            && p.y.to_bits() == q.y.to_bits()
+            && p.z.to_bits() == q.z.to_bits()
+    };
+    a.id == b.id
+        && a.cost == b.cost
+        && a.mass.to_bits() == b.mass.to_bits()
+        && a.phi.to_bits() == b.phi.to_bits()
+        && v3(&a.pos, &b.pos)
+        && v3(&a.vel, &b.vel)
+        && v3(&a.acc, &b.acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::Vec3;
+
+    #[test]
+    fn bit_equality_sees_every_field() {
+        let base = Body::at_rest(3, Vec3::new(1.0, 2.0, 3.0), 0.5);
+        assert!(bodies_bits_equal(&[base], &[base]));
+        assert!(!bodies_bits_equal(&[base], &[]));
+
+        let mut tweaked = base;
+        tweaked.pos.x = f64::from_bits(tweaked.pos.x.to_bits() ^ 1);
+        assert!(!bodies_bits_equal(&[base], &[tweaked]));
+
+        let mut tweaked = base;
+        tweaked.cost += 1;
+        assert!(!bodies_bits_equal(&[base], &[tweaked]));
+
+        // -0.0 == 0.0 under `==` but differs in bits: the resume contract
+        // must see the difference.
+        let mut zero = base;
+        zero.phi = 0.0;
+        let mut negzero = base;
+        negzero.phi = -0.0;
+        assert!(!bodies_bits_equal(&[zero], &[negzero]));
+    }
+}

@@ -1,0 +1,204 @@
+//! Structural diffing between snapshots.
+//!
+//! [`diff_manifests`] works at the chunk level — two manifests alone, no
+//! body data — and reports which columns moved and how much of the store
+//! the snapshots share, which is both the `snapdiff` default view and the
+//! observable the dedup tests pin.  [`diff_bodies`] compares materialized
+//! body sets field-by-field at bit granularity, the deep view behind
+//! `snapdiff --bodies` and the CI checkpoint smoke's equality check.
+
+use crate::state::SimState;
+use crate::store::Manifest;
+use nbody::Body;
+
+/// Chunk-level changes in one column of one body set.
+#[derive(Debug, Clone)]
+pub struct ColumnDiff {
+    /// `"bodies"` or `"anchor"`.
+    pub set: &'static str,
+    /// Column name (`id`, `cost`, `mass`, `phi`, `pos`, `vel`, `acc`).
+    pub column: &'static str,
+    /// Chunks in the column on each side.
+    pub chunks_a: usize,
+    pub chunks_b: usize,
+    /// Chunk positions present on both sides with different hashes.
+    pub changed: usize,
+}
+
+/// Chunk-level diff of two manifests.
+#[derive(Debug, Clone)]
+pub struct SnapDiff {
+    pub step_a: usize,
+    pub step_b: usize,
+    pub anchor_step_a: usize,
+    pub anchor_step_b: usize,
+    pub generation_a: u64,
+    pub generation_b: u64,
+    /// Distinct chunks referenced by either side.
+    pub chunks_union: usize,
+    /// Distinct chunks referenced by both sides — the storage the two
+    /// snapshots share in one store.
+    pub chunks_shared: usize,
+    /// Per-column breakdown, columns with `changed > 0` or a length change
+    /// only.
+    pub columns: Vec<ColumnDiff>,
+    /// `true` when both sides reference identical chunk lists everywhere
+    /// (bit-identical snapshots).
+    pub identical: bool,
+    /// `true` when the two snapshots belong to the same run (scenario,
+    /// backend, seed, nbodies) — a diff across different runs is usually a
+    /// user mistake worth flagging, not an error.
+    pub same_run: bool,
+}
+
+impl SnapDiff {
+    /// Fraction of the union both snapshots share, in `[0, 1]`.
+    pub fn shared_fraction(&self) -> f64 {
+        if self.chunks_union == 0 {
+            1.0
+        } else {
+            self.chunks_shared as f64 / self.chunks_union as f64
+        }
+    }
+}
+
+/// Diffs two manifests chunk-by-chunk.
+pub fn diff_manifests(a: &Manifest, b: &Manifest) -> SnapDiff {
+    let set_a = a.chunk_set();
+    let set_b = b.chunk_set();
+    let chunks_shared = set_a.intersection(&set_b).count();
+    let chunks_union = set_a.union(&set_b).count();
+
+    let mut columns = Vec::new();
+    let mut identical = true;
+    for (set, cols_a, cols_b) in
+        [("bodies", &a.bodies, &b.bodies), ("anchor", &a.anchor, &b.anchor)]
+    {
+        for ((column, hashes_a), (_, hashes_b)) in cols_a.named().into_iter().zip(cols_b.named()) {
+            let changed = hashes_a.iter().zip(hashes_b.iter()).filter(|(ha, hb)| ha != hb).count();
+            if changed > 0 || hashes_a.len() != hashes_b.len() {
+                identical = false;
+                columns.push(ColumnDiff {
+                    set,
+                    column,
+                    chunks_a: hashes_a.len(),
+                    chunks_b: hashes_b.len(),
+                    changed,
+                });
+            }
+        }
+    }
+
+    SnapDiff {
+        step_a: a.step,
+        step_b: b.step,
+        anchor_step_a: a.anchor_step,
+        anchor_step_b: b.anchor_step,
+        generation_a: a.tree_generation,
+        generation_b: b.tree_generation,
+        chunks_union,
+        chunks_shared,
+        columns,
+        identical,
+        same_run: a.scenario == b.scenario
+            && a.backend == b.backend
+            && a.cfg.seed == b.cfg.seed
+            && a.cfg.nbodies == b.cfg.nbodies,
+    }
+}
+
+/// Convenience: diff two fully loaded states via their body sets.
+pub fn diff_states(a: &SimState, b: &SimState) -> BodyDelta {
+    diff_bodies(&a.bodies, &b.bodies)
+}
+
+/// Field-level, bit-exact comparison of two body sets.
+#[derive(Debug, Clone, Default)]
+pub struct BodyDelta {
+    /// Bodies compared (the shorter of the two sets).
+    pub compared: usize,
+    /// Bodies present on only one side (length difference).
+    pub unmatched: usize,
+    /// Bodies whose position bits differ.
+    pub moved: usize,
+    /// Bodies whose velocity bits differ.
+    pub kicked: usize,
+    /// Bodies where any field differs at the bit level.
+    pub changed: usize,
+    /// Largest Euclidean position displacement among compared bodies.
+    pub max_displacement: f64,
+}
+
+impl BodyDelta {
+    /// `true` when the sets are bit-for-bit identical.
+    pub fn identical(&self) -> bool {
+        self.changed == 0 && self.unmatched == 0
+    }
+}
+
+/// Compares two body sets (both sorted by id, as everything in this
+/// workspace produces them) bit-by-bit.
+pub fn diff_bodies(a: &[Body], b: &[Body]) -> BodyDelta {
+    let mut delta = BodyDelta {
+        compared: a.len().min(b.len()),
+        unmatched: a.len().abs_diff(b.len()),
+        ..BodyDelta::default()
+    };
+    for (ba, bb) in a.iter().zip(b.iter()) {
+        let moved = ba.pos.x.to_bits() != bb.pos.x.to_bits()
+            || ba.pos.y.to_bits() != bb.pos.y.to_bits()
+            || ba.pos.z.to_bits() != bb.pos.z.to_bits();
+        let kicked = ba.vel.x.to_bits() != bb.vel.x.to_bits()
+            || ba.vel.y.to_bits() != bb.vel.y.to_bits()
+            || ba.vel.z.to_bits() != bb.vel.z.to_bits();
+        let rest = ba.id != bb.id
+            || ba.cost != bb.cost
+            || ba.mass.to_bits() != bb.mass.to_bits()
+            || ba.phi.to_bits() != bb.phi.to_bits()
+            || ba.acc.x.to_bits() != bb.acc.x.to_bits()
+            || ba.acc.y.to_bits() != bb.acc.y.to_bits()
+            || ba.acc.z.to_bits() != bb.acc.z.to_bits();
+        if moved {
+            delta.moved += 1;
+            delta.max_displacement = delta.max_displacement.max((ba.pos - bb.pos).norm());
+        }
+        if kicked {
+            delta.kicked += 1;
+        }
+        if moved || kicked || rest {
+            delta.changed += 1;
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::Vec3;
+
+    fn bodies(n: usize, salt: f64) -> Vec<Body> {
+        (0..n).map(|i| Body::at_rest(i as u32, Vec3::new(i as f64, salt, 0.0), 1.0)).collect()
+    }
+
+    #[test]
+    fn body_delta_counts_bit_level_changes() {
+        let a = bodies(10, 0.0);
+        let mut b = a.clone();
+        assert!(diff_bodies(&a, &b).identical());
+
+        b[3].pos.x += 0.5;
+        b[7].vel.z = 1.0;
+        b[9].phi = -2.0;
+        let delta = diff_bodies(&a, &b);
+        assert_eq!(delta.moved, 1);
+        assert_eq!(delta.kicked, 1);
+        assert_eq!(delta.changed, 3);
+        assert!((delta.max_displacement - 0.5).abs() < 1e-12);
+        assert!(!delta.identical());
+
+        let delta = diff_bodies(&a, &b[..8]);
+        assert_eq!(delta.unmatched, 2);
+        assert!(!delta.identical());
+    }
+}

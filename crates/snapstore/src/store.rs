@@ -1,0 +1,838 @@
+//! The content-addressed on-disk snapshot store.
+//!
+//! Layout (one store holds every snapshot of a run — or of a whole sweep):
+//!
+//! ```text
+//! <root>/
+//!   objects/<2-hex>/<62-hex>   chunk payloads, named by their SHA-256
+//!   <name>.json                manifests ("bhsnap/v1")
+//! ```
+//!
+//! A snapshot is chunked **per column**: each body field (id, cost, mass,
+//! phi, pos, vel, acc) of each body set (current, anchor) becomes its own
+//! run of fixed-size chunks ([`CHUNK_BODIES`] bodies per chunk), and every
+//! chunk is stored once under its SHA-256.  Columns rather than rows because
+//! that is where the redundancy lives: between two consecutive-step
+//! snapshots the ids, costs and masses are typically bit-identical and a
+//! mid-cadence pair shares the entire anchor set, so only the columns that
+//! actually moved (pos/vel/acc/phi of the current bodies) cost new storage.
+//! The manifest records the chunk hash lists plus the full run identity
+//! (scenario, backend, every [`SimConfig`] field with floats as bit-exact
+//! hex) — everything [`crate::state::resume`] needs.
+//!
+//! Integrity is checked on every read: a chunk whose content no longer
+//! matches its name fails with [`SnapError::Corrupt`], a chunk the manifest
+//! references but the store lacks fails with [`SnapError::MissingChunk`] —
+//! structured errors, never a panic, so drivers can report which file to
+//! restore from backup.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use engine::{OptLevel, SimConfig, TreeBuild, TreePolicy, WalkMode};
+use nbody::{Body, Vec3};
+use pgas::Machine;
+use serde::Value;
+
+use crate::sha256;
+use crate::state::{digest_bodies, hex_f64, hex_u32, unhex_f64, unhex_u32, SimState};
+
+/// Manifest format tag; bumped on any incompatible schema change.
+pub const FORMAT: &str = "bhsnap/v1";
+
+/// Bodies per chunk.  256 bodies × 16 hex digits × 3 components keeps pos
+/// chunks around 12 KiB — small enough that one moved body invalidates
+/// little, large enough that a 4096-body snapshot is 16 chunks per column,
+/// not thousands of files.
+pub const CHUNK_BODIES: usize = 256;
+
+/// A snapshot-store failure.  Every variant carries the offending path or
+/// object so the user knows *which* file to repair.
+#[derive(Debug)]
+pub enum SnapError {
+    /// Filesystem-level failure (permissions, disk full, unreadable file).
+    Io { path: PathBuf, source: std::io::Error },
+    /// A stored chunk's content no longer matches its content address.
+    Corrupt { hash: String, detail: String },
+    /// A manifest chunk reference with no object in the store.
+    MissingChunk { hash: String },
+    /// A manifest that is not valid `bhsnap/v1` (bad JSON, missing field,
+    /// unknown enum name, body-count mismatch, ...).
+    Schema { path: PathBuf, detail: String },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Io { path, source } => {
+                write!(f, "snapshot store I/O error at {}: {source}", path.display())
+            }
+            SnapError::Corrupt { hash, detail } => {
+                write!(f, "snapshot chunk {hash} is corrupt: {detail}")
+            }
+            SnapError::MissingChunk { hash } => {
+                write!(f, "snapshot chunk {hash} is missing from the store")
+            }
+            SnapError::Schema { path, detail } => {
+                write!(f, "snapshot manifest {} is invalid: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Per-column chunk hash lists for one body set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnHashes {
+    pub id: Vec<String>,
+    pub cost: Vec<String>,
+    pub mass: Vec<String>,
+    pub phi: Vec<String>,
+    pub pos: Vec<String>,
+    pub vel: Vec<String>,
+    pub acc: Vec<String>,
+}
+
+impl ColumnHashes {
+    /// The columns with their stable names, in manifest order.
+    pub fn named(&self) -> [(&'static str, &[String]); 7] {
+        [
+            ("id", &self.id),
+            ("cost", &self.cost),
+            ("mass", &self.mass),
+            ("phi", &self.phi),
+            ("pos", &self.pos),
+            ("vel", &self.vel),
+            ("acc", &self.acc),
+        ]
+    }
+
+    /// Every chunk hash this set references.
+    pub fn all(&self) -> impl Iterator<Item = &str> {
+        self.named().into_iter().flat_map(|(_, hashes)| hashes).map(|h| h.as_str())
+    }
+}
+
+/// A decoded `bhsnap/v1` manifest: the run identity plus the chunk hash
+/// lists.  [`crate::diff`] works on manifests alone — no chunk reads — so
+/// `snapdiff` over two multi-megabyte snapshots touches two small files.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    pub scenario: String,
+    pub backend: String,
+    pub cfg: SimConfig,
+    pub step: usize,
+    pub anchor_step: usize,
+    pub tree_generation: u64,
+    /// [`digest_bodies`] of the current / anchor body sets — lets tools
+    /// compare end states without materializing bodies.
+    pub bodies_digest: String,
+    pub anchor_digest: String,
+    pub bodies: ColumnHashes,
+    pub anchor: ColumnHashes,
+}
+
+impl Manifest {
+    /// The deduplicated set of chunk hashes the snapshot references.
+    pub fn chunk_set(&self) -> BTreeSet<&str> {
+        self.bodies.all().chain(self.anchor.all()).collect()
+    }
+}
+
+/// Outcome of a [`Store::save`]: where the manifest landed and how much of
+/// the snapshot was already present (the dedup visible to callers).
+#[derive(Debug, Clone)]
+pub struct Saved {
+    pub manifest_path: PathBuf,
+    /// SHA-256 of the manifest text — the stable snapshot token `bhserve`
+    /// hands to clients.
+    pub manifest_hash: String,
+    /// Chunks the snapshot references (deduplicated).
+    pub chunks_total: usize,
+    /// Chunks that were not already in the store.
+    pub chunks_new: usize,
+}
+
+/// A content-addressed snapshot store rooted at one directory.
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Store, SnapError> {
+        let root = root.as_ref().to_path_buf();
+        let objects = root.join("objects");
+        fs::create_dir_all(&objects).map_err(|e| SnapError::Io { path: objects, source: e })?;
+        Ok(Store { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the manifest file for `name`.
+    pub fn manifest_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.json"))
+    }
+
+    fn object_path(&self, hash: &str) -> PathBuf {
+        self.root.join("objects").join(&hash[..2]).join(&hash[2..])
+    }
+
+    /// Stores one chunk payload, returning its hash; counts it in
+    /// `chunks_new` only when the object was absent.  Writes go through a
+    /// temp file + rename so a crashed writer never leaves a truncated
+    /// object under a valid content address.
+    fn put_chunk(&self, payload: &str, chunks_new: &mut usize) -> Result<String, SnapError> {
+        let hash = sha256::hex_digest(payload.as_bytes());
+        let path = self.object_path(&hash);
+        if path.exists() {
+            return Ok(hash);
+        }
+        let dir = path.parent().expect("object path has a parent").to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| SnapError::Io { path: dir.clone(), source: e })?;
+        let tmp = dir.join(format!(".tmp-{hash}"));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_all()?;
+            fs::rename(&tmp, &path)
+        };
+        write().map_err(|e| SnapError::Io { path: tmp.clone(), source: e })?;
+        *chunks_new += 1;
+        Ok(hash)
+    }
+
+    /// Reads one chunk and verifies its content address.
+    fn get_chunk(&self, hash: &str) -> Result<String, SnapError> {
+        let path = self.object_path(hash);
+        let payload = match fs::read_to_string(&path) {
+            Ok(p) => p,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(SnapError::MissingChunk { hash: hash.to_string() })
+            }
+            Err(e) => return Err(SnapError::Io { path, source: e }),
+        };
+        let actual = sha256::hex_digest(payload.as_bytes());
+        if actual != hash {
+            return Err(SnapError::Corrupt {
+                hash: hash.to_string(),
+                detail: format!("stored content hashes to {actual}"),
+            });
+        }
+        Ok(payload)
+    }
+
+    fn put_column<F>(
+        &self,
+        bodies: &[Body],
+        encode: F,
+        chunks_new: &mut usize,
+    ) -> Result<Vec<String>, SnapError>
+    where
+        F: Fn(&Body) -> String,
+    {
+        let mut hashes = Vec::with_capacity(bodies.len().div_ceil(CHUNK_BODIES));
+        for run in bodies.chunks(CHUNK_BODIES) {
+            let mut payload = String::new();
+            for b in run {
+                payload.push_str(&encode(b));
+                payload.push('\n');
+            }
+            hashes.push(self.put_chunk(&payload, chunks_new)?);
+        }
+        Ok(hashes)
+    }
+
+    fn put_bodies(
+        &self,
+        bodies: &[Body],
+        chunks_new: &mut usize,
+    ) -> Result<ColumnHashes, SnapError> {
+        Ok(ColumnHashes {
+            id: self.put_column(bodies, |b| hex_u32(b.id), chunks_new)?,
+            cost: self.put_column(bodies, |b| hex_u32(b.cost), chunks_new)?,
+            mass: self.put_column(bodies, |b| hex_f64(b.mass), chunks_new)?,
+            phi: self.put_column(bodies, |b| hex_f64(b.phi), chunks_new)?,
+            pos: self.put_column(bodies, |b| hex_vec3(b.pos), chunks_new)?,
+            vel: self.put_column(bodies, |b| hex_vec3(b.vel), chunks_new)?,
+            acc: self.put_column(bodies, |b| hex_vec3(b.acc), chunks_new)?,
+        })
+    }
+
+    /// Reads all lines of one column, checking the line count.
+    fn read_column(
+        &self,
+        hashes: &[String],
+        n: usize,
+        what: &str,
+    ) -> Result<Vec<String>, SnapError> {
+        let mut lines = Vec::with_capacity(n);
+        for hash in hashes {
+            let payload = self.get_chunk(hash)?;
+            lines.extend(payload.lines().map(str::to_string));
+        }
+        if lines.len() != n {
+            return Err(SnapError::Corrupt {
+                hash: hashes.first().cloned().unwrap_or_default(),
+                detail: format!("column {what} holds {} values, expected {n}", lines.len()),
+            });
+        }
+        Ok(lines)
+    }
+
+    fn read_bodies(&self, cols: &ColumnHashes, n: usize) -> Result<Vec<Body>, SnapError> {
+        let id = self.read_column(&cols.id, n, "id")?;
+        let cost = self.read_column(&cols.cost, n, "cost")?;
+        let mass = self.read_column(&cols.mass, n, "mass")?;
+        let phi = self.read_column(&cols.phi, n, "phi")?;
+        let pos = self.read_column(&cols.pos, n, "pos")?;
+        let vel = self.read_column(&cols.vel, n, "vel")?;
+        let acc = self.read_column(&cols.acc, n, "acc")?;
+        let mut bodies = Vec::with_capacity(n);
+        for i in 0..n {
+            bodies.push(Body {
+                id: parse_u32(&id[i], "id")?,
+                cost: parse_u32(&cost[i], "cost")?,
+                mass: parse_f64(&mass[i], "mass")?,
+                phi: parse_f64(&phi[i], "phi")?,
+                pos: parse_vec3(&pos[i], "pos")?,
+                vel: parse_vec3(&vel[i], "vel")?,
+                acc: parse_vec3(&acc[i], "acc")?,
+            });
+        }
+        Ok(bodies)
+    }
+
+    /// Saves `state` as `<name>.json`, deduplicating chunks against
+    /// everything already in the store.
+    pub fn save(&self, state: &SimState, name: &str) -> Result<Saved, SnapError> {
+        let (text, manifest_hash, chunks_total, chunks_new) = self.encode_state(state)?;
+        let path = self.manifest_path(name);
+        fs::write(&path, &text).map_err(|e| SnapError::Io { path: path.clone(), source: e })?;
+        Ok(Saved { manifest_path: path, manifest_hash, chunks_total, chunks_new })
+    }
+
+    /// Saves `state` named by its own manifest hash and returns that hash as
+    /// the token — the handle `bhserve` gives clients for a suspended
+    /// session.  Saving the same state twice yields the same token and
+    /// writes nothing new.
+    pub fn save_token(&self, state: &SimState) -> Result<Saved, SnapError> {
+        let (text, manifest_hash, chunks_total, chunks_new) = self.encode_state(state)?;
+        let path = self.manifest_path(&manifest_hash);
+        fs::write(&path, &text).map_err(|e| SnapError::Io { path: path.clone(), source: e })?;
+        Ok(Saved { manifest_path: path, manifest_hash, chunks_total, chunks_new })
+    }
+
+    fn encode_state(&self, state: &SimState) -> Result<(String, String, usize, usize), SnapError> {
+        let mut chunks_new = 0;
+        let bodies = self.put_bodies(&state.bodies, &mut chunks_new)?;
+        let anchor = self.put_bodies(&state.anchor, &mut chunks_new)?;
+        let manifest = Manifest {
+            scenario: state.scenario.clone(),
+            backend: state.backend.clone(),
+            cfg: state.cfg.clone(),
+            step: state.step,
+            anchor_step: state.anchor_step,
+            tree_generation: state.tree_generation,
+            bodies_digest: digest_bodies(&state.bodies),
+            anchor_digest: digest_bodies(&state.anchor),
+            bodies,
+            anchor,
+        };
+        let chunks_total = manifest.chunk_set().len();
+        let text = serde_json::to_string_pretty(&encode_manifest(&manifest))
+            .expect("manifest Value always serializes");
+        let manifest_hash = sha256::hex_digest(text.as_bytes());
+        Ok((text, manifest_hash, chunks_total, chunks_new))
+    }
+
+    /// Loads the state saved under `name` (a [`Store::save`] name or a
+    /// [`Store::save_token`] token).
+    pub fn load(&self, name: &str) -> Result<SimState, SnapError> {
+        self.load_from(&self.manifest_path(name))
+    }
+
+    /// Loads a state from an explicit manifest path inside this store.
+    pub fn load_from(&self, manifest_path: &Path) -> Result<SimState, SnapError> {
+        let manifest = load_manifest(manifest_path)?;
+        let n = manifest.cfg.nbodies;
+        let bodies = self.read_bodies(&manifest.bodies, n)?;
+        let anchor = self.read_bodies(&manifest.anchor, n)?;
+        Ok(SimState {
+            scenario: manifest.scenario,
+            backend: manifest.backend,
+            cfg: manifest.cfg,
+            step: manifest.step,
+            anchor_step: manifest.anchor_step,
+            tree_generation: manifest.tree_generation,
+            bodies,
+            anchor,
+        })
+    }
+}
+
+/// Loads a full [`SimState`] from a manifest path, taking the manifest's
+/// parent directory as the store root — the one-call entry `bhsim --resume
+/// PATH` uses.
+pub fn load_state(manifest_path: &Path) -> Result<SimState, SnapError> {
+    let root =
+        manifest_path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let store = Store::open(root)?;
+    store.load_from(manifest_path)
+}
+
+/// Loads and decodes a manifest (no chunk reads) — what `snapdiff` uses.
+pub fn load_manifest(path: &Path) -> Result<Manifest, SnapError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| SnapError::Io { path: path.to_path_buf(), source: e })?;
+    let value =
+        serde_json::from_str(&text).map_err(|e| schema(path, format!("not valid JSON: {e:?}")))?;
+    decode_manifest(&value, path)
+}
+
+fn hex_vec3(v: Vec3) -> String {
+    format!("{} {} {}", hex_f64(v.x), hex_f64(v.y), hex_f64(v.z))
+}
+
+fn parse_u32(text: &str, what: &str) -> Result<u32, SnapError> {
+    unhex_u32(text).ok_or_else(|| SnapError::Corrupt {
+        hash: String::new(),
+        detail: format!("bad {what} value {text:?}"),
+    })
+}
+
+fn parse_f64(text: &str, what: &str) -> Result<f64, SnapError> {
+    unhex_f64(text).ok_or_else(|| SnapError::Corrupt {
+        hash: String::new(),
+        detail: format!("bad {what} value {text:?}"),
+    })
+}
+
+fn parse_vec3(text: &str, what: &str) -> Result<Vec3, SnapError> {
+    let mut parts = text.split(' ');
+    let mut next = || {
+        parts.next().and_then(unhex_f64).ok_or_else(|| SnapError::Corrupt {
+            hash: String::new(),
+            detail: format!("bad {what} triple {text:?}"),
+        })
+    };
+    let (x, y, z) = (next()?, next()?, next()?);
+    Ok(Vec3::new(x, y, z))
+}
+
+// --- manifest encoding -----------------------------------------------------
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn str_val(s: &str) -> Value {
+    Value::String(s.to_string())
+}
+
+fn hashes_val(hashes: &[String]) -> Value {
+    Value::Array(hashes.iter().map(|h| str_val(h)).collect())
+}
+
+fn encode_columns(cols: &ColumnHashes) -> Value {
+    obj(cols.named().into_iter().map(|(name, hashes)| (name, hashes_val(hashes))).collect())
+}
+
+fn encode_config(cfg: &SimConfig) -> Value {
+    let tree_policy = match cfg.tree_policy {
+        TreePolicy::Rebuild => obj(vec![("name", str_val("rebuild"))]),
+        TreePolicy::Reuse { rebuild_every, drift_threshold } => obj(vec![
+            ("name", str_val("reuse")),
+            ("rebuild_every", Value::UInt(rebuild_every as u64)),
+            ("drift_threshold", str_val(&hex_f64(drift_threshold))),
+        ]),
+        TreePolicy::Adaptive => obj(vec![("name", str_val("adaptive"))]),
+    };
+    obj(vec![
+        ("nbodies", Value::UInt(cfg.nbodies as u64)),
+        ("seed", Value::UInt(cfg.seed)),
+        ("theta", str_val(&hex_f64(cfg.theta))),
+        ("eps", str_val(&hex_f64(cfg.eps))),
+        ("dt", str_val(&hex_f64(cfg.dt))),
+        ("steps", Value::UInt(cfg.steps as u64)),
+        ("measured_steps", Value::UInt(cfg.measured_steps as u64)),
+        ("tree_policy", tree_policy),
+        ("walk", str_val(cfg.walk.name())),
+        ("build", str_val(cfg.build.name())),
+        ("opt", str_val(cfg.opt.name())),
+        (
+            "machine",
+            obj(vec![
+                ("nodes", Value::UInt(cfg.machine.nodes as u64)),
+                ("threads_per_node", Value::UInt(cfg.machine.threads_per_node as u64)),
+                ("pthreads", Value::Bool(cfg.machine.pthreads)),
+            ]),
+        ),
+        ("n1", Value::UInt(cfg.n1 as u64)),
+        ("n2", Value::UInt(cfg.n2 as u64)),
+        ("n3", Value::UInt(cfg.n3 as u64)),
+        ("alpha", str_val(&hex_f64(cfg.alpha))),
+        ("vector_reduction", Value::Bool(cfg.vector_reduction)),
+        ("fine_grained_fields", Value::UInt(cfg.fine_grained_fields as u64)),
+        ("leaf_capacity", Value::UInt(cfg.leaf_capacity as u64)),
+        ("max_depth", Value::UInt(cfg.max_depth as u64)),
+        ("shadow_cache", Value::Bool(cfg.shadow_cache)),
+        ("software_scalar_cache", Value::Bool(cfg.software_scalar_cache)),
+    ])
+}
+
+fn encode_manifest(m: &Manifest) -> Value {
+    obj(vec![
+        ("format", str_val(FORMAT)),
+        ("scenario", str_val(&m.scenario)),
+        ("backend", str_val(&m.backend)),
+        ("step", Value::UInt(m.step as u64)),
+        ("anchor_step", Value::UInt(m.anchor_step as u64)),
+        ("tree_generation", Value::UInt(m.tree_generation)),
+        ("bodies_digest", str_val(&m.bodies_digest)),
+        ("anchor_digest", str_val(&m.anchor_digest)),
+        ("config", encode_config(&m.cfg)),
+        ("bodies", encode_columns(&m.bodies)),
+        ("anchor", encode_columns(&m.anchor)),
+    ])
+}
+
+// --- manifest decoding -----------------------------------------------------
+//
+// The vendored serde is serialize-only, so decoding walks `Value` by hand.
+// Every missing/odd field names itself in the error: the manifest is a
+// user-visible file that people will edit and corrupt.
+
+fn schema(path: &Path, detail: String) -> SnapError {
+    SnapError::Schema { path: path.to_path_buf(), detail }
+}
+
+fn req<'a>(v: &'a Value, key: &str, path: &Path) -> Result<&'a Value, SnapError> {
+    v.get(key).ok_or_else(|| schema(path, format!("missing field {key:?}")))
+}
+
+fn req_u64(v: &Value, key: &str, path: &Path) -> Result<u64, SnapError> {
+    req(v, key, path)?
+        .as_u64()
+        .ok_or_else(|| schema(path, format!("field {key:?} is not an unsigned integer")))
+}
+
+fn req_usize(v: &Value, key: &str, path: &Path) -> Result<usize, SnapError> {
+    Ok(req_u64(v, key, path)? as usize)
+}
+
+fn req_str<'a>(v: &'a Value, key: &str, path: &Path) -> Result<&'a str, SnapError> {
+    req(v, key, path)?
+        .as_str()
+        .ok_or_else(|| schema(path, format!("field {key:?} is not a string")))
+}
+
+fn req_bool(v: &Value, key: &str, path: &Path) -> Result<bool, SnapError> {
+    req(v, key, path)?
+        .as_bool()
+        .ok_or_else(|| schema(path, format!("field {key:?} is not a boolean")))
+}
+
+fn req_hex_f64(v: &Value, key: &str, path: &Path) -> Result<f64, SnapError> {
+    let text = req_str(v, key, path)?;
+    unhex_f64(text)
+        .ok_or_else(|| schema(path, format!("field {key:?} is not a 16-digit hex float")))
+}
+
+fn req_hashes(v: &Value, key: &str, path: &Path) -> Result<Vec<String>, SnapError> {
+    let items = req(v, key, path)?
+        .as_array()
+        .ok_or_else(|| schema(path, format!("field {key:?} is not an array")))?;
+    items
+        .iter()
+        .map(|item| {
+            let s = item
+                .as_str()
+                .ok_or_else(|| schema(path, format!("field {key:?} holds a non-string hash")))?;
+            if s.len() != 64 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(schema(path, format!("field {key:?} holds a malformed hash {s:?}")));
+            }
+            Ok(s.to_string())
+        })
+        .collect()
+}
+
+fn decode_columns(v: &Value, path: &Path) -> Result<ColumnHashes, SnapError> {
+    Ok(ColumnHashes {
+        id: req_hashes(v, "id", path)?,
+        cost: req_hashes(v, "cost", path)?,
+        mass: req_hashes(v, "mass", path)?,
+        phi: req_hashes(v, "phi", path)?,
+        pos: req_hashes(v, "pos", path)?,
+        vel: req_hashes(v, "vel", path)?,
+        acc: req_hashes(v, "acc", path)?,
+    })
+}
+
+fn decode_config(v: &Value, path: &Path) -> Result<SimConfig, SnapError> {
+    let machine_v = req(v, "machine", path)?;
+    let machine = Machine::power5(
+        req_usize(machine_v, "nodes", path)?,
+        req_usize(machine_v, "threads_per_node", path)?,
+        req_bool(machine_v, "pthreads", path)?,
+    );
+    let opt_name = req_str(v, "opt", path)?;
+    let opt = OptLevel::from_name(opt_name)
+        .ok_or_else(|| schema(path, format!("unknown opt level {opt_name:?}")))?;
+
+    let mut cfg = SimConfig::new(req_usize(v, "nbodies", path)?, machine, opt);
+    cfg.seed = req_u64(v, "seed", path)?;
+    cfg.theta = req_hex_f64(v, "theta", path)?;
+    cfg.eps = req_hex_f64(v, "eps", path)?;
+    cfg.dt = req_hex_f64(v, "dt", path)?;
+    cfg.steps = req_usize(v, "steps", path)?;
+    cfg.measured_steps = req_usize(v, "measured_steps", path)?;
+
+    let policy_v = req(v, "tree_policy", path)?;
+    let policy_name = req_str(policy_v, "name", path)?;
+    cfg.tree_policy = match policy_name {
+        "rebuild" => TreePolicy::Rebuild,
+        "adaptive" => TreePolicy::Adaptive,
+        "reuse" => TreePolicy::Reuse {
+            rebuild_every: req_usize(policy_v, "rebuild_every", path)?,
+            drift_threshold: req_hex_f64(policy_v, "drift_threshold", path)?,
+        },
+        other => return Err(schema(path, format!("unknown tree policy {other:?}"))),
+    };
+
+    let walk_name = req_str(v, "walk", path)?;
+    cfg.walk = WalkMode::from_name(walk_name)
+        .ok_or_else(|| schema(path, format!("unknown walk mode {walk_name:?}")))?;
+    let build_name = req_str(v, "build", path)?;
+    cfg.build = TreeBuild::from_name(build_name)
+        .ok_or_else(|| schema(path, format!("unknown tree build {build_name:?}")))?;
+
+    cfg.n1 = req_usize(v, "n1", path)?;
+    cfg.n2 = req_usize(v, "n2", path)?;
+    cfg.n3 = req_usize(v, "n3", path)?;
+    cfg.alpha = req_hex_f64(v, "alpha", path)?;
+    cfg.vector_reduction = req_bool(v, "vector_reduction", path)?;
+    cfg.fine_grained_fields = req_u64(v, "fine_grained_fields", path)? as u32;
+    cfg.leaf_capacity = req_usize(v, "leaf_capacity", path)?;
+    cfg.max_depth = req_usize(v, "max_depth", path)?;
+    cfg.shadow_cache = req_bool(v, "shadow_cache", path)?;
+    cfg.software_scalar_cache = req_bool(v, "software_scalar_cache", path)?;
+    Ok(cfg)
+}
+
+fn decode_manifest(v: &Value, path: &Path) -> Result<Manifest, SnapError> {
+    let format = req_str(v, "format", path)?;
+    if format != FORMAT {
+        return Err(schema(path, format!("format {format:?}, this build reads {FORMAT:?}")));
+    }
+    let cfg = decode_config(req(v, "config", path)?, path)?;
+    let step = req_usize(v, "step", path)?;
+    let anchor_step = req_usize(v, "anchor_step", path)?;
+    if anchor_step > step {
+        return Err(schema(path, format!("anchor_step {anchor_step} is beyond step {step}")));
+    }
+    Ok(Manifest {
+        scenario: req_str(v, "scenario", path)?.to_string(),
+        backend: req_str(v, "backend", path)?.to_string(),
+        cfg,
+        step,
+        anchor_step,
+        tree_generation: req_u64(v, "tree_generation", path)?,
+        bodies_digest: req_str(v, "bodies_digest", path)?.to_string(),
+        anchor_digest: req_str(v, "anchor_digest", path)?.to_string(),
+        bodies: decode_columns(req(v, "bodies", path)?, path)?,
+        anchor: decode_columns(req(v, "anchor", path)?, path)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::snap::bodies_bits_equal;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("snapstore-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_bodies(n: usize, salt: f64) -> Vec<Body> {
+        (0..n)
+            .map(|i| {
+                let mut b = Body::at_rest(i as u32, Vec3::new(i as f64, salt, -1.0), 1.5);
+                b.vel = Vec3::new(salt * 0.25, i as f64 * 1e-3, 0.0);
+                b.acc = Vec3::new(0.0, -salt, i as f64);
+                b.phi = -(i as f64) - salt;
+                b.cost = 1 + (i as u32 % 7);
+                b
+            })
+            .collect()
+    }
+
+    fn sample_state(n: usize) -> SimState {
+        let mut cfg = SimConfig::test(n, 2, OptLevel::CacheLocalTree);
+        cfg.steps = 8;
+        cfg.measured_steps = 4;
+        cfg.tree_policy = TreePolicy::Reuse { rebuild_every: 4, drift_threshold: 0.25 };
+        cfg.walk = WalkMode::Group;
+        cfg.seed = 42;
+        SimState {
+            scenario: "plummer".to_string(),
+            backend: "upc".to_string(),
+            cfg,
+            step: 6,
+            anchor_step: 4,
+            tree_generation: 2,
+            bodies: sample_bodies(n, 3.5),
+            anchor: sample_bodies(n, 1.25),
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        let dir = temp_dir("roundtrip");
+        let store = Store::open(&dir).expect("open");
+        let state = sample_state(300); // spans two chunks per column
+        let saved = store.save(&state, "step-0006").expect("save");
+        assert!(saved.manifest_path.ends_with("step-0006.json"));
+        assert_eq!(saved.chunks_new, saved.chunks_total, "fresh store stores every chunk");
+
+        let loaded = store.load("step-0006").expect("load");
+        assert_eq!(loaded.scenario, "plummer");
+        assert_eq!(loaded.backend, "upc");
+        assert_eq!(loaded.step, 6);
+        assert_eq!(loaded.anchor_step, 4);
+        assert_eq!(loaded.steps_since_rebuild(), 2);
+        assert_eq!(loaded.tree_generation, 2);
+        assert!(bodies_bits_equal(&loaded.bodies, &state.bodies));
+        assert!(bodies_bits_equal(&loaded.anchor, &state.anchor));
+        assert_eq!(loaded.cfg.tree_policy, state.cfg.tree_policy);
+        assert_eq!(loaded.cfg.walk, WalkMode::Group);
+        assert_eq!(loaded.cfg.seed, 42);
+        assert_eq!(loaded.cfg.machine.ranks(), state.cfg.machine.ranks());
+        assert_eq!(loaded.cfg.dt.to_bits(), state.cfg.dt.to_bits());
+
+        // The free-function entry (what `bhsim --resume` uses).
+        let via_path = load_state(&saved.manifest_path).expect("load_state");
+        assert!(bodies_bits_equal(&via_path.bodies, &state.bodies));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn consecutive_snapshots_share_most_chunks() {
+        let dir = temp_dir("dedup");
+        let store = Store::open(&dir).expect("open");
+        let s1 = sample_state(300);
+        // One step later, mid-cadence: anchor identical, current bodies
+        // moved (pos/vel/acc/phi change; id/cost/mass do not).
+        let mut s2 = s1.clone();
+        s2.step += 1;
+        for b in &mut s2.bodies {
+            b.pos.x += 1e-6;
+            b.vel.y += 1e-6;
+            b.acc.z += 1e-6;
+            b.phi += 1e-6;
+        }
+        let first = store.save(&s1, "step-0006").expect("save 1");
+        let second = store.save(&s2, "step-0007").expect("save 2");
+        assert!(
+            second.chunks_new * 2 < second.chunks_total,
+            "content addressing must share >50% of chunks between consecutive snapshots \
+             (shared {} of {})",
+            second.chunks_total - second.chunks_new,
+            second.chunks_total
+        );
+        assert_eq!(first.chunks_total, second.chunks_total);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_token_is_idempotent_and_content_named() {
+        let dir = temp_dir("token");
+        let store = Store::open(&dir).expect("open");
+        let state = sample_state(64);
+        let a = store.save_token(&state).expect("first");
+        let b = store.save_token(&state).expect("second");
+        assert_eq!(a.manifest_hash, b.manifest_hash);
+        assert_eq!(b.chunks_new, 0, "second save of identical state writes nothing");
+        let loaded = store.load(&a.manifest_hash).expect("load by token");
+        assert!(bodies_bits_equal(&loaded.bodies, &state.bodies));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_chunk_is_a_structured_error() {
+        let dir = temp_dir("corrupt");
+        let store = Store::open(&dir).expect("open");
+        let state = sample_state(64);
+        store.save(&state, "snap").expect("save");
+
+        // Flip bytes in one object file.
+        let objects = dir.join("objects");
+        let some_object = fs::read_dir(&objects)
+            .expect("objects dir")
+            .flat_map(|d| fs::read_dir(d.expect("fan-out dir").path()).expect("inner dir"))
+            .next()
+            .expect("at least one chunk")
+            .expect("dir entry")
+            .path();
+        fs::write(&some_object, "0000000000000000\n").expect("corrupt");
+
+        match store.load("snap") {
+            Err(SnapError::Corrupt { hash, .. }) => assert_eq!(hash.len(), 64),
+            other => panic!("expected SnapError::Corrupt, got {other:?}"),
+        }
+
+        // Delete it instead: missing chunk, also structured.
+        fs::remove_file(&some_object).expect("remove");
+        match store.load("snap") {
+            Err(SnapError::MissingChunk { hash }) => assert_eq!(hash.len(), 64),
+            other => panic!("expected SnapError::MissingChunk, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_manifests_fail_with_schema_errors() {
+        let dir = temp_dir("schema");
+        let store = Store::open(&dir).expect("open");
+        let path = store.manifest_path("bad");
+
+        fs::write(&path, "{ not json").expect("write");
+        assert!(matches!(store.load("bad"), Err(SnapError::Schema { .. })));
+
+        fs::write(&path, "{\"format\": \"bhsnap/v999\"}").expect("write");
+        match store.load("bad") {
+            Err(SnapError::Schema { detail, .. }) => assert!(detail.contains("bhsnap/v999")),
+            other => panic!("expected SnapError::Schema, got {other:?}"),
+        }
+
+        let state = sample_state(16);
+        let saved = store.save(&state, "good").expect("save");
+        let mangled = fs::read_to_string(&saved.manifest_path)
+            .expect("read")
+            .replace("\"walk\": \"group\"", "\"walk\": \"sideways\"");
+        fs::write(&path, mangled).expect("write");
+        match store.load("bad") {
+            Err(SnapError::Schema { detail, .. }) => {
+                assert!(detail.contains("sideways"), "{detail}")
+            }
+            other => panic!("expected SnapError::Schema, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -14,11 +14,23 @@
 //! bhsim --scenario exp-disk --n 4096 --opt subspace --nodes 4
 //! bhsim --scenario hernquist --n 8192 --backend mpi --nodes 8
 //! bhsim --scenario king --n 2048 --compare upc,mpi,direct --json
+//! bhsim --scenario plummer --n 2048 --steps 8 --checkpoint-every 2 --checkpoint-dir ckpt
+//! bhsim --resume ckpt/step-0004.json --json
 //! ```
+//!
+//! Checkpointing runs the solver step-tracked and saves a resumable
+//! snapshot (`snapstore`, content-addressed) every N steps; `--resume`
+//! replays from the snapshot's rebuild anchor, verifies the replay
+//! bit-for-bit against the stored bodies, and continues to the run's
+//! configured steps — the final state is bit-identical to the
+//! uninterrupted run (compare `state_digest` in `--json` output).
+
+use std::path::Path;
 
 use barnes_hut_upc::engine;
 use barnes_hut_upc::prelude::*;
 use engine::bench::RunSpec;
+use snapstore::{SimState, Store};
 
 struct Options {
     scenario: String,
@@ -40,6 +52,9 @@ struct Options {
     theta: Option<f64>,
     eps: Option<f64>,
     dt: Option<f64>,
+    checkpoint_every: Option<usize>,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
     json: bool,
     list: bool,
 }
@@ -66,6 +81,9 @@ impl Default for Options {
             theta: None,
             eps: None,
             dt: None,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            resume: None,
             json: false,
             list: false,
         }
@@ -109,6 +127,16 @@ fn usage() -> ! {
            --nodes N            emulated nodes            (default 4)\n\
            --threads-per-node T UPC threads per node      (default 1)\n\
            --pthreads           emulate the -pthreads runtime\n\
+         \n\
+         checkpointing (content-addressed snapstore):\n\
+           --checkpoint-every N save a resumable snapshot every N completed steps\n\
+           --checkpoint-dir D   snapshot store directory (required with\n\
+                                --checkpoint-every; snapshots land as\n\
+                                D/step-NNNN.json + deduplicated chunks)\n\
+           --resume MANIFEST    continue an interrupted run from a snapshot\n\
+                                manifest; the workload/solver flags come from\n\
+                                the manifest, and the finished run is\n\
+                                bit-identical to an uninterrupted one\n\
          \n\
          output:\n\
            --list               list the registered scenarios and backends, then exit\n\
@@ -182,24 +210,49 @@ fn parse_args() -> Options {
             "--tree-policy" => {
                 let name = value(args.next(), "--tree-policy");
                 opts.tree_policy = TreePolicy::from_name(&name).unwrap_or_else(|| {
-                    eprintln!("bhsim: unknown tree policy: {name} (rebuild, reuse, adaptive)");
+                    let known = ["rebuild", "reuse", "adaptive"];
+                    eprintln!(
+                        "bhsim: {}",
+                        engine::suggest::unknown_key("tree policy", &name, &known)
+                    );
                     usage()
                 });
             }
             "--walk" => {
                 let name = value(args.next(), "--walk");
                 opts.walk = WalkMode::from_name(&name).unwrap_or_else(|| {
-                    eprintln!("bhsim: unknown walk mode: {name} (per-body, group)");
+                    let known = WalkMode::ALL.map(|m| m.name());
+                    eprintln!(
+                        "bhsim: {}",
+                        engine::suggest::unknown_key("walk mode", &name, &known)
+                    );
                     usage()
                 });
             }
             "--build" => {
                 let name = value(args.next(), "--build");
                 opts.build = TreeBuild::from_name(&name).unwrap_or_else(|| {
-                    eprintln!("bhsim: unknown tree build: {name} (insertion, sorted)");
+                    let known = TreeBuild::ALL.map(|b| b.name());
+                    eprintln!(
+                        "bhsim: {}",
+                        engine::suggest::unknown_key("tree build", &name, &known)
+                    );
                     usage()
                 });
             }
+            "--checkpoint-every" => {
+                let v = value(args.next(), "--checkpoint-every");
+                let every: usize = num("--checkpoint-every", &v);
+                if every == 0 {
+                    eprintln!("bhsim: invalid value for --checkpoint-every: must be at least 1");
+                    usage()
+                }
+                opts.checkpoint_every = Some(every);
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(value(args.next(), "--checkpoint-dir"))
+            }
+            "--resume" => opts.resume = Some(value(args.next(), "--resume")),
             "--rebuild-every" => {
                 let v = value(args.next(), "--rebuild-every");
                 let every: usize = num("--rebuild-every", &v);
@@ -227,7 +280,11 @@ fn parse_args() -> Options {
             "--opt" => {
                 let name = value(args.next(), "--opt");
                 opts.opt = OptLevel::from_name(&name).unwrap_or_else(|| {
-                    eprintln!("unknown optimization level: {name}");
+                    let known = OptLevel::ALL.map(|l| l.name());
+                    eprintln!(
+                        "bhsim: {}",
+                        engine::suggest::unknown_key("optimization level", &name, &known)
+                    );
                     usage()
                 });
             }
@@ -259,7 +316,108 @@ fn parse_args() -> Options {
         eprintln!("bhsim: --rebuild-every / --drift-threshold require --tree-policy reuse");
         usage()
     }
+    if opts.checkpoint_every.is_some() != opts.checkpoint_dir.is_some() {
+        eprintln!("bhsim: --checkpoint-every and --checkpoint-dir must be given together");
+        usage()
+    }
+    if (opts.checkpoint_every.is_some() || opts.resume.is_some()) && opts.compare.is_some() {
+        eprintln!("bhsim: checkpointing and --resume drive a single backend, not --compare");
+        usage()
+    }
     opts
+}
+
+/// Opens the snapshot store when checkpointing was requested.
+fn checkpoint_store(opts: &Options) -> Option<(Store, usize)> {
+    let (dir, every) = (opts.checkpoint_dir.as_ref()?, opts.checkpoint_every?);
+    let store = Store::open(dir).unwrap_or_else(|e| {
+        eprintln!("bhsim: {e}");
+        std::process::exit(1)
+    });
+    Some((store, every))
+}
+
+/// The periodic-save policy shared by cold and resumed runs: every N
+/// completed steps, plus the run's final state.
+fn save_checkpoint(store: &Store, every: usize, state: &SimState, errors: &mut Option<String>) {
+    if !state.step.is_multiple_of(every) && state.step != state.cfg.steps {
+        return;
+    }
+    if errors.is_some() {
+        return;
+    }
+    let name = format!("step-{:04}", state.step);
+    match store.save(state, &name) {
+        Ok(saved) => eprintln!(
+            "bhsim: checkpoint {} (step {}, {} chunk(s), {} new)",
+            saved.manifest_path.display(),
+            state.step,
+            saved.chunks_total,
+            saved.chunks_new
+        ),
+        Err(e) => *errors = Some(e.to_string()),
+    }
+}
+
+/// `--resume`: load the manifest, replay from the anchor, continue to the
+/// configured steps, and report like a normal single-backend run.
+fn run_resume(opts: &Options, manifest: &str) {
+    let state = snapstore::load_state(Path::new(manifest)).unwrap_or_else(|e| {
+        eprintln!("bhsim: {e}");
+        std::process::exit(1)
+    });
+    let backends = backend_registry();
+    let backend = backends.lookup(&state.backend).unwrap_or_else(|e| {
+        eprintln!("bhsim: {e}");
+        std::process::exit(2)
+    });
+    let registry = scenario_registry();
+    let scenario = registry.get(&state.scenario).unwrap_or_else(|| {
+        eprintln!(
+            "bhsim: {}",
+            engine::suggest::unknown_key("scenario", &state.scenario, &registry.names())
+        );
+        std::process::exit(2)
+    });
+    eprintln!(
+        "bhsim: resuming {} | backend {} | step {}/{} | anchor {} (replaying {} step(s) to \
+         restore the rebuild cadence)",
+        state.scenario,
+        state.backend,
+        state.step,
+        state.cfg.steps,
+        state.anchor_step,
+        state.step - state.anchor_step,
+    );
+
+    let store = checkpoint_store(opts);
+    let mut save_error: Option<String> = None;
+    let start = std::time::Instant::now();
+    let result = snapstore::resume(&state, backend, |continued| {
+        if let Some((store, every)) = &store {
+            save_checkpoint(store, *every, &continued, &mut save_error);
+        }
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("bhsim: {e}");
+        std::process::exit(1)
+    });
+    if let Some(e) = save_error {
+        eprintln!("bhsim: checkpoint save failed: {e}");
+        std::process::exit(1)
+    }
+
+    let run = BackendRun {
+        name: state.backend.clone(),
+        result,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    };
+    let diag = scenario.diagnostics(&state.bodies);
+    if opts.json {
+        print_json(&state.scenario, &state.cfg, &diag, std::slice::from_ref(&run), false);
+    } else {
+        print_report(&state.cfg, &run.result);
+    }
 }
 
 fn list_registries() {
@@ -317,6 +475,10 @@ fn main() {
     let opts = parse_args();
     if opts.list {
         list_registries();
+        return;
+    }
+    if let Some(manifest) = opts.resume.clone() {
+        run_resume(&opts, &manifest);
         return;
     }
 
@@ -397,11 +559,47 @@ fn main() {
     );
 
     // The single comparison driver: one backend is just a one-column run.
+    // Under --checkpoint-every the run goes through the step-tracked entry
+    // instead, feeding a snapstore Recorder that persists resumable
+    // snapshots on the requested cadence.
     let backends = backend_registry();
-    let runs = engine::run_backends(&backends, &backend_names, &cfg, &bodies).unwrap_or_else(|e| {
-        eprintln!("bhsim: {e}");
-        std::process::exit(2)
-    });
+    let runs = if let Some((store, every)) = checkpoint_store(&opts) {
+        let backend = backends.lookup(&opts.backend).unwrap_or_else(|e| {
+            eprintln!("bhsim: {e}");
+            std::process::exit(2)
+        });
+        if let Err(e) = backend.supports(&cfg) {
+            eprintln!("bhsim: backend {} cannot run this config: {e}", opts.backend);
+            std::process::exit(2)
+        }
+        let mut recorder =
+            snapstore::Recorder::new(scenario.name(), &opts.backend, &cfg, bodies.clone(), 0);
+        let mut save_error: Option<String> = None;
+        let start = std::time::Instant::now();
+        let result = backend
+            .run_tracked(&cfg, bodies.clone(), &mut |record| {
+                let state = recorder.observe(&record);
+                save_checkpoint(&store, every, &state, &mut save_error);
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("bhsim: {e}");
+                std::process::exit(2)
+            });
+        if let Some(e) = save_error {
+            eprintln!("bhsim: checkpoint save failed: {e}");
+            std::process::exit(1)
+        }
+        vec![BackendRun {
+            name: opts.backend.clone(),
+            result,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        }]
+    } else {
+        engine::run_backends(&backends, &backend_names, &cfg, &bodies).unwrap_or_else(|e| {
+            eprintln!("bhsim: {e}");
+            std::process::exit(2)
+        })
+    };
 
     // `--compare upc` (one name) still gets comparison-shaped output — a
     // one-column table, a one-element JSON array — so sweep scripts see a
@@ -496,6 +694,14 @@ fn summary_value(
         ("backend".to_string(), serde::Value::String(run.name.clone())),
         ("spec".to_string(), serde::Serialize::to_value(&RunSpec::new(scenario, &run.name, cfg))),
         ("workload".to_string(), serde::Serialize::to_value(diag)),
+        // Canonical digest of the final body states (bit-exact, sorted by
+        // id) — two runs produced the same trajectory iff these match,
+        // which is how the CI checkpoint smoke compares a resumed run
+        // against an uninterrupted one.
+        (
+            "state_digest".to_string(),
+            serde::Value::String(snapstore::digest_bodies(&run.result.bodies)),
+        ),
     ];
     let sample = engine::bench::Sample::from_run(run);
     if let serde::Value::Object(fields) = serde::Serialize::to_value(&sample) {

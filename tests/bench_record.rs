@@ -1,13 +1,15 @@
-//! Guards on the committed benchmark baseline (`BENCH_0007.json`): the CI
+//! Guards on the committed benchmark baseline (`BENCH_0008.json`): the CI
 //! perf gate diffs against this file, so it must stay schema-valid and keep
 //! demonstrating the claims it was committed for — the tree-lifecycle claim
 //! that persistent-tree stepping beats per-step rebuild on long
 //! trajectories, the group-walk claim that one traversal per body group
 //! beats one per body on simulated force time and traversal volume, the
 //! tree-build claim that the sorted (Morton sample-sort) build beats
-//! lock-based insertion on tree time with a smaller node arena, and the
+//! lock-based insertion on tree time with a smaller node arena, the
 //! serving slice (`service = "bhserve"`) recorded by `bhload` against a live
-//! `bhserve` for the CI serving gate.
+//! `bhserve` for the CI serving gate, and the warm-start slice
+//! (`warm = "warm[pK]"`) showing that resuming from a `snapstore`
+//! checkpoint beats re-integrating the equilibration prefix from t = 0.
 
 use engine::bench::{
     diff_against_baseline, kernel_regressions, Record, KERNEL_COALESCED, KERNEL_PER_BODY,
@@ -15,7 +17,7 @@ use engine::bench::{
 use std::collections::BTreeSet;
 
 fn committed_record() -> Record {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0007.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0008.json");
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
     Record::from_json(&text).expect("committed baseline must be schema-valid")
@@ -257,6 +259,47 @@ fn committed_baseline_carries_the_serving_slice() {
             !standalone_sizes.contains(&run.spec.nbodies),
             "{key}: serving cell sizes must stay disjoint from the standalone grid"
         );
+    }
+}
+
+/// The checkpoint/restore acceptance evidence: the committed baseline
+/// carries the warm-start slice — for each grid, rows that resume the
+/// measured tail from an on-disk `snapstore` checkpoint taken after an
+/// untimed equilibration prefix, next to a cold comparator that integrates
+/// the same protocol from t = 0.  The warm rows must win on total simulated
+/// seconds (they skip the prefix), which is the reason the suspend/resume
+/// pathway exists.
+#[test]
+fn committed_baseline_shows_warm_starts_beating_cold_reintegration() {
+    let record = committed_record();
+    let warm: Vec<_> =
+        record.runs.iter().filter(|r| r.spec.warm != engine::bench::WARM_COLD).collect();
+    assert!(warm.len() >= 4, "baseline must carry warm rows for both grids, got {}", warm.len());
+    for run in &warm {
+        let spec = &run.spec;
+        let cold = record
+            .runs
+            .iter()
+            .find(|c| {
+                c.spec.warm == engine::bench::WARM_COLD
+                    && c.spec.scenario == spec.scenario
+                    && c.spec.opt == spec.opt
+                    && c.spec.policy == "rebuild"
+                    && c.spec.nbodies == spec.nbodies
+                    && c.spec.nodes == spec.nodes
+                    && c.spec.steps == spec.steps
+                    && c.spec.measured_steps == spec.measured_steps
+            })
+            .unwrap_or_else(|| panic!("{}: warm row has no cold comparator", spec.key()));
+        assert!(
+            run.total_sim_median < cold.total_sim_median,
+            "{}: resuming from a checkpoint ({:.4}s simulated) must beat cold \
+             re-integration from t = 0 ({:.4}s)",
+            spec.key(),
+            run.total_sim_median,
+            cold.total_sim_median
+        );
+        assert!(run.interactions > 0, "{}: warm rows carry deterministic counters", spec.key());
     }
 }
 
