@@ -53,7 +53,7 @@ impl Backend for UpcBackend {
         observer: &mut (dyn FnMut(engine::snap::StepRecord) + Send),
     ) -> Result<SimResult, String> {
         self.supports(cfg)?;
-        Ok(crate::sim::run_simulation_tracked(cfg, bodies, observer))
+        crate::sim::run_simulation_tracked(cfg, bodies, observer)
     }
 }
 

@@ -49,11 +49,17 @@ pub fn run_simulation_on(cfg: &SimConfig, bodies: Vec<nbody::Body>) -> SimResult
 /// exact between-steps state — and the only addition to the schedule is one
 /// extra barrier per step, outside every phase timer, so tracked runs
 /// produce bit-for-bit the bodies of untracked runs.
+///
+/// Tracked runs are the supervised (retryable) surface, so this entry is
+/// fallible: a pending `engine.step` fault in `cfg.faults` aborts the run
+/// with an error carrying the [`engine::fault::STEP_FAULT`] marker, after
+/// every record for the steps completed *before* the fault has been
+/// delivered — a supervisor restores the last checkpoint and retries.
 pub fn run_simulation_tracked(
     cfg: &SimConfig,
     bodies: Vec<nbody::Body>,
     observer: &mut (dyn FnMut(engine::snap::StepRecord) + Send),
-) -> SimResult {
+) -> Result<SimResult, String> {
     let shared = BhShared::with_bodies(cfg, bodies);
     run_simulation_observed(cfg, &shared, Some(observer))
 }
@@ -65,7 +71,12 @@ pub fn run_simulation_tracked(
 /// Panics when [`SimConfig::validate`] rejects `cfg` (unrunnable
 /// measurement window, non-positive physics parameters, ...).
 pub fn run_simulation_with(cfg: &SimConfig, shared: &BhShared) -> SimResult {
-    run_simulation_observed(cfg, shared, None)
+    match run_simulation_observed(cfg, shared, None) {
+        Ok(result) => result,
+        // Unsupervised entry points have no recovery layer to hand the
+        // fault to; aborting loudly keeps the injection observable.
+        Err(e) => panic!("bh::run_simulation: {e}"),
+    }
 }
 
 /// The shared driver behind [`run_simulation_with`] (no observer) and
@@ -74,7 +85,7 @@ fn run_simulation_observed(
     cfg: &SimConfig,
     shared: &BhShared,
     observer: Option<&mut (dyn FnMut(engine::snap::StepRecord) + Send)>,
-) -> SimResult {
+) -> Result<SimResult, String> {
     if let Err(e) = cfg.validate() {
         panic!("bh::run_simulation: invalid config: {e}");
     }
@@ -84,11 +95,20 @@ fn run_simulation_observed(
     if let Err(e) = check_tree_build(cfg) {
         panic!("bh::run_simulation: invalid config: {e}");
     }
+    let step_faults = cfg.faults.targets("engine.step");
     let observer = observer.map(std::sync::Mutex::new);
     let runtime = Runtime::new(cfg.machine.clone());
     let report = runtime.run(|ctx| {
         let mut st = RankState::new(ctx, shared, cfg);
         for step in 0..cfg.steps {
+            if step_faults && cfg.faults.step_fault_pending("engine.step", step) {
+                // A **pure** read: every rank evaluates the same predicate
+                // and abandons the run at the same step — no mutation here,
+                // so no rank desynchronizes and no barrier is left hanging.
+                // The driver below classifies the abort and consumes the
+                // trigger once, after all ranks have returned.
+                break;
+            }
             if measurement_begins(cfg, step) {
                 // Start of the measured window (the paper measures the last
                 // two of four steps): reset all accumulators.
@@ -140,6 +160,23 @@ fn run_simulation_observed(
         }
     });
 
+    if step_faults {
+        // The pending predicate is pure, so re-finding the first pending
+        // step here names exactly the step every rank broke at.  Consuming
+        // the trigger marks it spent in the plan's *shared* state, so the
+        // supervisor's checkpoint-restore replay passes the step cleanly.
+        if let Some(step) =
+            (0..cfg.steps).find(|&s| cfg.faults.step_fault_pending("engine.step", s))
+        {
+            cfg.faults.consume_step("engine.step", step);
+            return Err(format!(
+                "{}: injected fault at step {step} (site engine.step); the run aborted \
+                 before the step executed and is retryable from the last checkpoint",
+                engine::fault::STEP_FAULT
+            ));
+        }
+    }
+
     let mut ranks: Vec<RankOutcome> = Vec::with_capacity(report.ranks.len());
     for r in &report.ranks {
         let mut outcome = r.result.clone();
@@ -148,7 +185,7 @@ fn run_simulation_observed(
     }
     let mut result = SimResult::aggregate(cfg, ranks, shared.bodytab.snapshot());
     result.tree_bytes = shared.cells.peak_bytes();
-    result
+    Ok(result)
 }
 
 /// Checks that `cfg.walk` is runnable on this solver: the group walk builds
@@ -402,7 +439,8 @@ mod tests {
             nbody::plummer::generate(&nbody::plummer::PlummerConfig::new(cfg.nbodies, cfg.seed));
         let plain = run_simulation_on(&cfg, bodies.clone());
         let mut records: Vec<engine::snap::StepRecord> = Vec::new();
-        let tracked = run_simulation_tracked(&cfg, bodies, &mut |r| records.push(r));
+        let tracked = run_simulation_tracked(&cfg, bodies, &mut |r| records.push(r))
+            .expect("a fault-free tracked run succeeds");
         assert_eq!(records.len(), cfg.steps, "one record per completed step");
         for (i, r) in records.iter().enumerate() {
             assert_eq!(r.step, i);
@@ -423,6 +461,37 @@ mod tests {
                 &plain.bodies
             ),
             "the last record is the final state"
+        );
+    }
+
+    #[test]
+    fn injected_step_faults_abort_once_then_replay_clean() {
+        let mut cfg = SimConfig::test(64, 2, OptLevel::CacheLocalTree);
+        cfg.steps = 4;
+        cfg.measured_steps = 2;
+        cfg.faults = engine::fault::FaultPlan::parse("engine.step@n2").unwrap();
+        let bodies =
+            nbody::plummer::generate(&nbody::plummer::PlummerConfig::new(cfg.nbodies, cfg.seed));
+
+        let mut records: Vec<engine::snap::StepRecord> = Vec::new();
+        let err = run_simulation_tracked(&cfg, bodies.clone(), &mut |r| records.push(r))
+            .expect_err("the armed step fault must abort the run");
+        assert!(err.contains(engine::fault::STEP_FAULT), "{err}");
+        assert!(err.contains("step 2"), "{err}");
+        // Steps before the fault completed and were observed.
+        assert_eq!(records.len(), 2, "steps 0 and 1 ran before the fault");
+
+        // The abort consumed the trigger (shared across clones), so the
+        // supervisor's retry with the same plan runs clean and matches a
+        // fault-free run bit-for-bit.
+        let retry = run_simulation_tracked(&cfg, bodies.clone(), &mut |_| {})
+            .expect("the consumed fault must not re-fire");
+        let mut clean_cfg = cfg.clone();
+        clean_cfg.faults = engine::fault::FaultPlan::default();
+        let clean = run_simulation_on(&clean_cfg, bodies);
+        assert!(
+            engine::snap::bodies_bits_equal(&retry.bodies, &clean.bodies),
+            "the retried run must be bit-identical to a fault-free run"
         );
     }
 

@@ -22,6 +22,15 @@ OPTIONS:
     --mix quick|full     cell grid to drive (default quick)
     --session-every N    every Nth client runs a session flow (default 16; 0 disables)
     --abuse              mix in an over-quota tenant and a mid-session disconnect
+    --chaos              chaos mode: rows land under the chaos service axis,
+                         measured requests recover from faults/restarts via
+                         retries (reported as recovery_ms/error_rate), and the
+                         mix adds mid-frame aborters and suspend/resume
+                         bit-identity probes
+    --suspend-one        open one probe session, suspend it, print its token
+                         and digest as one JSON line and exit (chaos CI)
+    --resume-token TOK   resume TOK, print the digest as one JSON line and
+                         exit; it must equal the one --suspend-one printed
     --json               print the serving record as JSON on stdout
     --out PATH           write the serving record to PATH
     --merge PATH         replace the serving rows of an existing record at PATH
@@ -44,6 +53,8 @@ struct Options {
     merge: Option<String>,
     baseline: Option<String>,
     threshold: f64,
+    suspend_one: bool,
+    resume_token: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -56,6 +67,8 @@ fn parse_args() -> Options {
         merge: None,
         baseline: None,
         threshold: 25.0,
+        suspend_one: false,
+        resume_token: None,
     };
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -83,6 +96,9 @@ fn parse_args() -> Options {
                 load.session_every = parse_number(&value(&mut args, "--session-every"))
             }
             "--abuse" => load.abuse = true,
+            "--chaos" => load.chaos = true,
+            "--suspend-one" => opts.suspend_one = true,
+            "--resume-token" => opts.resume_token = Some(value(&mut args, "--resume-token")),
             "--json" => opts.json = true,
             "--out" => opts.out = Some(value(&mut args, "--out")),
             "--merge" => opts.merge = Some(value(&mut args, "--merge")),
@@ -90,13 +106,16 @@ fn parse_args() -> Options {
             "--threshold" => opts.threshold = parse_number(&value(&mut args, "--threshold")),
             "--help" | "-h" => usage(),
             other => {
-                const FLAGS: [&str; 12] = [
+                const FLAGS: [&str; 15] = [
                     "--addr",
                     "--clients",
                     "--threads",
                     "--mix",
                     "--session-every",
                     "--abuse",
+                    "--chaos",
+                    "--suspend-one",
+                    "--resume-token",
                     "--json",
                     "--out",
                     "--merge",
@@ -135,6 +154,34 @@ fn parse_number<T: std::str::FromStr>(text: &str) -> T {
 
 fn main() {
     let opts = parse_args();
+
+    // The probe modes: one session suspended / resumed, digests printed as
+    // JSON for the CI chaos job's cross-restart bit-identity assertion.
+    if opts.suspend_one {
+        match load::suspend_one(&opts.load.addr) {
+            Ok((token, digest)) => {
+                println!("{{\"token\": \"{token}\", \"digest\": \"{digest}\"}}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("bhload: suspend probe failed: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
+    if let Some(token) = &opts.resume_token {
+        match load::resume_token(&opts.load.addr, token) {
+            Ok(digest) => {
+                println!("{{\"digest\": \"{digest}\"}}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("bhload: resume probe failed: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
+
     let registry = scenarios::builtin();
     let report = match load::run(&opts.load, &registry) {
         Ok(report) => report,
@@ -152,6 +199,12 @@ fn main() {
         "bhload: {} measured requests, {} session flows, {} quota rejections, {} disconnects",
         report.measured_requests, report.sessions, report.quota_rejections, report.disconnects
     );
+    if opts.load.chaos {
+        eprintln!(
+            "bhload: chaos: {} retried requests, {} mid-frame aborts, {} resume checks",
+            report.retried, report.aborts, report.resume_checks
+        );
+    }
     for run in &report.record.runs {
         eprintln!(
             "bhload: {:<42} reqs {:>4}  p50 {:>8.2}ms  p99 {:>8.2}ms  {:>7.1} req/s",
@@ -188,9 +241,15 @@ fn main() {
             .unwrap_or_else(|e| fail_schema(&format!("reading {path}: {e}")));
         let mut baseline = Record::from_json(&text)
             .unwrap_or_else(|e| fail_schema(&format!("baseline {path}: {e}")));
-        // This gate owns the serving rows only; the standalone rows and
-        // kernels of a merged record belong to the benchsuite gate.
-        baseline.runs.retain(|r| r.spec.service == engine::bench::SERVICE_BHSERVE);
+        // This gate owns the rows of the service it just produced (serving
+        // or chaos); standalone rows and kernels of a merged record belong
+        // to the benchsuite gate.
+        let service = if opts.load.chaos {
+            engine::bench::SERVICE_CHAOS
+        } else {
+            engine::bench::SERVICE_BHSERVE
+        };
+        baseline.runs.retain(|r| r.spec.service == service);
         baseline.kernels.clear();
         let diff = diff_against_baseline(&report.record, &baseline, opts.threshold / 100.0);
         if !diff.protocol_mismatches.is_empty() {

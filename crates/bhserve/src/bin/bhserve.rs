@@ -23,6 +23,18 @@ OPTIONS:
     --snap-dir DIR            snapshot store for suspend/resume (default: disabled);
                               suspended sessions survive daemon restarts pointed
                               at the same directory
+    --read-timeout-secs N     per-connection read deadline; idle connections
+                              (including connect-and-say-nothing clients) are
+                              reaped after N seconds (default 600; 0 = never)
+    --write-timeout-secs N    per-connection write deadline (default 60; 0 = never)
+    --idle-session-secs N     evict sessions idle longer than N seconds
+                              (default: keep until the connection closes)
+    --max-inflight N          shed heavy requests beyond N concurrently
+                              dispatching, with E_OVERLOADED + retry_after_ms
+                              (default: never shed)
+    --faults SPEC             deterministic fault-injection plan, e.g.
+                              seed=7,frame.read.short@p0.01,snap.chunk.torn@n2
+                              (see the faultline docs for the site vocabulary)
     --help                    show this help"
     );
     std::process::exit(2)
@@ -61,9 +73,31 @@ fn parse_args() -> ServerOptions {
                 opts.batch_max_bodies = parse_number(&value(&mut args, "--batch-max-bodies"))
             }
             "--snap-dir" => opts.snap_dir = Some(value(&mut args, "--snap-dir")),
+            "--read-timeout-secs" => {
+                opts.read_timeout =
+                    timeout_of(parse_number(&value(&mut args, "--read-timeout-secs")))
+            }
+            "--write-timeout-secs" => {
+                opts.write_timeout =
+                    timeout_of(parse_number(&value(&mut args, "--write-timeout-secs")))
+            }
+            "--idle-session-secs" => {
+                opts.idle_session_secs =
+                    Some(parse_number(&value(&mut args, "--idle-session-secs")))
+            }
+            "--max-inflight" => {
+                opts.max_inflight = Some(parse_number(&value(&mut args, "--max-inflight")))
+            }
+            "--faults" => {
+                let spec = value(&mut args, "--faults");
+                opts.faults = engine::FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bhserve: {e}");
+                    std::process::exit(2)
+                });
+            }
             "--help" | "-h" => usage(),
             other => {
-                const FLAGS: [&str; 8] = [
+                const FLAGS: [&str; 13] = [
                     "--listen",
                     "--max-concurrent-runs",
                     "--quota-interactions",
@@ -71,6 +105,11 @@ fn parse_args() -> ServerOptions {
                     "--max-sessions",
                     "--batch-max-bodies",
                     "--snap-dir",
+                    "--read-timeout-secs",
+                    "--write-timeout-secs",
+                    "--idle-session-secs",
+                    "--max-inflight",
+                    "--faults",
                     "--help",
                 ];
                 match engine::suggest::suggest(other, FLAGS) {
@@ -84,6 +123,11 @@ fn parse_args() -> ServerOptions {
         }
     }
     opts
+}
+
+/// `0` disables a deadline (blocking forever), anything else is seconds.
+fn timeout_of(secs: u64) -> Option<std::time::Duration> {
+    (secs > 0).then(|| std::time::Duration::from_secs(secs))
 }
 
 fn parse_number<T: std::str::FromStr>(text: &str) -> T {

@@ -24,6 +24,89 @@
 
 use std::io::{self, Read, Write};
 
+use engine::FaultPlan;
+
+/// A byte stream with faultline injection points on both directions —
+/// wraps the server's (or a chaos client's) `TcpStream` so the framing
+/// layer can be driven through its whole failure taxonomy deterministically.
+///
+/// Sites consulted per call:
+///
+/// * `frame.read.short` — the read delivers at most 1 byte (a pathological
+///   trickle; framing must reassemble);
+/// * `frame.read.disconnect` — the read fails with `ConnectionReset`
+///   (a mid-frame drop when it fires inside a frame);
+/// * `frame.write.disconnect` — the write fails with `BrokenPipe`.
+///
+/// With an empty plan the wrapper is pass-through and touches no locks.
+///
+/// A fired disconnect *latches*: once a `*.disconnect` site fires the
+/// stream stays broken in both directions, exactly like a real dropped
+/// connection — otherwise a `BufWriter`'s drop-time re-flush would quietly
+/// deliver the bytes the injected fault claimed to lose.
+pub struct FaultyStream<S> {
+    inner: S,
+    faults: Option<FaultPlan>,
+    broken: bool,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps `inner`; a plan with no `frame.*` sites disarms the wrapper
+    /// entirely (the per-read/per-write fault checks are skipped).
+    pub fn new(inner: S, faults: &FaultPlan) -> FaultyStream<S> {
+        const SITES: [&str; 3] =
+            ["frame.read.short", "frame.read.disconnect", "frame.write.disconnect"];
+        let armed = SITES.iter().any(|s| faults.targets(s));
+        FaultyStream { inner, faults: armed.then(|| faults.clone()), broken: false }
+    }
+
+    fn disconnected(site: &str) -> io::Error {
+        let kind = if site.starts_with("frame.read") {
+            io::ErrorKind::ConnectionReset
+        } else {
+            io::ErrorKind::BrokenPipe
+        };
+        io::Error::new(kind, format!("injected disconnect (faultline site {site})"))
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(faults) = &self.faults {
+            if self.broken {
+                return Err(Self::disconnected("frame.read.disconnect"));
+            }
+            if faults.fires("frame.read.disconnect") {
+                self.broken = true;
+                return Err(Self::disconnected("frame.read.disconnect"));
+            }
+            if faults.fires("frame.read.short") && buf.len() > 1 {
+                return self.inner.read(&mut buf[..1]);
+            }
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(faults) = &self.faults {
+            if self.broken || faults.fires("frame.write.disconnect") {
+                self.broken = true;
+                return Err(Self::disconnected("frame.write.disconnect"));
+            }
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.broken {
+            return Err(Self::disconnected("frame.write.disconnect"));
+        }
+        self.inner.flush()
+    }
+}
+
 /// Upper bound on a frame payload, in bytes.  Large enough for a full
 /// `snapshot` of the biggest serving-mix workload (hex-encoded body state
 /// is ~500 bytes per body), small enough that a corrupt or hostile length
@@ -131,5 +214,60 @@ mod tests {
         let err = write_frame(&mut sink, &huge).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         assert!(sink.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn short_reads_reassemble_frames_intact() {
+        // Every read degraded to 1 byte: framing must still deliver whole
+        // frames, because read_frame loops until the header and payload fill.
+        let plan = FaultPlan::parse("frame.read.short@p1.0").unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"trickled payload").unwrap();
+        write_frame(&mut buf, b"and another").unwrap();
+        let mut r = FaultyStream::new(Cursor::new(buf), &plan);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"trickled payload"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"and another"[..]));
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn injected_read_disconnects_latch() {
+        // Reads are counted per call: frame 1 costs two (header, payload),
+        // so @n3 drops the connection inside frame 2's header.
+        let plan = FaultPlan::parse("frame.read.disconnect@n3").unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"second").unwrap();
+        let mut r = FaultyStream::new(Cursor::new(buf), &plan);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"first"[..]));
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // Broken stays broken — no resurrection on retry against the same
+        // stream (reconnecting makes a new stream, which is the point).
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn injected_write_disconnects_latch_through_flush() {
+        let plan = FaultPlan::parse("frame.write.disconnect@n1").unwrap();
+        let mut w = FaultyStream::new(Vec::new(), &plan);
+        let err = write_frame(&mut w, b"lost").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // A later flush (e.g. BufWriter's drop) must not deliver the bytes.
+        assert_eq!(w.flush().unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(write_frame(&mut w, b"more").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn unarmed_plans_are_pass_through() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"clean").unwrap();
+        let mut r = FaultyStream::new(Cursor::new(buf), &FaultPlan::default());
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"clean"[..]));
+        // A plan with only non-frame sites is also pass-through.
+        let other = FaultPlan::parse("snap.chunk.torn@n1").unwrap();
+        let mut w = FaultyStream::new(Vec::new(), &other);
+        write_frame(&mut w, b"ok").unwrap();
     }
 }

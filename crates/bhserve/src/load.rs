@@ -33,9 +33,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
-use crate::proto::{E_QUOTA_EXCEEDED, E_SESSION_UNSUPPORTED};
-use crate::server::{request, Client};
-use engine::bench::{Record, RunRecord, RunSpec, Sample, SERVICE_BHSERVE};
+use crate::proto::{E_OVERLOADED, E_QUOTA_EXCEEDED, E_SESSION_UNSUPPORTED, E_SNAP_UNAVAILABLE};
+use crate::server::{call_with_retry, request, Client};
+use engine::bench::{Record, RunRecord, RunSpec, Sample, SERVICE_BHSERVE, SERVICE_CHAOS};
 use engine::{OptLevel, Phase, PhaseTimes, SimConfig};
 use pgas::{Machine, RankStats};
 use serde::Value;
@@ -113,8 +113,15 @@ impl Cell {
 
     /// The bench-row identity of this cell's serving measurements.
     pub fn spec(&self, scenarios: &scenarios::Registry) -> RunSpec {
+        self.spec_for(scenarios, SERVICE_BHSERVE)
+    }
+
+    /// The bench-row identity under an explicit service axis value —
+    /// chaos rows use [`SERVICE_CHAOS`] so the fault-free serving rows and
+    /// the failure-path rows never collide under the baseline diff.
+    pub fn spec_for(&self, scenarios: &scenarios::Registry, service: &str) -> RunSpec {
         let mut spec = RunSpec::new(self.scenario, self.backend, &self.config(scenarios));
-        spec.service = SERVICE_BHSERVE.to_string();
+        spec.service = service.to_string();
         spec
     }
 
@@ -150,6 +157,14 @@ pub struct LoadOptions {
     /// disconnect).  Requires the server to cap tenant `freeloader` —
     /// the run fails if no quota rejection is observed.
     pub abuse: bool,
+    /// Chaos mode: measured rows land under the [`SERVICE_CHAOS`] service
+    /// axis, measured requests recover from transport faults and
+    /// [`E_OVERLOADED`] sheds via reconnect-with-backoff retries (recording
+    /// `recovery_ms`/`error_rate`), and the mix adds mid-frame aborters and
+    /// suspend→resume bit-identity probes.  Session-flow casualties of a
+    /// daemon restart are tolerated (counted as disconnects) — only
+    /// measured requests whose retries are exhausted fail the run.
+    pub chaos: bool,
 }
 
 impl Default for LoadOptions {
@@ -161,6 +176,7 @@ impl Default for LoadOptions {
             mix: Mix::Quick,
             session_every: 16,
             abuse: false,
+            chaos: false,
         }
     }
 }
@@ -180,6 +196,14 @@ pub struct LoadReport {
     /// Requests that failed for any other reason (must be zero for a
     /// healthy run).
     pub failures: usize,
+    /// Measured requests that needed the retry path (first attempt lost to
+    /// a fault or shed) before succeeding — chaos mode only.
+    pub retried: usize,
+    /// Deliberate mid-frame aborts delivered — chaos mode only.
+    pub aborts: usize,
+    /// Suspend→resume bit-identity probes that completed and verified —
+    /// chaos mode only.
+    pub resume_checks: usize,
     /// Wall-clock of the request phase, seconds.
     pub elapsed_seconds: f64,
 }
@@ -189,6 +213,9 @@ struct WorkerOutcome {
     sessions: usize,
     quota_rejections: usize,
     disconnects: usize,
+    retried: usize,
+    aborts: usize,
+    resume_checks: usize,
     failures: Vec<String>,
 }
 
@@ -231,6 +258,9 @@ pub fn run(opts: &LoadOptions, scenarios: &scenarios::Registry) -> Result<LoadRe
     let mut sessions = 0;
     let mut quota_rejections = 0;
     let mut disconnects = 0;
+    let mut retried = 0;
+    let mut aborts = 0;
+    let mut resume_checks = 0;
     let mut failures = Vec::new();
     for outcome in Arc::try_unwrap(outcomes).ok().expect("workers joined").into_inner().unwrap() {
         for (cell, sample) in outcome.samples {
@@ -239,6 +269,9 @@ pub fn run(opts: &LoadOptions, scenarios: &scenarios::Registry) -> Result<LoadRe
         sessions += outcome.sessions;
         quota_rejections += outcome.quota_rejections;
         disconnects += outcome.disconnects;
+        retried += outcome.retried;
+        aborts += outcome.aborts;
+        resume_checks += outcome.resume_checks;
         failures.extend(outcome.failures);
     }
     if let Some(first) = failures.first() {
@@ -250,6 +283,7 @@ pub fn run(opts: &LoadOptions, scenarios: &scenarios::Registry) -> Result<LoadRe
             .to_string());
     }
 
+    let service = if opts.chaos { SERVICE_CHAOS } else { SERVICE_BHSERVE };
     let mut record = Record::new(bh_bench::suite::commit_id(), opts.mix == Mix::Quick);
     let mut measured_requests = 0;
     for (i, cell) in mix.iter().enumerate() {
@@ -261,7 +295,7 @@ pub fn run(opts: &LoadOptions, scenarios: &scenarios::Registry) -> Result<LoadRe
             ));
         }
         measured_requests += samples.len();
-        let mut run = RunRecord::from_samples(cell.spec(scenarios), samples);
+        let mut run = RunRecord::from_samples(cell.spec_for(scenarios, service), samples);
         run.throughput_rps = samples.len() as f64 / elapsed_seconds.max(1e-9);
         record.runs.push(run);
     }
@@ -272,6 +306,9 @@ pub fn run(opts: &LoadOptions, scenarios: &scenarios::Registry) -> Result<LoadRe
         sessions,
         quota_rejections,
         disconnects,
+        retried,
+        aborts,
+        resume_checks,
         failures: 0,
         elapsed_seconds,
     })
@@ -283,6 +320,11 @@ enum Role {
     Session,
     Freeloader,
     Disconnector,
+    /// Chaos: writes a partial frame then drops the connection.
+    Aborter,
+    /// Chaos: open → step → snapshot → suspend → resume → verify the
+    /// resumed state is bit-identical to the suspended one.
+    Resumer,
 }
 
 fn role_of(index: usize, opts: &LoadOptions) -> Role {
@@ -292,11 +334,22 @@ fn role_of(index: usize, opts: &LoadOptions) -> Role {
     if opts.abuse && index == 2 {
         return Role::Disconnector;
     }
+    if opts.chaos && index % 16 == 3 {
+        return Role::Aborter;
+    }
+    if opts.chaos && index % 16 == 4 {
+        return Role::Resumer;
+    }
     if opts.session_every > 0 && index.is_multiple_of(opts.session_every) && index > 0 {
         return Role::Session;
     }
     Role::Measured
 }
+
+/// Retry budget of a chaos-mode measured request: ~1 s of deterministic
+/// jittered backoff in total — enough to ride out a daemon SIGKILL +
+/// restart, short enough that a genuinely dead server fails the run fast.
+const CHAOS_ATTEMPTS: usize = 10;
 
 fn worker(
     t: usize,
@@ -310,6 +363,9 @@ fn worker(
         sessions: 0,
         quota_rejections: 0,
         disconnects: 0,
+        retried: 0,
+        aborts: 0,
+        resume_checks: 0,
         failures: Vec::new(),
     };
     // Open every connection this worker owns before anyone sends: the
@@ -326,13 +382,36 @@ fn worker(
         let cell = &mix[index % mix.len()];
         let tenant = format!("tenant-{}", index % 8);
         match role_of(index, opts) {
+            Role::Measured if opts.chaos => {
+                match one_shot_chaos(&mut client, &opts.addr, cell, &tenant, index as u64) {
+                    Ok((sample, was_retried)) => {
+                        outcome.retried += was_retried as usize;
+                        outcome.samples.push((index % mix.len(), sample));
+                    }
+                    Err(e) => outcome.failures.push(format!("client {index}: {e}")),
+                }
+            }
             Role::Measured => match one_shot(&mut client, cell, &tenant) {
                 Ok(sample) => outcome.samples.push((index % mix.len(), sample)),
                 Err(e) => outcome.failures.push(format!("client {index}: {e}")),
             },
             Role::Session => match session_flow(&mut client, cell, &tenant) {
                 Ok(()) => outcome.sessions += 1,
+                // A session flow interrupted by a chaos casualty (daemon
+                // restart, injected disconnect) is expected degradation —
+                // the session is lost, the fleet must survive.
+                Err(e) if opts.chaos && e.contains("transport") => outcome.disconnects += 1,
                 Err(e) => outcome.failures.push(format!("client {index}: session: {e}")),
+            },
+            Role::Aborter => match client.abort_mid_frame() {
+                Ok(()) => outcome.aborts += 1,
+                Err(e) => outcome.failures.push(format!("client {index}: abort: {e}")),
+            },
+            Role::Resumer => match resume_flow(&mut client, cell, &tenant) {
+                Ok(Some(())) => outcome.resume_checks += 1,
+                Ok(None) => {} // suspend/resume not offered by this server
+                Err(e) if opts.chaos && e.contains("transport") => outcome.disconnects += 1,
+                Err(e) => outcome.failures.push(format!("client {index}: resume-check: {e}")),
             },
             Role::Freeloader => match freeloader_flow(&mut client, mix) {
                 Ok(rejections) if rejections > 0 => outcome.quota_rejections += rejections,
@@ -368,6 +447,53 @@ fn one_shot(client: &mut Client, cell: &Cell, tenant: &str) -> Result<Sample, St
     let reply = call_checked(client, &req, "run")?;
     let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
     sample_of(&reply, latency_ms)
+}
+
+/// Chaos-mode measured request: first try the held connection; if that
+/// attempt is lost to a fault (injected disconnect, daemon restart) or shed
+/// with [`E_OVERLOADED`], fall back to reconnect-per-attempt retries with
+/// deterministic backoff.  A recovered request records how long recovery
+/// took (`recovery_ms`, first send → final success) and `error_rate = 1.0`
+/// (its first attempt failed); a clean request records zeros, so fault-free
+/// chaos rows aggregate to the legacy values.
+fn one_shot_chaos(
+    client: &mut Client,
+    addr: &SocketAddr,
+    cell: &Cell,
+    tenant: &str,
+    seed: u64,
+) -> Result<(Sample, bool), String> {
+    let mut fields = vec![("tenant".to_string(), Value::String(tenant.to_string()))];
+    fields.extend(cell.job_fields());
+    let req = request("run", fields);
+    let sent = Instant::now();
+    match client.call(&req) {
+        Ok(reply) if reply.get("ok").and_then(|v| v.as_bool()) == Some(true) => {
+            let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+            return Ok((sample_of(&reply, latency_ms)?, false));
+        }
+        Ok(reply) => {
+            let code = reply.get("code").and_then(|v| v.as_str()).unwrap_or("?");
+            if code != E_OVERLOADED {
+                let error = reply.get("error").and_then(|v| v.as_str()).unwrap_or("?");
+                return Err(format!("run: rejected [{code}]: {error}"));
+            }
+        }
+        Err(_) => {} // transport fault: recover below
+    }
+    let outcome = call_with_retry(addr, &req, CHAOS_ATTEMPTS, seed)
+        .map_err(|e| format!("run: retries exhausted: {e}"))?;
+    let reply = outcome.response;
+    if reply.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+        let code = reply.get("code").and_then(|v| v.as_str()).unwrap_or("?");
+        let error = reply.get("error").and_then(|v| v.as_str()).unwrap_or("?");
+        return Err(format!("run: rejected after retries [{code}]: {error}"));
+    }
+    let total_ms = sent.elapsed().as_secs_f64() * 1e3;
+    let mut sample = sample_of(&reply, total_ms)?;
+    sample.recovery_ms = total_ms;
+    sample.error_rate = 1.0;
+    Ok((sample, true))
 }
 
 /// Decodes a `run`/`step` response into a bench [`Sample`].  Both wall and
@@ -416,6 +542,8 @@ fn sample_of(reply: &Value, latency_ms: f64) -> Result<Sample, String> {
         migration_fraction: f("migration_fraction")?,
         // Absent on replies from servers predating the node-arena metric.
         tree_bytes: reply.get("tree_bytes").and_then(|v| v.as_u64()).unwrap_or(0),
+        recovery_ms: 0.0,
+        error_rate: 0.0,
         stats,
     })
 }
@@ -487,6 +615,144 @@ fn freeloader_flow(client: &mut Client, mix: &[Cell]) -> Result<usize, String> {
     Ok(rejections)
 }
 
+/// Digest of a `snapshot` reply's body state — bodies travel hex-encoded
+/// (bit-exact), so equal digests mean bit-identical state.
+fn snapshot_digest_of(reply: &Value) -> Result<String, String> {
+    let bodies = reply.get("bodies").ok_or_else(|| "snapshot reply missing bodies".to_string())?;
+    let text = serde_json::to_string(bodies).map_err(|e| e.to_string())?;
+    Ok(snapstore::sha256::hex_digest(text.as_bytes()))
+}
+
+/// The chaos-mode suspend→resume bit-identity probe: open a session, step
+/// it, snapshot, suspend it to the store, resume the token and verify the
+/// resumed snapshot is byte-for-byte the suspended one.  Returns `Ok(None)`
+/// when the server offers no sessions or no snapshot store (nothing to
+/// probe); a digest mismatch is a hard failure.
+fn resume_flow(client: &mut Client, cell: &Cell, tenant: &str) -> Result<Option<()>, String> {
+    let mut fields = vec![("tenant".to_string(), Value::String(tenant.to_string()))];
+    fields.extend(cell.job_fields());
+    let opened =
+        client.call(&request("open", fields)).map_err(|e| format!("open: transport: {e}"))?;
+    if opened.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+        let code = opened.get("code").and_then(|v| v.as_str()).unwrap_or("?");
+        if code == E_SESSION_UNSUPPORTED {
+            return Ok(None);
+        }
+        let error = opened.get("error").and_then(|v| v.as_str()).unwrap_or("?");
+        return Err(format!("open rejected [{code}]: {error}"));
+    }
+    let id = opened
+        .get("session")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| "open reply missing session id".to_string())?;
+    let sid = ("session".to_string(), Value::UInt(id));
+    call_checked(
+        client,
+        &request("step", vec![sid.clone(), ("steps".to_string(), Value::UInt(1))]),
+        "step",
+    )?;
+    let snap = call_checked(client, &request("snapshot", vec![sid.clone()]), "snapshot")?;
+    let before = snapshot_digest_of(&snap)?;
+    let suspended = client
+        .call(&request("suspend", vec![sid.clone()]))
+        .map_err(|e| format!("suspend: transport: {e}"))?;
+    if suspended.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+        let code = suspended.get("code").and_then(|v| v.as_str()).unwrap_or("?");
+        if code == E_SNAP_UNAVAILABLE {
+            // Session still open (suspend never ran): clean up and skip.
+            let _ = client.call(&request("close", vec![sid]));
+            return Ok(None);
+        }
+        let error = suspended.get("error").and_then(|v| v.as_str()).unwrap_or("?");
+        return Err(format!("suspend rejected [{code}]: {error}"));
+    }
+    let token = suspended
+        .get("token")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "suspend reply missing token".to_string())?
+        .to_string();
+    let resumed = call_checked(
+        client,
+        &request(
+            "resume",
+            vec![
+                ("tenant".to_string(), Value::String(tenant.to_string())),
+                ("token".to_string(), Value::String(token)),
+            ],
+        ),
+        "resume",
+    )?;
+    let new_id = resumed
+        .get("session")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| "resume reply missing session id".to_string())?;
+    let new_sid = ("session".to_string(), Value::UInt(new_id));
+    let snap = call_checked(client, &request("snapshot", vec![new_sid.clone()]), "snapshot")?;
+    let after = snapshot_digest_of(&snap)?;
+    if after != before {
+        return Err(format!("resumed session diverged from suspended state: {before} != {after}"));
+    }
+    call_checked(client, &request("close", vec![new_sid]), "close")?;
+    Ok(Some(()))
+}
+
+/// Opens one probe session on the smallest quick cell, steps it, suspends
+/// it and returns `(token, digest)` — the CI chaos job calls this before
+/// SIGKILLing the daemon, then checks [`resume_token`] returns the same
+/// digest from the restarted daemon (cross-restart bit-identity).
+pub fn suspend_one(addr: &SocketAddr) -> Result<(String, String), String> {
+    let cell = cells(Mix::Quick).into_iter().min_by_key(|c| c.nbodies).expect("non-empty mix");
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut fields = vec![("tenant".to_string(), Value::String("chaos-probe".to_string()))];
+    fields.extend(cell.job_fields());
+    let opened = call_checked(&mut client, &request("open", fields), "open")?;
+    let id = opened
+        .get("session")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| "open reply missing session id".to_string())?;
+    let sid = ("session".to_string(), Value::UInt(id));
+    call_checked(
+        &mut client,
+        &request("step", vec![sid.clone(), ("steps".to_string(), Value::UInt(2))]),
+        "step",
+    )?;
+    let snap = call_checked(&mut client, &request("snapshot", vec![sid.clone()]), "snapshot")?;
+    let digest = snapshot_digest_of(&snap)?;
+    let suspended = call_checked(&mut client, &request("suspend", vec![sid]), "suspend")?;
+    let token = suspended
+        .get("token")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "suspend reply missing token".to_string())?
+        .to_string();
+    Ok((token, digest))
+}
+
+/// Resumes `token` (retrying while a daemon restart settles) and returns
+/// the digest of the resumed snapshot — [`suspend_one`]'s counterpart.
+pub fn resume_token(addr: &SocketAddr, token: &str) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let resumed = call_checked(
+        &mut client,
+        &request(
+            "resume",
+            vec![
+                ("tenant".to_string(), Value::String("chaos-probe".to_string())),
+                ("token".to_string(), Value::String(token.to_string())),
+            ],
+        ),
+        "resume",
+    )?;
+    let id = resumed
+        .get("session")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| "resume reply missing session id".to_string())?;
+    let sid = ("session".to_string(), Value::UInt(id));
+    let snap = call_checked(&mut client, &request("snapshot", vec![sid.clone()]), "snapshot")?;
+    let digest = snapshot_digest_of(&snap)?;
+    call_checked(&mut client, &request("close", vec![sid]), "close")?;
+    Ok(digest)
+}
+
 /// Opens a session, steps it once, then drops the connection without
 /// closing — the mid-session disconnect the server must absorb.
 fn disconnect_flow(mut client: Client, cell: &Cell) -> Result<(), String> {
@@ -509,12 +775,15 @@ fn disconnect_flow(mut client: Client, cell: &Cell) -> Result<(), String> {
     Ok(())
 }
 
-/// Replaces the serving rows of an existing committed record with `serving`'s
-/// rows, keeping every standalone row and kernel untouched.  Idempotent: the
-/// merge strips any previous [`SERVICE_BHSERVE`] rows first.
+/// Replaces rows of an existing committed record with `serving`'s rows,
+/// scoped by *service*: only rows whose service axis appears in the
+/// incoming record are replaced, so a `bhserve` merge keeps standalone and
+/// chaos rows untouched (and vice versa).  Idempotent per service.
 pub fn merge_into_record(existing_json: &str, serving: &Record) -> Result<Record, String> {
     let mut merged = Record::from_json(existing_json)?;
-    merged.runs.retain(|r| r.spec.service != SERVICE_BHSERVE);
+    let incoming: std::collections::HashSet<&str> =
+        serving.runs.iter().map(|r| r.spec.service.as_str()).collect();
+    merged.runs.retain(|r| !incoming.contains(r.spec.service.as_str()));
     merged.runs.extend(serving.runs.iter().cloned());
     merged.validate()?;
     Ok(merged)
@@ -585,6 +854,8 @@ mod tests {
                     total_sim: 1.0,
                     migration_fraction: 0.0,
                     tree_bytes: 0,
+                    recovery_ms: 0.0,
+                    error_rate: 0.0,
                     stats: RankStats { interactions: 10, ..Default::default() },
                 };
                 let mut run = RunRecord::from_samples(cell.spec(&registry), &[sample]);
@@ -603,6 +874,8 @@ mod tests {
             total_sim: 2.0,
             migration_fraction: 0.0,
             tree_bytes: 0,
+            recovery_ms: 0.0,
+            error_rate: 0.0,
             stats: RankStats { interactions: 99, ..Default::default() },
         };
         existing

@@ -54,6 +54,10 @@ pub const E_NO_SNAPSHOT: &str = "E_NO_SNAPSHOT";
 pub const E_SNAP_CORRUPT: &str = "E_SNAP_CORRUPT";
 /// The tenant's deterministic cost ledger reached its quota.
 pub const E_QUOTA_EXCEEDED: &str = "E_QUOTA_EXCEEDED";
+/// The server is shedding load: its bounded in-flight limit is reached.
+/// The rejection carries a `retry_after_ms` hint; clients should back off
+/// and retry ([`crate::server::Client::call_with_retry`] does).
+pub const E_OVERLOADED: &str = "E_OVERLOADED";
 
 /// A rejected request: the stable code, the human-readable message, and any
 /// op-specific extra fields (quota rejections attach the counter, usage and

@@ -26,14 +26,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::batch::{BatchRunner, RunOutput};
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, write_frame, FaultyStream};
 use crate::proto::{
-    self, decode_job, ok_response, run_fields, snapshot_bodies, tenant_of, Job, Reject, E_PROTO,
-    E_UNKNOWN_OP, E_UNSUPPORTED,
+    self, decode_job, ok_response, run_fields, snapshot_bodies, tenant_of, Job, Reject,
+    E_OVERLOADED, E_PROTO, E_UNKNOWN_OP, E_UNSUPPORTED,
 };
 use crate::quota::QuotaBook;
 use crate::session::{check_session_preconditions, Session, SessionTable};
-use engine::BackendRegistry;
+use engine::{BackendRegistry, FaultPlan};
 use scenarios::Registry as ScenarioRegistry;
 use serde::Value;
 
@@ -59,6 +59,27 @@ pub struct ServerOptions {
     /// both ops).  The store is plain files, so suspended sessions survive
     /// daemon restarts pointed at the same directory.
     pub snap_dir: Option<String>,
+    /// Per-connection read deadline.  Bounds *every* blocking read —
+    /// including the pre-first-frame accept state, so a client that
+    /// connects and sends nothing cannot hold its thread forever.  `None`
+    /// waits indefinitely (the pre-hardening behaviour).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline: a stalled reader (zero receive
+    /// window) fails the write instead of wedging the thread.
+    pub write_timeout: Option<Duration>,
+    /// Sessions idle longer than this many seconds are evicted (their body
+    /// state dropped) the next time their connection submits a request.
+    /// `None` keeps sessions until the connection closes.
+    pub idle_session_secs: Option<u64>,
+    /// Bound on concurrently *dispatching* heavy requests (run/open/step/
+    /// resume) across all connections.  Beyond it the server sheds load
+    /// with [`E_OVERLOADED`] + a `retry_after_ms` hint instead of queueing
+    /// unboundedly behind the run gate.  `None` never sheds.
+    pub max_inflight: Option<usize>,
+    /// Deterministic fault-injection plan ([`engine::fault`]); frame-level
+    /// sites (`frame.*`) fire inside this server's connection streams, and
+    /// the plan is forwarded to the snapshot store for `snap.*` sites.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerOptions {
@@ -71,6 +92,11 @@ impl Default for ServerOptions {
             max_sessions_per_conn: 16,
             batch_max_bodies: 4096,
             snap_dir: None,
+            read_timeout: Some(Duration::from_secs(600)),
+            write_timeout: Some(Duration::from_secs(60)),
+            idle_session_secs: None,
+            max_inflight: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -120,6 +146,7 @@ struct Shared {
     gate: RunGate,
     session_ids: Arc<AtomicU64>,
     connections: AtomicUsize,
+    inflight: AtomicUsize,
 }
 
 /// A running `bhserve` instance.
@@ -149,6 +176,7 @@ impl Server {
             gate: RunGate::new(opts.max_concurrent_runs),
             session_ids: Arc::new(AtomicU64::new(1)),
             connections: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
             opts,
             scenarios,
             backends,
@@ -177,6 +205,12 @@ impl Server {
     /// Number of currently-connected clients.
     pub fn connections(&self) -> usize {
         self.shared.connections.load(Ordering::Relaxed)
+    }
+
+    /// Number of heavy requests currently dispatching (the load-shedding
+    /// counter behind [`ServerOptions::max_inflight`]).
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Relaxed)
     }
 
     /// Stops accepting new connections and joins the accept loop.
@@ -225,17 +259,32 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>
 
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    // The deadlines apply to the underlying socket, so both the reader and
+    // the writer clone observe them — including the very first read, which
+    // is how a connect-and-say-nothing client gets reaped.
+    stream.set_read_timeout(shared.opts.read_timeout)?;
+    stream.set_write_timeout(shared.opts.write_timeout)?;
+    let mut reader = BufReader::new(FaultyStream::new(stream.try_clone()?, &shared.opts.faults));
+    let mut writer = BufWriter::new(FaultyStream::new(stream, &shared.opts.faults));
     // Sessions live exactly as long as this stack frame: any return —
     // clean close, frame error, write failure — drops the table.
     let mut sessions =
         SessionTable::new(Arc::clone(&shared.session_ids), shared.opts.max_sessions_per_conn);
     loop {
-        let payload = match read_frame(&mut reader)? {
-            Some(payload) => payload,
-            None => return Ok(()), // orderly close
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()), // orderly close
+            // A read deadline expiring surfaces as WouldBlock (or TimedOut,
+            // platform-dependent): the idle-connection reaper path.  Any
+            // other error means the stream is unsynchronized; drop it too.
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         };
+        if let Some(secs) = shared.opts.idle_session_secs {
+            sessions.evict_idle(Duration::from_secs(secs));
+        }
         let response = match parse_request(&payload) {
             Ok(request) => {
                 dispatch(shared, &mut sessions, &request).unwrap_or_else(|r| r.to_value())
@@ -291,6 +340,56 @@ fn check_supported(backend: &dyn engine::Backend, job: &Job) -> Result<(), Rejec
     backend.supports(&job.cfg).map_err(|msg| Reject::new(E_UNSUPPORTED, msg))
 }
 
+/// The `retry_after_ms` hint attached to every [`E_OVERLOADED`] shed — a
+/// constant so the chaos harness stays deterministic.
+pub const RETRY_AFTER_MS: u64 = 25;
+
+/// RAII admission slot for heavy ops under [`ServerOptions::max_inflight`].
+struct InflightSlot<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> InflightSlot<'a> {
+    /// Admits one heavy request or sheds it with [`E_OVERLOADED`].
+    fn admit(shared: &'a Shared) -> Result<InflightSlot<'a>, Reject> {
+        if let Some(max) = shared.opts.max_inflight {
+            let mut cur = shared.inflight.load(Ordering::Relaxed);
+            loop {
+                if cur >= max {
+                    let mut reject = Reject::new(
+                        E_OVERLOADED,
+                        format!("server is at its in-flight limit ({max}); retry with backoff"),
+                    );
+                    reject.extra.push(("retry_after_ms".to_string(), Value::UInt(RETRY_AFTER_MS)));
+                    return Err(reject);
+                }
+                match shared.inflight.compare_exchange_weak(
+                    cur,
+                    cur + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        } else {
+            shared.inflight.fetch_add(1, Ordering::AcqRel);
+        }
+        Ok(InflightSlot { shared })
+    }
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Ops that reach the engine (or disk) and are therefore metered by the
+/// in-flight limit; everything else is cheap bookkeeping and never shed.
+const HEAVY_OPS: [&str; 4] = ["run", "open", "step", "resume"];
+
 fn dispatch(
     shared: &Shared,
     sessions: &mut SessionTable,
@@ -298,8 +397,11 @@ fn dispatch(
 ) -> Result<Value, Reject> {
     let op = proto::str_of(request, "op")?
         .ok_or_else(|| Reject::new(E_PROTO, "field \"op\" is required"))?;
+    let _slot =
+        if HEAVY_OPS.contains(&op.as_str()) { Some(InflightSlot::admit(shared)?) } else { None };
     match op.as_str() {
         "ping" => Ok(ok_response(vec![("pong".to_string(), Value::Bool(true))])),
+        "health" => Ok(op_health(shared, sessions)),
         "list" => Ok(op_list(shared)),
         "usage" => op_usage(shared, request),
         "run" => op_run(shared, request),
@@ -311,13 +413,31 @@ fn dispatch(
         "resume" => op_resume(shared, sessions, request),
         "close" => op_close(sessions, request),
         other => {
-            const OPS: [&str; 11] = [
-                "ping", "list", "usage", "run", "open", "step", "query", "snapshot", "suspend",
-                "resume", "close",
+            const OPS: [&str; 12] = [
+                "ping", "health", "list", "usage", "run", "open", "step", "query", "snapshot",
+                "suspend", "resume", "close",
             ];
             Err(Reject::new(E_UNKNOWN_OP, engine::suggest::unknown_key("op", other, &OPS)))
         }
     }
+}
+
+/// `health`: liveness + load snapshot, never shed and never metered — the
+/// op a balancer (or the chaos harness) polls to decide whether a daemon
+/// is back after a restart.
+fn op_health(shared: &Shared, sessions: &SessionTable) -> Value {
+    ok_response(vec![
+        ("connections".to_string(), Value::UInt(shared.connections.load(Ordering::Relaxed) as u64)),
+        ("inflight".to_string(), Value::UInt(shared.inflight.load(Ordering::Relaxed) as u64)),
+        ("sessions".to_string(), Value::UInt(sessions.len() as u64)),
+        (
+            "max_inflight".to_string(),
+            match shared.opts.max_inflight {
+                Some(max) => Value::UInt(max as u64),
+                None => Value::Null,
+            },
+        ),
+    ])
 }
 
 fn op_list(shared: &Shared) -> Value {
@@ -389,7 +509,7 @@ fn op_open(shared: &Shared, sessions: &mut SessionTable, request: &Value) -> Res
     check_supported(backend, &job)?;
     let scenario = shared.scenarios.get(&job.scenario).expect("validated at decode");
     let bodies = scenario.generate(job.cfg.nbodies, job.cfg.seed);
-    let id = sessions.open(Session { tenant, job, bodies, steps_done: 0 })?;
+    let id = sessions.open(Session::new(tenant, job, bodies, 0))?;
     Ok(ok_response(vec![("session".to_string(), Value::UInt(id))]))
 }
 
@@ -455,6 +575,7 @@ fn snap_store(shared: &Shared) -> Result<snapstore::Store, Reject> {
         )
     })?;
     snapstore::Store::open(dir)
+        .map(|store| store.with_faults(shared.opts.faults.clone()))
         .map_err(|e| Reject::new(proto::E_SNAP_UNAVAILABLE, format!("snapshot store: {e}")))
 }
 
@@ -540,7 +661,7 @@ fn op_resume(
     check_session_preconditions(backend, &job)?;
     check_supported(backend, &job)?;
     let steps_done = state.step;
-    let id = sessions.open(Session { tenant, job, bodies: state.bodies, steps_done })?;
+    let id = sessions.open(Session::new(tenant, job, state.bodies, steps_done))?;
     Ok(ok_response(vec![
         ("session".to_string(), Value::UInt(id)),
         ("steps_done".to_string(), Value::UInt(steps_done as u64)),
@@ -596,6 +717,87 @@ impl Client {
     pub fn send_raw_and_hang_up(mut self, payload: &[u8]) -> io::Result<()> {
         write_frame(&mut self.writer, payload)
     }
+
+    /// Writes a frame header promising a payload that never arrives, then
+    /// drops the connection — the mid-frame abort the chaos harness uses.
+    /// The server sees `UnexpectedEof` inside a frame and must tear the
+    /// connection down without wedging.
+    pub fn abort_mid_frame(mut self) -> io::Result<()> {
+        use std::io::Write;
+        self.writer.write_all(&64u32.to_le_bytes())?;
+        self.writer.write_all(b"par")?; // 3 of the promised 64 bytes
+        self.writer.flush()
+    }
+}
+
+/// What one [`call_with_retry`] resolution cost: the response itself plus
+/// the recovery accounting the chaos bench records.
+#[derive(Debug)]
+pub struct RetryOutcome {
+    /// The final (non-retried) response.
+    pub response: Value,
+    /// Attempts consumed, `1` when the first try succeeded.
+    pub attempts: usize,
+    /// Wall milliseconds spent on failed attempts and backoff sleeps —
+    /// `0.0` when the first try succeeded.  This is the per-request
+    /// `recovery_ms` the bench Record aggregates.
+    pub retry_ms: f64,
+}
+
+/// Calls `request` with reconnect-per-attempt retry and deterministic
+/// jittered exponential backoff.
+///
+/// Retried conditions: any transport error (connect refused while a daemon
+/// restarts, mid-frame disconnect, deadline) and [`E_OVERLOADED`] sheds —
+/// where the server's `retry_after_ms` hint, when present, becomes the
+/// backoff floor.  Every other response — success or a structured
+/// rejection — resolves immediately; rejections are *answers*, not faults.
+/// The jitter stream is keyed by `seed`, so a chaos run's retry schedule
+/// is reproducible.
+pub fn call_with_retry(
+    addr: &SocketAddr,
+    request: &Value,
+    max_attempts: usize,
+    seed: u64,
+) -> io::Result<RetryOutcome> {
+    let start = Instant::now();
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 1..=max_attempts.max(1) {
+        let outcome = Client::connect(addr).and_then(|mut c| c.call(request));
+        match outcome {
+            Ok(response) => {
+                let overloaded =
+                    response.get("code").and_then(|c| c.as_str()) == Some(E_OVERLOADED);
+                if !overloaded {
+                    let retry_ms =
+                        if attempt == 1 { 0.0 } else { start.elapsed().as_secs_f64() * 1e3 };
+                    return Ok(RetryOutcome { response, attempts: attempt, retry_ms });
+                }
+                let floor = response.get("retry_after_ms").and_then(|v| v.as_u64()).unwrap_or(0);
+                last_err = Some(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "server shed the request with E_OVERLOADED",
+                ));
+                std::thread::sleep(Duration::from_millis(floor.max(backoff_ms(seed, attempt))));
+            }
+            Err(e) => {
+                last_err = Some(e);
+                if attempt < max_attempts {
+                    std::thread::sleep(Duration::from_millis(backoff_ms(seed, attempt)));
+                }
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("call_with_retry: no attempts made")))
+}
+
+/// Deterministic jittered exponential backoff: 5·2^(k−1) ms base, plus a
+/// seeded splitmix-style jitter of at most half the base — small enough to
+/// keep chaos tests fast, spread enough to avoid synchronized stampedes.
+fn backoff_ms(seed: u64, attempt: usize) -> u64 {
+    let base = 5u64 << (attempt.min(6) - 1).min(63);
+    let mixed = (seed ^ attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    base + (mixed >> 56) % (base / 2 + 1)
 }
 
 /// Builds a request object from `(key, value)` pairs plus the `op`.
@@ -786,5 +988,136 @@ mod tests {
         let mut client = Client::connect(&server.addr()).unwrap();
         let again = client.call(&job(tenant)).unwrap();
         assert_eq!(again.get("code").unwrap().as_str(), Some(proto::E_QUOTA_EXCEEDED));
+    }
+
+    #[test]
+    fn silent_connections_are_reaped_by_the_read_deadline() {
+        let opts = ServerOptions {
+            read_timeout: Some(Duration::from_millis(60)),
+            ..ServerOptions::default()
+        };
+        let server = start_default(opts);
+        // Connect and say nothing: pre-hardening this held a thread forever.
+        let parked = TcpStream::connect(server.addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.connections() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.connections(), 1, "connection must register before the deadline test");
+        while server.connections() != 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.connections(), 0, "silent connection must be reaped");
+        drop(parked);
+        // The server is still healthy for real clients.
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let pong = client.call(&request("ping", Vec::new())).unwrap();
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn overload_sheds_heavy_ops_with_a_retry_hint() {
+        // max_inflight = 0 makes every heavy op shed deterministically.
+        let opts = ServerOptions { max_inflight: Some(0), ..ServerOptions::default() };
+        let server = start_default(opts);
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let run = request(
+            "run",
+            vec![
+                ("tenant".to_string(), Value::String("t".to_string())),
+                ("n".to_string(), Value::UInt(24)),
+                ("backend".to_string(), Value::String("direct".to_string())),
+            ],
+        );
+        let shed = client.call(&run).unwrap();
+        assert_eq!(shed.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(shed.get("code").unwrap().as_str(), Some(E_OVERLOADED));
+        assert_eq!(field_u64(&shed, "retry_after_ms"), RETRY_AFTER_MS);
+        // Cheap ops are never shed.
+        let pong = client.call(&request("ping", Vec::new())).unwrap();
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+        let health = client.call(&request("health", Vec::new())).unwrap();
+        assert_eq!(field_u64(&health, "max_inflight"), 0);
+        // The retry helper keeps backing off and surfaces the shed as an
+        // error once attempts are exhausted.
+        let err = call_with_retry(&server.addr(), &run, 2, 7).unwrap_err();
+        assert!(err.to_string().contains("E_OVERLOADED"), "{err}");
+    }
+
+    #[test]
+    fn health_reports_connections_inflight_and_sessions() {
+        let server = start_default(ServerOptions::default());
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let opened = client
+            .call(&request(
+                "open",
+                vec![
+                    ("tenant".to_string(), Value::String("t".to_string())),
+                    ("n".to_string(), Value::UInt(24)),
+                    ("backend".to_string(), Value::String("direct".to_string())),
+                ],
+            ))
+            .unwrap();
+        assert_eq!(opened.get("ok").unwrap().as_bool(), Some(true), "{opened:?}");
+        let health = client.call(&request("health", Vec::new())).unwrap();
+        assert_eq!(health.get("ok").unwrap().as_bool(), Some(true));
+        assert!(field_u64(&health, "connections") >= 1);
+        assert_eq!(field_u64(&health, "inflight"), 0);
+        assert_eq!(field_u64(&health, "sessions"), 1);
+        assert!(matches!(health.get("max_inflight"), Some(Value::Null)));
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_between_requests() {
+        let opts = ServerOptions { idle_session_secs: Some(1), ..ServerOptions::default() };
+        let server = start_default(opts);
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let opened = client
+            .call(&request(
+                "open",
+                vec![
+                    ("tenant".to_string(), Value::String("t".to_string())),
+                    ("n".to_string(), Value::UInt(24)),
+                    ("backend".to_string(), Value::String("direct".to_string())),
+                ],
+            ))
+            .unwrap();
+        let id = field_u64(&opened, "session");
+        std::thread::sleep(Duration::from_millis(1200));
+        // The eviction pass runs before this request dispatches.
+        let gone =
+            client.call(&request("query", vec![("session".to_string(), Value::UInt(id))])).unwrap();
+        assert_eq!(gone.get("code").unwrap().as_str(), Some(proto::E_NO_SESSION));
+    }
+
+    #[test]
+    fn mid_frame_aborts_do_not_wedge_the_server() {
+        let server = start_default(ServerOptions::default());
+        let aborter = Client::connect(&server.addr()).unwrap();
+        aborter.abort_mid_frame().unwrap();
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let pong = client.call(&request("ping", Vec::new())).unwrap();
+        assert_eq!(pong.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn injected_frame_faults_are_recovered_by_client_retry() {
+        // A one-shot injected write disconnect kills exactly one response;
+        // the retrying client reconnects and the next attempt succeeds
+        // (the FaultPlan's shared state keeps the trigger consumed across
+        // connection-level clones).
+        let opts = ServerOptions {
+            faults: FaultPlan::parse("seed=11,frame.write.disconnect@n1").unwrap(),
+            ..ServerOptions::default()
+        };
+        let server = start_default(opts);
+        let outcome = call_with_retry(&server.addr(), &request("ping", Vec::new()), 4, 3).unwrap();
+        assert_eq!(outcome.response.get("ok").unwrap().as_bool(), Some(true));
+        assert!(outcome.attempts >= 2, "first response write must have faulted");
+        assert!(outcome.retry_ms > 0.0);
+        // And a retry-free call works now that the fault is consumed.
+        let clean = call_with_retry(&server.addr(), &request("ping", Vec::new()), 4, 3).unwrap();
+        assert_eq!(clean.attempts, 1);
+        assert_eq!(clean.retry_ms, 0.0);
     }
 }

@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::proto::{Job, Reject, E_NO_SESSION, E_SESSION_LIMIT};
 use engine::{SimConfig, TreePolicy};
@@ -36,9 +37,17 @@ pub struct Session {
     pub bodies: Vec<Body>,
     /// Steps advanced so far across all `step` requests.
     pub steps_done: usize,
+    /// When the session was last touched (opened or accessed) — the clock
+    /// idle eviction reads.
+    pub last_used: Instant,
 }
 
 impl Session {
+    /// A fresh session, stamped as used now.
+    pub fn new(tenant: String, job: Job, bodies: Vec<Body>, steps_done: usize) -> Session {
+        Session { tenant, job, bodies, steps_done, last_used: Instant::now() }
+    }
+
     /// The configuration for one `k`-step chunk from the current state.
     ///
     /// The chunk measures all of its steps — measurement affects only
@@ -97,9 +106,26 @@ impl SessionTable {
     /// The live session with this id, or the standard [`E_NO_SESSION`]
     /// rejection.
     pub fn get_mut(&mut self, id: u64) -> Result<&mut Session, Reject> {
-        self.sessions.get_mut(&id).ok_or_else(|| {
-            Reject::new(E_NO_SESSION, format!("no live session {id} on this connection"))
-        })
+        match self.sessions.get_mut(&id) {
+            Some(s) => {
+                s.last_used = Instant::now();
+                Ok(s)
+            }
+            None => {
+                Err(Reject::new(E_NO_SESSION, format!("no live session {id} on this connection")))
+            }
+        }
+    }
+
+    /// Evicts every session idle longer than `max_idle`, returning how many
+    /// were dropped.  Called by the connection loop before each request, so
+    /// an abandoned-but-connected client cannot pin body state forever (a
+    /// fully idle *connection* is reaped by the read deadline, which drops
+    /// the whole table).
+    pub fn evict_idle(&mut self, max_idle: Duration) -> usize {
+        let before = self.sessions.len();
+        self.sessions.retain(|_, s| s.last_used.elapsed() <= max_idle);
+        before - self.sessions.len()
     }
 
     /// Closes and returns the session, or rejects if it does not exist.
@@ -161,7 +187,7 @@ mod tests {
     }
 
     fn session(j: Job) -> Session {
-        Session { tenant: "t".to_string(), job: j, bodies: Vec::new(), steps_done: 0 }
+        Session::new("t".to_string(), j, Vec::new(), 0)
     }
 
     #[test]
@@ -193,6 +219,21 @@ mod tests {
         let reuse = job(r#"{"n": 16, "policy": "reuse"}"#);
         let err = check_session_preconditions(registry.get("upc").unwrap(), &reuse).unwrap_err();
         assert_eq!(err.code, crate::proto::E_SESSION_POLICY);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_touches_keep_them_alive() {
+        let counter = Arc::new(AtomicU64::new(1));
+        let mut table = SessionTable::new(counter, 4);
+        let a = table.open(session(job(r#"{"n": 16}"#))).unwrap();
+        let b = table.open(session(job(r#"{"n": 16}"#))).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        table.get_mut(b).unwrap(); // touch b; a stays idle
+        assert_eq!(table.evict_idle(Duration::from_millis(20)), 1);
+        assert_eq!(table.get_mut(a).map(|_| ()).unwrap_err().code, E_NO_SESSION);
+        assert!(table.get_mut(b).is_ok());
+        // A generous deadline evicts nothing.
+        assert_eq!(table.evict_idle(Duration::from_secs(3600)), 0);
     }
 
     #[test]

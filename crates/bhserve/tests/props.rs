@@ -2,10 +2,26 @@
 //! round-trips, and no wire input — truncated, oversized or garbage —
 //! ever panics or over-allocates.
 
-use std::io::{self, Cursor};
+use std::io::{self, Cursor, Read};
 
-use bhserve::frame::{read_frame, write_frame, MAX_FRAME};
+use bhserve::frame::{read_frame, write_frame, FaultyStream, MAX_FRAME};
+use engine::FaultPlan;
 use proptest::prelude::*;
+
+/// A reader that delivers at most `chunk` bytes per call — the "partial
+/// interleaved write" shape as seen from the receiving side: the sender's
+/// frames arrive sliced at arbitrary boundaries.
+struct Trickle {
+    inner: Cursor<Vec<u8>>,
+    chunk: usize,
+}
+
+impl Read for Trickle {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.chunk.max(1));
+        self.inner.read(&mut buf[..n])
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -69,6 +85,82 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn faultline_short_reads_preserve_every_frame(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..512), 1..6),
+        prob in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        // Under any rate of injected short reads the decode must deliver
+        // the same frames, in order, bit-for-bit — degraded delivery, not
+        // degraded data.
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let plan = FaultPlan::parse(&format!("seed={seed},frame.read.short@p{prob}")).unwrap();
+        let mut r = FaultyStream::new(Cursor::new(buf), &plan);
+        for p in &payloads {
+            let frame = read_frame(&mut r).unwrap();
+            prop_assert_eq!(frame.as_deref(), Some(&p[..]));
+        }
+        prop_assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn faultline_disconnects_are_clean_errors_at_any_point(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 1..5),
+        nth in 1u64..24,
+    ) {
+        // An injected disconnect at the Nth read call either lands between
+        // frames (after all frames were already delivered) or surfaces as
+        // exactly one ConnectionReset — never a panic, never a short frame
+        // passed off as complete.
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let plan = FaultPlan::parse(&format!("frame.read.disconnect@n{nth}")).unwrap();
+        let mut r = FaultyStream::new(Cursor::new(buf), &plan);
+        let mut delivered = 0;
+        loop {
+            match read_frame(&mut r) {
+                Ok(Some(frame)) => {
+                    prop_assert_eq!(&frame[..], &payloads[delivered][..]);
+                    delivered += 1;
+                }
+                Ok(None) => {
+                    prop_assert_eq!(delivered, payloads.len());
+                    break;
+                }
+                Err(e) => {
+                    prop_assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+                    prop_assert!(delivered <= payloads.len());
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_delivery_preserves_every_frame(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..512), 1..6),
+        chunk in 1usize..64,
+    ) {
+        // Frames written whole but read back through arbitrary slice sizes
+        // (what interleaved partial writes look like to the reader).
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = Trickle { inner: Cursor::new(buf), chunk };
+        for p in &payloads {
+            let frame = read_frame(&mut r).unwrap();
+            prop_assert_eq!(frame.as_deref(), Some(&p[..]));
+        }
+        prop_assert!(read_frame(&mut r).unwrap().is_none());
     }
 
     #[test]

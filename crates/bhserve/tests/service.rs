@@ -159,6 +159,7 @@ fn load_harness_drives_a_mixed_fleet() {
         mix: Mix::Quick,
         session_every: 8,
         abuse: true,
+        chaos: false,
     };
     let scenarios = builtin();
     let report = load::run(&load_opts, &scenarios).unwrap();
@@ -282,5 +283,126 @@ fn suspended_sessions_survive_daemon_restarts() {
     let refused = client.call(&resume_req(&token)).unwrap();
     assert_eq!(refused.get("code").unwrap().as_str(), Some(bhserve::proto::E_SNAP_UNAVAILABLE));
 
+    let _ = std::fs::remove_dir_all(&snap_dir);
+}
+
+/// The chaos fleet against a live server with injected frame faults and a
+/// snapshot store: measured requests recover through retries, abort and
+/// suspend→resume probes run, and the record lands under the `chaos`
+/// service axis — with zero hard failures.
+#[test]
+fn chaos_fleet_recovers_from_injected_faults() {
+    let snap_dir = std::env::temp_dir().join(format!("bhserve-chaos-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let opts = ServerOptions {
+        snap_dir: Some(snap_dir.to_string_lossy().into_owned()),
+        // One injected mid-frame write disconnect, early in the run: some
+        // client loses its response and must recover (or be tolerated as a
+        // chaos casualty) — never a hard failure.
+        faults: engine::FaultPlan::parse("seed=5,frame.write.disconnect@n2").unwrap(),
+        ..ServerOptions::default()
+    };
+    let server = start(opts);
+    let load_opts = LoadOptions {
+        addr: server.addr(),
+        clients: 64,
+        threads: 8,
+        mix: Mix::Quick,
+        session_every: 8,
+        abuse: false,
+        chaos: true,
+    };
+    let report = load::run(&load_opts, &builtin()).unwrap();
+    assert_eq!(report.failures, 0);
+    assert!(report.aborts >= 1, "chaos mixes in mid-frame aborters");
+    assert!(report.resume_checks >= 1, "chaos probes suspend/resume bit-identity");
+    assert!(
+        report.retried + report.disconnects >= 1,
+        "the injected disconnect must have hit someone"
+    );
+    for run in &report.record.runs {
+        assert_eq!(run.spec.service, engine::bench::SERVICE_CHAOS);
+        assert!(run.error_rate <= 1.0);
+    }
+    // The server is still healthy after the chaos pass.
+    let mut client = Client::connect(&server.addr()).unwrap();
+    let health = client.call(&request("health", Vec::new())).unwrap();
+    assert_eq!(health.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+}
+
+/// The cross-restart probe pair: `suspend_one` against one daemon,
+/// `resume_token` against a fresh daemon on the same store — the digests
+/// must match bit-for-bit (what the CI chaos job asserts across a SIGKILL).
+#[test]
+fn suspend_probe_digest_survives_a_daemon_restart() {
+    let snap_dir = std::env::temp_dir().join(format!("bhserve-probe-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let with_store = || ServerOptions {
+        snap_dir: Some(snap_dir.to_string_lossy().into_owned()),
+        ..ServerOptions::default()
+    };
+    let (token, digest_before) = {
+        let server = start(with_store());
+        load::suspend_one(&server.addr()).unwrap()
+    };
+    let server = start(with_store());
+    let digest_after = load::resume_token(&server.addr(), &token).unwrap();
+    assert_eq!(digest_before, digest_after, "resume must restore bit-identical state");
+    let _ = std::fs::remove_dir_all(&snap_dir);
+}
+
+/// A chunk corrupted on disk surfaces as a structured `E_SNAP_CORRUPT`
+/// rejection on resume — never a panic, never a silent wrong answer —
+/// and the connection stays alive for further requests.
+#[test]
+fn corrupt_chunks_reject_resume_with_e_snap_corrupt() {
+    let snap_dir =
+        std::env::temp_dir().join(format!("bhserve-corrupt-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let server = start(ServerOptions {
+        snap_dir: Some(snap_dir.to_string_lossy().into_owned()),
+        ..ServerOptions::default()
+    });
+    let (token, _digest) = load::suspend_one(&server.addr()).unwrap();
+
+    // Flip one byte in every stored chunk object.
+    let objects = snap_dir.join("objects");
+    let mut corrupted = 0;
+    for shard in std::fs::read_dir(&objects).unwrap() {
+        let shard = shard.unwrap().path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for object in std::fs::read_dir(&shard).unwrap() {
+            let path = object.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            if let Some(b) = bytes.first_mut() {
+                *b ^= 0x01;
+            }
+            std::fs::write(&path, bytes).unwrap();
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted >= 1, "the suspend must have written chunk objects");
+
+    let mut client = Client::connect(&server.addr()).unwrap();
+    let refused = client
+        .call(&request(
+            "resume",
+            vec![
+                ("tenant".to_string(), Value::String("equiv".to_string())),
+                ("token".to_string(), Value::String(token)),
+            ],
+        ))
+        .unwrap();
+    assert_eq!(
+        refused.get("code").and_then(|v| v.as_str()),
+        Some(bhserve::proto::E_SNAP_CORRUPT),
+        "{refused:?}"
+    );
+    // The connection survives the rejection.
+    let pong = client.call(&request("ping", Vec::new())).unwrap();
+    assert_eq!(pong.get("ok").and_then(|v| v.as_bool()), Some(true));
     let _ = std::fs::remove_dir_all(&snap_dir);
 }

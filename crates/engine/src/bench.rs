@@ -47,6 +47,12 @@ pub const SERVICE_SIM: &str = "sim";
 /// daemon by the `bhload` stress driver (request latency percentiles and
 /// throughput are meaningful only for these rows).
 pub const SERVICE_BHSERVE: &str = "bhserve";
+/// [`RunSpec::service`] value for rows measured by `bhload --chaos` — the
+/// serving mix driven while faults are injected (daemon kills, client
+/// aborts, frame faults).  A separate service axis value so chaos rows never
+/// collide with the healthy serving rows under the baseline diff: the same
+/// job measured under injected failures is a different measurement protocol.
+pub const SERVICE_CHAOS: &str = "chaos";
 
 /// [`RunSpec::warm`] value for runs integrated from `t = 0` (every run
 /// before the warm-start pathway, and the decode default for records that
@@ -187,6 +193,14 @@ pub struct Sample {
     /// Peak node-arena bytes across ranks and steps (deterministic; `0`
     /// when the backend has no node arena).
     pub tree_bytes: u64,
+    /// Milliseconds this request spent in recovery — reconnects, backoff
+    /// and retries — before it finally succeeded.  `0.0` for requests that
+    /// succeeded on the first attempt, for fault-free rows and for records
+    /// predating the field.  Host-dependent, never gated.
+    pub recovery_ms: f64,
+    /// `1.0` when the request's first attempt failed (it was recovered by a
+    /// retry), `0.0` otherwise — aggregates to the cell's error rate.
+    pub error_rate: f64,
     /// Communication counters summed over ranks, whole run.
     pub stats: RankStats,
 }
@@ -201,6 +215,8 @@ impl Sample {
             total_sim: run.result.total,
             migration_fraction: run.result.migration_fraction,
             tree_bytes: run.result.tree_bytes,
+            recovery_ms: 0.0,
+            error_rate: 0.0,
             stats: run.result.total_stats(),
         }
     }
@@ -301,6 +317,15 @@ pub struct RunRecord {
     pub bytes_out: u64,
     /// Median global lock acquisitions.
     pub lock_acquires: u64,
+    /// Worst-case recovery time over the repetitions, milliseconds — the
+    /// longest any request spent reconnecting/retrying before it succeeded.
+    /// `0.0` for fault-free rows and records predating the field.
+    /// Host-dependent like `wall_ms`/`latency_ms`, so never gated.
+    pub recovery_ms: f64,
+    /// Fraction of requests whose first attempt failed and were recovered
+    /// by a retry, in `[0, 1]`.  `0.0` for fault-free rows and legacy
+    /// records.  Informational, never gated.
+    pub error_rate: f64,
 }
 
 impl RunRecord {
@@ -341,6 +366,8 @@ impl RunRecord {
             bytes_in: median_u64(samples.iter().map(|s| s.stats.bytes_in)),
             bytes_out: median_u64(samples.iter().map(|s| s.stats.bytes_out)),
             lock_acquires: median_u64(samples.iter().map(|s| s.stats.lock_acquires)),
+            recovery_ms: samples.iter().map(|s| s.recovery_ms).fold(0.0, f64::max),
+            error_rate: samples.iter().map(|s| s.error_rate).sum::<f64>() / samples.len() as f64,
         }
     }
 }
@@ -444,6 +471,12 @@ impl Record {
             }
             if run.interactions == 0 {
                 return Err(format!("{key}: zero interactions"));
+            }
+            if !run.recovery_ms.is_finite() || run.recovery_ms < 0.0 {
+                return Err(format!("{key}: ill-formed recovery_ms"));
+            }
+            if !run.error_rate.is_finite() || !(0.0..=1.0).contains(&run.error_rate) {
+                return Err(format!("{key}: error_rate must lie in [0, 1]"));
             }
         }
         for k in &self.kernels {
@@ -603,6 +636,15 @@ fn decode_run(v: &Value) -> Result<RunRecord, String> {
         bytes_in: u64_field(v, "bytes_in", &ctx)?,
         bytes_out: u64_field(v, "bytes_out", &ctx)?,
         lock_acquires: u64_field(v, "lock_acquires", &ctx)?,
+        // Chaos-slice fields; fault-free and legacy records carry zeros.
+        recovery_ms: match v.get("recovery_ms") {
+            Some(_) => f64_field(v, "recovery_ms", &ctx)?,
+            None => 0.0,
+        },
+        error_rate: match v.get("error_rate") {
+            Some(_) => f64_field(v, "error_rate", &ctx)?,
+            None => 0.0,
+        },
         spec,
     })
 }
@@ -954,6 +996,8 @@ mod tests {
             total_sim: force + 0.5,
             migration_fraction: 0.01,
             tree_bytes: 0,
+            recovery_ms: 0.0,
+            error_rate: 0.0,
             stats: RankStats { interactions, remote_gets: 1000, ..Default::default() },
         }
     }

@@ -451,6 +451,12 @@ pub struct SimConfig {
     /// force phase.  The paper found "little performance improvement" from
     /// this variant; the `cache_variants` bench quantifies the difference.
     pub shadow_cache: bool,
+    /// Deterministic fault-injection plan (the faultline plane; see
+    /// [`crate::fault`]).  Default: empty, guaranteed inert.  Excluded from
+    /// every persisted run identity — snapshot manifests, bench specs and
+    /// batch keys never encode it — because faults describe how a run is
+    /// exercised, not what it computes.
+    pub faults: crate::fault::FaultPlan,
     /// Route the baseline's shared-scalar reads (`tol`, `eps`, `rsize`)
     /// through a MuPC-style transparent software cache
     /// ([`pgas::swcache::CachedScalar`], invalidated at every barrier)
@@ -486,6 +492,7 @@ impl SimConfig {
             max_depth: 48,
             shadow_cache: false,
             software_scalar_cache: false,
+            faults: crate::fault::FaultPlan::default(),
         }
     }
 

@@ -45,6 +45,7 @@ pub mod bench;
 pub mod compare;
 pub mod config;
 pub mod direct;
+pub mod fault;
 pub mod report;
 pub mod snap;
 pub mod suggest;
@@ -53,5 +54,6 @@ pub use backend::{validate_bodies, Backend, BackendRegistry};
 pub use compare::{comparison_table, run_backends, BackendRun};
 pub use config::{ConfigError, OptLevel, SimConfig, TreeBuild, TreePolicy, WalkMode, DEFAULT_SEED};
 pub use direct::DirectBackend;
+pub use fault::FaultPlan;
 pub use report::{Phase, PhaseTimes, RankOutcome, SimResult};
 pub use snap::StepRecord;

@@ -32,7 +32,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use engine::{OptLevel, SimConfig, TreeBuild, TreePolicy, WalkMode};
+use engine::{FaultPlan, OptLevel, SimConfig, TreeBuild, TreePolicy, WalkMode};
 use nbody::{Body, Vec3};
 use pgas::Machine;
 use serde::Value;
@@ -167,6 +167,10 @@ pub struct Saved {
 /// A content-addressed snapshot store rooted at one directory.
 pub struct Store {
     root: PathBuf,
+    /// Faultline plan consulted at every I/O injection point (sites
+    /// `snap.chunk.io`, `snap.chunk.torn`, `snap.chunk.bitflip`,
+    /// `snap.manifest.torn`).  Empty — inert — by default.
+    faults: FaultPlan,
 }
 
 impl Store {
@@ -175,7 +179,14 @@ impl Store {
         let root = root.as_ref().to_path_buf();
         let objects = root.join("objects");
         fs::create_dir_all(&objects).map_err(|e| SnapError::Io { path: objects, source: e })?;
-        Ok(Store { root })
+        Ok(Store { root, faults: FaultPlan::default() })
+    }
+
+    /// Arms the store's faultline injection points with `faults` (builder
+    /// style; chaos tests and `bhsim --faults` use this).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Store {
+        self.faults = faults;
+        self
     }
 
     /// The store's root directory.
@@ -194,8 +205,12 @@ impl Store {
 
     /// Stores one chunk payload, returning its hash; counts it in
     /// `chunks_new` only when the object was absent.  Writes go through a
-    /// temp file + rename so a crashed writer never leaves a truncated
-    /// object under a valid content address.
+    /// temp file + `fsync` + rename + parent-directory `fsync`, so a crash
+    /// at any point leaves either no object or a complete, durable one —
+    /// never a truncated payload under a valid content address (renames
+    /// without the directory sync can vanish on power loss, resurrecting
+    /// exactly the torn-object state the `snap.chunk.torn` injection
+    /// exercises).
     fn put_chunk(&self, payload: &str, chunks_new: &mut usize) -> Result<String, SnapError> {
         let hash = sha256::hex_digest(payload.as_bytes());
         let path = self.object_path(&hash);
@@ -204,12 +219,33 @@ impl Store {
         }
         let dir = path.parent().expect("object path has a parent").to_path_buf();
         fs::create_dir_all(&dir).map_err(|e| SnapError::Io { path: dir.clone(), source: e })?;
+        if self.faults.fires("snap.chunk.io") {
+            return Err(SnapError::Io {
+                path: path.clone(),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "injected ENOSPC (faultline site snap.chunk.io)",
+                ),
+            });
+        }
+        if self.faults.fires("snap.chunk.torn") {
+            // The failure mode the durable write path exists to rule out: a
+            // truncated payload landing under a valid content address (a
+            // crash between a non-synced rename and the data reaching disk).
+            // The injection plants that end state directly, so readers must
+            // surface it as a structured integrity error.
+            let torn = &payload[..payload.len() / 2];
+            fs::write(&path, torn).map_err(|e| SnapError::Io { path: path.clone(), source: e })?;
+            *chunks_new += 1;
+            return Ok(hash);
+        }
         let tmp = dir.join(format!(".tmp-{hash}"));
         let write = || -> std::io::Result<()> {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(payload.as_bytes())?;
             f.sync_all()?;
-            fs::rename(&tmp, &path)
+            fs::rename(&tmp, &path)?;
+            sync_dir(&dir)
         };
         write().map_err(|e| SnapError::Io { path: tmp.clone(), source: e })?;
         *chunks_new += 1;
@@ -219,13 +255,21 @@ impl Store {
     /// Reads one chunk and verifies its content address.
     fn get_chunk(&self, hash: &str) -> Result<String, SnapError> {
         let path = self.object_path(hash);
-        let payload = match fs::read_to_string(&path) {
+        let mut payload = match fs::read_to_string(&path) {
             Ok(p) => p,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Err(SnapError::MissingChunk { hash: hash.to_string() })
             }
             Err(e) => return Err(SnapError::Io { path, source: e }),
         };
+        if !payload.is_empty() && self.faults.fires("snap.chunk.bitflip") {
+            // Silent media corruption: flip one bit of the payload on its
+            // way in; the content-address check below must catch it.
+            let mut bytes = payload.into_bytes();
+            bytes[0] ^= 0x01;
+            payload =
+                String::from_utf8(bytes).expect("hex payloads stay ASCII under a low-bit flip");
+        }
         let actual = sha256::hex_digest(payload.as_bytes());
         if actual != hash {
             return Err(SnapError::Corrupt {
@@ -322,7 +366,7 @@ impl Store {
     pub fn save(&self, state: &SimState, name: &str) -> Result<Saved, SnapError> {
         let (text, manifest_hash, chunks_total, chunks_new) = self.encode_state(state)?;
         let path = self.manifest_path(name);
-        fs::write(&path, &text).map_err(|e| SnapError::Io { path: path.clone(), source: e })?;
+        self.write_manifest(&path, &text)?;
         Ok(Saved { manifest_path: path, manifest_hash, chunks_total, chunks_new })
     }
 
@@ -333,8 +377,33 @@ impl Store {
     pub fn save_token(&self, state: &SimState) -> Result<Saved, SnapError> {
         let (text, manifest_hash, chunks_total, chunks_new) = self.encode_state(state)?;
         let path = self.manifest_path(&manifest_hash);
-        fs::write(&path, &text).map_err(|e| SnapError::Io { path: path.clone(), source: e })?;
+        self.write_manifest(&path, &text)?;
         Ok(Saved { manifest_path: path, manifest_hash, chunks_total, chunks_new })
+    }
+
+    /// Durably writes a manifest: temp file + `fsync` + rename + directory
+    /// `fsync`, like [`Store::put_chunk`] — a manifest *names* the snapshot,
+    /// so a torn manifest loses the whole checkpoint even when every chunk
+    /// survived.  The `snap.manifest.torn` faultline site plants exactly
+    /// that end state (a truncated manifest), which readers surface as a
+    /// structured [`SnapError::Schema`].
+    fn write_manifest(&self, path: &Path, text: &str) -> Result<(), SnapError> {
+        if self.faults.fires("snap.manifest.torn") {
+            let torn = &text[..text.len() / 2];
+            return fs::write(path, torn)
+                .map_err(|e| SnapError::Io { path: path.to_path_buf(), source: e });
+        }
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("manifest");
+        let tmp = dir.join(format!(".tmp-{name}"));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+            fs::rename(&tmp, path)?;
+            sync_dir(dir)
+        };
+        write().map_err(|e| SnapError::Io { path: tmp.clone(), source: e })
     }
 
     fn encode_state(&self, state: &SimState) -> Result<(String, String, usize, usize), SnapError> {
@@ -383,6 +452,11 @@ impl Store {
             anchor,
         })
     }
+}
+
+/// `fsync`s a directory so a just-renamed entry survives power loss.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    fs::File::open(dir)?.sync_all()
 }
 
 /// Loads a full [`SimState`] from a manifest path, taking the manifest's
@@ -833,6 +907,74 @@ mod tests {
             }
             other => panic!("expected SnapError::Schema, got {other:?}"),
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+    #[test]
+    fn injected_io_faults_surface_as_structured_errors() {
+        let dir = temp_dir("fault-io");
+        let store = Store::open(&dir)
+            .expect("open store")
+            .with_faults(FaultPlan::parse("snap.chunk.io@n1").expect("spec"));
+        match store.save(&sample_state(16), "doomed") {
+            Err(SnapError::Io { source, .. }) => {
+                assert!(source.to_string().contains("injected ENOSPC"), "{source}")
+            }
+            other => panic!("expected SnapError::Io, got {other:?}"),
+        }
+        // The trigger was one-shot: the very next save goes through clean.
+        store.save(&sample_state(16), "fine").expect("save after the fault consumed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_chunk_writes_read_back_as_corrupt_not_a_panic() {
+        let dir = temp_dir("fault-torn");
+        let store = Store::open(&dir)
+            .expect("open store")
+            .with_faults(FaultPlan::parse("snap.chunk.torn@n1").expect("spec"));
+        let saved = store.save(&sample_state(16), "torn").expect("save plants the torn object");
+        let clean = Store::open(&dir).expect("reopen");
+        match clean.load("torn") {
+            Err(SnapError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("stored content hashes to"), "{detail}")
+            }
+            other => panic!("expected SnapError::Corrupt, got {other:?}"),
+        }
+        assert!(saved.chunks_new > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_chunk_reads_fail_verification() {
+        let dir = temp_dir("fault-bitflip");
+        let store = Store::open(&dir).expect("open store");
+        store.save(&sample_state(16), "ok").expect("save");
+
+        let flipping = Store::open(&dir)
+            .expect("reopen")
+            .with_faults(FaultPlan::parse("snap.chunk.bitflip@n1").expect("spec"));
+        match flipping.load("ok") {
+            Err(SnapError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("stored content hashes to"), "{detail}")
+            }
+            other => panic!("expected SnapError::Corrupt, got {other:?}"),
+        }
+        // The on-disk object is untouched; a clean reader round-trips.
+        let clean = Store::open(&dir).expect("reopen clean");
+        let loaded = clean.load("ok").expect("load");
+        assert!(bodies_bits_equal(&loaded.bodies, &sample_state(16).bodies));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_manifests_load_as_schema_errors() {
+        let dir = temp_dir("fault-manifest");
+        let store = Store::open(&dir)
+            .expect("open store")
+            .with_faults(FaultPlan::parse("snap.manifest.torn@n1").expect("spec"));
+        store.save(&sample_state(16), "half").expect("save plants the torn manifest");
+        let clean = Store::open(&dir).expect("reopen");
+        assert!(matches!(clean.load("half"), Err(SnapError::Schema { .. })));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -55,6 +55,7 @@ struct Options {
     checkpoint_every: Option<usize>,
     checkpoint_dir: Option<String>,
     resume: Option<String>,
+    faults: engine::FaultPlan,
     json: bool,
     list: bool,
 }
@@ -84,6 +85,7 @@ impl Default for Options {
             checkpoint_every: None,
             checkpoint_dir: None,
             resume: None,
+            faults: engine::FaultPlan::default(),
             json: false,
             list: false,
         }
@@ -137,6 +139,18 @@ fn usage() -> ! {
                                 manifest; the workload/solver flags come from\n\
                                 the manifest, and the finished run is\n\
                                 bit-identical to an uninterrupted one\n\
+         \n\
+         fault injection (the faultline plane; deterministic, seeded):\n\
+           --faults SPEC        inject faults at named sites; SPEC is a\n\
+                                comma-separated list like\n\
+                                  seed=7,engine.step@n2,snap.chunk.torn@p0.1\n\
+                                triggers: @nK (Kth call), @pF (probability F\n\
+                                per call from a seeded stream), @sL..H (once\n\
+                                in step/call range [L,H)); engine.step faults\n\
+                                need --checkpoint-every — the supervisor\n\
+                                restores the latest snapshot and replays with\n\
+                                bounded backoff, bit-identical to a fault-free\n\
+                                run (compare state_digest)\n\
          \n\
          output:\n\
            --list               list the registered scenarios and backends, then exit\n\
@@ -253,6 +267,13 @@ fn parse_args() -> Options {
                 opts.checkpoint_dir = Some(value(args.next(), "--checkpoint-dir"))
             }
             "--resume" => opts.resume = Some(value(args.next(), "--resume")),
+            "--faults" => {
+                let spec = value(args.next(), "--faults");
+                opts.faults = engine::FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("bhsim: invalid --faults spec: {e}");
+                    usage()
+                });
+            }
             "--rebuild-every" => {
                 let v = value(args.next(), "--rebuild-every");
                 let every: usize = num("--rebuild-every", &v);
@@ -324,16 +345,50 @@ fn parse_args() -> Options {
         eprintln!("bhsim: checkpointing and --resume drive a single backend, not --compare");
         usage()
     }
+    if opts.faults.targets("engine.step") && opts.checkpoint_every.is_none() {
+        eprintln!(
+            "bhsim: --faults engine.step needs --checkpoint-every/--checkpoint-dir — the \
+             step-fault supervisor recovers by restoring the latest checkpoint"
+        );
+        usage()
+    }
     opts
 }
 
-/// Opens the snapshot store when checkpointing was requested.
+/// Newest `step-NNNN.json` manifest in the checkpoint directory, if any —
+/// the restore point the step-fault supervisor resumes from.
+fn latest_checkpoint(dir: &str) -> Option<std::path::PathBuf> {
+    let mut best: Option<(String, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("step-") && name.ends_with(".json") {
+            // Zero-padded step numbers sort lexicographically.
+            if best.as_ref().is_none_or(|(b, _)| name > *b) {
+                best = Some((name, entry.path()));
+            }
+        }
+    }
+    best.map(|(_, path)| path)
+}
+
+/// Deterministic jittered backoff for supervisor retries: exponential base
+/// with a seed-derived jitter, so chaos runs are reproducible end to end.
+fn backoff_ms(seed: u64, attempt: usize) -> u64 {
+    let base = 10u64 << (attempt.min(6) - 1);
+    let mixed = (seed ^ attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    base + (mixed >> 56) % (base / 2 + 1)
+}
+
+/// Opens the snapshot store when checkpointing was requested, armed with
+/// the run's fault plan (the `snap.*` injection sites live in the store).
 fn checkpoint_store(opts: &Options) -> Option<(Store, usize)> {
     let (dir, every) = (opts.checkpoint_dir.as_ref()?, opts.checkpoint_every?);
-    let store = Store::open(dir).unwrap_or_else(|e| {
-        eprintln!("bhsim: {e}");
-        std::process::exit(1)
-    });
+    let store = Store::open(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("bhsim: {e}");
+            std::process::exit(1)
+        })
+        .with_faults(opts.faults.clone());
     Some((store, every))
 }
 
@@ -511,6 +566,7 @@ fn main() {
     cfg.theta = opts.theta.unwrap_or(tuning.theta);
     cfg.eps = opts.eps.unwrap_or(tuning.eps);
     cfg.dt = opts.dt.unwrap_or(tuning.dt);
+    cfg.faults = opts.faults.clone();
     if let Err(e) = cfg.validate() {
         eprintln!("bhsim: invalid configuration: {e}");
         std::process::exit(2)
@@ -572,19 +628,64 @@ fn main() {
             eprintln!("bhsim: backend {} cannot run this config: {e}", opts.backend);
             std::process::exit(2)
         }
-        let mut recorder =
-            snapstore::Recorder::new(scenario.name(), &opts.backend, &cfg, bodies.clone(), 0);
+        // The step-fault supervisor: a tracked run that aborts with a
+        // retryable STEP_FAULT is restored from the newest checkpoint (or
+        // restarted from the identical initial conditions when the fault
+        // landed before the first save) and replayed with bounded,
+        // deterministically jittered backoff.  The replay-anchor machinery
+        // verifies the restore bit-for-bit, so a recovered run's
+        // state_digest equals the fault-free one.
+        const MAX_STEP_RETRIES: usize = 4;
+        let dir = opts.checkpoint_dir.as_deref().expect("checkpointing implies a dir");
         let mut save_error: Option<String> = None;
         let start = std::time::Instant::now();
-        let result = backend
-            .run_tracked(&cfg, bodies.clone(), &mut |record| {
-                let state = recorder.observe(&record);
-                save_checkpoint(&store, every, &state, &mut save_error);
-            })
-            .unwrap_or_else(|e| {
-                eprintln!("bhsim: {e}");
-                std::process::exit(2)
-            });
+        let mut attempt = 0usize;
+        let result = loop {
+            let restore = if attempt == 0 { None } else { latest_checkpoint(dir) };
+            let outcome = match restore {
+                Some(manifest) => {
+                    let state = snapstore::load_state(&manifest).unwrap_or_else(|e| {
+                        eprintln!("bhsim: restoring {}: {e}", manifest.display());
+                        std::process::exit(1)
+                    });
+                    eprintln!(
+                        "bhsim: supervisor restoring {} (step {}/{})",
+                        manifest.display(),
+                        state.step,
+                        state.cfg.steps
+                    );
+                    snapstore::resume(&state, backend, |continued| {
+                        save_checkpoint(&store, every, &continued, &mut save_error);
+                    })
+                }
+                None => {
+                    let mut recorder = snapstore::Recorder::new(
+                        scenario.name(),
+                        &opts.backend,
+                        &cfg,
+                        bodies.clone(),
+                        0,
+                    );
+                    backend.run_tracked(&cfg, bodies.clone(), &mut |record| {
+                        let state = recorder.observe(&record);
+                        save_checkpoint(&store, every, &state, &mut save_error);
+                    })
+                }
+            };
+            match outcome {
+                Ok(result) => break result,
+                Err(e) if e.contains(engine::fault::STEP_FAULT) && attempt < MAX_STEP_RETRIES => {
+                    attempt += 1;
+                    let delay = backoff_ms(cfg.faults.seed, attempt);
+                    eprintln!("bhsim: {e}; retry {attempt}/{MAX_STEP_RETRIES} in {delay} ms");
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+                Err(e) => {
+                    eprintln!("bhsim: {e}");
+                    std::process::exit(2)
+                }
+            }
+        };
         if let Some(e) = save_error {
             eprintln!("bhsim: checkpoint save failed: {e}");
             std::process::exit(1)

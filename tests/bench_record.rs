@@ -1,4 +1,4 @@
-//! Guards on the committed benchmark baseline (`BENCH_0008.json`): the CI
+//! Guards on the committed benchmark baseline (`BENCH_0009.json`): the CI
 //! perf gate diffs against this file, so it must stay schema-valid and keep
 //! demonstrating the claims it was committed for — the tree-lifecycle claim
 //! that persistent-tree stepping beats per-step rebuild on long
@@ -7,7 +7,9 @@
 //! tree-build claim that the sorted (Morton sample-sort) build beats
 //! lock-based insertion on tree time with a smaller node arena, the
 //! serving slice (`service = "bhserve"`) recorded by `bhload` against a live
-//! `bhserve` for the CI serving gate, and the warm-start slice
+//! `bhserve` for the CI serving gate, the chaos slice (`service = "chaos"`)
+//! recorded by `bhload --chaos` against a daemon with injected faultline
+//! faults for the CI chaos gate, and the warm-start slice
 //! (`warm = "warm[pK]"`) showing that resuming from a `snapstore`
 //! checkpoint beats re-integrating the equilibration prefix from t = 0.
 
@@ -17,10 +19,17 @@ use engine::bench::{
 use std::collections::BTreeSet;
 
 fn committed_record() -> Record {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0008.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0009.json");
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read committed baseline {path}: {e}"));
     Record::from_json(&text).expect("committed baseline must be schema-valid")
+}
+
+fn previous_record() -> Record {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_0008.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read previous baseline {path}: {e}"));
+    Record::from_json(&text).expect("previous baseline must be schema-valid")
 }
 
 #[test]
@@ -233,10 +242,13 @@ fn committed_baseline_carries_the_serving_slice() {
     let record = committed_record();
     let serving: Vec<_> =
         record.runs.iter().filter(|r| r.spec.service == engine::bench::SERVICE_BHSERVE).collect();
+    // Standalone means the `sim` service only — the chaos slice reuses the
+    // serving cell sizes on purpose (it drives the same mix), so it must
+    // not be folded into the disjointness check.
     let standalone_sizes: BTreeSet<usize> = record
         .runs
         .iter()
-        .filter(|r| r.spec.service != engine::bench::SERVICE_BHSERVE)
+        .filter(|r| r.spec.service == engine::bench::SERVICE_SIM)
         .map(|r| r.spec.nbodies)
         .collect();
     let expected: BTreeSet<(String, String, usize)> =
@@ -259,6 +271,77 @@ fn committed_baseline_carries_the_serving_slice() {
             !standalone_sizes.contains(&run.spec.nbodies),
             "{key}: serving cell sizes must stay disjoint from the standalone grid"
         );
+    }
+}
+
+/// The faultline acceptance evidence, part 1: the committed baseline
+/// carries the chaos slice — every cell of the full mix, recorded by
+/// `bhload --chaos` against a live daemon running with injected frame
+/// faults and a bounded in-flight limit.  Deterministic counters stay
+/// gate-comparable (a recovered request reruns the identical job); the
+/// recovery fields record what the faults cost.
+#[test]
+fn committed_baseline_carries_the_chaos_slice() {
+    let record = committed_record();
+    let chaos: Vec<_> =
+        record.runs.iter().filter(|r| r.spec.service == engine::bench::SERVICE_CHAOS).collect();
+    let expected: BTreeSet<(String, String, usize)> =
+        bhserve::load::cells(bhserve::load::Mix::Full)
+            .iter()
+            .map(|c| (c.scenario.to_string(), c.backend.to_string(), c.nbodies))
+            .collect();
+    let got: BTreeSet<(String, String, usize)> = chaos
+        .iter()
+        .map(|r| (r.spec.scenario.clone(), r.spec.backend.clone(), r.spec.nbodies))
+        .collect();
+    assert_eq!(got, expected, "baseline must carry exactly the full chaos mix");
+    for run in &chaos {
+        let key = run.spec.key();
+        assert!(run.latency_ms.median > 0.0, "{key}: chaos rows must measure latency");
+        assert!(run.interactions > 0, "{key}: chaos rows carry deterministic counters");
+        assert!(
+            run.recovery_ms.is_finite() && run.recovery_ms >= 0.0,
+            "{key}: ill-formed recovery_ms"
+        );
+        assert!((0.0..=1.0).contains(&run.error_rate), "{key}: error_rate out of [0, 1]");
+    }
+    // The injected faults actually bit during the recording — at least one
+    // cell paid a visible recovery — yet nothing failed: every row still
+    // carries a full latency distribution and its deterministic counters.
+    assert!(
+        chaos.iter().any(|r| r.recovery_ms > 0.0 && r.error_rate > 0.0),
+        "the chaos slice must have been recorded under live faults"
+    );
+}
+
+/// The faultline acceptance evidence, part 2: injecting faults (and the
+/// chaos mix riding along) perturbed *nothing* outside its own slice — every
+/// fault-free row and kernel pair of `BENCH_0009.json` is value-identical
+/// to its `BENCH_0008.json` ancestor (the only serialized difference is the
+/// new recovery fields, which decode as zero from legacy records).
+#[test]
+fn fault_free_rows_are_identical_to_the_previous_baseline() {
+    let current = committed_record();
+    let previous = previous_record();
+    let encode = |r: &engine::bench::RunRecord| serde_json::to_string(r).unwrap();
+    let prev_by_key: std::collections::BTreeMap<String, String> =
+        previous.runs.iter().map(|r| (r.spec.key(), encode(r))).collect();
+    let mut carried = 0;
+    for run in &current.runs {
+        if run.spec.service == engine::bench::SERVICE_CHAOS {
+            continue;
+        }
+        let key = run.spec.key();
+        let prev = prev_by_key
+            .get(&key)
+            .unwrap_or_else(|| panic!("{key}: fault-free row has no BENCH_0008 ancestor"));
+        assert_eq!(&encode(run), prev, "{key}: fault-free row drifted from BENCH_0008");
+        carried += 1;
+    }
+    assert_eq!(carried, previous.runs.len(), "a BENCH_0008 row vanished from BENCH_0009");
+    assert_eq!(current.kernels.len(), previous.kernels.len());
+    for (cur, prev) in current.kernels.iter().zip(&previous.kernels) {
+        assert_eq!(serde_json::to_string(cur).unwrap(), serde_json::to_string(prev).unwrap());
     }
 }
 
